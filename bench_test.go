@@ -1,0 +1,467 @@
+// Benchmark harness regenerating every figure and scenario of the paper's
+// evaluation (it is a demo paper: Fig. 1, Fig. 3, Scenario I, Scenario II,
+// plus its two performance claims), and the ablations listed in DESIGN.md.
+// EXPERIMENTS.md records the measured numbers next to the paper's
+// qualitative claims.
+package sciql_test
+
+import (
+	"fmt"
+	"testing"
+
+	sciql "repro"
+	"repro/internal/baseline"
+	"repro/internal/bat"
+	"repro/internal/gdk"
+	"repro/internal/img"
+	"repro/internal/scenarios"
+	"repro/internal/shape"
+	"repro/internal/types"
+	"repro/internal/vault"
+)
+
+// ------------------------------------------------------------- Figure 1
+
+// BenchmarkFig1a_CreateArray measures CREATE ARRAY materialisation
+// (array.series for the dimensions + array.filler for the attribute).
+func BenchmarkFig1a_CreateArray(b *testing.B) {
+	for _, n := range []int{16, 64, 256} {
+		b.Run(fmt.Sprintf("%dx%d", n, n), func(b *testing.B) {
+			db := sciql.New()
+			q := fmt.Sprintf(`CREATE ARRAY m (x INT DIMENSION[0:1:%d], y INT DIMENSION[0:1:%d], v INT DEFAULT 0)`, n, n)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := db.Query(q); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := db.Query(`DROP ARRAY m`); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig1b_GuardedUpdate measures the guarded CASE update with
+// dimensions as bound variables.
+func BenchmarkFig1b_GuardedUpdate(b *testing.B) {
+	for _, n := range []int{64, 256} {
+		b.Run(fmt.Sprintf("%dx%d", n, n), func(b *testing.B) {
+			db := sciql.New()
+			mustExec(b, db, fmt.Sprintf(
+				`CREATE ARRAY m (x INT DIMENSION[0:1:%d], y INT DIMENSION[0:1:%d], v INT DEFAULT 0)`, n, n))
+			q := `UPDATE m SET v = CASE WHEN x > y THEN x + y WHEN x < y THEN x - y ELSE 0 END`
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := db.Query(q); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig1c_InsertDelete measures positional overwrite and hole
+// punching.
+func BenchmarkFig1c_InsertDelete(b *testing.B) {
+	db := sciql.New()
+	mustExec(b, db, `CREATE ARRAY m (x INT DIMENSION[0:1:256], y INT DIMENSION[0:1:256], v INT DEFAULT 0)`)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Query(`INSERT INTO m SELECT [x], [y], x * y FROM m WHERE x = y`); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := db.Query(`DELETE FROM m WHERE x > y + 250`); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig1e_Tiling2x2 measures the paper's tiling query.
+func BenchmarkFig1e_Tiling2x2(b *testing.B) {
+	for _, n := range []int{64, 256, 512} {
+		b.Run(fmt.Sprintf("%dx%d", n, n), func(b *testing.B) {
+			db := sciql.New()
+			mustExec(b, db, fmt.Sprintf(
+				`CREATE ARRAY m (x INT DIMENSION[0:1:%d], y INT DIMENSION[0:1:%d], v INT DEFAULT 0)`, n, n))
+			mustExec(b, db, `UPDATE m SET v = x + y`)
+			q := `SELECT [x], [y], AVG(v) FROM m GROUP BY m[x:x+2][y:y+2] HAVING x MOD 2 = 1 AND y MOD 2 = 1`
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := db.Query(q); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig1f_AlterDimension measures dimension expansion (reshape with
+// default fill).
+func BenchmarkFig1f_AlterDimension(b *testing.B) {
+	db := sciql.New()
+	mustExec(b, db, `CREATE ARRAY m (x INT DIMENSION[0:1:256], y INT DIMENSION[0:1:256], v INT DEFAULT 0)`)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		grow := fmt.Sprintf(`ALTER ARRAY m ALTER DIMENSION x SET RANGE [%d:1:%d]`, -(i%2 + 1), 256+i%2+1)
+		if _, err := db.Query(grow); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ------------------------------------------------------------- Figure 3
+
+// BenchmarkFig3_SeriesFiller measures the two MAL primitives of §3
+// directly at the kernel level, with the Fig. 3 repetition patterns.
+func BenchmarkFig3_SeriesFiller(b *testing.B) {
+	for _, n := range []int{64, 256, 1024} {
+		b.Run(fmt.Sprintf("%dx%d", n, n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				x, err := bat.Series(0, 1, int64(n), n, 1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				y, err := bat.Series(0, 1, int64(n), 1, n)
+				if err != nil {
+					b.Fatal(err)
+				}
+				v, err := bat.Filler(n*n, types.Int(0), types.KindInt)
+				if err != nil {
+					b.Fatal(err)
+				}
+				_, _, _ = x, y, v
+			}
+		})
+	}
+}
+
+// ---------------------------------------------------------- Scenario I
+
+// benchLifeSizes are the board sizes the Game of Life strategies compete on.
+var benchLifeSizes = []int{16, 32, 64}
+
+// BenchmarkScenario1_LifeSciQL: one generation as a single structural-
+// grouping query (the paper's approach).
+func BenchmarkScenario1_LifeSciQL(b *testing.B) {
+	for _, n := range benchLifeSizes {
+		b.Run(fmt.Sprintf("%dx%d", n, n), func(b *testing.B) {
+			db := sciql.New()
+			life, err := scenarios.NewLife(db, "life", n, n)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := life.Seed(scenarios.Glider(1, 1)); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := life.Step(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkScenario1_LifeSQLSelfJoin: the same generation via the
+// eight-way relational self-join the paper says SciQL replaces (§4).
+func BenchmarkScenario1_LifeSQLSelfJoin(b *testing.B) {
+	for _, n := range benchLifeSizes {
+		b.Run(fmt.Sprintf("%dx%d", n, n), func(b *testing.B) {
+			db := sciql.New()
+			life, err := baseline.NewSQLLife(db, "life", n, n)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := life.Seed(scenarios.Glider(1, 1)); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := life.Step(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkScenario1_LifeNative: the plain-Go upper bound.
+func BenchmarkScenario1_LifeNative(b *testing.B) {
+	for _, n := range benchLifeSizes {
+		b.Run(fmt.Sprintf("%dx%d", n, n), func(b *testing.B) {
+			life := scenarios.NewNativeLife(n, n)
+			life.Seed(scenarios.Glider(1, 1))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				life.Step()
+			}
+		})
+	}
+}
+
+// ---------------------------------------------------------- Scenario II
+
+func benchImageDB(b *testing.B, n int) *sciql.DB {
+	b.Helper()
+	db := sciql.New()
+	if err := vault.LoadImage(db, "img", img.RemoteSensing(n, n, 7)); err != nil {
+		b.Fatal(err)
+	}
+	return db
+}
+
+func benchImageQuery(b *testing.B, q string, n int) {
+	db := benchImageDB(b, n)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Query(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+const benchImgSize = 256
+
+// BenchmarkScenario2_Invert measures intensity inversion.
+func BenchmarkScenario2_Invert(b *testing.B) {
+	benchImageQuery(b, scenarios.InvertQuery("img"), benchImgSize)
+}
+
+// BenchmarkScenario2_EdgeDetect measures relative cell addressing.
+func BenchmarkScenario2_EdgeDetect(b *testing.B) {
+	benchImageQuery(b, scenarios.EdgeDetectQuery("img"), benchImgSize)
+}
+
+// BenchmarkScenario2_Smooth measures a 3x3 structural-grouping blur.
+func BenchmarkScenario2_Smooth(b *testing.B) {
+	benchImageQuery(b, scenarios.SmoothQuery("img"), benchImgSize)
+}
+
+// BenchmarkScenario2_Reduce measures resolution reduction.
+func BenchmarkScenario2_Reduce(b *testing.B) {
+	benchImageQuery(b, scenarios.ReduceQuery("img"), benchImgSize)
+}
+
+// BenchmarkScenario2_Rotate measures coordinate permutation.
+func BenchmarkScenario2_Rotate(b *testing.B) {
+	benchImageQuery(b, scenarios.RotateQuery("img", benchImgSize), benchImgSize)
+}
+
+// BenchmarkScenario2_FilterWater measures the thresholding query.
+func BenchmarkScenario2_FilterWater(b *testing.B) {
+	benchImageQuery(b, scenarios.FilterWaterQuery("img", 40), benchImgSize)
+}
+
+// BenchmarkScenario2_Histogram measures value-based grouping on an array.
+func BenchmarkScenario2_Histogram(b *testing.B) {
+	benchImageQuery(b, scenarios.HistogramQuery("img"), benchImgSize)
+}
+
+// BenchmarkScenario2_Brighten measures saturating addition.
+func BenchmarkScenario2_Brighten(b *testing.B) {
+	benchImageQuery(b, scenarios.BrightenQuery("img", 60), benchImgSize)
+}
+
+// BenchmarkScenario2_Zoom measures the array x table replication join.
+func BenchmarkScenario2_Zoom(b *testing.B) {
+	db := benchImageDB(b, benchImgSize)
+	if err := scenarios.EnsureOffsets(db, 2); err != nil {
+		b.Fatal(err)
+	}
+	q := scenarios.ZoomQuery("img", 64, 64, 64, 64, 2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Query(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkScenario2_AreasOfInterest measures the bounding-box table join.
+func BenchmarkScenario2_AreasOfInterest(b *testing.B) {
+	db := benchImageDB(b, benchImgSize)
+	mustExec(b, db, `CREATE TABLE maskt (x1 INT, y1 INT, x2 INT, y2 INT)`)
+	mustExec(b, db, `INSERT INTO maskt VALUES (20, 20, 90, 90), (150, 130, 230, 200)`)
+	q := scenarios.AreasOfInterestQuery("img")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Query(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkScenario2_NativeInvert is the plain-Go bound for inversion.
+func BenchmarkScenario2_NativeInvert(b *testing.B) {
+	m := img.RemoteSensing(benchImgSize, benchImgSize, 7)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		scenarios.NativeInvert(m)
+	}
+}
+
+// BenchmarkScenario2_NativeSmooth is the plain-Go bound for the blur.
+func BenchmarkScenario2_NativeSmooth(b *testing.B) {
+	m := img.RemoteSensing(benchImgSize, benchImgSize, 7)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		scenarios.NativeSmooth(m)
+	}
+}
+
+// ----------------------------------------- Scenario II: arrays vs. BLOBs
+
+// BenchmarkScenario2_RegionArray extracts a 32x32 region through the
+// array path: one WHERE over the dimensions.
+func BenchmarkScenario2_RegionArray(b *testing.B) {
+	db := benchImageDB(b, benchImgSize)
+	q := `SELECT [x], [y], v FROM img WHERE x >= 100 AND x < 132 AND y >= 100 AND y < 132`
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Query(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkScenario2_RegionBLOB extracts the same region under BLOB
+// storage: fetch the whole value, decode, crop client-side.
+func BenchmarkScenario2_RegionBLOB(b *testing.B) {
+	db := sciql.New()
+	bs, err := baseline.NewBlobStore(db)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := bs.Store("img", img.RemoteSensing(benchImgSize, benchImgSize, 7)); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := bs.Region("img", 100, 100, 32, 32); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ------------------------------------------------------------- ablations
+
+// BenchmarkAblation_TileGeneric vs BenchmarkAblation_TileSAT: the two
+// structural-grouping kernels on a large tile, where the summed-area-table
+// path should win (DESIGN.md ablation 1).
+func BenchmarkAblation_TileGeneric(b *testing.B) {
+	benchTileKernel(b, false)
+}
+
+// BenchmarkAblation_TileSAT is the summed-area-table counterpart.
+func BenchmarkAblation_TileSAT(b *testing.B) {
+	benchTileKernel(b, true)
+}
+
+func benchTileKernel(b *testing.B, sat bool) {
+	const n = 256
+	sh := shape.Shape{
+		{Name: "x", Start: 0, Step: 1, Stop: n},
+		{Name: "y", Start: 0, Step: 1, Stop: n},
+	}
+	vals := make([]int64, n*n)
+	for i := range vals {
+		vals[i] = int64(i % 251)
+	}
+	attr := bat.FromInts(vals)
+	for _, ts := range []int{3, 9, 15} {
+		b.Run(fmt.Sprintf("tile%dx%d", ts, ts), func(b *testing.B) {
+			half := int64(ts / 2)
+			tile := []gdk.TileRange{{Lo: -half, Hi: half + 1}, {Lo: -half, Hi: half + 1}}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				var err error
+				if sat {
+					_, err = gdk.TileAggSAT(gdk.AggSum, attr, sh, tile)
+				} else {
+					_, err = gdk.TileAgg(gdk.AggSum, attr, sh, tile)
+				}
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblation_Candidates compares the fused theta-select kernel with
+// the generic compare-then-select pipeline (DESIGN.md ablation 2).
+func BenchmarkAblation_Candidates(b *testing.B) {
+	const n = 1 << 20
+	vals := make([]int64, n)
+	for i := range vals {
+		vals[i] = int64(i % 1000)
+	}
+	col := bat.FromInts(vals)
+	b.Run("thetaselect", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := gdk.ThetaSelect(col, nil, types.Int(500), "<"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("compare+boolselect", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			mask, err := gdk.Compare("<", gdk.B(col), gdk.C(types.Int(500), n))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := gdk.SelectBool(mask); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAblation_ValueVsStructural compares computing non-overlapping
+// 2x2 partition sums via value-based grouping on the coerced table
+// (GROUP BY x/2, y/2) against structural grouping (DESIGN.md ablation 3).
+func BenchmarkAblation_ValueVsStructural(b *testing.B) {
+	const n = 256
+	db := sciql.New()
+	mustExec(b, db, fmt.Sprintf(
+		`CREATE ARRAY m (x INT DIMENSION[0:1:%d], y INT DIMENSION[0:1:%d], v INT DEFAULT 1)`, n, n))
+	mustExec(b, db, `UPDATE m SET v = x + y`)
+	b.Run("value-grouping", func(b *testing.B) {
+		q := `SELECT x / 2, y / 2, SUM(v) FROM m GROUP BY x / 2, y / 2`
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := db.Query(q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("structural-grouping", func(b *testing.B) {
+		q := `SELECT [x/2], [y/2], SUM(v) FROM m GROUP BY m[x:x+2][y:y+2] HAVING x MOD 2 = 0 AND y MOD 2 = 0`
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := db.Query(q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func mustExec(b *testing.B, db *sciql.DB, q string) {
+	b.Helper()
+	if _, err := db.Query(q); err != nil {
+		b.Fatalf("%s: %v", q, err)
+	}
+}

@@ -1,0 +1,85 @@
+// Command lifesim runs the paper's Scenario I: Conway's Game of Life where
+// every rule is a SciQL query executed inside the database. It prints each
+// generation as ASCII art (the terminal stand-in for the demo GUI's red
+// squares).
+//
+// Usage:
+//
+//	lifesim [-w 40] [-h 20] [-gens 20] [-pattern glider|blinker|block|soup] [-show-sql]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	sciql "repro"
+	"repro/internal/scenarios"
+)
+
+func main() {
+	w := flag.Int("w", 40, "board width")
+	h := flag.Int("h", 20, "board height")
+	gens := flag.Int("gens", 20, "generations to simulate")
+	pattern := flag.String("pattern", "glider", "seed pattern: glider, blinker, block or soup")
+	showSQL := flag.Bool("show-sql", false, "print the SciQL step query and exit")
+	flag.Parse()
+
+	db := sciql.New()
+	life, err := scenarios.NewLife(db, "life", *w, *h)
+	if err != nil {
+		fail(err)
+	}
+	if *showSQL {
+		fmt.Println(life.StepQuery())
+		return
+	}
+
+	var seed [][2]int
+	switch *pattern {
+	case "glider":
+		seed = scenarios.Glider(1, *h-5)
+	case "blinker":
+		seed = scenarios.Blinker(*w/2-1, *h/2)
+	case "block":
+		seed = scenarios.Block(*w/2-1, *h/2-1)
+	case "soup":
+		// A deterministic pseudo-random soup in the centre.
+		state := uint64(0x2545F4914F6CDD1D)
+		for i := 0; i < (*w)*(*h)/5; i++ {
+			state ^= state << 13
+			state ^= state >> 7
+			state ^= state << 17
+			x := int(state % uint64(*w))
+			y := int((state >> 32) % uint64(*h))
+			seed = append(seed, [2]int{x, y})
+		}
+	default:
+		fail(fmt.Errorf("unknown pattern %q", *pattern))
+	}
+	if err := life.Seed(seed); err != nil {
+		fail(err)
+	}
+
+	for g := 0; g <= *gens; g++ {
+		board, err := life.Render()
+		if err != nil {
+			fail(err)
+		}
+		pop, err := life.Population()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("generation %d (population %d, via SciQL aggregate):\n%s\n", g, pop, board)
+		if g < *gens {
+			if err := life.Step(); err != nil {
+				fail(err)
+			}
+		}
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "lifesim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,94 @@
+// Sensorfusion demonstrates the motivation of the paper's §1: a scientific
+// information system must "blend measurements with static and derived
+// metadata about the instruments and observations" — which needs tables
+// and arrays side by side in one query language.
+//
+// A satellite ground-station scenario: per-sensor time series live in a
+// 2-D SciQL array (sensor × time), while the instrument metadata
+// (calibration offsets, station names, quality flags) lives in ordinary
+// relational tables. Queries mix both freely: calibrated readings join the
+// array with the metadata table; window statistics use structural
+// grouping; and a quality report groups the result relationally.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	sciql "repro"
+)
+
+func main() {
+	db := sciql.New()
+
+	exec := func(q string) {
+		if _, err := db.Exec(q); err != nil {
+			log.Fatalf("%s: %v", q, err)
+		}
+	}
+	query := func(caption, q string) {
+		res, err := db.Query(q)
+		if err != nil {
+			log.Fatalf("%s: %v", q, err)
+		}
+		fmt.Printf("-- %s\n%s\n%s\n", caption, q, res)
+	}
+
+	// The measurement array: 4 sensors x 24 hourly readings.
+	exec(`CREATE ARRAY readings (
+		sensor INT DIMENSION[0:1:4],
+		hour   INT DIMENSION[0:1:24],
+		raw    INT DEFAULT 0)`)
+
+	// Synthetic diurnal signal, different per sensor; sensor 2 drops out
+	// between hours 9 and 13 (holes via DELETE).
+	exec(`UPDATE readings SET raw =
+		100 + 10 * sensor
+		+ CAST(40 * (hour % 12) / 12 AS INT)
+		+ CASE WHEN hour >= 12 THEN 40 - CAST(40 * (hour % 12) / 12 AS INT) ELSE 0 END`)
+	exec(`DELETE FROM readings WHERE sensor = 2 AND hour >= 9 AND hour < 13`)
+
+	// Instrument metadata: plain relational tables.
+	exec(`CREATE TABLE sensors (id INT, station VARCHAR, offset_mv INT, active BOOLEAN)`)
+	exec(`INSERT INTO sensors VALUES
+		(0, 'alpha', 5, TRUE),
+		(1, 'alpha', -3, TRUE),
+		(2, 'beta',  0, TRUE),
+		(3, 'beta',  12, FALSE)`)
+
+	// 1. Symbiosis: calibrate the array readings with the table offsets.
+	query("calibrated readings (array ⋈ table), hour 6, active sensors only",
+		`SELECT s.station, r.sensor, r.raw + s.offset_mv AS calibrated
+		 FROM readings r, sensors s
+		 WHERE r.sensor = s.id AND s.active = TRUE AND r.hour = 6
+		 ORDER BY r.sensor`)
+
+	// 2. Structural grouping: centred 5-hour moving average per sensor
+	//    (1x5 tiles; the dropout hours are ignored by AVG, not zero-filled).
+	query("5-hour moving average around noon (structural grouping)",
+		`SELECT [sensor], [hour], AVG(raw) AS smooth
+		 FROM readings
+		 GROUP BY readings[sensor][hour-2:hour+3]
+		 HAVING hour = 12`)
+
+	// 3. Holes are first-class: the dropout is visible as reduced counts.
+	query("readings per sensor (holes from the dropout are not counted)",
+		`SELECT sensor, COUNT(raw) AS n, AVG(raw) AS mean
+		 FROM readings GROUP BY sensor ORDER BY sensor`)
+
+	// 4. Relational aggregation over a coerced array: station-level report.
+	query("station report (array → table → join → group)",
+		`SELECT s.station, COUNT(r.raw) AS readings, MAX(r.raw) AS peak
+		 FROM readings r JOIN sensors s ON r.sensor = s.id
+		 WHERE s.active = TRUE
+		 GROUP BY s.station ORDER BY s.station`)
+
+	// 5. Coerce a filtered slab back into an array (afternoon window).
+	res, err := db.Query(`SELECT [sensor], [hour], raw FROM readings
+		WHERE hour >= 12 AND hour < 18 AND sensor < 2`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("-- afternoon slab as a fresh array: shape %v, %d cells\n",
+		res.Shape, res.Shape.Cells())
+}

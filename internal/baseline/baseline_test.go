@@ -1,0 +1,123 @@
+package baseline
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/img"
+	"repro/internal/scenarios"
+)
+
+// TestSQLLifeMatchesSciQLAndNative locks in that all three execution
+// strategies — SciQL structural grouping, pure-SQL eight-way self-join,
+// and native Go — compute identical generations.
+func TestSQLLifeMatchesSciQLAndNative(t *testing.T) {
+	const w, h = 10, 8
+	seed := append(scenarios.Glider(1, 1), scenarios.Blinker(6, 5)...)
+
+	sciDB := core.New()
+	sci, err := scenarios.NewLife(sciDB, "life", w, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sci.Seed(seed); err != nil {
+		t.Fatal(err)
+	}
+
+	sqlDB := core.New()
+	sqlLife, err := NewSQLLife(sqlDB, "life", w, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sqlLife.Seed(seed); err != nil {
+		t.Fatal(err)
+	}
+
+	native := scenarios.NewNativeLife(w, h)
+	native.Seed(seed)
+
+	for gen := 0; gen < 4; gen++ {
+		if err := sci.Step(); err != nil {
+			t.Fatalf("sciql step %d: %v", gen, err)
+		}
+		if err := sqlLife.Step(); err != nil {
+			t.Fatalf("sql step %d: %v", gen, err)
+		}
+		native.Step()
+
+		sciBoard, err := sci.Board()
+		if err != nil {
+			t.Fatal(err)
+		}
+		sqlBoard, err := sqlLife.Board()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := native.Board()
+		for x := 0; x < w; x++ {
+			for y := 0; y < h; y++ {
+				if sciBoard[x][y] != want[x][y] {
+					t.Fatalf("gen %d: sciql differs at (%d,%d)", gen+1, x, y)
+				}
+				if sqlBoard[x][y] != want[x][y] {
+					t.Fatalf("gen %d: sql self-join differs at (%d,%d)", gen+1, x, y)
+				}
+			}
+		}
+	}
+}
+
+func TestBlobStoreRoundtrip(t *testing.T) {
+	db := core.New()
+	bs, err := NewBlobStore(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := img.Building(20, 15)
+	if err := bs.Store("bld", m); err != nil {
+		t.Fatal(err)
+	}
+	back, err := bs.Load("bld")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Equal(m) {
+		t.Error("BLOB roundtrip changed pixels")
+	}
+	region, err := bs.Region("bld", 2, 3, 5, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for y := 0; y < 4; y++ {
+		for x := 0; x < 5; x++ {
+			if region.At(x, y) != m.At(2+x, 3+y) {
+				t.Fatalf("region pixel (%d,%d) wrong", x, y)
+			}
+		}
+	}
+	if err := bs.Invert("bld"); err != nil {
+		t.Fatal(err)
+	}
+	inv, err := bs.Load("bld")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inv.At(0, 0) != 255-m.At(0, 0) {
+		t.Error("BLOB invert wrong")
+	}
+}
+
+func TestHexCodec(t *testing.T) {
+	data := []byte{0x00, 0xFF, 0x7A, 0x10}
+	enc := hexEncode(data)
+	dec, err := hexDecode(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(dec) != string(data) {
+		t.Errorf("roundtrip %x -> %s -> %x", data, enc, dec)
+	}
+	if _, err := hexDecode("xyz"); err == nil {
+		t.Error("bad hex accepted")
+	}
+}

@@ -1,0 +1,130 @@
+package baseline
+
+import (
+	"bytes"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/img"
+)
+
+// BlobStore emulates the pre-SciQL practice the demo argues against:
+// keeping each image as an opaque encoded BLOB in a relational table. Any
+// pixel-level operation must fetch the whole BLOB, decode it client-side,
+// process it in application code and (for updates) re-encode and rewrite
+// the full value — there is no in-database partial access.
+type BlobStore struct {
+	DB *core.DB
+}
+
+// NewBlobStore creates the images(name, data) table. The engine has no
+// BLOB type, so the PGM encoding is stored in a VARCHAR column via a
+// binary-safe hex encoding — which only reinforces the storage overhead
+// the paper attributes to BLOBs.
+func NewBlobStore(db *core.DB) (*BlobStore, error) {
+	if _, err := db.Query(`CREATE TABLE images (name VARCHAR, data VARCHAR)`); err != nil {
+		return nil, err
+	}
+	return &BlobStore{DB: db}, nil
+}
+
+const hexdigits = "0123456789abcdef"
+
+func hexEncode(b []byte) string {
+	out := make([]byte, 2*len(b))
+	for i, c := range b {
+		out[2*i] = hexdigits[c>>4]
+		out[2*i+1] = hexdigits[c&0xF]
+	}
+	return string(out)
+}
+
+func hexDecode(s string) ([]byte, error) {
+	if len(s)%2 != 0 {
+		return nil, fmt.Errorf("odd hex length")
+	}
+	nib := func(c byte) (byte, error) {
+		switch {
+		case c >= '0' && c <= '9':
+			return c - '0', nil
+		case c >= 'a' && c <= 'f':
+			return c - 'a' + 10, nil
+		default:
+			return 0, fmt.Errorf("bad hex digit %q", c)
+		}
+	}
+	out := make([]byte, len(s)/2)
+	for i := range out {
+		hi, err := nib(s[2*i])
+		if err != nil {
+			return nil, err
+		}
+		lo, err := nib(s[2*i+1])
+		if err != nil {
+			return nil, err
+		}
+		out[i] = hi<<4 | lo
+	}
+	return out, nil
+}
+
+// Store encodes and inserts an image.
+func (b *BlobStore) Store(name string, m *img.Image) error {
+	var buf bytes.Buffer
+	if err := m.EncodePGM(&buf); err != nil {
+		return err
+	}
+	q := fmt.Sprintf(`INSERT INTO images VALUES ('%s', '%s')`, name, hexEncode(buf.Bytes()))
+	_, err := b.DB.Query(q)
+	return err
+}
+
+// Load fetches and decodes the whole image — the only access path BLOBs
+// offer.
+func (b *BlobStore) Load(name string) (*img.Image, error) {
+	res, err := b.DB.Query(fmt.Sprintf(`SELECT data FROM images WHERE name = '%s'`, name))
+	if err != nil {
+		return nil, err
+	}
+	if res.NumRows() != 1 {
+		return nil, fmt.Errorf("image %q: %d rows", name, res.NumRows())
+	}
+	raw, err := hexDecode(res.Value(0, 0).StrVal())
+	if err != nil {
+		return nil, err
+	}
+	return img.DecodePGM(bytes.NewReader(raw))
+}
+
+// Region extracts a rectangle. With BLOB storage this necessarily loads
+// and decodes the entire image first; compare Scenario II's array path,
+// where the same region is one WHERE clause over the dimensions.
+func (b *BlobStore) Region(name string, x0, y0, w, h int) (*img.Image, error) {
+	full, err := b.Load(name)
+	if err != nil {
+		return nil, err
+	}
+	out := img.New(w, h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			out.Set(x, y, full.At(x0+x, y0+y))
+		}
+	}
+	return out, nil
+}
+
+// Invert is a pixel operation under BLOB storage: full fetch, decode,
+// client-side loop, re-encode, full rewrite.
+func (b *BlobStore) Invert(name string) error {
+	m, err := b.Load(name)
+	if err != nil {
+		return err
+	}
+	for i := range m.Pix {
+		m.Pix[i] = 255 - m.Pix[i]
+	}
+	if _, err := b.DB.Query(fmt.Sprintf(`DELETE FROM images WHERE name = '%s'`, name)); err != nil {
+		return err
+	}
+	return b.Store(name, m)
+}

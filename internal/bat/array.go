@@ -1,0 +1,111 @@
+package bat
+
+import (
+	"fmt"
+
+	"repro/internal/types"
+)
+
+// SeriesLen returns the number of distinct values in the dimension range
+// [start:step:stop) (right-open, per the SciQL definition in §2 of the paper).
+func SeriesLen(start, step, stop int64) (int, error) {
+	if step == 0 {
+		return 0, fmt.Errorf("array.series: step must be non-zero")
+	}
+	if step > 0 {
+		if stop <= start {
+			return 0, nil
+		}
+		return int((stop - start + step - 1) / step), nil
+	}
+	if stop >= start {
+		return 0, nil
+	}
+	neg := -step
+	return int((start - stop + neg - 1) / neg), nil
+}
+
+// Series implements the MAL primitive
+//
+//	command array.series(start, step, stop, N, M) :bat[:oid,:lng]
+//
+// from §3 of the paper: it generates the dimension-value BAT for one
+// dimension of an array. Each value in [start:step:stop) is repeated N times
+// consecutively (the repetition count of a single value within one group),
+// and the whole group is repeated M times. For a row-major array with
+// dimensions (d0, d1, ..., dk) of sizes (n0, n1, ..., nk), dimension i uses
+// N = product of sizes of the dimensions declared after i, and M = product of
+// the sizes declared before i — exactly the paper's Fig. 3 layout.
+func Series(start, step, stop int64, n, m int) (*BAT, error) {
+	cnt, err := SeriesLen(start, step, stop)
+	if err != nil {
+		return nil, err
+	}
+	if n <= 0 || m <= 0 {
+		return nil, fmt.Errorf("array.series: repetitions must be positive, got N=%d M=%d", n, m)
+	}
+	total := cnt * n * m
+	vals := make([]int64, 0, total)
+	for g := 0; g < m; g++ {
+		v := start
+		for i := 0; i < cnt; i++ {
+			for r := 0; r < n; r++ {
+				vals = append(vals, v)
+			}
+			v += step
+		}
+	}
+	out := FromInts(vals)
+	out.Sorted = m == 1 && step > 0
+	out.Key = n == 1 && m == 1
+	return out, nil
+}
+
+// Filler implements the MAL primitive
+//
+//	pattern array.filler(cnt, v) :bat[:oid,:any]
+//
+// from §3 of the paper: it materialises the cell values of a fresh array
+// attribute as cnt copies of the default value v. A NULL v produces a column
+// of holes.
+func Filler(cnt int, v types.Value, kind types.Kind) (*BAT, error) {
+	if cnt < 0 {
+		return nil, fmt.Errorf("array.filler: negative count %d", cnt)
+	}
+	b := New(kind, cnt)
+	if v.IsNull() {
+		for i := 0; i < cnt; i++ {
+			b.AppendNull()
+		}
+		return b, nil
+	}
+	cv, err := v.Cast(kind)
+	if err != nil {
+		return nil, fmt.Errorf("array.filler: %v", err)
+	}
+	switch kind {
+	case types.KindInt, types.KindOID:
+		x := cv.Int64()
+		for i := 0; i < cnt; i++ {
+			b.AppendInt(x)
+		}
+	case types.KindFloat:
+		x := cv.Float64()
+		for i := 0; i < cnt; i++ {
+			b.AppendFloat(x)
+		}
+	case types.KindBool:
+		x := cv.BoolVal()
+		for i := 0; i < cnt; i++ {
+			b.AppendBool(x)
+		}
+	case types.KindStr:
+		x := cv.StrVal()
+		for i := 0; i < cnt; i++ {
+			b.AppendStr(x)
+		}
+	default:
+		return nil, fmt.Errorf("array.filler: unsupported kind %s", kind)
+	}
+	return b, nil
+}

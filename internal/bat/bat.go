@@ -1,0 +1,439 @@
+// Package bat implements Binary Association Tables (BATs), the columnar
+// storage structure of the engine, after MonetDB's GDK kernel [Boncz 2002].
+//
+// A BAT is a single column: a dense, void head (the position, an implicit
+// OID sequence starting at a seqbase) associated with a typed tail vector.
+// Tables and arrays are represented as aligned groups of BATs, one per
+// column; SciQL arrays additionally store one BAT per dimension, produced by
+// the array.series primitive, and one BAT per cell attribute, produced by
+// array.filler (paper Fig. 3).
+package bat
+
+import (
+	"fmt"
+
+	"repro/internal/types"
+)
+
+// BAT is a typed column vector with an optional NULL mask.
+//
+// A BAT with kind KindVoid materialises nothing: its i-th value is
+// Seqbase+i. All other kinds store their values in exactly one of the typed
+// slices. Nulls(i) reports NULL-ness; a nil nulls bitmap means "no NULLs".
+type BAT struct {
+	kind  types.Kind
+	count int
+
+	seqbase types.OID // for KindVoid tails (and the implicit head)
+
+	ints   []int64   // KindInt, KindOID
+	floats []float64 // KindFloat
+	bools  []bool    // KindBool
+	strs   []string  // KindStr
+
+	nulls *Bitmap
+
+	// Properties maintained opportunistically; used by kernels when true,
+	// never required to be set.
+	Sorted bool // tail is non-decreasing (ignoring NULLs)
+	Key    bool // tail values are unique
+}
+
+// New returns an empty BAT of the given kind with capacity hint n.
+func New(kind types.Kind, n int) *BAT {
+	b := &BAT{kind: kind}
+	switch kind {
+	case types.KindVoid:
+		// nothing to allocate
+	case types.KindInt, types.KindOID:
+		b.ints = make([]int64, 0, n)
+	case types.KindFloat:
+		b.floats = make([]float64, 0, n)
+	case types.KindBool:
+		b.bools = make([]bool, 0, n)
+	case types.KindStr:
+		b.strs = make([]string, 0, n)
+	default:
+		panic(fmt.Sprintf("bat: unknown kind %v", kind))
+	}
+	return b
+}
+
+// NewVoid returns a dense OID sequence [seqbase, seqbase+count).
+func NewVoid(seqbase types.OID, count int) *BAT {
+	return &BAT{kind: types.KindVoid, count: count, seqbase: seqbase, Sorted: true, Key: true}
+}
+
+// FromInts wraps an int64 slice (taking ownership) as a KindInt BAT.
+func FromInts(vals []int64) *BAT {
+	return &BAT{kind: types.KindInt, count: len(vals), ints: vals}
+}
+
+// FromOIDs wraps an OID slice as a KindOID BAT.
+func FromOIDs(vals []int64) *BAT {
+	return &BAT{kind: types.KindOID, count: len(vals), ints: vals}
+}
+
+// FromFloats wraps a float64 slice as a KindFloat BAT.
+func FromFloats(vals []float64) *BAT {
+	return &BAT{kind: types.KindFloat, count: len(vals), floats: vals}
+}
+
+// FromBools wraps a bool slice as a KindBool BAT.
+func FromBools(vals []bool) *BAT {
+	return &BAT{kind: types.KindBool, count: len(vals), bools: vals}
+}
+
+// FromStrings wraps a string slice as a KindStr BAT.
+func FromStrings(vals []string) *BAT {
+	return &BAT{kind: types.KindStr, count: len(vals), strs: vals}
+}
+
+// Kind returns the tail type.
+func (b *BAT) Kind() types.Kind { return b.kind }
+
+// Len returns the number of BUNs (rows).
+func (b *BAT) Len() int { return b.count }
+
+// Seqbase returns the head seqbase (also the void tail start).
+func (b *BAT) Seqbase() types.OID { return b.seqbase }
+
+// SetSeqbase sets the seqbase (only meaningful for void tails / head OIDs).
+func (b *BAT) SetSeqbase(s types.OID) { b.seqbase = s }
+
+// IsNull reports whether row i holds NULL.
+func (b *BAT) IsNull(i int) bool { return b.nulls.Get(i) }
+
+// HasNulls reports whether any row is NULL.
+func (b *BAT) HasNulls() bool { return b.nulls.Any() }
+
+// NullCount returns the number of NULL rows.
+func (b *BAT) NullCount() int {
+	if b.nulls == nil {
+		return 0
+	}
+	return b.nulls.Count()
+}
+
+// SetNull marks row i as NULL (or clears the mark). The row must exist.
+func (b *BAT) SetNull(i int, null bool) {
+	b.checkIndex(i)
+	if null && b.nulls == nil {
+		b.nulls = NewBitmap(b.count)
+	}
+	if b.nulls != nil {
+		b.nulls.Set(i, null)
+	}
+}
+
+// NullMask exposes the NULL bitmap (may be nil).
+func (b *BAT) NullMask() *Bitmap { return b.nulls }
+
+// Ints returns the underlying int64 slice (KindInt/KindOID only).
+func (b *BAT) Ints() []int64 { return b.ints }
+
+// Floats returns the underlying float64 slice (KindFloat only).
+func (b *BAT) Floats() []float64 { return b.floats }
+
+// Bools returns the underlying bool slice (KindBool only).
+func (b *BAT) Bools() []bool { return b.bools }
+
+// Strs returns the underlying string slice (KindStr only).
+func (b *BAT) Strs() []string { return b.strs }
+
+func (b *BAT) checkIndex(i int) {
+	if i < 0 || i >= b.count {
+		panic(fmt.Sprintf("bat: index %d out of range [0,%d)", i, b.count))
+	}
+}
+
+// Get returns the value at row i.
+func (b *BAT) Get(i int) types.Value {
+	b.checkIndex(i)
+	if b.nulls.Get(i) {
+		return types.Null(b.ValueKind())
+	}
+	switch b.kind {
+	case types.KindVoid:
+		return types.Oid(b.seqbase + types.OID(i))
+	case types.KindOID:
+		return types.Oid(types.OID(b.ints[i]))
+	case types.KindInt:
+		return types.Int(b.ints[i])
+	case types.KindFloat:
+		return types.Float(b.floats[i])
+	case types.KindBool:
+		return types.Bool(b.bools[i])
+	case types.KindStr:
+		return types.Str(b.strs[i])
+	}
+	panic("bat: unreachable")
+}
+
+// ValueKind returns the kind of values Get produces (void reads as oid).
+func (b *BAT) ValueKind() types.Kind {
+	if b.kind == types.KindVoid {
+		return types.KindOID
+	}
+	return b.kind
+}
+
+// OidAt returns the OID at row i for void/oid BATs.
+func (b *BAT) OidAt(i int) types.OID {
+	b.checkIndex(i)
+	if b.kind == types.KindVoid {
+		return b.seqbase + types.OID(i)
+	}
+	return types.OID(b.ints[i])
+}
+
+// Append appends a value, which must match the BAT kind or be NULL.
+func (b *BAT) Append(v types.Value) error {
+	if v.IsNull() {
+		b.AppendNull()
+		return nil
+	}
+	switch b.kind {
+	case types.KindInt:
+		iv, err := v.AsInt()
+		if err != nil {
+			return err
+		}
+		b.ints = append(b.ints, iv)
+	case types.KindOID:
+		iv, err := v.AsInt()
+		if err != nil {
+			return err
+		}
+		b.ints = append(b.ints, iv)
+	case types.KindFloat:
+		fv, err := v.AsFloat()
+		if err != nil {
+			return err
+		}
+		b.floats = append(b.floats, fv)
+	case types.KindBool:
+		if v.Kind() != types.KindBool {
+			return fmt.Errorf("bat: cannot append %s to bit BAT", v.Kind())
+		}
+		b.bools = append(b.bools, v.BoolVal())
+	case types.KindStr:
+		if v.Kind() != types.KindStr {
+			return fmt.Errorf("bat: cannot append %s to str BAT", v.Kind())
+		}
+		b.strs = append(b.strs, v.StrVal())
+	case types.KindVoid:
+		return fmt.Errorf("bat: cannot append to void BAT")
+	}
+	b.count++
+	if b.nulls != nil {
+		b.nulls.Resize(b.count)
+	}
+	return nil
+}
+
+// AppendNull appends a NULL row.
+func (b *BAT) AppendNull() {
+	switch b.kind {
+	case types.KindInt, types.KindOID:
+		b.ints = append(b.ints, 0)
+	case types.KindFloat:
+		b.floats = append(b.floats, 0)
+	case types.KindBool:
+		b.bools = append(b.bools, false)
+	case types.KindStr:
+		b.strs = append(b.strs, "")
+	case types.KindVoid:
+		panic("bat: cannot append to void BAT")
+	}
+	b.count++
+	if b.nulls == nil {
+		b.nulls = NewBitmap(b.count)
+	} else {
+		b.nulls.Resize(b.count)
+	}
+	b.nulls.Set(b.count-1, true)
+}
+
+// AppendInt appends a non-NULL int64 (KindInt/KindOID).
+func (b *BAT) AppendInt(v int64) {
+	b.ints = append(b.ints, v)
+	b.count++
+	if b.nulls != nil {
+		b.nulls.Resize(b.count)
+	}
+}
+
+// AppendFloat appends a non-NULL float64.
+func (b *BAT) AppendFloat(v float64) {
+	b.floats = append(b.floats, v)
+	b.count++
+	if b.nulls != nil {
+		b.nulls.Resize(b.count)
+	}
+}
+
+// AppendBool appends a non-NULL bool.
+func (b *BAT) AppendBool(v bool) {
+	b.bools = append(b.bools, v)
+	b.count++
+	if b.nulls != nil {
+		b.nulls.Resize(b.count)
+	}
+}
+
+// AppendStr appends a non-NULL string.
+func (b *BAT) AppendStr(v string) {
+	b.strs = append(b.strs, v)
+	b.count++
+	if b.nulls != nil {
+		b.nulls.Resize(b.count)
+	}
+}
+
+// Replace overwrites row i with value v (BUNreplace). NULL values punch holes.
+func (b *BAT) Replace(i int, v types.Value) error {
+	b.checkIndex(i)
+	if v.IsNull() {
+		b.SetNull(i, true)
+		return nil
+	}
+	switch b.kind {
+	case types.KindInt, types.KindOID:
+		iv, err := v.AsInt()
+		if err != nil {
+			return err
+		}
+		b.ints[i] = iv
+	case types.KindFloat:
+		fv, err := v.AsFloat()
+		if err != nil {
+			return err
+		}
+		b.floats[i] = fv
+	case types.KindBool:
+		if v.Kind() != types.KindBool {
+			return fmt.Errorf("bat: cannot store %s in bit BAT", v.Kind())
+		}
+		b.bools[i] = v.BoolVal()
+	case types.KindStr:
+		if v.Kind() != types.KindStr {
+			return fmt.Errorf("bat: cannot store %s in str BAT", v.Kind())
+		}
+		b.strs[i] = v.StrVal()
+	case types.KindVoid:
+		return fmt.Errorf("bat: cannot replace in void BAT")
+	}
+	if b.nulls != nil {
+		b.nulls.Set(i, false)
+	}
+	b.Sorted = false
+	b.Key = false
+	return nil
+}
+
+// Clone returns a deep copy of the BAT.
+func (b *BAT) Clone() *BAT {
+	c := &BAT{kind: b.kind, count: b.count, seqbase: b.seqbase, Sorted: b.Sorted, Key: b.Key}
+	switch b.kind {
+	case types.KindInt, types.KindOID:
+		c.ints = append([]int64(nil), b.ints...)
+	case types.KindFloat:
+		c.floats = append([]float64(nil), b.floats...)
+	case types.KindBool:
+		c.bools = append([]bool(nil), b.bools...)
+	case types.KindStr:
+		c.strs = append([]string(nil), b.strs...)
+	}
+	c.nulls = b.nulls.Clone()
+	return c
+}
+
+// Slice returns a copy of rows [lo,hi).
+func (b *BAT) Slice(lo, hi int) *BAT {
+	if lo < 0 || hi > b.count || hi < lo {
+		panic(fmt.Sprintf("bat: slice [%d,%d) out of range [0,%d)", lo, hi, b.count))
+	}
+	c := &BAT{kind: b.kind, count: hi - lo}
+	switch b.kind {
+	case types.KindVoid:
+		c.seqbase = b.seqbase + types.OID(lo)
+		c.Sorted, c.Key = true, true
+		return c
+	case types.KindInt, types.KindOID:
+		c.ints = append([]int64(nil), b.ints[lo:hi]...)
+	case types.KindFloat:
+		c.floats = append([]float64(nil), b.floats[lo:hi]...)
+	case types.KindBool:
+		c.bools = append([]bool(nil), b.bools[lo:hi]...)
+	case types.KindStr:
+		c.strs = append([]string(nil), b.strs[lo:hi]...)
+	}
+	if b.nulls != nil {
+		c.nulls = b.nulls.Slice(lo, hi)
+	}
+	return c
+}
+
+// Materialize converts a void BAT into a materialised oid BAT; other kinds
+// are returned unchanged.
+func (b *BAT) Materialize() *BAT {
+	if b.kind != types.KindVoid {
+		return b
+	}
+	vals := make([]int64, b.count)
+	for i := range vals {
+		vals[i] = int64(b.seqbase) + int64(i)
+	}
+	out := FromOIDs(vals)
+	out.Sorted, out.Key = true, true
+	return out
+}
+
+// Truncate shrinks the BAT to n rows.
+func (b *BAT) Truncate(n int) {
+	if n < 0 || n > b.count {
+		panic("bat: bad truncate length")
+	}
+	switch b.kind {
+	case types.KindInt, types.KindOID:
+		b.ints = b.ints[:n]
+	case types.KindFloat:
+		b.floats = b.floats[:n]
+	case types.KindBool:
+		b.bools = b.bools[:n]
+	case types.KindStr:
+		b.strs = b.strs[:n]
+	}
+	b.count = n
+	if b.nulls != nil {
+		b.nulls.Resize(n)
+	}
+}
+
+// AppendBAT appends all rows of o (same kind) to b.
+func (b *BAT) AppendBAT(o *BAT) error {
+	if o.ValueKind() != b.ValueKind() && o.Len() > 0 {
+		// Allow int<->oid mixing since both share the ints slice.
+		ok := (b.kind == types.KindInt || b.kind == types.KindOID) &&
+			(o.ValueKind() == types.KindInt || o.ValueKind() == types.KindOID)
+		if !ok {
+			return fmt.Errorf("bat: append kind mismatch %s vs %s", b.kind, o.kind)
+		}
+	}
+	for i := 0; i < o.Len(); i++ {
+		if o.IsNull(i) {
+			b.AppendNull()
+			continue
+		}
+		if err := b.Append(o.Get(i)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// String summarises the BAT for debugging.
+func (b *BAT) String() string {
+	return fmt.Sprintf("BAT[%s]#%d", b.kind, b.count)
+}

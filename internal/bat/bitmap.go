@@ -1,0 +1,144 @@
+package bat
+
+import "math/bits"
+
+// Bitmap is a growable bitset used for NULL masks and selection vectors.
+// A nil Bitmap behaves as an all-zero bitmap of unbounded length, which lets
+// fully non-NULL columns avoid any allocation.
+type Bitmap struct {
+	words []uint64
+	n     int // logical length in bits
+}
+
+// NewBitmap returns a bitmap of n bits, all zero.
+func NewBitmap(n int) *Bitmap {
+	return &Bitmap{words: make([]uint64, (n+63)/64), n: n}
+}
+
+// Len returns the logical length in bits.
+func (b *Bitmap) Len() int {
+	if b == nil {
+		return 0
+	}
+	return b.n
+}
+
+// Get reports whether bit i is set. Out-of-range bits read as false.
+func (b *Bitmap) Get(i int) bool {
+	if b == nil || i < 0 || i >= b.n {
+		return false
+	}
+	return b.words[i>>6]&(1<<uint(i&63)) != 0
+}
+
+// Set sets bit i to v, growing the bitmap when i >= Len.
+func (b *Bitmap) Set(i int, v bool) {
+	if i < 0 {
+		panic("bat: negative bitmap index")
+	}
+	if i >= b.n {
+		b.grow(i + 1)
+	}
+	if v {
+		b.words[i>>6] |= 1 << uint(i&63)
+	} else {
+		b.words[i>>6] &^= 1 << uint(i&63)
+	}
+}
+
+// Append appends one bit.
+func (b *Bitmap) Append(v bool) { b.Set(b.n, v) }
+
+func (b *Bitmap) grow(n int) {
+	need := (n + 63) / 64
+	if need > len(b.words) {
+		words := make([]uint64, need+need/2)
+		copy(words, b.words)
+		b.words = words[:need]
+	} else {
+		b.words = b.words[:need]
+	}
+	b.n = n
+}
+
+// Count returns the number of set bits.
+func (b *Bitmap) Count() int {
+	if b == nil {
+		return 0
+	}
+	c := 0
+	for i, w := range b.words {
+		if i == len(b.words)-1 {
+			// Mask tail bits beyond the logical length.
+			if rem := b.n & 63; rem != 0 {
+				w &= (1 << uint(rem)) - 1
+			}
+		}
+		c += popcount(w)
+	}
+	return c
+}
+
+// Any reports whether any bit is set.
+func (b *Bitmap) Any() bool {
+	if b == nil {
+		return false
+	}
+	for i, w := range b.words {
+		if i == len(b.words)-1 {
+			if rem := b.n & 63; rem != 0 {
+				w &= (1 << uint(rem)) - 1
+			}
+		}
+		if w != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Clone returns a deep copy. Cloning nil yields nil.
+func (b *Bitmap) Clone() *Bitmap {
+	if b == nil {
+		return nil
+	}
+	w := make([]uint64, len(b.words))
+	copy(w, b.words)
+	return &Bitmap{words: w, n: b.n}
+}
+
+// Slice returns a new bitmap holding bits [lo,hi).
+func (b *Bitmap) Slice(lo, hi int) *Bitmap {
+	if hi < lo {
+		panic("bat: invalid bitmap slice")
+	}
+	out := NewBitmap(hi - lo)
+	if b == nil {
+		return out
+	}
+	for i := lo; i < hi; i++ {
+		if b.Get(i) {
+			out.Set(i-lo, true)
+		}
+	}
+	return out
+}
+
+// Resize truncates or extends (with zero bits) the bitmap to n bits.
+func (b *Bitmap) Resize(n int) {
+	if n < 0 {
+		panic("bat: negative bitmap size")
+	}
+	if n > b.n {
+		b.grow(n)
+		return
+	}
+	b.n = n
+	b.words = b.words[:(n+63)/64]
+	// Clear bits beyond the new length inside the last word so Count stays exact.
+	if rem := n & 63; rem != 0 && len(b.words) > 0 {
+		b.words[len(b.words)-1] &= (1 << uint(rem)) - 1
+	}
+}
+
+func popcount(w uint64) int { return bits.OnesCount64(w) }

@@ -1,0 +1,249 @@
+package bat
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+
+	"repro/internal/types"
+)
+
+// Binary on-disk format for a single BAT, little-endian throughout:
+//
+//	magic   [4]byte  "SCQB"
+//	version uint16   (1)
+//	kind    uint8
+//	flags   uint8    bit0: has null bitmap, bit1: sorted, bit2: key
+//	count   uint64
+//	seqbase uint64
+//	payload          kind-dependent (see below)
+//	nulls            ceil(count/64) uint64 words, if flag bit0
+//	crc32   uint32   IEEE, over everything before it
+//
+// Payloads: lng/oid = count int64; dbl = count float64; bit = count bytes;
+// str = count (uint32 length + bytes); void = empty.
+
+const (
+	ioMagic   = "SCQB"
+	ioVersion = 1
+
+	flagNulls  = 1 << 0
+	flagSorted = 1 << 1
+	flagKey    = 1 << 2
+)
+
+type crcWriter struct {
+	w   io.Writer
+	crc uint32
+}
+
+func (c *crcWriter) Write(p []byte) (int, error) {
+	c.crc = crc32.Update(c.crc, crc32.IEEETable, p)
+	return c.w.Write(p)
+}
+
+type crcReader struct {
+	r   io.Reader
+	crc uint32
+}
+
+func (c *crcReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.crc = crc32.Update(c.crc, crc32.IEEETable, p[:n])
+	return n, err
+}
+
+// Write serialises the BAT.
+func (b *BAT) Write(w io.Writer) error {
+	cw := &crcWriter{w: w}
+	if _, err := cw.Write([]byte(ioMagic)); err != nil {
+		return err
+	}
+	var flags uint8
+	if b.nulls != nil && b.nulls.Any() {
+		flags |= flagNulls
+	}
+	if b.Sorted {
+		flags |= flagSorted
+	}
+	if b.Key {
+		flags |= flagKey
+	}
+	hdr := []any{uint16(ioVersion), uint8(b.kind), flags, uint64(b.count), uint64(b.seqbase)}
+	for _, v := range hdr {
+		if err := binary.Write(cw, binary.LittleEndian, v); err != nil {
+			return err
+		}
+	}
+	switch b.kind {
+	case types.KindVoid:
+	case types.KindInt, types.KindOID:
+		if err := binary.Write(cw, binary.LittleEndian, b.ints); err != nil {
+			return err
+		}
+	case types.KindFloat:
+		if err := binary.Write(cw, binary.LittleEndian, b.floats); err != nil {
+			return err
+		}
+	case types.KindBool:
+		buf := make([]byte, b.count)
+		for i, v := range b.bools {
+			if v {
+				buf[i] = 1
+			}
+		}
+		if _, err := cw.Write(buf); err != nil {
+			return err
+		}
+	case types.KindStr:
+		for _, s := range b.strs {
+			if err := binary.Write(cw, binary.LittleEndian, uint32(len(s))); err != nil {
+				return err
+			}
+			if _, err := io.WriteString(cw, s); err != nil {
+				return err
+			}
+		}
+	}
+	if flags&flagNulls != 0 {
+		words := make([]uint64, (b.count+63)/64)
+		for i := 0; i < b.count; i++ {
+			if b.nulls.Get(i) {
+				words[i>>6] |= 1 << uint(i&63)
+			}
+		}
+		if err := binary.Write(cw, binary.LittleEndian, words); err != nil {
+			return err
+		}
+	}
+	return binary.Write(w, binary.LittleEndian, cw.crc)
+}
+
+// ReadFrom deserialises a BAT written by Write.
+func ReadFrom(r io.Reader) (*BAT, error) {
+	cr := &crcReader{r: r}
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(cr, magic); err != nil {
+		return nil, fmt.Errorf("bat: reading magic: %w", err)
+	}
+	if string(magic) != ioMagic {
+		return nil, fmt.Errorf("bat: bad magic %q", magic)
+	}
+	var (
+		version uint16
+		kind    uint8
+		flags   uint8
+		count   uint64
+		seqbase uint64
+	)
+	for _, p := range []any{&version, &kind, &flags, &count, &seqbase} {
+		if err := binary.Read(cr, binary.LittleEndian, p); err != nil {
+			return nil, err
+		}
+	}
+	if version != ioVersion {
+		return nil, fmt.Errorf("bat: unsupported format version %d", version)
+	}
+	if count > math.MaxInt32 {
+		return nil, fmt.Errorf("bat: implausible row count %d", count)
+	}
+	n := int(count)
+	b := &BAT{kind: types.Kind(kind), count: n, seqbase: types.OID(seqbase)}
+	b.Sorted = flags&flagSorted != 0
+	b.Key = flags&flagKey != 0
+	switch b.kind {
+	case types.KindVoid:
+	case types.KindInt, types.KindOID:
+		b.ints = make([]int64, n)
+		if err := binary.Read(cr, binary.LittleEndian, b.ints); err != nil {
+			return nil, err
+		}
+	case types.KindFloat:
+		b.floats = make([]float64, n)
+		if err := binary.Read(cr, binary.LittleEndian, b.floats); err != nil {
+			return nil, err
+		}
+	case types.KindBool:
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(cr, buf); err != nil {
+			return nil, err
+		}
+		b.bools = make([]bool, n)
+		for i, c := range buf {
+			b.bools[i] = c != 0
+		}
+	case types.KindStr:
+		b.strs = make([]string, n)
+		for i := 0; i < n; i++ {
+			var l uint32
+			if err := binary.Read(cr, binary.LittleEndian, &l); err != nil {
+				return nil, err
+			}
+			if l > 1<<30 {
+				return nil, fmt.Errorf("bat: implausible string length %d", l)
+			}
+			buf := make([]byte, l)
+			if _, err := io.ReadFull(cr, buf); err != nil {
+				return nil, err
+			}
+			b.strs[i] = string(buf)
+		}
+	default:
+		return nil, fmt.Errorf("bat: unknown kind %d", kind)
+	}
+	if flags&flagNulls != 0 {
+		words := make([]uint64, (n+63)/64)
+		if err := binary.Read(cr, binary.LittleEndian, words); err != nil {
+			return nil, err
+		}
+		b.nulls = &Bitmap{words: words, n: n}
+	}
+	want := cr.crc
+	var got uint32
+	if err := binary.Read(r, binary.LittleEndian, &got); err != nil {
+		return nil, err
+	}
+	if got != want {
+		return nil, fmt.Errorf("bat: checksum mismatch (file corrupt)")
+	}
+	return b, nil
+}
+
+// Save writes the BAT to path atomically (write temp file, then rename).
+func (b *BAT) Save(path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(f)
+	if err := b.Write(w); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// Load reads a BAT from path.
+func Load(path string) (*BAT, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadFrom(bufio.NewReader(f))
+}

@@ -1,0 +1,127 @@
+package catalog
+
+import (
+	"testing"
+
+	"repro/internal/shape"
+	"repro/internal/types"
+)
+
+func TestTableRegistration(t *testing.T) {
+	c := New()
+	tb := NewTable("Items", []Column{{Name: "a", Type: types.SQLInt}})
+	if err := c.AddTable(tb); err != nil {
+		t.Fatal(err)
+	}
+	// Lookup is case-insensitive via normalisation.
+	if _, ok := c.Table("ITEMS"); !ok {
+		t.Error("case-insensitive lookup failed")
+	}
+	if err := c.AddTable(NewTable("items", nil)); err == nil {
+		t.Error("duplicate table accepted")
+	}
+	if !c.Exists("items") || c.Exists("nope") {
+		t.Error("Exists wrong")
+	}
+	if err := c.DropTable("items"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.DropTable("items"); err == nil {
+		t.Error("double drop accepted")
+	}
+}
+
+func TestNameCollisionAcrossKinds(t *testing.T) {
+	c := New()
+	if err := c.AddTable(NewTable("x", []Column{{Name: "a", Type: types.SQLInt}})); err != nil {
+		t.Fatal(err)
+	}
+	a, err := NewArray("x", shape.Shape{{Name: "d", Start: 0, Step: 1, Stop: 2}},
+		[]Column{{Name: "v", Type: types.SQLInt}}, []bool{false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddArray(a); err == nil {
+		t.Error("array may not shadow a table name")
+	}
+}
+
+func TestNewArrayMaterialises(t *testing.T) {
+	sh := shape.Shape{
+		{Name: "x", Start: 0, Step: 1, Stop: 4},
+		{Name: "y", Start: 0, Step: 1, Stop: 4},
+	}
+	a, err := NewArray("m", sh, []Column{
+		{Name: "v", Type: types.SQLInt, Default: types.Int(7), HasDef: true},
+		{Name: "w", Type: types.SQLDouble}, // no default: NULL holes
+	}, []bool{false, false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Cells() != 16 {
+		t.Fatalf("cells = %d", a.Cells())
+	}
+	// Fig. 3 layout: dimension BATs materialised by series.
+	if a.DimBats[0].Ints()[4] != 1 || a.DimBats[1].Ints()[4] != 0 {
+		t.Errorf("dim layout: x[4]=%d y[4]=%d", a.DimBats[0].Ints()[4], a.DimBats[1].Ints()[4])
+	}
+	if a.AttrBats[0].Get(9).Int64() != 7 {
+		t.Error("default not applied")
+	}
+	if !a.AttrBats[1].IsNull(3) {
+		t.Error("defaultless attribute must be NULL")
+	}
+}
+
+func TestArrayIndexLookups(t *testing.T) {
+	sh := shape.Shape{{Name: "t", Start: 0, Step: 1, Stop: 3}}
+	a, err := NewArray("ts", sh, []Column{
+		{Name: "v", Type: types.SQLDouble},
+		{Name: "q", Type: types.SQLInt},
+	}, []bool{true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k, ok := a.DimIndex("t"); !ok || k != 0 {
+		t.Error("DimIndex failed")
+	}
+	if _, ok := a.DimIndex("v"); ok {
+		t.Error("attribute found as dimension")
+	}
+	if i, ok := a.AttrIndex("q"); !ok || i != 1 {
+		t.Error("AttrIndex failed")
+	}
+}
+
+func TestBadDimensions(t *testing.T) {
+	if _, err := NewArray("bad", shape.Shape{{Name: "x", Start: 0, Step: 0, Stop: 4}},
+		[]Column{{Name: "v", Type: types.SQLInt}}, []bool{false}); err == nil {
+		t.Error("zero step accepted")
+	}
+}
+
+func TestTableRowAccounting(t *testing.T) {
+	tb := NewTable("t", []Column{{Name: "a", Type: types.SQLInt}})
+	tb.Bats[0].AppendInt(1)
+	tb.Bats[0].AppendInt(2)
+	if tb.NumRows() != 2 || tb.PhysRows() != 2 {
+		t.Errorf("rows: %d/%d", tb.NumRows(), tb.PhysRows())
+	}
+	tb.Deleted = nil
+	if i, ok := tb.ColumnIndex("a"); !ok || i != 0 {
+		t.Error("ColumnIndex failed")
+	}
+	if _, ok := tb.ColumnIndex("b"); ok {
+		t.Error("phantom column")
+	}
+}
+
+func TestNames(t *testing.T) {
+	c := New()
+	c.AddTable(NewTable("zeta", []Column{{Name: "a", Type: types.SQLInt}}))
+	c.AddTable(NewTable("alpha", []Column{{Name: "a", Type: types.SQLInt}}))
+	names := c.TableNames()
+	if len(names) != 2 || names[0] != "alpha" {
+		t.Errorf("names = %v", names)
+	}
+}

@@ -1,0 +1,520 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/bat"
+	"repro/internal/catalog"
+	"repro/internal/gdk"
+	"repro/internal/mal"
+	"repro/internal/rel"
+	"repro/internal/shape"
+	"repro/internal/sql/ast"
+	"repro/internal/types"
+)
+
+// insertSource materialises the literal VALUES rows of an INSERT.
+func (db *DB) insertSource(s *ast.Insert, wantCols int) ([][]types.Value, error) {
+	b := rel.NewBinder(db.cat)
+	rows := make([][]types.Value, 0, len(s.Rows))
+	for _, r := range s.Rows {
+		if len(r) != wantCols {
+			return nil, fmt.Errorf("INSERT expects %d values per row, got %d", wantCols, len(r))
+		}
+		row := make([]types.Value, len(r))
+		for i, e := range r {
+			v, err := b.ConstValue(e)
+			if err != nil {
+				return nil, fmt.Errorf("at %s: %v", e.Position(), err)
+			}
+			row[i] = v
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// runSelectRaw executes the query side of an INSERT without array coercion
+// (positions matter, not the coerced shape).
+func (db *DB) runSelectRaw(sel *ast.Select) (*Result, error) {
+	prog, err := db.compileSelect(sel)
+	if err != nil {
+		return nil, err
+	}
+	ctx, err := mal.Run(prog)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Names: prog.ResultNames, Kinds: prog.ResultKinds, Dims: prog.ResultDims}
+	for _, v := range prog.ResultVars {
+		b, ok := ctx.Vars[v].(*bat.BAT)
+		if !ok {
+			return nil, fmt.Errorf("result variable is not a column")
+		}
+		res.Cols = append(res.Cols, b)
+	}
+	return res, nil
+}
+
+// insert implements INSERT INTO for both tables (append) and arrays
+// (overwrite cells at the given positions, §2).
+func (db *DB) insert(s *ast.Insert) (*Result, error) {
+	if t, ok := db.cat.Table(s.Table); ok {
+		return db.insertTable(s, t)
+	}
+	if a, ok := db.cat.Array(s.Table); ok {
+		return db.insertArray(s, a)
+	}
+	return nil, fmt.Errorf("at %s: no such table or array: %q", s.Pos, s.Table)
+}
+
+func (db *DB) insertTable(s *ast.Insert, t *catalog.Table) (*Result, error) {
+	// Column mapping: target ordinal per source column.
+	mapping := make([]int, 0, len(t.Columns))
+	if len(s.Columns) == 0 {
+		for i := range t.Columns {
+			mapping = append(mapping, i)
+		}
+	} else {
+		for _, name := range s.Columns {
+			i, ok := t.ColumnIndex(name)
+			if !ok {
+				return nil, fmt.Errorf("at %s: table %q has no column %q", s.Pos, t.Name, name)
+			}
+			mapping = append(mapping, i)
+		}
+	}
+	var rows [][]types.Value
+	var err error
+	if s.Query != nil {
+		res, qerr := db.runSelectRaw(s.Query)
+		if qerr != nil {
+			return nil, qerr
+		}
+		if res.NumCols() != len(mapping) {
+			return nil, fmt.Errorf("INSERT expects %d columns, query produces %d", len(mapping), res.NumCols())
+		}
+		rows = make([][]types.Value, res.NumRows())
+		for i := range rows {
+			rows[i] = res.Row(i)
+		}
+	} else {
+		rows, err = db.insertSource(s, len(mapping))
+		if err != nil {
+			return nil, err
+		}
+	}
+	db.noteModifyTable(t)
+	for _, row := range rows {
+		vals := make([]types.Value, len(t.Columns))
+		filled := make([]bool, len(t.Columns))
+		for si, ti := range mapping {
+			v, err := row[si].Cast(t.Columns[ti].Type.Kind)
+			if err != nil {
+				return nil, fmt.Errorf("column %q: %v", t.Columns[ti].Name, err)
+			}
+			vals[ti] = v
+			filled[ti] = true
+		}
+		for i, col := range t.Columns {
+			if !filled[i] {
+				if col.HasDef {
+					vals[i] = col.Default
+				} else {
+					vals[i] = types.Null(col.Type.Kind)
+				}
+			}
+			if err := t.Bats[i].Append(vals[i]); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if t.Deleted != nil {
+		t.Deleted.Resize(t.PhysRows())
+	}
+	return &Result{Affected: len(rows), Text: fmt.Sprintf("%d rows inserted", len(rows))}, nil
+}
+
+func (db *DB) insertArray(s *ast.Insert, a *catalog.Array) (*Result, error) {
+	// Column mapping: dims and attrs in declaration order unless listed.
+	type target struct {
+		isDim bool
+		idx   int
+	}
+	var targets []target
+	if len(s.Columns) == 0 {
+		for k := range a.Shape {
+			targets = append(targets, target{true, k})
+		}
+		for i := range a.Attrs {
+			targets = append(targets, target{false, i})
+		}
+	} else {
+		for _, name := range s.Columns {
+			if k, ok := a.DimIndex(name); ok {
+				targets = append(targets, target{true, k})
+				continue
+			}
+			if i, ok := a.AttrIndex(name); ok {
+				targets = append(targets, target{false, i})
+				continue
+			}
+			return nil, fmt.Errorf("at %s: array %q has no column %q", s.Pos, a.Name, name)
+		}
+	}
+	dimSeen := make([]bool, len(a.Shape))
+	for _, tg := range targets {
+		if tg.isDim {
+			dimSeen[tg.idx] = true
+		}
+	}
+	for k, seen := range dimSeen {
+		if !seen {
+			return nil, fmt.Errorf("at %s: INSERT into array %q must provide dimension %q", s.Pos, a.Name, a.Shape[k].Name)
+		}
+	}
+	var rows [][]types.Value
+	if s.Query != nil {
+		res, err := db.runSelectRaw(s.Query)
+		if err != nil {
+			return nil, err
+		}
+		if res.NumCols() != len(targets) {
+			return nil, fmt.Errorf("INSERT expects %d columns, query produces %d", len(targets), res.NumCols())
+		}
+		rows = make([][]types.Value, res.NumRows())
+		for i := range rows {
+			rows[i] = res.Row(i)
+		}
+	} else {
+		var err error
+		rows, err = db.insertSource(s, len(targets))
+		if err != nil {
+			return nil, err
+		}
+	}
+	db.noteModifyArray(a)
+
+	// First pass: collect coordinates, growing unbounded dimensions.
+	coordsPerRow := make([][]int64, len(rows))
+	for ri, row := range rows {
+		coords := make([]int64, len(a.Shape))
+		for ti, tg := range targets {
+			if !tg.isDim {
+				continue
+			}
+			v := row[ti]
+			if v.IsNull() {
+				return nil, fmt.Errorf("NULL value for dimension %q", a.Shape[tg.idx].Name)
+			}
+			iv, err := v.AsInt()
+			if err != nil {
+				return nil, fmt.Errorf("dimension %q: %v", a.Shape[tg.idx].Name, err)
+			}
+			coords[tg.idx] = iv
+		}
+		coordsPerRow[ri] = coords
+	}
+	if err := db.growArray(a, coordsPerRow); err != nil {
+		return nil, err
+	}
+
+	// Second pass: overwrite cells.
+	affected := 0
+	for ri, row := range rows {
+		p, ok := a.Shape.Pos(coordsPerRow[ri])
+		if !ok {
+			return nil, fmt.Errorf("cell %v is outside the dimension ranges of array %q", coordsPerRow[ri], a.Name)
+		}
+		for ti, tg := range targets {
+			if tg.isDim {
+				continue
+			}
+			v, err := row[ti].Cast(a.Attrs[tg.idx].Type.Kind)
+			if err != nil {
+				return nil, fmt.Errorf("attribute %q: %v", a.Attrs[tg.idx].Name, err)
+			}
+			if err := a.AttrBats[tg.idx].Replace(p, v); err != nil {
+				return nil, err
+			}
+		}
+		affected++
+	}
+	return &Result{Affected: affected, Text: fmt.Sprintf("%d cells updated", affected)}, nil
+}
+
+// growArray expands unbounded dimensions to cover the inserted
+// coordinates, filling fresh cells with attribute defaults.
+func (db *DB) growArray(a *catalog.Array, coords [][]int64) error {
+	if len(coords) == 0 {
+		return nil
+	}
+	newShape := append(shape.Shape{}, a.Shape...)
+	changed := false
+	for k := range a.Shape {
+		if !a.Unbounded[k] {
+			continue
+		}
+		d := newShape[k]
+		for _, c := range coords {
+			v := c[k]
+			if d.N() == 0 {
+				d.Start, d.Stop = v, v+d.Step
+				continue
+			}
+			// Keep the grid: the coordinate must be reachable by the step.
+			if ((v-d.Start)%d.Step+d.Step)%d.Step != 0 {
+				return fmt.Errorf("coordinate %d is off the step grid of dimension %q", v, d.Name)
+			}
+			if d.Step > 0 {
+				if v < d.Start {
+					d.Start = v
+				}
+				if v >= d.Stop {
+					d.Stop = v + d.Step
+				}
+			} else {
+				if v > d.Start {
+					d.Start = v
+				}
+				if v <= d.Stop {
+					d.Stop = v + d.Step
+				}
+			}
+		}
+		if d != newShape[k] {
+			newShape[k] = d
+			changed = true
+		}
+	}
+	if !changed {
+		return nil
+	}
+	old := a.Shape
+	for i, col := range a.Attrs {
+		def := col.Default
+		if !col.HasDef {
+			def = types.NullUnknown()
+		}
+		nb, err := gdk.Reshape(a.AttrBats[i], old, newShape, def)
+		if err != nil {
+			return err
+		}
+		a.AttrBats[i] = nb
+	}
+	a.Shape = newShape
+	return a.RebuildDims()
+}
+
+// update implements UPDATE for tables and arrays. Dimensions act as bound
+// variables in expressions (§2) but cannot be assigned.
+func (db *DB) update(s *ast.Update) (*Result, error) {
+	if t, ok := db.cat.Table(s.Table); ok {
+		return db.updateTable(s, t)
+	}
+	if a, ok := db.cat.Array(s.Table); ok {
+		return db.updateArray(s, a)
+	}
+	return nil, fmt.Errorf("at %s: no such table or array: %q", s.Pos, s.Table)
+}
+
+func tableScope(t *catalog.Table) *rel.Scope {
+	cols := make([]rel.ColInfo, len(t.Columns))
+	for i, c := range t.Columns {
+		cols[i] = rel.ColInfo{Qual: t.Name, Name: c.Name, Kind: c.Type.Kind}
+	}
+	return rel.NewScope(cols)
+}
+
+func arrayScope(a *catalog.Array) *rel.Scope {
+	cols := make([]rel.ColInfo, 0, len(a.Shape)+len(a.Attrs))
+	for k, d := range a.Shape {
+		cols = append(cols, rel.ColInfo{Qual: a.Name, Name: d.Name, Kind: types.KindInt, IsDim: true, Array: a, DimIdx: k})
+	}
+	for _, c := range a.Attrs {
+		cols = append(cols, rel.ColInfo{Qual: a.Name, Name: c.Name, Kind: c.Type.Kind})
+	}
+	sc := rel.NewScope(cols)
+	sc.Arrays[a.Name] = a
+	return sc
+}
+
+// arrayCols returns the aligned physical columns of an array scope:
+// dimension BATs then attribute BATs.
+func arrayCols(a *catalog.Array) []*bat.BAT {
+	out := make([]*bat.BAT, 0, len(a.DimBats)+len(a.AttrBats))
+	out = append(out, a.DimBats...)
+	out = append(out, a.AttrBats...)
+	return out
+}
+
+func (db *DB) updateTable(s *ast.Update, t *catalog.Table) (*Result, error) {
+	b := rel.NewBinder(db.cat)
+	sc := tableScope(t)
+	n := t.PhysRows()
+	mask, err := db.dmlMask(b, sc, t.Bats, n, s.Where)
+	if err != nil {
+		return nil, err
+	}
+	// Evaluate all SET expressions against the pre-update state.
+	type setOp struct {
+		col  int
+		vals *bat.BAT
+	}
+	ops := make([]setOp, 0, len(s.Sets))
+	for _, as := range s.Sets {
+		ci, ok := t.ColumnIndex(as.Col)
+		if !ok {
+			return nil, fmt.Errorf("at %s: table %q has no column %q", s.Pos, t.Name, as.Col)
+		}
+		e, err := b.BindScalar(sc, as.Expr)
+		if err != nil {
+			return nil, err
+		}
+		vals, err := evalVecBAT(t.Bats, n, e)
+		if err != nil {
+			return nil, err
+		}
+		ops = append(ops, setOp{ci, vals})
+	}
+	db.noteModifyTable(t)
+	affected := 0
+	for i := 0; i < n; i++ {
+		if t.Deleted.Get(i) || !maskTrue(mask, i) {
+			continue
+		}
+		for _, op := range ops {
+			v := op.vals.Get(i)
+			cv, err := v.Cast(t.Columns[op.col].Type.Kind)
+			if err != nil {
+				return nil, fmt.Errorf("column %q: %v", t.Columns[op.col].Name, err)
+			}
+			if err := t.Bats[op.col].Replace(i, cv); err != nil {
+				return nil, err
+			}
+		}
+		affected++
+	}
+	return &Result{Affected: affected, Text: fmt.Sprintf("%d rows updated", affected)}, nil
+}
+
+func (db *DB) updateArray(s *ast.Update, a *catalog.Array) (*Result, error) {
+	b := rel.NewBinder(db.cat)
+	sc := arrayScope(a)
+	cols := arrayCols(a)
+	n := a.Cells()
+	mask, err := db.dmlMask(b, sc, cols, n, s.Where)
+	if err != nil {
+		return nil, err
+	}
+	type setOp struct {
+		attr int
+		vals *bat.BAT
+	}
+	ops := make([]setOp, 0, len(s.Sets))
+	for _, as := range s.Sets {
+		if _, isDim := a.DimIndex(as.Col); isDim {
+			return nil, fmt.Errorf("at %s: cannot assign to dimension %q", s.Pos, as.Col)
+		}
+		ai, ok := a.AttrIndex(as.Col)
+		if !ok {
+			return nil, fmt.Errorf("at %s: array %q has no attribute %q", s.Pos, a.Name, as.Col)
+		}
+		e, err := b.BindScalar(sc, as.Expr)
+		if err != nil {
+			return nil, err
+		}
+		vals, err := evalVecBAT(cols, n, e)
+		if err != nil {
+			return nil, err
+		}
+		ops = append(ops, setOp{ai, vals})
+	}
+	db.noteModifyArray(a)
+	affected := 0
+	for i := 0; i < n; i++ {
+		if !maskTrue(mask, i) {
+			continue
+		}
+		for _, op := range ops {
+			v := op.vals.Get(i)
+			cv, err := v.Cast(a.Attrs[op.attr].Type.Kind)
+			if err != nil {
+				return nil, fmt.Errorf("attribute %q: %v", a.Attrs[op.attr].Name, err)
+			}
+			if err := a.AttrBats[op.attr].Replace(i, cv); err != nil {
+				return nil, err
+			}
+		}
+		affected++
+	}
+	return &Result{Affected: affected, Text: fmt.Sprintf("%d cells updated", affected)}, nil
+}
+
+// dmlMask evaluates a WHERE clause to a boolean column (nil = all rows).
+func (db *DB) dmlMask(b *rel.Binder, sc *rel.Scope, cols []*bat.BAT, n int, where ast.Expr) (*bat.BAT, error) {
+	if where == nil {
+		return nil, nil
+	}
+	e, err := b.BindScalar(sc, where)
+	if err != nil {
+		return nil, err
+	}
+	if e.Kind() != types.KindBool && e.Kind() != types.KindVoid {
+		return nil, fmt.Errorf("WHERE must be boolean, got %s", e.Kind())
+	}
+	return evalVecBAT(cols, n, e)
+}
+
+func maskTrue(mask *bat.BAT, i int) bool {
+	if mask == nil {
+		return true
+	}
+	return !mask.IsNull(i) && mask.Bools()[i]
+}
+
+// deleteStmt implements DELETE: tables mark rows deleted; arrays punch
+// NULL holes in every attribute (§2: "the DELETE statement creates holes").
+func (db *DB) deleteStmt(s *ast.Delete) (*Result, error) {
+	b := rel.NewBinder(db.cat)
+	if t, ok := db.cat.Table(s.Table); ok {
+		n := t.PhysRows()
+		mask, err := db.dmlMask(b, tableScope(t), t.Bats, n, s.Where)
+		if err != nil {
+			return nil, err
+		}
+		db.noteModifyTable(t)
+		if t.Deleted == nil {
+			t.Deleted = bat.NewBitmap(n)
+		}
+		affected := 0
+		for i := 0; i < n; i++ {
+			if t.Deleted.Get(i) || !maskTrue(mask, i) {
+				continue
+			}
+			t.Deleted.Set(i, true)
+			affected++
+		}
+		return &Result{Affected: affected, Text: fmt.Sprintf("%d rows deleted", affected)}, nil
+	}
+	if a, ok := db.cat.Array(s.Table); ok {
+		n := a.Cells()
+		mask, err := db.dmlMask(b, arrayScope(a), arrayCols(a), n, s.Where)
+		if err != nil {
+			return nil, err
+		}
+		db.noteModifyArray(a)
+		affected := 0
+		for i := 0; i < n; i++ {
+			if !maskTrue(mask, i) {
+				continue
+			}
+			for _, ab := range a.AttrBats {
+				ab.SetNull(i, true)
+			}
+			affected++
+		}
+		return &Result{Affected: affected, Text: fmt.Sprintf("%d cells deleted", affected)}, nil
+	}
+	return nil, fmt.Errorf("at %s: no such table or array: %q", s.Pos, s.Table)
+}

@@ -1,0 +1,174 @@
+// Package core is the SciQL engine: it ties the parser, binder, MAL
+// compiler/interpreter and storage kernel into a database with sessions,
+// transactions and persistence. It is the public API of the library; the
+// root package re-exports it.
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/catalog"
+	"repro/internal/mal"
+	"repro/internal/rel"
+	"repro/internal/sql/ast"
+	"repro/internal/sql/parser"
+)
+
+// DB is a SciQL database: a catalog of tables and arrays plus the engine
+// state. All statements execute under a single-writer lock, giving
+// serialisable isolation.
+type DB struct {
+	mu  sync.Mutex
+	cat *catalog.Catalog
+	dir string // persistence directory; empty = in-memory
+
+	txn *txn // open explicit transaction, nil in autocommit
+}
+
+// New creates an empty in-memory database.
+func New() *DB {
+	return &DB{cat: catalog.New()}
+}
+
+// Open loads (or initialises) a database persisted in dir.
+func Open(dir string) (*DB, error) {
+	db := &DB{cat: catalog.New(), dir: dir}
+	if err := db.load(); err != nil {
+		return nil, err
+	}
+	return db, nil
+}
+
+// Catalog exposes the database catalog (read-mostly; used by tools).
+func (db *DB) Catalog() *catalog.Catalog { return db.cat }
+
+// Close persists the database (when opened with a directory) and releases it.
+func (db *DB) Close() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.txn != nil {
+		db.txn.rollback(db)
+		db.txn = nil
+	}
+	if db.dir == "" {
+		return nil
+	}
+	return db.save()
+}
+
+// Exec parses and executes a semicolon-separated batch, returning one
+// result per statement.
+func (db *DB) Exec(query string) ([]*Result, error) {
+	stmts, err := parser.Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*Result, 0, len(stmts))
+	for _, s := range stmts {
+		r, err := db.ExecStmt(s)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// Query executes exactly one statement and returns its result.
+func (db *DB) Query(query string) (*Result, error) {
+	stmt, err := parser.ParseOne(query)
+	if err != nil {
+		return nil, err
+	}
+	return db.ExecStmt(stmt)
+}
+
+// MustQuery executes a statement and panics on error (testing/examples).
+func (db *DB) MustQuery(query string) *Result {
+	r, err := db.Query(query)
+	if err != nil {
+		panic(fmt.Sprintf("query %q: %v", query, err))
+	}
+	return r
+}
+
+// ExecStmt executes one parsed statement.
+func (db *DB) ExecStmt(stmt ast.Statement) (*Result, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.execLocked(stmt)
+}
+
+func (db *DB) execLocked(stmt ast.Statement) (*Result, error) {
+	switch s := stmt.(type) {
+	case *ast.Select:
+		return db.runSelect(s)
+	case *ast.CreateTable:
+		return db.createTable(s)
+	case *ast.CreateArray:
+		return db.createArray(s)
+	case *ast.Drop:
+		return db.drop(s)
+	case *ast.AlterDimension:
+		return db.alterDimension(s)
+	case *ast.Insert:
+		return db.insert(s)
+	case *ast.Update:
+		return db.update(s)
+	case *ast.Delete:
+		return db.deleteStmt(s)
+	case *ast.Txn:
+		return db.txnStmt(s)
+	case *ast.Explain:
+		return db.explain(s)
+	default:
+		return nil, fmt.Errorf("unsupported statement %T", stmt)
+	}
+}
+
+// runSelect binds, optimizes, compiles and interprets a SELECT.
+func (db *DB) runSelect(sel *ast.Select) (*Result, error) {
+	prog, err := db.compileSelect(sel)
+	if err != nil {
+		return nil, err
+	}
+	ctx, err := mal.Run(prog)
+	if err != nil {
+		return nil, err
+	}
+	return assembleResult(prog, ctx)
+}
+
+// compileSelect runs the full front-end pipeline of Fig. 2.
+func (db *DB) compileSelect(sel *ast.Select) (*mal.Program, error) {
+	b := rel.NewBinder(db.cat)
+	plan, err := b.BindSelect(sel)
+	if err != nil {
+		return nil, err
+	}
+	plan = rel.Optimize(plan)
+	return mal.Compile(plan)
+}
+
+// explain renders the logical plan (EXPLAIN) or the MAL program (PLAN).
+func (db *DB) explain(e *ast.Explain) (*Result, error) {
+	sel, ok := e.Stmt.(*ast.Select)
+	if !ok {
+		return nil, fmt.Errorf("EXPLAIN/PLAN supports SELECT statements")
+	}
+	b := rel.NewBinder(db.cat)
+	plan, err := b.BindSelect(sel)
+	if err != nil {
+		return nil, err
+	}
+	plan = rel.Optimize(plan)
+	if !e.MAL {
+		return textResult(rel.Explain(plan)), nil
+	}
+	prog, err := mal.Compile(plan)
+	if err != nil {
+		return nil, err
+	}
+	return textResult(prog.String()), nil
+}

@@ -1,0 +1,170 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/bat"
+	"repro/internal/gdk"
+	"repro/internal/rel"
+	"repro/internal/types"
+)
+
+// evalVec evaluates a bound scalar expression over aligned physical
+// columns, returning an aligned result column. DML statements use it to
+// compute WHERE masks and SET values directly over table/array storage
+// (the query path goes through MAL instead).
+func evalVec(cols []*bat.BAT, n int, e rel.Expr) (gdk.Opnd, error) {
+	switch x := e.(type) {
+	case *rel.Col:
+		if x.Idx < 0 || x.Idx >= len(cols) {
+			return gdk.Opnd{}, fmt.Errorf("column ordinal %d out of range", x.Idx)
+		}
+		return gdk.B(cols[x.Idx]), nil
+	case *rel.Const:
+		return gdk.C(x.Val, n), nil
+	case *rel.Bin:
+		l, err := evalVec(cols, n, x.L)
+		if err != nil {
+			return gdk.Opnd{}, err
+		}
+		r, err := evalVec(cols, n, x.R)
+		if err != nil {
+			return gdk.Opnd{}, err
+		}
+		var out *bat.BAT
+		switch x.Op {
+		case "+", "-", "*", "/", "%":
+			out, err = gdk.Arith(x.Op, l, r)
+		case "=", "<>", "<", "<=", ">", ">=":
+			out, err = gdk.Compare(x.Op, l, r)
+		case "AND":
+			out, err = gdk.And(l, r)
+		case "OR":
+			out, err = gdk.Or(l, r)
+		case "||":
+			out, err = gdk.Concat(l, r)
+		case "like":
+			out, err = gdk.Like(l, r)
+		case "pow":
+			out, err = gdk.Power(l, r)
+		default:
+			return gdk.Opnd{}, fmt.Errorf("unknown operator %q", x.Op)
+		}
+		if err != nil {
+			return gdk.Opnd{}, err
+		}
+		return gdk.B(out), nil
+	case *rel.Un:
+		xe, err := evalVec(cols, n, x.X)
+		if err != nil {
+			return gdk.Opnd{}, err
+		}
+		var out *bat.BAT
+		switch x.Op {
+		case "-", "abs", "sqrt", "floor", "ceil", "exp", "log", "round", "sign":
+			out, err = gdk.UnaryNum(x.Op, xe)
+		case "not":
+			out, err = gdk.Not(xe)
+		case "isnull":
+			out = gdk.IsNull(xe)
+		case "upper", "lower", "length":
+			out, err = gdk.StrUnary(x.Op, xe)
+		default:
+			return gdk.Opnd{}, fmt.Errorf("unknown unary operator %q", x.Op)
+		}
+		if err != nil {
+			return gdk.Opnd{}, err
+		}
+		return gdk.B(out), nil
+	case *rel.IfElse:
+		c, err := evalVec(cols, n, x.Cond)
+		if err != nil {
+			return gdk.Opnd{}, err
+		}
+		t, err := evalVec(cols, n, x.Then)
+		if err != nil {
+			return gdk.Opnd{}, err
+		}
+		f, err := evalVec(cols, n, x.Else)
+		if err != nil {
+			return gdk.Opnd{}, err
+		}
+		out, err := gdk.IfThenElse(c, t, f)
+		if err != nil {
+			return gdk.Opnd{}, err
+		}
+		return gdk.B(out), nil
+	case *rel.Cast:
+		xe, err := evalVec(cols, n, x.X)
+		if err != nil {
+			return gdk.Opnd{}, err
+		}
+		out, err := gdk.CastBAT(xe, x.To)
+		if err != nil {
+			return gdk.Opnd{}, err
+		}
+		return gdk.B(out), nil
+	case *rel.Substr:
+		s, err := evalVec(cols, n, x.X)
+		if err != nil {
+			return gdk.Opnd{}, err
+		}
+		from, err := evalVec(cols, n, x.From)
+		if err != nil {
+			return gdk.Opnd{}, err
+		}
+		forO, err := evalVec(cols, n, x.For)
+		if err != nil {
+			return gdk.Opnd{}, err
+		}
+		out, err := gdk.Substring(s, from, forO)
+		if err != nil {
+			return gdk.Opnd{}, err
+		}
+		return gdk.B(out), nil
+	case *rel.CellFetch:
+		coords := make([]*bat.BAT, len(x.Coords))
+		for i, ce := range x.Coords {
+			o, err := evalVec(cols, n, ce)
+			if err != nil {
+				return gdk.Opnd{}, err
+			}
+			coords[i] = materialize(o, n, types.KindInt)
+		}
+		out, err := gdk.CellFetch(x.A.AttrBats[x.AttrIdx], x.A.Shape, coords)
+		if err != nil {
+			return gdk.Opnd{}, err
+		}
+		return gdk.B(out), nil
+	default:
+		return gdk.Opnd{}, fmt.Errorf("cannot evaluate expression %T", e)
+	}
+}
+
+// evalVecBAT evaluates and materialises to a column.
+func evalVecBAT(cols []*bat.BAT, n int, e rel.Expr) (*bat.BAT, error) {
+	o, err := evalVec(cols, n, e)
+	if err != nil {
+		return nil, err
+	}
+	return materialize(o, n, e.Kind()), nil
+}
+
+func materialize(o gdk.Opnd, n int, k types.Kind) *bat.BAT {
+	if !o.IsConst() {
+		return o.BAT()
+	}
+	kind := o.ConstValue().Kind()
+	if kind == types.KindVoid {
+		kind = k
+	}
+	if kind == types.KindVoid {
+		kind = types.KindInt
+	}
+	b, err := bat.Filler(n, o.ConstValue(), kind)
+	if err != nil {
+		// Fall back to a null column of the requested kind.
+		b, _ = bat.Filler(n, types.NullUnknown(), kind)
+	}
+	return b
+}

@@ -1,0 +1,241 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/types"
+)
+
+// grid extracts a 2-D single-attribute array result into a [x][y] value map
+// keyed by coordinates.
+func gridOf(t *testing.T, r *Result) map[[2]int64]types.Value {
+	t.Helper()
+	if !r.IsArray {
+		t.Fatalf("expected an array result")
+	}
+	if len(r.Shape) != 2 {
+		t.Fatalf("expected 2-D result, got %d-D", len(r.Shape))
+	}
+	attr := -1
+	for i, d := range r.Dims {
+		if !d {
+			attr = i
+		}
+	}
+	out := map[[2]int64]types.Value{}
+	coords := make([]int64, 2)
+	for p := 0; p < r.Shape.Cells(); p++ {
+		r.Shape.Coords(p, coords)
+		out[[2]int64{coords[0], coords[1]}] = r.Cols[attr].Get(p)
+	}
+	return out
+}
+
+func wantInt(t *testing.T, g map[[2]int64]types.Value, x, y, want int64) {
+	t.Helper()
+	v := g[[2]int64{x, y}]
+	if v.IsNull() {
+		t.Errorf("(%d,%d) = null, want %d", x, y, want)
+		return
+	}
+	iv, _ := v.AsInt()
+	if iv != want {
+		t.Errorf("(%d,%d) = %v, want %d", x, y, v, want)
+	}
+}
+
+func wantNull(t *testing.T, g map[[2]int64]types.Value, x, y int64) {
+	t.Helper()
+	if v := g[[2]int64{x, y}]; !v.IsNull() {
+		t.Errorf("(%d,%d) = %v, want null", x, y, v)
+	}
+}
+
+// TestFigure1 walks the paper's Figure 1 end to end with the exact
+// statements from §2, checking every cell of every sub-figure.
+func TestFigure1(t *testing.T) {
+	db := New()
+
+	// Fig. 1(a): CREATE ARRAY materialises a 4x4 zero matrix.
+	if _, err := db.Query(`CREATE ARRAY matrix (
+		x INT DIMENSION[0:1:4], y INT DIMENSION[0:1:4],
+		v INT DEFAULT 0)`); err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.Query(`SELECT [x], [y], v FROM matrix`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := gridOf(t, res)
+	for x := int64(0); x < 4; x++ {
+		for y := int64(0); y < 4; y++ {
+			wantInt(t, g, x, y, 0)
+		}
+	}
+
+	// Fig. 1(b): guarded UPDATE with dimensions as bound variables.
+	if _, err := db.Query(`UPDATE matrix SET v = CASE
+		WHEN x > y THEN x + y WHEN x < y THEN x - y ELSE 0 END`); err != nil {
+		t.Fatal(err)
+	}
+	res = db.MustQuery(`SELECT [x], [y], v FROM matrix`)
+	g = gridOf(t, res)
+	wantFig1b := func() {
+		for x := int64(0); x < 4; x++ {
+			for y := int64(0); y < 4; y++ {
+				switch {
+				case x > y:
+					wantInt(t, g, x, y, x+y)
+				case x < y:
+					wantInt(t, g, x, y, x-y)
+				default:
+					wantInt(t, g, x, y, 0)
+				}
+			}
+		}
+	}
+	wantFig1b()
+	// Spot-check the printed grid of Fig. 1(b): (3,2)=5, (0,3)=-3.
+	wantInt(t, g, 3, 2, 5)
+	wantInt(t, g, 0, 3, -3)
+
+	// Fig. 1(c): INSERT overwrites the diagonal with x*y, DELETE punches
+	// holes above the diagonal.
+	if _, err := db.Query(`INSERT INTO matrix SELECT [x], [y], x * y FROM matrix WHERE x = y`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Query(`DELETE FROM matrix WHERE x > y`); err != nil {
+		t.Fatal(err)
+	}
+	res = db.MustQuery(`SELECT [x], [y], v FROM matrix`)
+	g = gridOf(t, res)
+	checkFig1c := func(g map[[2]int64]types.Value) {
+		for x := int64(0); x < 4; x++ {
+			for y := int64(0); y < 4; y++ {
+				switch {
+				case x > y:
+					wantNull(t, g, x, y)
+				case x < y:
+					wantInt(t, g, x, y, x-y)
+				default:
+					wantInt(t, g, x, y, x*y)
+				}
+			}
+		}
+	}
+	checkFig1c(g)
+	wantInt(t, g, 3, 3, 9)
+	wantInt(t, g, 2, 2, 4)
+
+	// Fig. 1(d,e): 2x2 tiling with AVG and anchor HAVING filter.
+	res = db.MustQuery(`SELECT [x], [y], AVG(v) FROM matrix
+		GROUP BY matrix[x:x+2][y:y+2]
+		HAVING x MOD 2 = 1 AND y MOD 2 = 1`)
+	if !res.IsArray {
+		t.Fatal("tiling result should be an array")
+	}
+	// The paper's Fig. 1(e): result keeps the full 4x4 shape.
+	if res.Shape.Cells() != 16 {
+		t.Fatalf("tiling result has %d cells, want 16 (shape preserved)", res.Shape.Cells())
+	}
+	g = gridOf(t, res)
+	check := func(x, y int64, want float64) {
+		t.Helper()
+		v := g[[2]int64{x, y}]
+		if v.IsNull() {
+			t.Errorf("avg(%d,%d) = null, want %v", x, y, want)
+			return
+		}
+		f, _ := v.AsFloat()
+		if diff := f - want; diff < -1e-9 || diff > 1e-9 {
+			t.Errorf("avg(%d,%d) = %v, want %v", x, y, f, want)
+		}
+	}
+	check(1, 1, 4.0/3.0) // printed as 1.33 in the figure
+	check(1, 3, -1.5)
+	check(3, 3, 9)
+	wantNull(t, g, 3, 1) // all-hole tile
+	// All non-anchor cells are null.
+	for x := int64(0); x < 4; x++ {
+		for y := int64(0); y < 4; y++ {
+			if x%2 == 1 && y%2 == 1 && !(x == 3 && y == 1) {
+				continue
+			}
+			wantNull(t, g, x, y)
+		}
+	}
+
+	// Fig. 1(f): dimension expansion by 1 in all directions; new border
+	// cells take the default 0 and the interior is Fig. 1(c).
+	if _, err := db.Query(`ALTER ARRAY matrix ALTER DIMENSION x SET RANGE [-1:1:5]`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Query(`ALTER ARRAY matrix ALTER DIMENSION y SET RANGE [-1:1:5]`); err != nil {
+		t.Fatal(err)
+	}
+	res = db.MustQuery(`SELECT [x], [y], v FROM matrix`)
+	g = gridOf(t, res)
+	if res.Shape.Cells() != 36 {
+		t.Fatalf("expanded array has %d cells, want 36", res.Shape.Cells())
+	}
+	for x := int64(-1); x < 5; x++ {
+		for y := int64(-1); y < 5; y++ {
+			interior := x >= 0 && x < 4 && y >= 0 && y < 4
+			if !interior {
+				wantInt(t, g, x, y, 0)
+				continue
+			}
+			switch {
+			case x > y:
+				wantNull(t, g, x, y)
+			case x < y:
+				wantInt(t, g, x, y, x-y)
+			default:
+				wantInt(t, g, x, y, x*y)
+			}
+		}
+	}
+}
+
+// TestFigure1TableView checks the array→table coercion of §2: selecting
+// attributes yields a plain table with one row per cell.
+func TestFigure1TableView(t *testing.T) {
+	db := New()
+	db.MustQuery(`CREATE ARRAY matrix (x INT DIMENSION[0:1:4], y INT DIMENSION[0:1:4], v INT DEFAULT 0)`)
+	res := db.MustQuery(`SELECT x, y, v FROM matrix`)
+	if res.IsArray {
+		t.Fatal("plain attribute selection must yield a table")
+	}
+	if res.NumRows() != 16 || res.NumCols() != 3 {
+		t.Fatalf("got %dx%d", res.NumRows(), res.NumCols())
+	}
+	// Row-major layout per Fig. 3: first four rows are x=0, y=0..3.
+	for i := 0; i < 4; i++ {
+		if res.Value(i, 0).Int64() != 0 || res.Value(i, 1).Int64() != int64(i) {
+			t.Errorf("row %d: (%v,%v)", i, res.Value(i, 0), res.Value(i, 1))
+		}
+	}
+}
+
+// TestTableToArrayCoercion checks the mtable example of §2: coercing a
+// table to an array with [x], [y] dimension qualifiers.
+func TestTableToArrayCoercion(t *testing.T) {
+	db := New()
+	db.MustQuery(`CREATE TABLE mtable (x INT, y INT, v INT)`)
+	db.MustQuery(`INSERT INTO mtable VALUES (0,0,10), (1,0,11), (0,1,12), (2,2,13)`)
+	res := db.MustQuery(`SELECT [x], [y], v FROM mtable`)
+	if !res.IsArray {
+		t.Fatal("expected array result")
+	}
+	// Bounds derived from the data: x in [0,3), y in [0,3).
+	if res.Shape.Cells() != 9 {
+		t.Fatalf("inferred %v (%d cells), want 3x3", res.Shape, res.Shape.Cells())
+	}
+	g := gridOf(t, res)
+	wantInt(t, g, 0, 0, 10)
+	wantInt(t, g, 1, 0, 11)
+	wantInt(t, g, 0, 1, 12)
+	wantInt(t, g, 2, 2, 13)
+	wantNull(t, g, 1, 1) // missing rows stay holes
+	wantNull(t, g, 2, 0)
+}

@@ -1,0 +1,217 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/bat"
+	"repro/internal/catalog"
+	"repro/internal/shape"
+	"repro/internal/types"
+)
+
+// On-disk layout of a database directory:
+//
+//	catalog.json      — schema manifest (tables, arrays, shapes, defaults)
+//	bats/<obj>.<col>.bat — one binary BAT file per column (internal/bat format)
+//
+// Persistence is snapshot-based: Save writes everything, Open reads it
+// back. Durability within a session comes from explicit Save/Close.
+
+type manifest struct {
+	Version int             `json:"version"`
+	Tables  []manifestTable `json:"tables"`
+	Arrays  []manifestArray `json:"arrays"`
+}
+
+type manifestCol struct {
+	Name    string  `json:"name"`
+	Type    string  `json:"type"`
+	Default *string `json:"default,omitempty"`
+	DefNull bool    `json:"default_null,omitempty"`
+}
+
+type manifestTable struct {
+	Name    string        `json:"name"`
+	Columns []manifestCol `json:"columns"`
+	Deleted []int         `json:"deleted,omitempty"`
+}
+
+type manifestDim struct {
+	Name      string `json:"name"`
+	Start     int64  `json:"start"`
+	Step      int64  `json:"step"`
+	Stop      int64  `json:"stop"`
+	Unbounded bool   `json:"unbounded,omitempty"`
+}
+
+type manifestArray struct {
+	Name  string        `json:"name"`
+	Dims  []manifestDim `json:"dims"`
+	Attrs []manifestCol `json:"attrs"`
+}
+
+func colToManifest(c catalog.Column) manifestCol {
+	mc := manifestCol{Name: c.Name, Type: c.Type.Name}
+	if c.HasDef {
+		if c.Default.IsNull() {
+			mc.DefNull = true
+		} else {
+			s := c.Default.String()
+			mc.Default = &s
+		}
+	}
+	return mc
+}
+
+func colFromManifest(mc manifestCol) (catalog.Column, error) {
+	st, ok := types.SQLTypeByName(mc.Type)
+	if !ok {
+		return catalog.Column{}, fmt.Errorf("unknown type %q in catalog", mc.Type)
+	}
+	col := catalog.Column{Name: mc.Name, Type: st}
+	if mc.DefNull {
+		col.HasDef = true
+		col.Default = types.Null(st.Kind)
+	} else if mc.Default != nil {
+		v, err := types.Str(*mc.Default).Cast(st.Kind)
+		if err != nil {
+			return catalog.Column{}, fmt.Errorf("column %q default: %v", mc.Name, err)
+		}
+		col.HasDef = true
+		col.Default = v
+	}
+	return col, nil
+}
+
+// Save writes the database snapshot to its directory.
+func (db *DB) Save() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.save()
+}
+
+func (db *DB) save() error {
+	if db.dir == "" {
+		return fmt.Errorf("database is in-memory; open it with a directory to persist")
+	}
+	batDir := filepath.Join(db.dir, "bats")
+	if err := os.MkdirAll(batDir, 0o755); err != nil {
+		return err
+	}
+	m := manifest{Version: 1}
+	for _, name := range db.cat.TableNames() {
+		t, _ := db.cat.Table(name)
+		mt := manifestTable{Name: t.Name}
+		for i, c := range t.Columns {
+			mt.Columns = append(mt.Columns, colToManifest(c))
+			path := filepath.Join(batDir, fmt.Sprintf("%s.%s.bat", t.Name, c.Name))
+			if err := t.Bats[i].Save(path); err != nil {
+				return err
+			}
+		}
+		if t.Deleted != nil {
+			for i := 0; i < t.PhysRows(); i++ {
+				if t.Deleted.Get(i) {
+					mt.Deleted = append(mt.Deleted, i)
+				}
+			}
+		}
+		m.Tables = append(m.Tables, mt)
+	}
+	for _, name := range db.cat.ArrayNames() {
+		a, _ := db.cat.Array(name)
+		ma := manifestArray{Name: a.Name}
+		for k, d := range a.Shape {
+			ma.Dims = append(ma.Dims, manifestDim{
+				Name: d.Name, Start: d.Start, Step: d.Step, Stop: d.Stop,
+				Unbounded: a.Unbounded[k],
+			})
+		}
+		for i, c := range a.Attrs {
+			ma.Attrs = append(ma.Attrs, colToManifest(c))
+			path := filepath.Join(batDir, fmt.Sprintf("%s.%s.bat", a.Name, c.Name))
+			if err := a.AttrBats[i].Save(path); err != nil {
+				return err
+			}
+		}
+		m.Arrays = append(m.Arrays, ma)
+	}
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := filepath.Join(db.dir, "catalog.json.tmp")
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, filepath.Join(db.dir, "catalog.json"))
+}
+
+func (db *DB) load() error {
+	path := filepath.Join(db.dir, "catalog.json")
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return os.MkdirAll(db.dir, 0o755) // fresh database
+	}
+	if err != nil {
+		return err
+	}
+	var m manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return fmt.Errorf("corrupt catalog: %v", err)
+	}
+	batDir := filepath.Join(db.dir, "bats")
+	for _, mt := range m.Tables {
+		t := &catalog.Table{Name: mt.Name}
+		for _, mc := range mt.Columns {
+			col, err := colFromManifest(mc)
+			if err != nil {
+				return err
+			}
+			t.Columns = append(t.Columns, col)
+			b, err := bat.Load(filepath.Join(batDir, fmt.Sprintf("%s.%s.bat", mt.Name, mc.Name)))
+			if err != nil {
+				return fmt.Errorf("table %s column %s: %v", mt.Name, mc.Name, err)
+			}
+			t.Bats = append(t.Bats, b)
+		}
+		if len(mt.Deleted) > 0 {
+			t.Deleted = bat.NewBitmap(t.PhysRows())
+			for _, i := range mt.Deleted {
+				t.Deleted.Set(i, true)
+			}
+		}
+		if err := db.cat.AddTable(t); err != nil {
+			return err
+		}
+	}
+	for _, ma := range m.Arrays {
+		a := &catalog.Array{Name: ma.Name}
+		for _, md := range ma.Dims {
+			a.Shape = append(a.Shape, shape.Dim{Name: md.Name, Start: md.Start, Step: md.Step, Stop: md.Stop})
+			a.Unbounded = append(a.Unbounded, md.Unbounded)
+		}
+		for _, mc := range ma.Attrs {
+			col, err := colFromManifest(mc)
+			if err != nil {
+				return err
+			}
+			a.Attrs = append(a.Attrs, col)
+			b, err := bat.Load(filepath.Join(batDir, fmt.Sprintf("%s.%s.bat", ma.Name, mc.Name)))
+			if err != nil {
+				return fmt.Errorf("array %s attribute %s: %v", ma.Name, mc.Name, err)
+			}
+			a.AttrBats = append(a.AttrBats, b)
+		}
+		if err := a.RebuildDims(); err != nil {
+			return err
+		}
+		if err := db.cat.AddArray(a); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,297 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/bat"
+	"repro/internal/gdk"
+	"repro/internal/mal"
+	"repro/internal/shape"
+	"repro/internal/types"
+)
+
+// Result is the outcome of one statement. Query results carry aligned
+// columns; when the projection contains SciQL dimensional items `[expr]`
+// the result is an array (IsArray) with a concrete Shape: the columns are
+// then cell-aligned (dimension columns first, in Fig. 3 series layout).
+type Result struct {
+	Names []string
+	Kinds []types.Kind
+	Dims  []bool
+	Cols  []*bat.BAT
+
+	IsArray bool
+	Shape   shape.Shape
+
+	// Affected is the row/cell count touched by a DML statement.
+	Affected int
+	// Text carries EXPLAIN/PLAN and status output.
+	Text string
+}
+
+func textResult(s string) *Result { return &Result{Text: s} }
+
+func statusResult(format string, args ...any) *Result {
+	return &Result{Text: fmt.Sprintf(format, args...)}
+}
+
+// NumRows returns the number of rows (cells for array results).
+func (r *Result) NumRows() int {
+	if len(r.Cols) == 0 {
+		return 0
+	}
+	return r.Cols[0].Len()
+}
+
+// NumCols returns the number of columns.
+func (r *Result) NumCols() int { return len(r.Cols) }
+
+// Value returns the value at (row, col).
+func (r *Result) Value(row, col int) types.Value { return r.Cols[col].Get(row) }
+
+// Row returns one row as values.
+func (r *Result) Row(i int) []types.Value {
+	out := make([]types.Value, len(r.Cols))
+	for c := range r.Cols {
+		out[c] = r.Cols[c].Get(i)
+	}
+	return out
+}
+
+// assembleResult converts an executed MAL program into a Result, applying
+// SciQL table→array coercion when the projection has dimensional items.
+func assembleResult(prog *mal.Program, ctx *mal.Ctx) (*Result, error) {
+	res := &Result{
+		Names: prog.ResultNames,
+		Kinds: prog.ResultKinds,
+		Dims:  prog.ResultDims,
+	}
+	for _, v := range prog.ResultVars {
+		b, ok := ctx.Vars[v].(*bat.BAT)
+		if !ok {
+			return nil, fmt.Errorf("result variable X_%d is not a column", v)
+		}
+		res.Cols = append(res.Cols, b)
+	}
+	hasDims := false
+	for _, d := range res.Dims {
+		if d {
+			hasDims = true
+		}
+	}
+	if !hasDims {
+		return res, nil
+	}
+	return coerceToArray(res, prog.ShapeHint)
+}
+
+// coerceToArray builds an array result: dimension bounds come from the
+// preserved shape hint when available, otherwise they are derived from the
+// dimension columns (§2: "an unbounded array with actual size derived from
+// the dimension column expressions"). Cells not present in the rows stay
+// NULL; duplicate positions keep the last row.
+func coerceToArray(r *Result, hint shape.Shape) (*Result, error) {
+	var dimIdx, attrIdx []int
+	for i, d := range r.Dims {
+		if d {
+			dimIdx = append(dimIdx, i)
+		} else {
+			attrIdx = append(attrIdx, i)
+		}
+	}
+	n := r.NumRows()
+	// Derive the shape.
+	var sh shape.Shape
+	if hint != nil && len(hint) == len(dimIdx) {
+		sh = hint
+	} else {
+		sh = make(shape.Shape, len(dimIdx))
+		for k, ci := range dimIdx {
+			col := r.Cols[ci]
+			if col.ValueKind() != types.KindInt && col.ValueKind() != types.KindOID {
+				return nil, fmt.Errorf("dimension column %q must be integer, got %s", r.Names[ci], col.ValueKind())
+			}
+			var lo, hi int64
+			seen := false
+			for i := 0; i < n; i++ {
+				if col.IsNull(i) {
+					return nil, fmt.Errorf("NULL value in dimension column %q", r.Names[ci])
+				}
+				v := col.Get(i).Int64()
+				if !seen {
+					lo, hi, seen = v, v, true
+				} else {
+					if v < lo {
+						lo = v
+					}
+					if v > hi {
+						hi = v
+					}
+				}
+			}
+			if !seen {
+				lo, hi = 0, -1 // empty array
+			}
+			step := inferStep(col, lo)
+			sh[k] = shape.Dim{Name: r.Names[ci], Start: lo, Step: step, Stop: hi + step}
+		}
+	}
+
+	out := &Result{IsArray: true, Shape: sh}
+	cells := sh.Cells()
+	// Dimension columns in series layout.
+	dims, err := gdk.DimBATs(sh)
+	if err != nil {
+		return nil, err
+	}
+	for k, ci := range dimIdx {
+		out.Names = append(out.Names, r.Names[ci])
+		out.Kinds = append(out.Kinds, types.KindInt)
+		out.Dims = append(out.Dims, true)
+		out.Cols = append(out.Cols, dims[k])
+	}
+	// Attribute columns: scatter rows into cells.
+	coords := make([]int64, len(dimIdx))
+	for _, ci := range attrIdx {
+		col := r.Cols[ci]
+		cell, err := bat.Filler(cells, types.NullUnknown(), col.ValueKind())
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < n; i++ {
+			for k, di := range dimIdx {
+				coords[k] = r.Cols[di].Get(i).Int64()
+			}
+			p, ok := sh.Pos(coords)
+			if !ok {
+				// Rows outside the hinted shape are dropped (they fall outside
+				// the array's dimension ranges).
+				continue
+			}
+			if col.IsNull(i) {
+				cell.SetNull(p, true)
+			} else if err := cell.Replace(p, col.Get(i)); err != nil {
+				return nil, err
+			}
+		}
+		out.Names = append(out.Names, r.Names[ci])
+		out.Kinds = append(out.Kinds, col.ValueKind())
+		out.Dims = append(out.Dims, false)
+		out.Cols = append(out.Cols, cell)
+	}
+	return out, nil
+}
+
+// inferStep derives a dimension step from the column values: the GCD of
+// all offsets from the minimum (1 when indeterminate).
+func inferStep(col *bat.BAT, lo int64) int64 {
+	g := int64(0)
+	for i := 0; i < col.Len(); i++ {
+		d := col.Get(i).Int64() - lo
+		if d < 0 {
+			d = -d
+		}
+		g = gcd(g, d)
+	}
+	if g == 0 {
+		return 1
+	}
+	return g
+}
+
+func gcd(a, b int64) int64 {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// String renders the result: DML/status text, or a column-aligned table.
+func (r *Result) String() string {
+	if r.Text != "" {
+		return r.Text
+	}
+	var sb strings.Builder
+	widths := make([]int, len(r.Names))
+	rows := r.NumRows()
+	cells := make([][]string, rows)
+	for i := range widths {
+		name := r.Names[i]
+		if i < len(r.Dims) && r.Dims[i] {
+			name = "[" + name + "]"
+		}
+		widths[i] = len(name)
+	}
+	for i := 0; i < rows; i++ {
+		cells[i] = make([]string, len(r.Cols))
+		for c := range r.Cols {
+			s := r.Cols[c].Get(i).String()
+			cells[i][c] = s
+			if len(s) > widths[c] {
+				widths[c] = len(s)
+			}
+		}
+	}
+	for c, name := range r.Names {
+		if c > 0 {
+			sb.WriteString(" | ")
+		}
+		if c < len(r.Dims) && r.Dims[c] {
+			name = "[" + name + "]"
+		}
+		fmt.Fprintf(&sb, "%-*s", widths[c], name)
+	}
+	sb.WriteString("\n")
+	for c := range r.Names {
+		if c > 0 {
+			sb.WriteString("-+-")
+		}
+		sb.WriteString(strings.Repeat("-", widths[c]))
+	}
+	sb.WriteString("\n")
+	for i := 0; i < rows; i++ {
+		for c := range r.Cols {
+			if c > 0 {
+				sb.WriteString(" | ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[c], cells[i][c])
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+// Grid renders a 2-D single-attribute array result as a coordinate grid
+// (rows = second dimension descending, like the paper's Fig. 1), with
+// "null" for holes.
+func (r *Result) Grid() (string, error) {
+	if !r.IsArray || len(r.Shape) != 2 {
+		return "", fmt.Errorf("grid rendering needs a 2-D array result")
+	}
+	attr := -1
+	for i, d := range r.Dims {
+		if !d {
+			if attr >= 0 {
+				return "", fmt.Errorf("grid rendering needs exactly one attribute")
+			}
+			attr = i
+		}
+	}
+	if attr < 0 {
+		return "", fmt.Errorf("grid rendering needs an attribute column")
+	}
+	col := r.Cols[attr]
+	dx, dy := r.Shape[0], r.Shape[1]
+	var sb strings.Builder
+	for yi := dy.N() - 1; yi >= 0; yi-- {
+		y := dy.Value(yi)
+		vals := make([]string, dx.N())
+		for xi := 0; xi < dx.N(); xi++ {
+			p, _ := r.Shape.Pos([]int64{dx.Value(xi), y})
+			vals[xi] = col.Get(p).String()
+		}
+		fmt.Fprintf(&sb, "y=%-4d %s\n", y, strings.Join(vals, "\t"))
+	}
+	return sb.String(), nil
+}

@@ -1,0 +1,162 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/bat"
+	"repro/internal/catalog"
+	"repro/internal/shape"
+	"repro/internal/sql/ast"
+)
+
+// txn is an explicit transaction's undo log. The engine runs under a
+// single-writer lock, so the log only needs to support rollback: before
+// the first mutation of an object inside the transaction, a deep snapshot
+// of its storage is taken; ROLLBACK restores the snapshots and reverses
+// DDL.
+type txn struct {
+	created       []string
+	droppedTables map[string]*catalog.Table
+	droppedArrays map[string]*catalog.Array
+	tableSnaps    map[string]*tableSnap
+	arraySnaps    map[string]*arraySnap
+}
+
+type tableSnap struct {
+	bats    []*bat.BAT
+	deleted *bat.Bitmap
+}
+
+type arraySnap struct {
+	shape     shape.Shape
+	attrBats  []*bat.BAT
+	dimBats   []*bat.BAT
+	unbounded []bool
+}
+
+func newTxn() *txn {
+	return &txn{
+		droppedTables: map[string]*catalog.Table{},
+		droppedArrays: map[string]*catalog.Array{},
+		tableSnaps:    map[string]*tableSnap{},
+		arraySnaps:    map[string]*arraySnap{},
+	}
+}
+
+// txnStmt implements START TRANSACTION / COMMIT / ROLLBACK.
+func (db *DB) txnStmt(s *ast.Txn) (*Result, error) {
+	switch s.Kind {
+	case ast.TxnBegin:
+		if db.txn != nil {
+			return nil, fmt.Errorf("a transaction is already in progress")
+		}
+		db.txn = newTxn()
+		return statusResult("transaction started"), nil
+	case ast.TxnCommit:
+		if db.txn == nil {
+			return nil, fmt.Errorf("no transaction in progress")
+		}
+		db.txn = nil
+		return statusResult("transaction committed"), nil
+	case ast.TxnRollback:
+		if db.txn == nil {
+			return nil, fmt.Errorf("no transaction in progress")
+		}
+		db.txn.rollback(db)
+		db.txn = nil
+		return statusResult("transaction rolled back"), nil
+	default:
+		return nil, fmt.Errorf("unknown transaction statement")
+	}
+}
+
+func (t *txn) rollback(db *DB) {
+	// Remove objects created inside the transaction.
+	for _, name := range t.created {
+		if _, ok := db.cat.Table(name); ok {
+			_ = db.cat.DropTable(name)
+		}
+		if _, ok := db.cat.Array(name); ok {
+			_ = db.cat.DropArray(name)
+		}
+	}
+	// Restore dropped objects.
+	for _, tb := range t.droppedTables {
+		_ = db.cat.AddTable(tb)
+	}
+	for _, a := range t.droppedArrays {
+		_ = db.cat.AddArray(a)
+	}
+	// Restore modified storage in place.
+	for name, snap := range t.tableSnaps {
+		if tb, ok := db.cat.Table(name); ok {
+			tb.Bats = snap.bats
+			tb.Deleted = snap.deleted
+		}
+	}
+	for name, snap := range t.arraySnaps {
+		if a, ok := db.cat.Array(name); ok {
+			a.Shape = snap.shape
+			a.AttrBats = snap.attrBats
+			a.DimBats = snap.dimBats
+			a.Unbounded = snap.unbounded
+		}
+	}
+}
+
+// noteCreate records an object created inside the transaction.
+func (db *DB) noteCreate(name string) {
+	if db.txn != nil {
+		db.txn.created = append(db.txn.created, name)
+	}
+}
+
+// noteDropTable snapshots a table being dropped inside the transaction.
+func (db *DB) noteDropTable(t *catalog.Table) {
+	if db.txn != nil {
+		db.txn.droppedTables[t.Name] = t
+	}
+}
+
+// noteDropArray snapshots an array being dropped inside the transaction.
+func (db *DB) noteDropArray(a *catalog.Array) {
+	if db.txn != nil {
+		db.txn.droppedArrays[a.Name] = a
+	}
+}
+
+// noteModifyTable snapshots a table before its first in-transaction write.
+func (db *DB) noteModifyTable(t *catalog.Table) {
+	if db.txn == nil {
+		return
+	}
+	if _, done := db.txn.tableSnaps[t.Name]; done {
+		return
+	}
+	snap := &tableSnap{deleted: t.Deleted.Clone()}
+	for _, b := range t.Bats {
+		snap.bats = append(snap.bats, b.Clone())
+	}
+	db.txn.tableSnaps[t.Name] = snap
+}
+
+// noteModifyArray snapshots an array before its first in-transaction write.
+func (db *DB) noteModifyArray(a *catalog.Array) {
+	if db.txn == nil {
+		return
+	}
+	if _, done := db.txn.arraySnaps[a.Name]; done {
+		return
+	}
+	snap := &arraySnap{
+		shape:     append(shape.Shape{}, a.Shape...),
+		unbounded: append([]bool{}, a.Unbounded...),
+	}
+	for _, b := range a.AttrBats {
+		snap.attrBats = append(snap.attrBats, b.Clone())
+	}
+	for _, b := range a.DimBats {
+		snap.dimBats = append(snap.dimBats, b.Clone())
+	}
+	db.txn.arraySnaps[a.Name] = snap
+}

@@ -1,0 +1,235 @@
+package gdk
+
+import (
+	"fmt"
+
+	"repro/internal/bat"
+	"repro/internal/types"
+)
+
+// AggKind names an aggregate function.
+type AggKind string
+
+// Supported aggregates.
+const (
+	AggSum      AggKind = "sum"
+	AggCount    AggKind = "count"    // COUNT(col): non-NULL rows
+	AggCountAll AggKind = "countall" // COUNT(*): all rows
+	AggAvg      AggKind = "avg"
+	AggMin      AggKind = "min"
+	AggMax      AggKind = "max"
+)
+
+// AggResultKind returns the value kind an aggregate produces for an input
+// of kind k.
+func AggResultKind(agg AggKind, k types.Kind) (types.Kind, error) {
+	switch agg {
+	case AggCount, AggCountAll:
+		return types.KindInt, nil
+	case AggAvg:
+		return types.KindFloat, nil
+	case AggSum, AggMin, AggMax:
+		switch k {
+		case types.KindInt, types.KindOID, types.KindVoid:
+			return types.KindInt, nil
+		case types.KindFloat:
+			return types.KindFloat, nil
+		case types.KindStr, types.KindBool:
+			if agg == AggMin || agg == AggMax {
+				return k, nil
+			}
+		}
+		return 0, fmt.Errorf("aggregate %s not defined on %s", agg, k)
+	default:
+		return 0, fmt.Errorf("unknown aggregate %q", agg)
+	}
+}
+
+// SubAggr computes a grouped aggregate (MAL aggr.sub*): vals and gids are
+// aligned; the result has one row per group id in [0, ngroups).
+// NULL input rows are ignored; a group with no non-NULL input yields NULL
+// (count yields 0), per SQL semantics and §2 of the paper ("holes and cells
+// outside the array dimension ranges are ignored by the aggregation").
+func SubAggr(agg AggKind, vals, gids *bat.BAT, ngroups int) (*bat.BAT, error) {
+	if vals != nil && gids.Len() != vals.Len() {
+		return nil, fmt.Errorf("gdk: aggregate inputs not aligned")
+	}
+	n := gids.Len()
+	gid := func(i int) int { return int(gids.OidAt(i)) }
+
+	switch agg {
+	case AggCountAll:
+		counts := make([]int64, ngroups)
+		for i := 0; i < n; i++ {
+			counts[gid(i)]++
+		}
+		return bat.FromInts(counts), nil
+	case AggCount:
+		counts := make([]int64, ngroups)
+		for i := 0; i < n; i++ {
+			if !vals.IsNull(i) {
+				counts[gid(i)]++
+			}
+		}
+		return bat.FromInts(counts), nil
+	}
+
+	switch vals.ValueKind() {
+	case types.KindInt, types.KindOID:
+		var ints []int64
+		if vals.Kind() == types.KindVoid {
+			ints = vals.Materialize().Ints()
+		} else {
+			ints = vals.Ints()
+		}
+		switch agg {
+		case AggSum, AggAvg:
+			sums := make([]int64, ngroups)
+			counts := make([]int64, ngroups)
+			for i := 0; i < n; i++ {
+				if vals.IsNull(i) {
+					continue
+				}
+				g := gid(i)
+				sums[g] += ints[i]
+				counts[g]++
+			}
+			if agg == AggSum {
+				out := bat.FromInts(sums)
+				for g, c := range counts {
+					if c == 0 {
+						out.SetNull(g, true)
+					}
+				}
+				return out, nil
+			}
+			avgs := make([]float64, ngroups)
+			for g := range avgs {
+				if counts[g] > 0 {
+					avgs[g] = float64(sums[g]) / float64(counts[g])
+				}
+			}
+			out := bat.FromFloats(avgs)
+			for g, c := range counts {
+				if c == 0 {
+					out.SetNull(g, true)
+				}
+			}
+			return out, nil
+		case AggMin, AggMax:
+			best := make([]int64, ngroups)
+			seen := make([]bool, ngroups)
+			for i := 0; i < n; i++ {
+				if vals.IsNull(i) {
+					continue
+				}
+				g := gid(i)
+				v := ints[i]
+				if !seen[g] || (agg == AggMin && v < best[g]) || (agg == AggMax && v > best[g]) {
+					best[g] = v
+					seen[g] = true
+				}
+			}
+			out := bat.FromInts(best)
+			for g, s := range seen {
+				if !s {
+					out.SetNull(g, true)
+				}
+			}
+			return out, nil
+		}
+	case types.KindFloat:
+		fs := vals.Floats()
+		switch agg {
+		case AggSum, AggAvg:
+			sums := make([]float64, ngroups)
+			counts := make([]int64, ngroups)
+			for i := 0; i < n; i++ {
+				if vals.IsNull(i) {
+					continue
+				}
+				g := gid(i)
+				sums[g] += fs[i]
+				counts[g]++
+			}
+			if agg == AggAvg {
+				for g := range sums {
+					if counts[g] > 0 {
+						sums[g] /= float64(counts[g])
+					}
+				}
+			}
+			out := bat.FromFloats(sums)
+			for g, c := range counts {
+				if c == 0 {
+					out.SetNull(g, true)
+				}
+			}
+			return out, nil
+		case AggMin, AggMax:
+			best := make([]float64, ngroups)
+			seen := make([]bool, ngroups)
+			for i := 0; i < n; i++ {
+				if vals.IsNull(i) {
+					continue
+				}
+				g := gid(i)
+				v := fs[i]
+				if !seen[g] || (agg == AggMin && v < best[g]) || (agg == AggMax && v > best[g]) {
+					best[g] = v
+					seen[g] = true
+				}
+			}
+			out := bat.FromFloats(best)
+			for g, s := range seen {
+				if !s {
+					out.SetNull(g, true)
+				}
+			}
+			return out, nil
+		}
+	case types.KindStr:
+		if agg == AggMin || agg == AggMax {
+			best := make([]string, ngroups)
+			seen := make([]bool, ngroups)
+			ss := vals.Strs()
+			for i := 0; i < n; i++ {
+				if vals.IsNull(i) {
+					continue
+				}
+				g := gid(i)
+				v := ss[i]
+				if !seen[g] || (agg == AggMin && v < best[g]) || (agg == AggMax && v > best[g]) {
+					best[g] = v
+					seen[g] = true
+				}
+			}
+			out := bat.FromStrings(best)
+			for g, s := range seen {
+				if !s {
+					out.SetNull(g, true)
+				}
+			}
+			return out, nil
+		}
+	}
+	return nil, fmt.Errorf("gdk: aggregate %s not defined on %s", agg, vals.ValueKind())
+}
+
+// TotalAggr computes an ungrouped aggregate over the whole column.
+func TotalAggr(agg AggKind, vals *bat.BAT) (types.Value, error) {
+	n := 0
+	if vals != nil {
+		n = vals.Len()
+	}
+	gids := bat.NewVoid(0, n)
+	// A single group containing every row.
+	zero := make([]int64, n)
+	g := bat.FromOIDs(zero)
+	_ = gids
+	out, err := SubAggr(agg, vals, g, 1)
+	if err != nil {
+		return types.Value{}, err
+	}
+	return out.Get(0), nil
+}

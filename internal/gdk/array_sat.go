@@ -1,0 +1,202 @@
+package gdk
+
+import (
+	"fmt"
+
+	"repro/internal/bat"
+	"repro/internal/shape"
+	"repro/internal/types"
+)
+
+// TileAggSAT computes the same result as TileAgg for SUM/AVG/COUNT tiles
+// that cover a contiguous index box, using a d-dimensional summed-area
+// table: O(cells · 2^d) per query instead of O(cells · tile-size). The MAL
+// optimizer switches to this kernel when the tile area is large enough
+// (see internal/mal, optimizer pass "tileSAT").
+//
+// It returns an error when the tile is not SAT-able (off-grid offsets on a
+// stepped dimension make the covered index set non-contiguous only if the
+// range excludes the grid entirely, which offsets() already handles; here
+// the only restriction is the aggregate kind and value type).
+func TileAggSAT(agg AggKind, attr *bat.BAT, sh shape.Shape, tile []TileRange) (*bat.BAT, error) {
+	if agg != AggSum && agg != AggAvg && agg != AggCount && agg != AggCountAll {
+		return nil, fmt.Errorf("gdk: SAT tiling supports sum/avg/count only, got %s", agg)
+	}
+	if len(tile) != len(sh) {
+		return nil, fmt.Errorf("gdk: tile spec has %d dimensions, array has %d", len(tile), len(sh))
+	}
+	k := len(sh)
+	if k == 0 {
+		return nil, fmt.Errorf("gdk: SAT tiling needs at least one dimension")
+	}
+	cells := sh.Cells()
+	if attr.Len() != cells {
+		return nil, fmt.Errorf("gdk: attribute column has %d cells, shape has %d", attr.Len(), cells)
+	}
+	dims := make([]int, k)
+	for d, dim := range sh {
+		dims[d] = dim.N()
+	}
+	// Index-unit offset box [lo_d, hi_d] (inclusive) per dimension.
+	lo := make([]int, k)
+	hi := make([]int, k)
+	for d, t := range tile {
+		offs := t.offsets(sh[d].Step)
+		if len(offs) == 0 {
+			return emptyTileResult(agg, attr.ValueKind(), cells)
+		}
+		// offsets() yields an increasing, dense run of index offsets.
+		lo[d] = offs[0]
+		hi[d] = offs[len(offs)-1]
+		if hi[d]-lo[d]+1 != len(offs) {
+			return nil, fmt.Errorf("gdk: tile offsets not contiguous in index space")
+		}
+	}
+
+	useFloat := attr.ValueKind() == types.KindFloat
+	var fvals []float64
+	var ivals []int64
+	switch attr.ValueKind() {
+	case types.KindFloat:
+		fvals = attr.Floats()
+	case types.KindInt, types.KindOID:
+		if attr.Kind() == types.KindVoid {
+			ivals = attr.Materialize().Ints()
+		} else {
+			ivals = attr.Ints()
+		}
+	default:
+		if agg != AggCount && agg != AggCountAll {
+			return nil, fmt.Errorf("gdk: SAT tiling aggregate %s not defined on %s", agg, attr.ValueKind())
+		}
+	}
+
+	// Build prefix tables: psumI/psumF for values (nulls contribute 0) and
+	// pcount for non-null cells. The prefix runs one dimension at a time.
+	var psumF []float64
+	var psumI []int64
+	pcount := make([]int64, cells)
+	if useFloat {
+		psumF = make([]float64, cells)
+	} else if ivals != nil {
+		psumI = make([]int64, cells)
+	}
+	for p := 0; p < cells; p++ {
+		if !attr.IsNull(p) {
+			pcount[p] = 1
+			if useFloat {
+				psumF[p] = fvals[p]
+			} else if ivals != nil {
+				psumI[p] = ivals[p]
+			}
+		}
+	}
+	strides := make([]int, k)
+	acc := 1
+	for d := k - 1; d >= 0; d-- {
+		strides[d] = acc
+		acc *= dims[d]
+	}
+	for d := 0; d < k; d++ {
+		// prefix along dimension d: P[i] += P[i - stride_d] for i_d > 0.
+		stride := strides[d]
+		for p := 0; p < cells; p++ {
+			id := (p / stride) % dims[d]
+			if id == 0 {
+				continue
+			}
+			pcount[p] += pcount[p-stride]
+			if useFloat {
+				psumF[p] += psumF[p-stride]
+			} else if psumI != nil {
+				psumI[p] += psumI[p-stride]
+			}
+		}
+	}
+
+	// boxQuery evaluates the inclusion-exclusion sum of the prefix table at
+	// the clipped box around anchor coordinates.
+	counts := make([]int64, cells)
+	var sumsF []float64
+	var sumsI []int64
+	if useFloat {
+		sumsF = make([]float64, cells)
+	} else if psumI != nil {
+		sumsI = make([]int64, cells)
+	}
+	idx := make([]int, k)
+	loC := make([]int, k)
+	hiC := make([]int, k)
+	corner := make([]int, k)
+	var walk func(d, pos int)
+	walk = func(d, pos int) {
+		if d == k {
+			p := pos
+			// Clip the box per dimension; empty boxes contribute nothing.
+			for dd := 0; dd < k; dd++ {
+				loC[dd] = idx[dd] + lo[dd]
+				hiC[dd] = idx[dd] + hi[dd]
+				if loC[dd] < 0 {
+					loC[dd] = 0
+				}
+				if hiC[dd] > dims[dd]-1 {
+					hiC[dd] = dims[dd] - 1
+				}
+				if loC[dd] > hiC[dd] {
+					return
+				}
+			}
+			// Inclusion-exclusion over 2^k corners.
+			for mask := 0; mask < (1 << k); mask++ {
+				sign := int64(1)
+				valid := true
+				for dd := 0; dd < k; dd++ {
+					if mask&(1<<dd) != 0 {
+						corner[dd] = loC[dd] - 1
+						sign = -sign
+						if corner[dd] < 0 {
+							valid = false
+							break
+						}
+					} else {
+						corner[dd] = hiC[dd]
+					}
+				}
+				if !valid {
+					continue
+				}
+				q := 0
+				for dd := 0; dd < k; dd++ {
+					q += corner[dd] * strides[dd]
+				}
+				counts[p] += sign * pcount[q]
+				if useFloat {
+					sumsF[p] += float64(sign) * psumF[q]
+				} else if sumsI != nil {
+					sumsI[p] += sign * psumI[q]
+				}
+			}
+			return
+		}
+		for i := 0; i < dims[d]; i++ {
+			idx[d] = i
+			walk(d+1, pos+i*strides[d])
+		}
+	}
+	walk(0, 0)
+
+	return finishAccumulate(agg, sumsI, sumsF, counts)
+}
+
+// SATProfitable is the heuristic the optimizer uses to pick the SAT kernel:
+// it pays off once the tile covers enough cells that 2^d corner lookups
+// beat tile-size accumulations.
+func SATProfitable(sh shape.Shape, tile []TileRange) bool {
+	d := len(sh)
+	if d == 0 || d > 8 {
+		return false
+	}
+	size := TileSize(sh, tile)
+	// Prefix construction costs ~d passes; corner queries cost 2^d each.
+	return size > 2*(1<<d)
+}

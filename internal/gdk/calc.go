@@ -1,0 +1,668 @@
+package gdk
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/bat"
+	"repro/internal/types"
+)
+
+// Arith evaluates a vectorised binary arithmetic operation
+// (op one of "+", "-", "*", "/", "%"). Integer operands stay integral;
+// mixing in a float promotes to float. NULL operands produce NULL rows.
+// Division (or modulo) by zero on a non-NULL row is an error, matching
+// MonetDB's behaviour.
+func Arith(op string, l, r Opnd) (*bat.BAT, error) {
+	if l.Len() != r.Len() {
+		return nil, fmt.Errorf("gdk: operand length mismatch %d vs %d", l.Len(), r.Len())
+	}
+	k, err := types.CommonKind(l.Kind(), r.Kind())
+	if err != nil {
+		return nil, fmt.Errorf("gdk: %s: %v", op, err)
+	}
+	if !k.Numeric() {
+		if k == types.KindStr && op == "+" {
+			return Concat(l, r)
+		}
+		return nil, fmt.Errorf("gdk: arithmetic on non-numeric type %s", k)
+	}
+	n := l.Len()
+	if k == types.KindFloat {
+		lf, ln, err := l.floats()
+		if err != nil {
+			return nil, err
+		}
+		rf, rn, err := r.floats()
+		if err != nil {
+			return nil, err
+		}
+		nulls := orNulls(n, ln, rn)
+		out := make([]float64, n)
+		switch op {
+		case "+":
+			for i := range out {
+				out[i] = lf[i] + rf[i]
+			}
+		case "-":
+			for i := range out {
+				out[i] = lf[i] - rf[i]
+			}
+		case "*":
+			for i := range out {
+				out[i] = lf[i] * rf[i]
+			}
+		case "/":
+			for i := range out {
+				if rf[i] == 0 && !nulls.Get(i) {
+					return nil, fmt.Errorf("division by zero")
+				}
+				out[i] = lf[i] / rf[i]
+			}
+		case "%":
+			for i := range out {
+				if rf[i] == 0 && !nulls.Get(i) {
+					return nil, fmt.Errorf("modulo by zero")
+				}
+				out[i] = math.Mod(lf[i], rf[i])
+			}
+		default:
+			return nil, fmt.Errorf("gdk: unknown arithmetic op %q", op)
+		}
+		return withNulls(bat.FromFloats(out), nulls), nil
+	}
+	li, ln, err := l.ints()
+	if err != nil {
+		return nil, err
+	}
+	ri, rn, err := r.ints()
+	if err != nil {
+		return nil, err
+	}
+	nulls := orNulls(n, ln, rn)
+	out := make([]int64, n)
+	switch op {
+	case "+":
+		for i := range out {
+			out[i] = li[i] + ri[i]
+		}
+	case "-":
+		for i := range out {
+			out[i] = li[i] - ri[i]
+		}
+	case "*":
+		for i := range out {
+			out[i] = li[i] * ri[i]
+		}
+	case "/":
+		for i := range out {
+			if nulls.Get(i) {
+				continue
+			}
+			if ri[i] == 0 {
+				return nil, fmt.Errorf("division by zero")
+			}
+			out[i] = li[i] / ri[i]
+		}
+	case "%":
+		for i := range out {
+			if nulls.Get(i) {
+				continue
+			}
+			if ri[i] == 0 {
+				return nil, fmt.Errorf("modulo by zero")
+			}
+			out[i] = li[i] % ri[i]
+		}
+	default:
+		return nil, fmt.Errorf("gdk: unknown arithmetic op %q", op)
+	}
+	return withNulls(bat.FromInts(out), nulls), nil
+}
+
+// Compare evaluates a vectorised comparison (op one of "=", "<>", "<",
+// "<=", ">", ">=") producing a boolean BAT; rows with a NULL operand are
+// NULL (SQL three-valued logic).
+func Compare(op string, l, r Opnd) (*bat.BAT, error) {
+	if l.Len() != r.Len() {
+		return nil, fmt.Errorf("gdk: operand length mismatch %d vs %d", l.Len(), r.Len())
+	}
+	n := l.Len()
+	k, err := types.CommonKind(l.Kind(), r.Kind())
+	if err != nil {
+		return nil, fmt.Errorf("gdk: %s: %v", op, err)
+	}
+	cmp := make([]int, n)
+	var nulls *bat.Bitmap
+	switch k {
+	case types.KindInt, types.KindOID:
+		li, ln, err := l.ints()
+		if err != nil {
+			return nil, err
+		}
+		ri, rn, err := r.ints()
+		if err != nil {
+			return nil, err
+		}
+		nulls = orNulls(n, ln, rn)
+		for i := range cmp {
+			switch {
+			case li[i] < ri[i]:
+				cmp[i] = -1
+			case li[i] > ri[i]:
+				cmp[i] = 1
+			}
+		}
+	case types.KindFloat:
+		lf, ln, err := l.floats()
+		if err != nil {
+			return nil, err
+		}
+		rf, rn, err := r.floats()
+		if err != nil {
+			return nil, err
+		}
+		nulls = orNulls(n, ln, rn)
+		for i := range cmp {
+			switch {
+			case lf[i] < rf[i]:
+				cmp[i] = -1
+			case lf[i] > rf[i]:
+				cmp[i] = 1
+			}
+		}
+	case types.KindBool:
+		lb, ln, err := l.boolsv()
+		if err != nil {
+			return nil, err
+		}
+		rb, rn, err := r.boolsv()
+		if err != nil {
+			return nil, err
+		}
+		nulls = orNulls(n, ln, rn)
+		for i := range cmp {
+			a, b := 0, 0
+			if lb[i] {
+				a = 1
+			}
+			if rb[i] {
+				b = 1
+			}
+			cmp[i] = a - b
+		}
+	case types.KindStr:
+		ls, ln, err := l.strsv()
+		if err != nil {
+			return nil, err
+		}
+		rs, rn, err := r.strsv()
+		if err != nil {
+			return nil, err
+		}
+		nulls = orNulls(n, ln, rn)
+		for i := range cmp {
+			cmp[i] = strings.Compare(ls[i], rs[i])
+		}
+	case types.KindVoid:
+		// Both sides are untyped NULL constants: every row is NULL.
+		nulls = allNull(n)
+	default:
+		return nil, fmt.Errorf("gdk: cannot compare %s values", k)
+	}
+	out := make([]bool, n)
+	for i := range out {
+		c := cmp[i]
+		switch op {
+		case "=":
+			out[i] = c == 0
+		case "<>", "!=":
+			out[i] = c != 0
+		case "<":
+			out[i] = c < 0
+		case "<=":
+			out[i] = c <= 0
+		case ">":
+			out[i] = c > 0
+		case ">=":
+			out[i] = c >= 0
+		default:
+			return nil, fmt.Errorf("gdk: unknown comparison %q", op)
+		}
+	}
+	return withNulls(bat.FromBools(out), nulls), nil
+}
+
+// And evaluates three-valued logical AND.
+func And(l, r Opnd) (*bat.BAT, error) {
+	if l.Len() != r.Len() {
+		return nil, fmt.Errorf("gdk: operand length mismatch")
+	}
+	lb, ln, err := l.boolsv()
+	if err != nil {
+		return nil, err
+	}
+	rb, rn, err := r.boolsv()
+	if err != nil {
+		return nil, err
+	}
+	n := l.Len()
+	out := bat.New(types.KindBool, n)
+	for i := 0; i < n; i++ {
+		lnull, rnull := ln.Get(i), rn.Get(i)
+		switch {
+		case !lnull && !lb[i], !rnull && !rb[i]:
+			out.AppendBool(false) // false AND anything = false
+		case lnull || rnull:
+			out.AppendNull()
+		default:
+			out.AppendBool(true)
+		}
+	}
+	return out, nil
+}
+
+// Or evaluates three-valued logical OR.
+func Or(l, r Opnd) (*bat.BAT, error) {
+	if l.Len() != r.Len() {
+		return nil, fmt.Errorf("gdk: operand length mismatch")
+	}
+	lb, ln, err := l.boolsv()
+	if err != nil {
+		return nil, err
+	}
+	rb, rn, err := r.boolsv()
+	if err != nil {
+		return nil, err
+	}
+	n := l.Len()
+	out := bat.New(types.KindBool, n)
+	for i := 0; i < n; i++ {
+		lnull, rnull := ln.Get(i), rn.Get(i)
+		switch {
+		case !lnull && lb[i], !rnull && rb[i]:
+			out.AppendBool(true) // true OR anything = true
+		case lnull || rnull:
+			out.AppendNull()
+		default:
+			out.AppendBool(false)
+		}
+	}
+	return out, nil
+}
+
+// Not evaluates three-valued logical NOT.
+func Not(x Opnd) (*bat.BAT, error) {
+	xb, xn, err := x.boolsv()
+	if err != nil {
+		return nil, err
+	}
+	out := bat.New(types.KindBool, x.Len())
+	for i := 0; i < x.Len(); i++ {
+		if xn.Get(i) {
+			out.AppendNull()
+		} else {
+			out.AppendBool(!xb[i])
+		}
+	}
+	return out, nil
+}
+
+// IsNull produces a boolean BAT that is true exactly where x is NULL.
+func IsNull(x Opnd) *bat.BAT {
+	n := x.Len()
+	out := make([]bool, n)
+	if x.b != nil {
+		for i := 0; i < n; i++ {
+			out[i] = x.b.IsNull(i)
+		}
+	} else if x.v.IsNull() {
+		for i := range out {
+			out[i] = true
+		}
+	}
+	return bat.FromBools(out)
+}
+
+// IfThenElse picks a[i] where cond[i] is true, b[i] where cond[i] is false
+// or NULL — the semantics a CASE WHEN chain needs (an unknown condition
+// falls through to the next branch).
+func IfThenElse(cond, a, b Opnd) (*bat.BAT, error) {
+	n := cond.Len()
+	if a.Len() != n || b.Len() != n {
+		return nil, fmt.Errorf("gdk: ifthenelse operand length mismatch")
+	}
+	cb, cn, err := cond.boolsv()
+	if err != nil {
+		return nil, err
+	}
+	k, err := types.CommonKind(a.Kind(), b.Kind())
+	if err != nil {
+		return nil, fmt.Errorf("gdk: ifthenelse branches: %v", err)
+	}
+	if k == types.KindVoid {
+		// Both branches are untyped NULLs.
+		out := bat.New(types.KindInt, n)
+		for i := 0; i < n; i++ {
+			out.AppendNull()
+		}
+		return out, nil
+	}
+	out := bat.New(k, n)
+	pick := func(o Opnd, i int) error {
+		if o.b != nil {
+			v, err := o.b.Get(i).Cast(k)
+			if err != nil {
+				return err
+			}
+			return out.Append(v)
+		}
+		v, err := o.v.Cast(k)
+		if err != nil {
+			return err
+		}
+		return out.Append(v)
+	}
+	for i := 0; i < n; i++ {
+		src := b
+		if !cn.Get(i) && cb[i] {
+			src = a
+		}
+		if err := pick(src, i); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// UnaryNum evaluates a numeric unary function: "-", "abs", "sqrt",
+// "floor", "ceil". sqrt/floor/ceil produce floats; "-"/abs preserve kind.
+func UnaryNum(op string, x Opnd) (*bat.BAT, error) {
+	n := x.Len()
+	switch op {
+	case "-", "abs":
+		if x.Kind() == types.KindFloat {
+			xf, xn, err := x.floats()
+			if err != nil {
+				return nil, err
+			}
+			out := make([]float64, n)
+			for i := range out {
+				if op == "-" {
+					out[i] = -xf[i]
+				} else {
+					out[i] = math.Abs(xf[i])
+				}
+			}
+			return withNulls(bat.FromFloats(out), xn.Clone()), nil
+		}
+		xi, xn, err := x.ints()
+		if err != nil {
+			return nil, err
+		}
+		out := make([]int64, n)
+		for i := range out {
+			if op == "-" {
+				out[i] = -xi[i]
+			} else if xi[i] < 0 {
+				out[i] = -xi[i]
+			} else {
+				out[i] = xi[i]
+			}
+		}
+		return withNulls(bat.FromInts(out), xn.Clone()), nil
+	case "sqrt", "floor", "ceil", "exp", "log", "round":
+		xf, xn, err := x.floats()
+		if err != nil {
+			return nil, err
+		}
+		out := make([]float64, n)
+		for i := range out {
+			if xn.Get(i) {
+				continue
+			}
+			switch op {
+			case "sqrt":
+				if xf[i] < 0 {
+					return nil, fmt.Errorf("sqrt of negative value %v", xf[i])
+				}
+				out[i] = math.Sqrt(xf[i])
+			case "floor":
+				out[i] = math.Floor(xf[i])
+			case "ceil":
+				out[i] = math.Ceil(xf[i])
+			case "exp":
+				out[i] = math.Exp(xf[i])
+			case "log":
+				if xf[i] <= 0 {
+					return nil, fmt.Errorf("log of non-positive value %v", xf[i])
+				}
+				out[i] = math.Log(xf[i])
+			case "round":
+				out[i] = math.Round(xf[i])
+			}
+		}
+		return withNulls(bat.FromFloats(out), xn.Clone()), nil
+	case "sign":
+		xf, xn, err := x.floats()
+		if err != nil {
+			return nil, err
+		}
+		out := make([]int64, n)
+		for i := range out {
+			switch {
+			case xf[i] > 0:
+				out[i] = 1
+			case xf[i] < 0:
+				out[i] = -1
+			}
+		}
+		return withNulls(bat.FromInts(out), xn.Clone()), nil
+	default:
+		return nil, fmt.Errorf("gdk: unknown unary op %q", op)
+	}
+}
+
+// Power computes l^r element-wise in floating point, following SQL's
+// POWER: any NULL operand yields NULL; domain errors (negative base with
+// fractional exponent) yield NaN like math.Pow.
+func Power(l, r Opnd) (*bat.BAT, error) {
+	if l.Len() != r.Len() {
+		return nil, fmt.Errorf("gdk: operand length mismatch")
+	}
+	lf, ln, err := l.floats()
+	if err != nil {
+		return nil, err
+	}
+	rf, rn, err := r.floats()
+	if err != nil {
+		return nil, err
+	}
+	n := l.Len()
+	nulls := orNulls(n, ln, rn)
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = math.Pow(lf[i], rf[i])
+	}
+	return withNulls(bat.FromFloats(out), nulls), nil
+}
+
+// CastBAT converts every row of the operand to kind k.
+func CastBAT(x Opnd, k types.Kind) (*bat.BAT, error) {
+	n := x.Len()
+	out := bat.New(k, n)
+	for i := 0; i < n; i++ {
+		var v types.Value
+		if x.b != nil {
+			v = x.b.Get(i)
+		} else {
+			v = x.v
+		}
+		cv, err := v.Cast(k)
+		if err != nil {
+			return nil, err
+		}
+		if err := out.Append(cv); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// Concat string-concatenates two operands ("||").
+func Concat(l, r Opnd) (*bat.BAT, error) {
+	n := l.Len()
+	ls, ln, err := l.strsv()
+	if err != nil {
+		return nil, err
+	}
+	rs, rn, err := r.strsv()
+	if err != nil {
+		return nil, err
+	}
+	nulls := orNulls(n, ln, rn)
+	out := make([]string, n)
+	for i := range out {
+		out[i] = ls[i] + rs[i]
+	}
+	return withNulls(bat.FromStrings(out), nulls), nil
+}
+
+// StrUnary evaluates "upper", "lower" or "length".
+func StrUnary(op string, x Opnd) (*bat.BAT, error) {
+	xs, xn, err := x.strsv()
+	if err != nil {
+		return nil, err
+	}
+	n := x.Len()
+	switch op {
+	case "upper", "lower":
+		out := make([]string, n)
+		for i := range out {
+			if op == "upper" {
+				out[i] = strings.ToUpper(xs[i])
+			} else {
+				out[i] = strings.ToLower(xs[i])
+			}
+		}
+		return withNulls(bat.FromStrings(out), xn.Clone()), nil
+	case "length":
+		out := make([]int64, n)
+		for i := range out {
+			out[i] = int64(len(xs[i]))
+		}
+		return withNulls(bat.FromInts(out), xn.Clone()), nil
+	default:
+		return nil, fmt.Errorf("gdk: unknown string op %q", op)
+	}
+}
+
+// Substring implements SUBSTRING(s FROM start FOR length) with SQL's
+// 1-based start position.
+func Substring(x, start, length Opnd) (*bat.BAT, error) {
+	n := x.Len()
+	xs, xn, err := x.strsv()
+	if err != nil {
+		return nil, err
+	}
+	si, sn, err := start.ints()
+	if err != nil {
+		return nil, err
+	}
+	li, lnn, err := length.ints()
+	if err != nil {
+		return nil, err
+	}
+	nulls := orNulls(n, orNulls(n, xn, sn), lnn)
+	out := make([]string, n)
+	for i := range out {
+		if nulls.Get(i) {
+			continue
+		}
+		s := xs[i]
+		from := int(si[i]) - 1
+		if from < 0 {
+			from = 0
+		}
+		if from > len(s) {
+			from = len(s)
+		}
+		to := from + int(li[i])
+		if to < from {
+			to = from
+		}
+		if to > len(s) {
+			to = len(s)
+		}
+		out[i] = s[from:to]
+	}
+	return withNulls(bat.FromStrings(out), nulls), nil
+}
+
+// Like evaluates the SQL LIKE predicate with % and _ wildcards.
+func Like(x, pattern Opnd) (*bat.BAT, error) {
+	n := x.Len()
+	xs, xn, err := x.strsv()
+	if err != nil {
+		return nil, err
+	}
+	ps, pn, err := pattern.strsv()
+	if err != nil {
+		return nil, err
+	}
+	nulls := orNulls(n, xn, pn)
+	out := make([]bool, n)
+	// Cache the matcher when the pattern is constant.
+	var cached func(string) bool
+	if pattern.IsConst() && !pattern.ConstValue().IsNull() {
+		cached = likeMatcher(pattern.ConstValue().StrVal())
+	}
+	for i := range out {
+		if nulls.Get(i) {
+			continue
+		}
+		m := cached
+		if m == nil {
+			m = likeMatcher(ps[i])
+		}
+		out[i] = m(xs[i])
+	}
+	return withNulls(bat.FromBools(out), nulls), nil
+}
+
+// likeMatcher compiles a LIKE pattern into a matcher function using
+// iterative greedy matching with backtracking on %.
+func likeMatcher(pattern string) func(string) bool {
+	pat := []rune(pattern)
+	return func(s string) bool {
+		str := []rune(s)
+		return likeMatch(str, pat)
+	}
+}
+
+func likeMatch(s, p []rune) bool {
+	var si, pi int
+	star, mark := -1, 0
+	for si < len(s) {
+		switch {
+		case pi < len(p) && (p[pi] == '_' || p[pi] == s[si]):
+			si++
+			pi++
+		case pi < len(p) && p[pi] == '%':
+			star = pi
+			mark = si
+			pi++
+		case star >= 0:
+			pi = star + 1
+			mark++
+			si = mark
+		default:
+			return false
+		}
+	}
+	for pi < len(p) && p[pi] == '%' {
+		pi++
+	}
+	return pi == len(p)
+}

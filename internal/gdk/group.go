@@ -1,0 +1,132 @@
+package gdk
+
+import (
+	"fmt"
+
+	"repro/internal/bat"
+)
+
+// GroupResult is the output of value-based grouping (MAL group.group):
+// GIDs assigns every input row its group id (dense, first-occurrence order),
+// Extents holds, per group, the position of the group's first row, and
+// N is the number of groups.
+type GroupResult struct {
+	GIDs    *bat.BAT
+	Extents *bat.BAT
+	N       int
+}
+
+// Group performs value-based grouping over one or more aligned key columns.
+// NULLs group together (SQL GROUP BY semantics).
+func Group(keys []*bat.BAT) (*GroupResult, error) {
+	if len(keys) == 0 {
+		return nil, fmt.Errorf("gdk: group needs at least one key column")
+	}
+	n := keys[0].Len()
+	for _, k := range keys {
+		if k.Len() != n {
+			return nil, fmt.Errorf("gdk: group keys not aligned")
+		}
+	}
+	gids := make([]int64, n)
+	extents := make([]int64, 0)
+	// Bucket by hash, resolve collisions by comparing to the group's first row.
+	table := make(map[uint64][]int32, n)
+	for i := 0; i < n; i++ {
+		h, ok := hashRow(keys, i)
+		if !ok {
+			// Row contains NULL key(s): all-NULL-pattern rows must still group
+			// by their exact NULL pattern + non-NULL values.
+			h = nullPatternHash(keys, i)
+			found := int64(-1)
+			for _, g := range table[h] {
+				first := int(extents[g])
+				if nullRowsEqual(keys, i, first) {
+					found = int64(g)
+					break
+				}
+			}
+			if found < 0 {
+				found = int64(len(extents))
+				extents = append(extents, int64(i))
+				table[h] = append(table[h], int32(found))
+			}
+			gids[i] = found
+			continue
+		}
+		found := int64(-1)
+		for _, g := range table[h] {
+			first := int(extents[g])
+			if !anyNullAt(keys, first) && rowsEqual(keys, i, keys, first) {
+				found = int64(g)
+				break
+			}
+		}
+		if found < 0 {
+			found = int64(len(extents))
+			extents = append(extents, int64(i))
+			table[h] = append(table[h], int32(found))
+		}
+		gids[i] = found
+	}
+	g := bat.FromOIDs(gids)
+	e := bat.FromOIDs(extents)
+	e.Key = true
+	return &GroupResult{GIDs: g, Extents: e, N: len(extents)}, nil
+}
+
+func anyNullAt(keys []*bat.BAT, i int) bool {
+	for _, k := range keys {
+		if k.IsNull(i) {
+			return true
+		}
+	}
+	return false
+}
+
+// nullPatternHash hashes a row that contains NULLs: NULL contributes a
+// marker byte, non-NULL values contribute their rendered form.
+func nullPatternHash(keys []*bat.BAT, i int) uint64 {
+	var h uint64 = 1469598103934665603 // FNV offset basis
+	const prime = 1099511628211
+	for _, k := range keys {
+		if k.IsNull(i) {
+			h = (h ^ 0xFF) * prime
+			continue
+		}
+		s := k.Get(i).String()
+		for j := 0; j < len(s); j++ {
+			h = (h ^ uint64(s[j])) * prime
+		}
+		h = (h ^ 0xFE) * prime
+	}
+	return h
+}
+
+// nullRowsEqual compares rows treating NULL as equal to NULL (GROUP BY
+// semantics), used only for rows known to contain NULLs.
+func nullRowsEqual(keys []*bat.BAT, i, j int) bool {
+	for _, k := range keys {
+		in, jn := k.IsNull(i), k.IsNull(j)
+		if in != jn {
+			return false
+		}
+		if in {
+			continue
+		}
+		if !k.Get(i).Equal(k.Get(j)) {
+			return false
+		}
+	}
+	return true
+}
+
+// Unique returns the positions of the first occurrence of each distinct row
+// (used by SELECT DISTINCT).
+func Unique(cols []*bat.BAT) (*bat.BAT, error) {
+	g, err := Group(cols)
+	if err != nil {
+		return nil, err
+	}
+	return g.Extents, nil
+}

@@ -1,0 +1,204 @@
+package gdk
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"sort"
+
+	"repro/internal/bat"
+	"repro/internal/types"
+)
+
+// hashRow feeds the normalised bytes of row i of every key column into an
+// FNV hash. Rows containing any NULL hash to a sentinel that the caller
+// treats as non-matching.
+func hashRow(cols []*bat.BAT, i int) (uint64, bool) {
+	h := fnv.New64a()
+	var buf [8]byte
+	for _, c := range cols {
+		if c.IsNull(i) {
+			return 0, false
+		}
+		switch c.Kind() {
+		case types.KindInt, types.KindOID:
+			putUint64(&buf, uint64(c.Ints()[i]))
+			h.Write(buf[:])
+		case types.KindVoid:
+			putUint64(&buf, uint64(c.Seqbase())+uint64(i))
+			h.Write(buf[:])
+		case types.KindFloat:
+			f := c.Floats()[i]
+			// Normalise so that int-valued floats hash like ints when joined
+			// against integer columns (keys are pre-promoted by the compiler,
+			// so this only defends against mixed use at the kernel level).
+			putUint64(&buf, math.Float64bits(f))
+			h.Write(buf[:])
+		case types.KindBool:
+			if c.Bools()[i] {
+				h.Write([]byte{1})
+			} else {
+				h.Write([]byte{0})
+			}
+		case types.KindStr:
+			h.Write([]byte(c.Strs()[i]))
+			h.Write([]byte{0})
+		}
+	}
+	return h.Sum64(), true
+}
+
+func putUint64(buf *[8]byte, v uint64) {
+	for k := 0; k < 8; k++ {
+		buf[k] = byte(v >> (8 * k))
+	}
+}
+
+// rowsEqual compares row li of ls with row ri of rs column-wise (non-NULL
+// rows only; callers exclude NULLs).
+func rowsEqual(ls []*bat.BAT, li int, rs []*bat.BAT, ri int) bool {
+	for k := range ls {
+		if !ls[k].Get(li).Equal(rs[k].Get(ri)) {
+			return false
+		}
+	}
+	return true
+}
+
+// HashJoin computes the inner equi-join of two aligned column groups on the
+// given key columns. It returns two position lists (left and right), one
+// entry per matching pair, ordered by left position. NULL keys never match.
+func HashJoin(lkeys, rkeys []*bat.BAT) (lIdx, rIdx *bat.BAT, err error) {
+	if len(lkeys) == 0 || len(lkeys) != len(rkeys) {
+		return nil, nil, fmt.Errorf("gdk: join needs matching key column lists")
+	}
+	for k := range lkeys {
+		lk, rk := lkeys[k].ValueKind(), rkeys[k].ValueKind()
+		if _, err := types.CommonKind(lk, rk); err != nil {
+			return nil, nil, fmt.Errorf("gdk: join key %d: %v", k, err)
+		}
+	}
+	nl, nr := lkeys[0].Len(), rkeys[0].Len()
+	// Build on the smaller side.
+	if nr <= nl {
+		return hashJoinBuildRight(lkeys, rkeys)
+	}
+	r, l, err := hashJoinBuildRight(rkeys, lkeys)
+	if err != nil {
+		return nil, nil, err
+	}
+	// Re-sort pairs by left position for deterministic output.
+	return sortPairsByLeft(l, r)
+}
+
+func hashJoinBuildRight(lkeys, rkeys []*bat.BAT) (*bat.BAT, *bat.BAT, error) {
+	nl, nr := lkeys[0].Len(), rkeys[0].Len()
+	table := make(map[uint64][]int32, nr)
+	for i := 0; i < nr; i++ {
+		h, ok := hashRow(rkeys, i)
+		if !ok {
+			continue
+		}
+		table[h] = append(table[h], int32(i))
+	}
+	lout := make([]int64, 0, nl)
+	rout := make([]int64, 0, nl)
+	for i := 0; i < nl; i++ {
+		h, ok := hashRow(lkeys, i)
+		if !ok {
+			continue
+		}
+		for _, j := range table[h] {
+			if rowsEqual(lkeys, i, rkeys, int(j)) {
+				lout = append(lout, int64(i))
+				rout = append(rout, int64(j))
+			}
+		}
+	}
+	lb, rb := bat.FromOIDs(lout), bat.FromOIDs(rout)
+	lb.Sorted = true
+	return lb, rb, nil
+}
+
+func sortPairsByLeft(l, r *bat.BAT) (*bat.BAT, *bat.BAT, error) {
+	n := l.Len()
+	type pair struct{ l, r int64 }
+	pairs := make([]pair, n)
+	for i := 0; i < n; i++ {
+		pairs[i] = pair{int64(l.OidAt(i)), int64(r.OidAt(i))}
+	}
+	// Stable order by left then right for determinism.
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].l != pairs[j].l {
+			return pairs[i].l < pairs[j].l
+		}
+		return pairs[i].r < pairs[j].r
+	})
+	lo := make([]int64, n)
+	ro := make([]int64, n)
+	for i, p := range pairs {
+		lo[i], ro[i] = p.l, p.r
+	}
+	lb, rb := bat.FromOIDs(lo), bat.FromOIDs(ro)
+	lb.Sorted = true
+	return lb, rb, nil
+}
+
+// LeftJoin computes the left outer equi-join: every left row appears at
+// least once; unmatched rows pair with a NULL right position.
+func LeftJoin(lkeys, rkeys []*bat.BAT) (lIdx, rIdx *bat.BAT, err error) {
+	if len(lkeys) == 0 || len(lkeys) != len(rkeys) {
+		return nil, nil, fmt.Errorf("gdk: join needs matching key column lists")
+	}
+	nl, nr := lkeys[0].Len(), rkeys[0].Len()
+	table := make(map[uint64][]int32, nr)
+	for i := 0; i < nr; i++ {
+		h, ok := hashRow(rkeys, i)
+		if !ok {
+			continue
+		}
+		table[h] = append(table[h], int32(i))
+	}
+	lout := bat.New(types.KindOID, nl)
+	rout := bat.New(types.KindOID, nl)
+	for i := 0; i < nl; i++ {
+		matched := false
+		if h, ok := hashRow(lkeys, i); ok {
+			for _, j := range table[h] {
+				if rowsEqual(lkeys, i, rkeys, int(j)) {
+					lout.AppendInt(int64(i))
+					rout.AppendInt(int64(j))
+					matched = true
+				}
+			}
+		}
+		if !matched {
+			lout.AppendInt(int64(i))
+			rout.AppendNull()
+		}
+	}
+	lout.Sorted = true
+	return lout, rout, nil
+}
+
+// Cross computes the cross product position lists of two inputs of nl and
+// nr rows. It refuses products beyond a sanity limit to protect the caller
+// from runaway plans.
+func Cross(nl, nr int) (lIdx, rIdx *bat.BAT, err error) {
+	const limit = 1 << 28
+	if int64(nl)*int64(nr) > limit {
+		return nil, nil, fmt.Errorf("gdk: cross product of %d x %d rows exceeds limit", nl, nr)
+	}
+	n := nl * nr
+	lo := make([]int64, 0, n)
+	ro := make([]int64, 0, n)
+	for i := 0; i < nl; i++ {
+		for j := 0; j < nr; j++ {
+			lo = append(lo, int64(i))
+			ro = append(ro, int64(j))
+		}
+	}
+	lb, rb := bat.FromOIDs(lo), bat.FromOIDs(ro)
+	lb.Sorted = true
+	return lb, rb, nil
+}

@@ -1,0 +1,194 @@
+// Package gdk implements the kernel algebra of the engine: vectorised
+// selections, projections, joins, grouping, aggregation, sorting and
+// calculator operations over BATs, plus the SciQL-specific array kernels
+// (relative cell fetch, structural tiling, dimension reshaping).
+//
+// The design follows MonetDB's GDK: every operator consumes and produces
+// whole columns; row positions travel between operators as OID lists.
+package gdk
+
+import (
+	"fmt"
+
+	"repro/internal/bat"
+	"repro/internal/types"
+)
+
+// Opnd is a calculator operand: either a BAT or a scalar broadcast to a
+// given length. Kernels normalise operands to typed slices before looping.
+type Opnd struct {
+	b *bat.BAT
+	v types.Value
+	n int
+}
+
+// B wraps a BAT as an operand.
+func B(b *bat.BAT) Opnd { return Opnd{b: b, n: b.Len()} }
+
+// C wraps a scalar broadcast to n rows.
+func C(v types.Value, n int) Opnd { return Opnd{v: v, n: n} }
+
+// Len returns the operand length.
+func (o Opnd) Len() int { return o.n }
+
+// Kind returns the operand's value kind.
+func (o Opnd) Kind() types.Kind {
+	if o.b != nil {
+		return o.b.ValueKind()
+	}
+	return o.v.Kind()
+}
+
+// IsConst reports whether the operand is a scalar broadcast.
+func (o Opnd) IsConst() bool { return o.b == nil }
+
+// ConstValue returns the scalar of a const operand.
+func (o Opnd) ConstValue() types.Value { return o.v }
+
+// BAT returns the underlying column of a non-const operand (nil for
+// constants).
+func (o Opnd) BAT() *bat.BAT { return o.b }
+
+// allNull returns a bitmap with n set bits.
+func allNull(n int) *bat.Bitmap {
+	bm := bat.NewBitmap(n)
+	for i := 0; i < n; i++ {
+		bm.Set(i, true)
+	}
+	return bm
+}
+
+// ints normalises the operand to an int64 slice plus null mask. OIDs and
+// ints pass through; other kinds are an error (callers promote first).
+func (o Opnd) ints() ([]int64, *bat.Bitmap, error) {
+	if o.b != nil {
+		switch o.b.Kind() {
+		case types.KindInt, types.KindOID:
+			return o.b.Ints(), o.b.NullMask(), nil
+		case types.KindVoid:
+			m := o.b.Materialize()
+			return m.Ints(), nil, nil
+		default:
+			return nil, nil, fmt.Errorf("gdk: expected integer column, got %s", o.b.Kind())
+		}
+	}
+	out := make([]int64, o.n)
+	if o.v.IsNull() {
+		return out, allNull(o.n), nil
+	}
+	iv, err := o.v.AsInt()
+	if err != nil {
+		return nil, nil, err
+	}
+	for i := range out {
+		out[i] = iv
+	}
+	return out, nil, nil
+}
+
+// floats normalises the operand to a float64 slice plus null mask,
+// converting integer operands.
+func (o Opnd) floats() ([]float64, *bat.Bitmap, error) {
+	if o.b != nil {
+		switch o.b.Kind() {
+		case types.KindFloat:
+			return o.b.Floats(), o.b.NullMask(), nil
+		case types.KindInt, types.KindOID:
+			src := o.b.Ints()
+			out := make([]float64, len(src))
+			for i, v := range src {
+				out[i] = float64(v)
+			}
+			return out, o.b.NullMask(), nil
+		case types.KindVoid:
+			out := make([]float64, o.b.Len())
+			for i := range out {
+				out[i] = float64(o.b.Seqbase()) + float64(i)
+			}
+			return out, nil, nil
+		default:
+			return nil, nil, fmt.Errorf("gdk: expected numeric column, got %s", o.b.Kind())
+		}
+	}
+	out := make([]float64, o.n)
+	if o.v.IsNull() {
+		return out, allNull(o.n), nil
+	}
+	fv, err := o.v.AsFloat()
+	if err != nil {
+		return nil, nil, err
+	}
+	for i := range out {
+		out[i] = fv
+	}
+	return out, nil, nil
+}
+
+// boolsv normalises the operand to a bool slice plus null mask.
+func (o Opnd) boolsv() ([]bool, *bat.Bitmap, error) {
+	if o.b != nil {
+		if o.b.Kind() != types.KindBool {
+			return nil, nil, fmt.Errorf("gdk: expected boolean column, got %s", o.b.Kind())
+		}
+		return o.b.Bools(), o.b.NullMask(), nil
+	}
+	out := make([]bool, o.n)
+	if o.v.IsNull() {
+		return out, allNull(o.n), nil
+	}
+	if o.v.Kind() != types.KindBool {
+		return nil, nil, fmt.Errorf("gdk: expected boolean constant, got %s", o.v.Kind())
+	}
+	for i := range out {
+		out[i] = o.v.BoolVal()
+	}
+	return out, nil, nil
+}
+
+// strsv normalises the operand to a string slice plus null mask.
+func (o Opnd) strsv() ([]string, *bat.Bitmap, error) {
+	if o.b != nil {
+		if o.b.Kind() != types.KindStr {
+			return nil, nil, fmt.Errorf("gdk: expected string column, got %s", o.b.Kind())
+		}
+		return o.b.Strs(), o.b.NullMask(), nil
+	}
+	out := make([]string, o.n)
+	if o.v.IsNull() {
+		return out, allNull(o.n), nil
+	}
+	if o.v.Kind() != types.KindStr {
+		return nil, nil, fmt.Errorf("gdk: expected string constant, got %s", o.v.Kind())
+	}
+	for i := range out {
+		out[i] = o.v.StrVal()
+	}
+	return out, nil, nil
+}
+
+// orNulls returns the union of two null masks (nil when both nil).
+func orNulls(n int, a, c *bat.Bitmap) *bat.Bitmap {
+	if a == nil && c == nil {
+		return nil
+	}
+	out := bat.NewBitmap(n)
+	for i := 0; i < n; i++ {
+		if a.Get(i) || c.Get(i) {
+			out.Set(i, true)
+		}
+	}
+	return out
+}
+
+// withNulls attaches a null mask to a freshly built BAT.
+func withNulls(b *bat.BAT, nulls *bat.Bitmap) *bat.BAT {
+	if nulls == nil {
+		return b
+	}
+	for i := 0; i < b.Len(); i++ {
+		if nulls.Get(i) {
+			b.SetNull(i, true)
+		}
+	}
+	return b
+}

@@ -1,0 +1,120 @@
+package gdk
+
+import (
+	"fmt"
+
+	"repro/internal/bat"
+	"repro/internal/types"
+)
+
+// Project implements MonetDB's algebra.projection (fetch join): the result
+// holds b[idx[i]] for every position i of the index list. A NULL index entry
+// yields a NULL row (used for outer joins). idx must be void/oid typed.
+func Project(idx, b *bat.BAT) (*bat.BAT, error) {
+	switch idx.Kind() {
+	case types.KindVoid, types.KindOID:
+	default:
+		return nil, fmt.Errorf("gdk: projection index must be oid, got %s", idx.Kind())
+	}
+	n := idx.Len()
+	// Fast path: dense void index over the full column is the identity.
+	if idx.Kind() == types.KindVoid && idx.Seqbase() == 0 && n == b.Len() {
+		return b, nil
+	}
+	out := bat.New(b.ValueKind(), n)
+	switch b.Kind() {
+	case types.KindInt, types.KindOID:
+		src := b.Ints()
+		hasNulls := b.HasNulls()
+		for i := 0; i < n; i++ {
+			j, null, err := fetchIdx(idx, i, b.Len())
+			if err != nil {
+				return nil, err
+			}
+			if null || (hasNulls && b.IsNull(j)) {
+				out.AppendNull()
+			} else {
+				out.AppendInt(src[j])
+			}
+		}
+	case types.KindFloat:
+		src := b.Floats()
+		hasNulls := b.HasNulls()
+		for i := 0; i < n; i++ {
+			j, null, err := fetchIdx(idx, i, b.Len())
+			if err != nil {
+				return nil, err
+			}
+			if null || (hasNulls && b.IsNull(j)) {
+				out.AppendNull()
+			} else {
+				out.AppendFloat(src[j])
+			}
+		}
+	case types.KindBool:
+		src := b.Bools()
+		for i := 0; i < n; i++ {
+			j, null, err := fetchIdx(idx, i, b.Len())
+			if err != nil {
+				return nil, err
+			}
+			if null || b.IsNull(j) {
+				out.AppendNull()
+			} else {
+				out.AppendBool(src[j])
+			}
+		}
+	case types.KindStr:
+		src := b.Strs()
+		for i := 0; i < n; i++ {
+			j, null, err := fetchIdx(idx, i, b.Len())
+			if err != nil {
+				return nil, err
+			}
+			if null || b.IsNull(j) {
+				out.AppendNull()
+			} else {
+				out.AppendStr(src[j])
+			}
+		}
+	case types.KindVoid:
+		for i := 0; i < n; i++ {
+			j, null, err := fetchIdx(idx, i, b.Len())
+			if err != nil {
+				return nil, err
+			}
+			if null {
+				out.AppendNull()
+			} else {
+				out.AppendInt(int64(b.Seqbase()) + int64(j))
+			}
+		}
+	default:
+		return nil, fmt.Errorf("gdk: cannot project %s column", b.Kind())
+	}
+	return out, nil
+}
+
+func fetchIdx(idx *bat.BAT, i, limit int) (int, bool, error) {
+	if idx.IsNull(i) {
+		return 0, true, nil
+	}
+	j := int(idx.OidAt(i))
+	if j < 0 || j >= limit {
+		return 0, false, fmt.Errorf("gdk: projection index %d out of range [0,%d)", j, limit)
+	}
+	return j, false, nil
+}
+
+// ProjectAll projects every column in cols through idx.
+func ProjectAll(idx *bat.BAT, cols []*bat.BAT) ([]*bat.BAT, error) {
+	out := make([]*bat.BAT, len(cols))
+	for i, c := range cols {
+		p, err := Project(idx, c)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = p
+	}
+	return out, nil
+}

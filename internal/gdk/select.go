@@ -1,0 +1,190 @@
+package gdk
+
+import (
+	"fmt"
+
+	"repro/internal/bat"
+	"repro/internal/types"
+)
+
+// SelectBool returns the positions (as an oid BAT) where the boolean column
+// is true. NULL rows are not selected (SQL WHERE semantics).
+func SelectBool(cond *bat.BAT) (*bat.BAT, error) {
+	if cond.Kind() != types.KindBool {
+		return nil, fmt.Errorf("gdk: select needs a boolean column, got %s", cond.Kind())
+	}
+	vals := cond.Bools()
+	out := make([]int64, 0, len(vals)/2)
+	if cond.HasNulls() {
+		for i, v := range vals {
+			if v && !cond.IsNull(i) {
+				out = append(out, int64(i))
+			}
+		}
+	} else {
+		for i, v := range vals {
+			if v {
+				out = append(out, int64(i))
+			}
+		}
+	}
+	b := bat.FromOIDs(out)
+	b.Sorted, b.Key = true, true
+	return b, nil
+}
+
+// ThetaSelect scans column b (optionally restricted to candidate positions
+// cand; nil means all rows) and returns the positions whose value compares
+// to val under op ("=", "<>", "<", "<=", ">", ">="). NULL rows never match.
+// This is the candidate-list fast path; generic predicates go through
+// Compare + SelectBool.
+func ThetaSelect(b *bat.BAT, cand *bat.BAT, val types.Value, op string) (*bat.BAT, error) {
+	if val.IsNull() {
+		out := bat.FromOIDs(nil)
+		out.Sorted, out.Key = true, true
+		return out, nil
+	}
+	test, err := thetaTest(b.ValueKind(), val, op)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]int64, 0)
+	if cand == nil {
+		for i := 0; i < b.Len(); i++ {
+			if b.IsNull(i) {
+				continue
+			}
+			if test(b, i) {
+				out = append(out, int64(i))
+			}
+		}
+	} else {
+		for c := 0; c < cand.Len(); c++ {
+			i := int(cand.OidAt(c))
+			if i >= b.Len() || b.IsNull(i) {
+				continue
+			}
+			if test(b, i) {
+				out = append(out, int64(i))
+			}
+		}
+	}
+	ob := bat.FromOIDs(out)
+	ob.Sorted, ob.Key = true, true
+	return ob, nil
+}
+
+func thetaTest(k types.Kind, val types.Value, op string) (func(*bat.BAT, int) bool, error) {
+	cmpOK := func(c int) bool {
+		switch op {
+		case "=":
+			return c == 0
+		case "<>", "!=":
+			return c != 0
+		case "<":
+			return c < 0
+		case "<=":
+			return c <= 0
+		case ">":
+			return c > 0
+		case ">=":
+			return c >= 0
+		}
+		return false
+	}
+	switch op {
+	case "=", "<>", "!=", "<", "<=", ">", ">=":
+	default:
+		return nil, fmt.Errorf("gdk: unknown theta op %q", op)
+	}
+	switch k {
+	case types.KindInt, types.KindOID:
+		want, err := val.AsInt()
+		if err != nil {
+			return nil, err
+		}
+		return func(b *bat.BAT, i int) bool {
+			v := b.Ints()[i]
+			switch {
+			case v < want:
+				return cmpOK(-1)
+			case v > want:
+				return cmpOK(1)
+			default:
+				return cmpOK(0)
+			}
+		}, nil
+	case types.KindFloat:
+		want, err := val.AsFloat()
+		if err != nil {
+			return nil, err
+		}
+		return func(b *bat.BAT, i int) bool {
+			v := b.Floats()[i]
+			switch {
+			case v < want:
+				return cmpOK(-1)
+			case v > want:
+				return cmpOK(1)
+			default:
+				return cmpOK(0)
+			}
+		}, nil
+	default:
+		return func(b *bat.BAT, i int) bool {
+			return cmpOK(b.Get(i).Compare(val))
+		}, nil
+	}
+}
+
+// RangeSelect returns positions where lo <= b[i] <= hi (both inclusive,
+// SQL BETWEEN). NULL rows never match.
+func RangeSelect(b *bat.BAT, cand *bat.BAT, lo, hi types.Value) (*bat.BAT, error) {
+	if lo.IsNull() || hi.IsNull() {
+		out := bat.FromOIDs(nil)
+		out.Sorted, out.Key = true, true
+		return out, nil
+	}
+	ge, err := thetaTest(b.ValueKind(), lo, ">=")
+	if err != nil {
+		return nil, err
+	}
+	le, err := thetaTest(b.ValueKind(), hi, "<=")
+	if err != nil {
+		return nil, err
+	}
+	out := make([]int64, 0)
+	check := func(i int) {
+		if b.IsNull(i) {
+			return
+		}
+		if ge(b, i) && le(b, i) {
+			out = append(out, int64(i))
+		}
+	}
+	if cand == nil {
+		for i := 0; i < b.Len(); i++ {
+			check(i)
+		}
+	} else {
+		for c := 0; c < cand.Len(); c++ {
+			check(int(cand.OidAt(c)))
+		}
+	}
+	ob := bat.FromOIDs(out)
+	ob.Sorted, ob.Key = true, true
+	return ob, nil
+}
+
+// SelectNonNull returns the positions of non-NULL rows.
+func SelectNonNull(b *bat.BAT) *bat.BAT {
+	out := make([]int64, 0, b.Len())
+	for i := 0; i < b.Len(); i++ {
+		if !b.IsNull(i) {
+			out = append(out, int64(i))
+		}
+	}
+	ob := bat.FromOIDs(out)
+	ob.Sorted, ob.Key = true, true
+	return ob
+}

@@ -1,0 +1,74 @@
+package gdk
+
+import (
+	"fmt"
+
+	"repro/internal/bat"
+	"repro/internal/shape"
+)
+
+// SlabCandidates enumerates the cell positions of a hyper-rectangular slab
+// of an array: index bounds [lo_k, hi_k] (inclusive) per dimension. It
+// runs in O(result) — no scan of the full array — which is what makes
+// dimension-range predicates on arrays fundamentally cheaper than value
+// predicates on tables (the dimension ranges are declarative, §2).
+// The result is a sorted oid list in row-major order.
+func SlabCandidates(sh shape.Shape, lo, hi []int) (*bat.BAT, error) {
+	k := len(sh)
+	if len(lo) != k || len(hi) != k {
+		return nil, fmt.Errorf("gdk: slab bounds must match dimensionality %d", k)
+	}
+	dims := make([]int, k)
+	total := 1
+	for d, dim := range sh {
+		dims[d] = dim.N()
+		l, h := lo[d], hi[d]
+		if l < 0 {
+			l = 0
+		}
+		if h > dims[d]-1 {
+			h = dims[d] - 1
+		}
+		if l > h {
+			return bat.FromOIDs(nil), nil
+		}
+		lo[d], hi[d] = l, h
+		total *= h - l + 1
+	}
+	strides := sh.Strides()
+	out := make([]int64, 0, total)
+	idx := make([]int, k)
+	copy(idx, lo)
+	if k == 0 {
+		return bat.FromOIDs(nil), nil
+	}
+	for {
+		base := 0
+		for d := 0; d < k; d++ {
+			base += idx[d] * strides[d]
+		}
+		// The innermost dimension is contiguous in row-major order.
+		last := k - 1
+		row := base - idx[last]*strides[last]
+		for i := lo[last]; i <= hi[last]; i++ {
+			out = append(out, int64(row+i))
+		}
+		// Advance outer dimensions.
+		d := k - 2
+		for d >= 0 {
+			idx[d]++
+			if idx[d] <= hi[d] {
+				break
+			}
+			idx[d] = lo[d]
+			d--
+		}
+		if d < 0 {
+			break
+		}
+		idx[last] = lo[last]
+	}
+	b := bat.FromOIDs(out)
+	b.Sorted, b.Key = true, true
+	return b, nil
+}

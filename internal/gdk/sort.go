@@ -1,0 +1,66 @@
+package gdk
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/bat"
+)
+
+// SortSpec describes one ORDER BY key.
+type SortSpec struct {
+	Desc bool
+}
+
+// OrderIdx returns a stable order index (oid BAT) that sorts the aligned
+// key columns according to specs. NULLs sort first on ascending keys and
+// last on descending keys (MonetDB convention: NULL is the smallest value).
+func OrderIdx(keys []*bat.BAT, specs []SortSpec) (*bat.BAT, error) {
+	if len(keys) == 0 {
+		return nil, fmt.Errorf("gdk: sort needs at least one key")
+	}
+	if len(specs) != len(keys) {
+		return nil, fmt.Errorf("gdk: sort specs not aligned with keys")
+	}
+	n := keys[0].Len()
+	for _, k := range keys {
+		if k.Len() != n {
+			return nil, fmt.Errorf("gdk: sort keys not aligned")
+		}
+	}
+	idx := make([]int64, n)
+	for i := range idx {
+		idx[i] = int64(i)
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		ia, ib := int(idx[a]), int(idx[b])
+		for k, key := range keys {
+			c := key.Get(ia).Compare(key.Get(ib))
+			if c == 0 {
+				continue
+			}
+			if specs[k].Desc {
+				return c > 0
+			}
+			return c < 0
+		}
+		return false
+	})
+	return bat.FromOIDs(idx), nil
+}
+
+// FirstN truncates an order/position index to at most n entries starting at
+// offset (LIMIT/OFFSET).
+func FirstN(idx *bat.BAT, offset, n int) *bat.BAT {
+	if offset < 0 {
+		offset = 0
+	}
+	if offset > idx.Len() {
+		offset = idx.Len()
+	}
+	end := idx.Len()
+	if n >= 0 && offset+n < end {
+		end = offset + n
+	}
+	return idx.Slice(offset, end)
+}

@@ -1,0 +1,319 @@
+// Package img is the raster-image substrate standing in for the paper's
+// GeoTIFF files (§4, Scenario II). GeoTIFF needs a C library (GDAL) and
+// the TELEIOS remote-sensing data is not redistributable, so this package
+// provides: a grey-scale raster type, PGM (P2/P5) codecs for interchange,
+// and deterministic synthetic scene generators that mimic the two demo
+// images (a "classic building" photograph and a remote-sensing earth
+// scene). The array code paths exercised are identical: a 2-D grid of
+// integer intensities.
+package img
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+// Image is a grey-scale raster with 8-bit intensities stored row-major
+// (y-major: idx = y*W + x, matching PGM scanline order).
+type Image struct {
+	W, H int
+	Pix  []uint8
+}
+
+// New returns a black image.
+func New(w, h int) *Image {
+	return &Image{W: w, H: h, Pix: make([]uint8, w*h)}
+}
+
+// At returns the intensity at (x, y).
+func (m *Image) At(x, y int) uint8 { return m.Pix[y*m.W+x] }
+
+// Set writes the intensity at (x, y).
+func (m *Image) Set(x, y int, v uint8) { m.Pix[y*m.W+x] = v }
+
+// Clone returns a deep copy.
+func (m *Image) Clone() *Image {
+	c := New(m.W, m.H)
+	copy(c.Pix, m.Pix)
+	return c
+}
+
+// Equal reports pixel equality.
+func (m *Image) Equal(o *Image) bool {
+	if m.W != o.W || m.H != o.H {
+		return false
+	}
+	for i := range m.Pix {
+		if m.Pix[i] != o.Pix[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// clamp8 clamps an integer to the 8-bit intensity range.
+func clamp8(v int) uint8 {
+	if v < 0 {
+		return 0
+	}
+	if v > 255 {
+		return 255
+	}
+	return uint8(v)
+}
+
+// ---------------------------------------------------------------- PGM I/O
+
+// EncodePGM writes the image in binary PGM (P5).
+func (m *Image) EncodePGM(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "P5\n%d %d\n255\n", m.W, m.H)
+	if _, err := bw.Write(m.Pix); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// DecodePGM reads a PGM image (P5 binary or P2 ASCII).
+func DecodePGM(r io.Reader) (*Image, error) {
+	br := bufio.NewReader(r)
+	magic, err := pgmToken(br)
+	if err != nil {
+		return nil, err
+	}
+	if magic != "P5" && magic != "P2" {
+		return nil, fmt.Errorf("img: unsupported format %q (want P2/P5)", magic)
+	}
+	var dims [3]int
+	for i := 0; i < 3; i++ {
+		tok, err := pgmToken(br)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := fmt.Sscanf(tok, "%d", &dims[i]); err != nil {
+			return nil, fmt.Errorf("img: bad header token %q", tok)
+		}
+	}
+	w, h, maxval := dims[0], dims[1], dims[2]
+	if w <= 0 || h <= 0 || w*h > 1<<28 {
+		return nil, fmt.Errorf("img: implausible dimensions %dx%d", w, h)
+	}
+	if maxval <= 0 || maxval > 255 {
+		return nil, fmt.Errorf("img: unsupported maxval %d", maxval)
+	}
+	out := New(w, h)
+	if magic == "P5" {
+		if _, err := io.ReadFull(br, out.Pix); err != nil {
+			return nil, err
+		}
+		return out, nil
+	}
+	for i := range out.Pix {
+		tok, err := pgmToken(br)
+		if err != nil {
+			return nil, err
+		}
+		var v int
+		if _, err := fmt.Sscanf(tok, "%d", &v); err != nil {
+			return nil, fmt.Errorf("img: bad pixel token %q", tok)
+		}
+		out.Pix[i] = clamp8(v)
+	}
+	return out, nil
+}
+
+// pgmToken reads the next whitespace-separated token, skipping # comments.
+func pgmToken(br *bufio.Reader) (string, error) {
+	var sb strings.Builder
+	for {
+		c, err := br.ReadByte()
+		if err != nil {
+			if sb.Len() > 0 && err == io.EOF {
+				return sb.String(), nil
+			}
+			return "", err
+		}
+		switch {
+		case c == '#':
+			if _, err := br.ReadString('\n'); err != nil && err != io.EOF {
+				return "", err
+			}
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			if sb.Len() > 0 {
+				return sb.String(), nil
+			}
+		default:
+			sb.WriteByte(c)
+		}
+	}
+}
+
+// SavePGM writes the image to a file.
+func (m *Image) SavePGM(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := m.EncodePGM(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadPGM reads an image from a file.
+func LoadPGM(path string) (*Image, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return DecodePGM(f)
+}
+
+// --------------------------------------------------------- synthetic data
+
+// xorshift is a tiny deterministic PRNG so scenes are reproducible without
+// math/rand seeding ambiguity across Go versions.
+type xorshift uint64
+
+func (x *xorshift) next() uint64 {
+	v := uint64(*x)
+	v ^= v << 13
+	v ^= v >> 7
+	v ^= v << 17
+	*x = xorshift(v)
+	return v
+}
+
+func (x *xorshift) intn(n int) int { return int(x.next() % uint64(n)) }
+
+// Building synthesises the "classic building" demo image: a sky gradient,
+// a rectangular facade with a window grid and a door — plenty of straight
+// edges for the EdgeDetection query to find.
+func Building(w, h int) *Image {
+	m := New(w, h)
+	for y := 0; y < h; y++ {
+		sky := clamp8(200 - (y*80)/h)
+		for x := 0; x < w; x++ {
+			m.Set(x, y, sky)
+		}
+	}
+	// Facade.
+	fx0, fx1 := w/6, w-w/6
+	fy0, fy1 := h/4, h-h/12
+	for y := fy0; y < fy1; y++ {
+		for x := fx0; x < fx1; x++ {
+			m.Set(x, y, 120)
+		}
+	}
+	// Window grid.
+	cols, rows := 6, 4
+	ww := (fx1 - fx0) / (2 * cols)
+	wh := (fy1 - fy0) / (2 * rows)
+	if ww > 0 && wh > 0 {
+		for r := 0; r < rows; r++ {
+			for c := 0; c < cols; c++ {
+				x0 := fx0 + (2*c+1)*(fx1-fx0)/(2*cols) - ww/2
+				y0 := fy0 + (2*r+1)*(fy1-fy0)/(2*rows) - wh/2
+				for y := y0; y < y0+wh && y < fy1; y++ {
+					for x := x0; x < x0+ww && x < fx1; x++ {
+						m.Set(x, y, 40)
+					}
+				}
+			}
+		}
+	}
+	// Door.
+	dw, dh := (fx1-fx0)/8, (fy1-fy0)/3
+	dx0 := (fx0 + fx1 - dw) / 2
+	for y := fy1 - dh; y < fy1; y++ {
+		for x := dx0; x < dx0+dw; x++ {
+			m.Set(x, y, 25)
+		}
+	}
+	return m
+}
+
+// RemoteSensing synthesises the "remote sensing image of the earth" demo
+// scene: dark water, brighter land masses with noisy texture, and a few
+// very bright urban patches. Intensities follow the demo's water-filter
+// assumption (water is dark).
+func RemoteSensing(w, h int, seed uint64) *Image {
+	if seed == 0 {
+		seed = 0x9E3779B97F4A7C15
+	}
+	rng := xorshift(seed)
+	m := New(w, h)
+	// Water base.
+	for i := range m.Pix {
+		m.Pix[i] = uint8(10 + rng.intn(15)) // 10..24
+	}
+	// Land masses: random blobby ellipses.
+	nBlobs := 3 + (w*h)/8192
+	for b := 0; b < nBlobs; b++ {
+		cx, cy := rng.intn(w), rng.intn(h)
+		rx, ry := w/8+rng.intn(w/6+1), h/8+rng.intn(h/6+1)
+		base := 90 + rng.intn(60)
+		for y := cy - ry; y <= cy+ry; y++ {
+			if y < 0 || y >= h {
+				continue
+			}
+			for x := cx - rx; x <= cx+rx; x++ {
+				if x < 0 || x >= w {
+					continue
+				}
+				dx := float64(x-cx) / float64(rx)
+				dy := float64(y-cy) / float64(ry)
+				if dx*dx+dy*dy <= 1 {
+					m.Set(x, y, clamp8(base+rng.intn(30)-15))
+				}
+			}
+		}
+	}
+	// Urban bright patches on land.
+	for b := 0; b < nBlobs; b++ {
+		cx, cy := rng.intn(w), rng.intn(h)
+		if m.At(cx, cy) < 60 {
+			continue // skip water
+		}
+		r := 2 + rng.intn(5)
+		for y := cy - r; y <= cy+r; y++ {
+			for x := cx - r; x <= cx+r; x++ {
+				if x >= 0 && x < w && y >= 0 && y < h {
+					m.Set(x, y, clamp8(220+rng.intn(35)))
+				}
+			}
+		}
+	}
+	return m
+}
+
+// Gradient returns a diagonal intensity ramp (deterministic test fixture).
+func Gradient(w, h int) *Image {
+	m := New(w, h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			m.Set(x, y, clamp8((x+y)*255/(w+h-2+1)))
+		}
+	}
+	return m
+}
+
+// Checkerboard returns an alternating tile pattern.
+func Checkerboard(w, h, tile int) *Image {
+	m := New(w, h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			if ((x/tile)+(y/tile))%2 == 0 {
+				m.Set(x, y, 230)
+			} else {
+				m.Set(x, y, 30)
+			}
+		}
+	}
+	return m
+}

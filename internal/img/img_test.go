@@ -1,0 +1,157 @@
+package img
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestPGMRoundtrip(t *testing.T) {
+	m := Gradient(17, 9)
+	var buf bytes.Buffer
+	if err := m.EncodePGM(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodePGM(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(m) {
+		t.Error("P5 roundtrip changed pixels")
+	}
+}
+
+func TestPGMRoundtripProperty(t *testing.T) {
+	f := func(seed uint64, w8, h8 uint8) bool {
+		w := int(w8%20) + 1
+		h := int(h8%20) + 1
+		m := RemoteSensing(w, h, seed)
+		var buf bytes.Buffer
+		if err := m.EncodePGM(&buf); err != nil {
+			return false
+		}
+		got, err := DecodePGM(&buf)
+		return err == nil && got.Equal(m)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeP2ASCII(t *testing.T) {
+	src := "P2\n# a comment\n3 2\n255\n0 128 255\n1 2 3\n"
+	m, err := DecodePGM(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.W != 3 || m.H != 2 {
+		t.Fatalf("size %dx%d", m.W, m.H)
+	}
+	if m.At(1, 0) != 128 || m.At(2, 1) != 3 {
+		t.Errorf("pixels: %v", m.Pix)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	cases := []string{
+		"P6\n1 1\n255\nx",    // wrong magic
+		"P5\n0 1\n255\n",     // zero width
+		"P5\n2 2\n70000\n",   // bad maxval
+		"P5\n2 2\n255\n\x00", // truncated payload
+	}
+	for _, src := range cases {
+		if _, err := DecodePGM(strings.NewReader(src)); err == nil {
+			t.Errorf("accepted invalid PGM %q", src)
+		}
+	}
+}
+
+func TestFileRoundtrip(t *testing.T) {
+	dir := t.TempDir()
+	m := Checkerboard(10, 6, 2)
+	path := dir + "/cb.pgm"
+	if err := m.SavePGM(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadPGM(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(m) {
+		t.Error("file roundtrip changed pixels")
+	}
+}
+
+func TestSyntheticScenesDeterministic(t *testing.T) {
+	a := RemoteSensing(32, 32, 9)
+	b := RemoteSensing(32, 32, 9)
+	if !a.Equal(b) {
+		t.Error("RemoteSensing is not deterministic for a fixed seed")
+	}
+	c := RemoteSensing(32, 32, 10)
+	if a.Equal(c) {
+		t.Error("different seeds should differ")
+	}
+	if !Building(40, 30).Equal(Building(40, 30)) {
+		t.Error("Building is not deterministic")
+	}
+}
+
+func TestBuildingHasStructure(t *testing.T) {
+	m := Building(64, 64)
+	// The facade must be darker than the sky and the windows darker still.
+	sky := m.At(2, 2)
+	facade := m.At(32, 40)
+	if facade >= sky {
+		t.Errorf("facade %d should be darker than sky %d", facade, sky)
+	}
+	hist := map[uint8]int{}
+	for _, v := range m.Pix {
+		hist[v]++
+	}
+	if len(hist) < 4 {
+		t.Errorf("building scene too uniform: %d levels", len(hist))
+	}
+}
+
+func TestRemoteSensingWaterAndLand(t *testing.T) {
+	m := RemoteSensing(64, 64, 3)
+	dark, bright := 0, 0
+	for _, v := range m.Pix {
+		if v < 40 {
+			dark++
+		} else {
+			bright++
+		}
+	}
+	if dark == 0 || bright == 0 {
+		t.Errorf("scene needs both water (%d) and land (%d)", dark, bright)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	m := Gradient(4, 4)
+	c := m.Clone()
+	c.Set(0, 0, 99)
+	if m.At(0, 0) == 99 {
+		t.Error("clone aliases the original")
+	}
+}
+
+func TestGradientRange(t *testing.T) {
+	m := Gradient(16, 16)
+	if m.At(0, 0) >= m.At(15, 15) {
+		t.Error("gradient should increase diagonally")
+	}
+}
+
+func TestCheckerboard(t *testing.T) {
+	m := Checkerboard(8, 8, 2)
+	if m.At(0, 0) == m.At(2, 0) {
+		t.Error("adjacent tiles must differ")
+	}
+	if m.At(0, 0) != m.At(2, 2) {
+		t.Error("diagonal tiles must match")
+	}
+}

@@ -1,0 +1,447 @@
+package mal
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/gdk"
+	"repro/internal/rel"
+	"repro/internal/types"
+)
+
+// Compile lowers an optimized logical plan into a MAL program. The
+// generator threads an environment through the plan: one aligned BAT
+// variable per schema column of the current operator.
+func Compile(n rel.Node) (*Program, error) {
+	p := &Program{}
+	g := &gen{p: p}
+	env, err := g.node(n)
+	if err != nil {
+		return nil, err
+	}
+	schema := n.Schema()
+	p.ResultVars = env
+	for _, c := range schema {
+		p.ResultNames = append(p.ResultNames, c.Name)
+		p.ResultDims = append(p.ResultDims, c.IsDim)
+		p.ResultKinds = append(p.ResultKinds, c.Kind)
+	}
+	if proj, ok := n.(*rel.Project); ok {
+		p.ShapeHint = proj.ShapeHint
+	}
+	return p, nil
+}
+
+type gen struct {
+	p *Program
+}
+
+// node compiles a plan node and returns its environment (one variable per
+// schema column, all aligned).
+func (g *gen) node(n rel.Node) ([]int, error) {
+	switch x := n.(type) {
+	case *rel.ScanTable:
+		cand := g.p.Emit("sql", "tablecand", X(x.T))
+		env := make([]int, len(x.T.Columns))
+		for i := range x.T.Columns {
+			col := g.p.Emit("sql", "bind", X(x.T), K(types.Int(int64(i))))
+			env[i] = g.p.Emit("algebra", "projection", V(cand), V(col))
+		}
+		return env, nil
+
+	case *rel.ScanArray:
+		return g.scanArray(x)
+
+	case *rel.ScanDual:
+		v := g.p.Emit("array", "filler", K(types.Int(1)), K(types.Bool(true)), X(types.KindBool))
+		return []int{v}, nil
+
+	case *rel.Filter:
+		env, err := g.node(x.Child)
+		if err != nil {
+			return nil, err
+		}
+		return g.filter(env, x.Pred)
+
+	case *rel.Project:
+		env, err := g.node(x.Child)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]int, len(x.Exprs))
+		for i, e := range x.Exprs {
+			arg, err := g.expr(env, e)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = g.mat(env, arg, e.Kind())
+		}
+		return out, nil
+
+	case *rel.Join:
+		return g.join(x)
+
+	case *rel.GroupAgg:
+		return g.groupAgg(x)
+
+	case *rel.TileAgg:
+		return g.tileAgg(x)
+
+	case *rel.Sort:
+		env, err := g.node(x.Child)
+		if err != nil {
+			return nil, err
+		}
+		keys := make([]Arg, 0, len(x.Keys)+1)
+		for _, k := range x.Keys {
+			arg, err := g.expr(env, k)
+			if err != nil {
+				return nil, err
+			}
+			keys = append(keys, V(g.mat(env, arg, k.Kind())))
+		}
+		keys = append(keys, X(append([]bool{}, x.Desc...)))
+		idx := g.p.Emit("algebra", "sort", keys...)
+		return g.projectAll(env, idx)
+
+	case *rel.Limit:
+		env, err := g.node(x.Child)
+		if err != nil {
+			return nil, err
+		}
+		lo := x.Offset
+		hi := int64(math.MaxInt64)
+		if x.Count >= 0 {
+			hi = lo + x.Count
+		}
+		out := make([]int, len(env))
+		for i, v := range env {
+			out[i] = g.p.Emit("bat", "slice", V(v), K(types.Int(lo)), K(types.Int(hi)))
+		}
+		return out, nil
+
+	case *rel.Distinct:
+		env, err := g.node(x.Child)
+		if err != nil {
+			return nil, err
+		}
+		args := make([]Arg, len(env))
+		for i, v := range env {
+			args[i] = V(v)
+		}
+		rets := g.p.EmitN(3, "group", "group", args...)
+		return g.projectAll(env, rets[1])
+
+	case *rel.UnionAll:
+		lenv, err := g.node(x.L)
+		if err != nil {
+			return nil, err
+		}
+		renv, err := g.node(x.R)
+		if err != nil {
+			return nil, err
+		}
+		schema := x.Schema()
+		out := make([]int, len(lenv))
+		for i := range lenv {
+			out[i] = g.p.Emit("bat", "concat", V(lenv[i]), V(renv[i]), X(schema[i].Kind))
+		}
+		return out, nil
+
+	default:
+		return nil, fmt.Errorf("mal: cannot compile plan node %T", n)
+	}
+}
+
+func (g *gen) scanArray(x *rel.ScanArray) ([]int, error) {
+	env := make([]int, 0, len(x.A.Shape)+len(x.A.Attrs))
+	for k := range x.A.Shape {
+		env = append(env, g.p.Emit("array", "binddim", X(x.A), K(types.Int(int64(k)))))
+	}
+	for k := range x.A.Attrs {
+		env = append(env, g.p.Emit("array", "bindattr", X(x.A), K(types.Int(int64(k)))))
+	}
+	if x.Sliced() {
+		// Dimension-range pushdown: the candidate list is computed from the
+		// shape arithmetic alone (optimizer pass "slabPushdown").
+		cand := g.p.Emit("array", "slab", X(x.A),
+			X(append([]int{}, x.SlabLo...)), X(append([]int{}, x.SlabHi...)))
+		out := make([]int, len(env))
+		for i, v := range env {
+			out[i] = g.p.Emit("algebra", "projection", V(cand), V(v))
+		}
+		return out, nil
+	}
+	return env, nil
+}
+
+func (g *gen) filter(env []int, pred rel.Expr) ([]int, error) {
+	arg, err := g.expr(env, pred)
+	if err != nil {
+		return nil, err
+	}
+	cond := g.mat(env, arg, types.KindBool)
+	sel := g.p.Emit("algebra", "boolselect", V(cond))
+	return g.projectAll(env, sel)
+}
+
+func (g *gen) projectAll(env []int, idx int) ([]int, error) {
+	out := make([]int, len(env))
+	for i, v := range env {
+		out[i] = g.p.Emit("algebra", "projection", V(idx), V(v))
+	}
+	return out, nil
+}
+
+func (g *gen) join(x *rel.Join) ([]int, error) {
+	lenv, err := g.node(x.L)
+	if err != nil {
+		return nil, err
+	}
+	renv, err := g.node(x.R)
+	if err != nil {
+		return nil, err
+	}
+	var li, ri int
+	if x.Cross {
+		rets := g.p.EmitN(2, "algebra", "crossproduct", V(lenv[0]), V(renv[0]))
+		li, ri = rets[0], rets[1]
+	} else {
+		args := make([]Arg, 0, 2*len(x.LKeys)+1)
+		args = append(args, X(len(x.LKeys)))
+		for _, k := range x.LKeys {
+			a, err := g.expr(lenv, k)
+			if err != nil {
+				return nil, err
+			}
+			args = append(args, V(g.mat(lenv, a, k.Kind())))
+		}
+		for _, k := range x.RKeys {
+			a, err := g.expr(renv, k)
+			if err != nil {
+				return nil, err
+			}
+			args = append(args, V(g.mat(renv, a, k.Kind())))
+		}
+		fn := "join"
+		if x.LeftOuter {
+			fn = "leftjoin"
+		}
+		rets := g.p.EmitN(2, "algebra", fn, args...)
+		li, ri = rets[0], rets[1]
+	}
+	env := make([]int, 0, len(lenv)+len(renv))
+	for _, v := range lenv {
+		env = append(env, g.p.Emit("algebra", "projection", V(li), V(v)))
+	}
+	for _, v := range renv {
+		env = append(env, g.p.Emit("algebra", "projection", V(ri), V(v)))
+	}
+	if x.Residual != nil {
+		return g.filter(env, x.Residual)
+	}
+	return env, nil
+}
+
+func (g *gen) groupAgg(x *rel.GroupAgg) ([]int, error) {
+	env, err := g.node(x.Child)
+	if err != nil {
+		return nil, err
+	}
+	var gids int
+	var ng Arg
+	var extents int
+	if len(x.Keys) == 0 {
+		gids = g.p.Emit("array", "fillerlike", V(env[0]), K(types.Oid(0)), X(types.KindOID))
+		ng = K(types.Int(1))
+		extents = -1
+	} else {
+		keyVars := make([]int, len(x.Keys))
+		args := make([]Arg, len(x.Keys))
+		for i, k := range x.Keys {
+			a, err := g.expr(env, k)
+			if err != nil {
+				return nil, err
+			}
+			keyVars[i] = g.mat(env, a, k.Kind())
+			args[i] = V(keyVars[i])
+		}
+		rets := g.p.EmitN(3, "group", "group", args...)
+		gids, extents = rets[0], rets[1]
+		ng = V(rets[2])
+		// Output keys: first row of each group.
+		out := make([]int, 0, len(x.Keys)+len(x.Aggs))
+		for _, kv := range keyVars {
+			out = append(out, g.p.Emit("algebra", "projection", V(extents), V(kv)))
+		}
+		for _, a := range x.Aggs {
+			v, err := g.agg(env, a, gids, ng)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, v)
+		}
+		return out, nil
+	}
+	_ = extents
+	out := make([]int, 0, len(x.Aggs))
+	for _, a := range x.Aggs {
+		v, err := g.agg(env, a, gids, ng)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func (g *gen) agg(env []int, a rel.AggSpec, gids int, ng Arg) (int, error) {
+	var vals int
+	agg := a.Agg
+	if a.Arg == nil {
+		// COUNT(*): count group members via the gid column itself.
+		vals = gids
+	} else {
+		arg, err := g.expr(env, a.Arg)
+		if err != nil {
+			return 0, err
+		}
+		vals = g.mat(env, arg, a.Arg.Kind())
+	}
+	return g.p.Emit("aggr", "sub", V(vals), V(gids), ng, X(agg)), nil
+}
+
+func (g *gen) tileAgg(x *rel.TileAgg) ([]int, error) {
+	scan := &rel.ScanArray{A: x.A, Alias: x.Alias}
+	env, err := g.scanArray(scan)
+	if err != nil {
+		return nil, err
+	}
+	fn := "tileagg"
+	if x.UseSAT {
+		fn = "tileaggsat"
+	}
+	out := append([]int{}, env...)
+	for _, a := range x.Aggs {
+		var vals int
+		agg := a.Agg
+		if a.Arg == nil {
+			// COUNT(*) over a tile counts the in-bounds cells: aggregate a
+			// constant-one column with COUNT.
+			vals = g.p.Emit("array", "fillerlike", V(env[0]), K(types.Int(1)), X(types.KindInt))
+			agg = gdk.AggCount
+		} else {
+			arg, err := g.expr(env, a.Arg)
+			if err != nil {
+				return nil, err
+			}
+			vals = g.mat(env, arg, a.Arg.Kind())
+		}
+		v := g.p.Emit("array", fn, V(vals), X(x.A.Shape), X(append([]gdk.TileRange{}, x.Tile...)), X(agg))
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// expr compiles a bound scalar expression over the environment, returning
+// either a variable or a constant argument.
+func (g *gen) expr(env []int, e rel.Expr) (Arg, error) {
+	switch x := e.(type) {
+	case *rel.Col:
+		if x.Idx < 0 || x.Idx >= len(env) {
+			return Arg{}, fmt.Errorf("mal: column ordinal %d out of range (env has %d)", x.Idx, len(env))
+		}
+		return V(env[x.Idx]), nil
+	case *rel.Const:
+		return K(x.Val), nil
+	case *rel.Bin:
+		l, err := g.expr(env, x.L)
+		if err != nil {
+			return Arg{}, err
+		}
+		r, err := g.expr(env, x.R)
+		if err != nil {
+			return Arg{}, err
+		}
+		if !l.IsVar() && !r.IsVar() {
+			l = V(g.mat(env, l, x.L.Kind()))
+		}
+		return V(g.p.Emit("batcalc", "bin", X(x.Op), l, r)), nil
+	case *rel.Un:
+		xe, err := g.expr(env, x.X)
+		if err != nil {
+			return Arg{}, err
+		}
+		if !xe.IsVar() {
+			xe = V(g.mat(env, xe, x.X.Kind()))
+		}
+		return V(g.p.Emit("batcalc", "un", X(x.Op), xe)), nil
+	case *rel.IfElse:
+		c, err := g.expr(env, x.Cond)
+		if err != nil {
+			return Arg{}, err
+		}
+		t, err := g.expr(env, x.Then)
+		if err != nil {
+			return Arg{}, err
+		}
+		f, err := g.expr(env, x.Else)
+		if err != nil {
+			return Arg{}, err
+		}
+		// The condition drives the row count; materialise it.
+		cv := g.mat(env, c, types.KindBool)
+		return V(g.p.Emit("batcalc", "ifthenelse", V(cv), t, f)), nil
+	case *rel.Cast:
+		xe, err := g.expr(env, x.X)
+		if err != nil {
+			return Arg{}, err
+		}
+		if !xe.IsVar() {
+			xe = V(g.mat(env, xe, x.X.Kind()))
+		}
+		return V(g.p.Emit("batcalc", "cast", X(x.To), xe)), nil
+	case *rel.Substr:
+		s, err := g.expr(env, x.X)
+		if err != nil {
+			return Arg{}, err
+		}
+		from, err := g.expr(env, x.From)
+		if err != nil {
+			return Arg{}, err
+		}
+		forE, err := g.expr(env, x.For)
+		if err != nil {
+			return Arg{}, err
+		}
+		if !s.IsVar() && !from.IsVar() && !forE.IsVar() {
+			s = V(g.mat(env, s, types.KindStr))
+		}
+		return V(g.p.Emit("batcalc", "substring", s, from, forE)), nil
+	case *rel.CellFetch:
+		attr := g.p.Emit("array", "bindattr", X(x.A), K(types.Int(int64(x.AttrIdx))))
+		args := []Arg{V(attr), X(x.A.Shape)}
+		for _, c := range x.Coords {
+			a, err := g.expr(env, c)
+			if err != nil {
+				return Arg{}, err
+			}
+			args = append(args, V(g.mat(env, a, types.KindInt)))
+		}
+		return V(g.p.Emit("array", "cellfetch", args...)), nil
+	default:
+		return Arg{}, fmt.Errorf("mal: cannot compile expression %T", e)
+	}
+}
+
+// mat materialises a constant argument into a full-length column aligned
+// with the environment; variables pass through.
+func (g *gen) mat(env []int, a Arg, k types.Kind) int {
+	if a.IsVar() {
+		return a.Var
+	}
+	if k == types.KindVoid {
+		k = types.KindInt
+	}
+	return g.p.Emit("array", "fillerlike", V(env[0]), K(a.Const), X(k))
+}

@@ -1,0 +1,142 @@
+package rel
+
+import (
+	"repro/internal/gdk"
+)
+
+// Optimize applies the rewrite passes to a bound plan:
+//
+//  1. crossToHash — a Filter above a cross Join donates equi conjuncts as
+//     hash-join keys and single-side conjuncts as pushed-down filters
+//     (comma-join FROM lists become real joins).
+//  2. slabPushdown — dimension-range conjuncts above an array scan become
+//     arithmetic slab bounds on the scan (no scan needed for the filter).
+//  3. tileKernel — structural grouping switches to the summed-area-table
+//     kernel when profitable (the "tileSAT" MAL optimizer of DESIGN.md).
+func Optimize(n Node) Node {
+	return rewrite(n)
+}
+
+func rewrite(n Node) Node {
+	switch x := n.(type) {
+	case *Filter:
+		x.Child = rewrite(x.Child)
+		if j, ok := x.Child.(*Join); ok && j.Cross {
+			return rewriteJoinInputs(pushIntoCross(x.Pred, j))
+		}
+		if scan, ok := x.Child.(*ScanArray); ok {
+			return pushSlabIntoScan(x, scan)
+		}
+		return x
+	case *Project:
+		x.Child = rewrite(x.Child)
+		return x
+	case *Join:
+		x.L = rewrite(x.L)
+		x.R = rewrite(x.R)
+		return x
+	case *GroupAgg:
+		x.Child = rewrite(x.Child)
+		return x
+	case *TileAgg:
+		useSAT := gdk.SATProfitable(x.A.Shape, x.Tile)
+		if useSAT {
+			for _, a := range x.Aggs {
+				switch a.Agg {
+				case gdk.AggSum, gdk.AggAvg, gdk.AggCount, gdk.AggCountAll:
+				default:
+					useSAT = false
+				}
+			}
+		}
+		x.UseSAT = useSAT
+		return x
+	case *Sort:
+		x.Child = rewrite(x.Child)
+		return x
+	case *Limit:
+		x.Child = rewrite(x.Child)
+		return x
+	case *Distinct:
+		x.Child = rewrite(x.Child)
+		return x
+	case *UnionAll:
+		x.L = rewrite(x.L)
+		x.R = rewrite(x.R)
+		return x
+	default:
+		return n
+	}
+}
+
+// rewriteJoinInputs re-runs the rewriter on the inputs of a node produced
+// by pushIntoCross, so predicates pushed onto array scans can still become
+// slab restrictions in the same pass.
+func rewriteJoinInputs(n Node) Node {
+	switch x := n.(type) {
+	case *Join:
+		x.L = rewrite(x.L)
+		x.R = rewrite(x.R)
+		return x
+	case *Filter:
+		if j, ok := x.Child.(*Join); ok {
+			j.L = rewrite(j.L)
+			j.R = rewrite(j.R)
+		}
+		return x
+	default:
+		return n
+	}
+}
+
+// pushIntoCross distributes the conjuncts of pred over a cross join:
+// left-only conjuncts filter the left input, right-only conjuncts filter
+// the right input (with ordinals remapped), equi conjuncts become join
+// keys, and whatever remains stays as a residual filter above the join.
+func pushIntoCross(pred Expr, j *Join) Node {
+	nl := len(j.L.Schema())
+	var (
+		leftPred, rightPred, residual Expr
+		lkeys, rkeys                  []Expr
+	)
+	for _, conj := range splitConjuncts(pred) {
+		switch sideOf(conj, nl) {
+		case sideLeft, sideNone:
+			leftPred = andExprs(leftPred, conj)
+		case sideRight:
+			rightPred = andExprs(rightPred, MapCols(conj, func(i int) int { return i - nl }))
+		default:
+			if bin, ok := conj.(*Bin); ok && bin.Op == "=" {
+				ls, rs := sideOf(bin.L, nl), sideOf(bin.R, nl)
+				if ls == sideLeft && rs == sideRight {
+					lkeys = append(lkeys, bin.L)
+					rkeys = append(rkeys, MapCols(bin.R, func(i int) int { return i - nl }))
+					continue
+				}
+				if ls == sideRight && rs == sideLeft {
+					lkeys = append(lkeys, bin.R)
+					rkeys = append(rkeys, MapCols(bin.L, func(i int) int { return i - nl }))
+					continue
+				}
+			}
+			residual = andExprs(residual, conj)
+		}
+	}
+	if leftPred != nil {
+		j.L = &Filter{Child: j.L, Pred: leftPred}
+	}
+	if rightPred != nil {
+		j.R = &Filter{Child: j.R, Pred: rightPred}
+	}
+	if len(lkeys) > 0 {
+		j.Cross = false
+		j.LKeys = lkeys
+		j.RKeys = rkeys
+		j.Residual = andExprs(j.Residual, residual)
+		return j
+	}
+	if residual != nil {
+		return &Filter{Child: j, Pred: residual}
+	}
+	return j
+}

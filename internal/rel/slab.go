@@ -1,0 +1,147 @@
+package rel
+
+import (
+	"repro/internal/types"
+)
+
+// pushSlabIntoScan converts dimension-range conjuncts of a Filter directly
+// above an array scan into slab index bounds on the scan: the positions of
+// a hyper-rectangle are computable from the shape arithmetic alone, so the
+// filter needs no scan. Remaining conjuncts stay as a residual filter.
+//
+// This rewrite is what makes SciQL's declarative dimension constraints pay
+// off for partial access ("one can select only the necessary part of the
+// data", §4).
+func pushSlabIntoScan(f *Filter, scan *ScanArray) Node {
+	k := len(scan.A.Shape)
+	lo := make([]int, k)
+	hi := make([]int, k)
+	for d, dim := range scan.A.Shape {
+		lo[d] = 0
+		hi[d] = dim.N() - 1
+	}
+	var residual Expr
+	narrowed := false
+	for _, conj := range splitConjuncts(f.Pred) {
+		d, opIdx, c, ok := dimBound(conj, k)
+		if !ok {
+			residual = andExprs(residual, conj)
+			continue
+		}
+		dim := scan.A.Shape[d]
+		if dim.Step <= 0 {
+			residual = andExprs(residual, conj)
+			continue
+		}
+		// Convert the coordinate bound into inclusive index bounds.
+		switch opIdx {
+		case ">=":
+			if i := ceilDiv(c-dim.Start, dim.Step); int(i) > lo[d] {
+				lo[d] = int(i)
+			}
+		case ">":
+			if i := floorDiv(c-dim.Start, dim.Step) + 1; int(i) > lo[d] {
+				lo[d] = int(i)
+			}
+		case "<=":
+			if i := floorDiv(c-dim.Start, dim.Step); int(i) < hi[d] {
+				hi[d] = int(i)
+			}
+		case "<":
+			if i := ceilDiv(c-dim.Start, dim.Step) - 1; int(i) < hi[d] {
+				hi[d] = int(i)
+			}
+		case "=":
+			if (c-dim.Start)%dim.Step == 0 {
+				i := int((c - dim.Start) / dim.Step)
+				if i > lo[d] {
+					lo[d] = i
+				}
+				if i < hi[d] {
+					hi[d] = i
+				}
+			} else {
+				lo[d], hi[d] = 1, 0 // off-grid: empty slab
+			}
+		default:
+			residual = andExprs(residual, conj)
+			continue
+		}
+		narrowed = true
+	}
+	if !narrowed {
+		return f
+	}
+	scan.SlabLo, scan.SlabHi = lo, hi
+	if residual != nil {
+		return &Filter{Child: scan, Pred: residual}
+	}
+	return scan
+}
+
+// dimBound matches a conjunct of the form `dim cmp const` (or flipped),
+// where dim is a dimension column of the scan (ordinals < k). It returns
+// the dimension ordinal, the normalised operator and the constant.
+func dimBound(e Expr, k int) (d int, op string, c int64, ok bool) {
+	bin, isBin := e.(*Bin)
+	if !isBin {
+		return 0, "", 0, false
+	}
+	switch bin.Op {
+	case "=", "<", "<=", ">", ">=":
+	default:
+		return 0, "", 0, false
+	}
+	col, lok := bin.L.(*Col)
+	cst, rok := bin.R.(*Const)
+	flip := false
+	if !lok || !rok {
+		col, lok = bin.R.(*Col)
+		cst, rok = bin.L.(*Const)
+		flip = true
+	}
+	if !lok || !rok || !col.Info.IsDim || col.Idx >= k {
+		return 0, "", 0, false
+	}
+	if cst.Val.IsNull() {
+		return 0, "", 0, false
+	}
+	v, err := cst.Val.AsInt()
+	if err != nil {
+		return 0, "", 0, false
+	}
+	// Only exact integral float constants convert safely.
+	if cst.Val.Kind() == types.KindFloat && float64(v) != cst.Val.Float64() {
+		return 0, "", 0, false
+	}
+	op = bin.Op
+	if flip {
+		switch op {
+		case "<":
+			op = ">"
+		case "<=":
+			op = ">="
+		case ">":
+			op = "<"
+		case ">=":
+			op = "<="
+		}
+	}
+	return col.Idx, op, v, true
+}
+
+func floorDiv(a, b int64) int64 {
+	q := a / b
+	if (a%b != 0) && ((a < 0) != (b < 0)) {
+		q--
+	}
+	return q
+}
+
+func ceilDiv(a, b int64) int64 {
+	q := a / b
+	if (a%b != 0) && ((a < 0) == (b < 0)) {
+		q++
+	}
+	return q
+}

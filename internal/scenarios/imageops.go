@@ -1,0 +1,415 @@
+package scenarios
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/img"
+	"repro/internal/vault"
+)
+
+// Scenario II (§4): "a rich set of typical image processing operations,
+// e.g., smooth, resize, rotate and zoom, are expressed as concise SciQL
+// queries and executed directly [in the DBMS] on the image data."
+//
+// Each operation below is a single SciQL query (returned by the *Query
+// function), an executor running it against a database, and a native Go
+// baseline used for verification and benchmarking.
+
+// InvertQuery is the intensity-inversion query.
+func InvertQuery(array string) string {
+	return fmt.Sprintf(`SELECT [x], [y], 255 - v FROM %s`, array)
+}
+
+// Invert runs intensity inversion in the database.
+func Invert(db *core.DB, array string) (*img.Image, error) {
+	return runImageQuery(db, InvertQuery(array))
+}
+
+// NativeInvert is the Go baseline.
+func NativeInvert(m *img.Image) *img.Image {
+	out := img.New(m.W, m.H)
+	for i, v := range m.Pix {
+		out.Pix[i] = 255 - v
+	}
+	return out
+}
+
+// EdgeDetectQuery computes "the differences in colour intensities of each
+// pixel and its upper and left neighbouring pixels" (the TELEIOS
+// EdgeDetection use case) using SciQL relative cell addressing. Border
+// pixels, whose neighbours fall outside the array, become holes.
+func EdgeDetectQuery(array string) string {
+	return fmt.Sprintf(
+		`SELECT [x], [y], ABS(v - %[1]s[x-1][y].v) + ABS(v - %[1]s[x][y-1].v) FROM %[1]s`,
+		array)
+}
+
+// EdgeDetect runs edge detection in the database.
+func EdgeDetect(db *core.DB, array string) (*img.Image, error) {
+	return runImageQuery(db, EdgeDetectQuery(array))
+}
+
+// NativeEdgeDetect is the Go baseline (borders map to 0, like holes).
+func NativeEdgeDetect(m *img.Image) *img.Image {
+	out := img.New(m.W, m.H)
+	for y := 1; y < m.H; y++ {
+		for x := 1; x < m.W; x++ {
+			d := abs(int(m.At(x, y))-int(m.At(x-1, y))) + abs(int(m.At(x, y))-int(m.At(x, y-1)))
+			if d > 255 {
+				d = 255
+			}
+			out.Set(x, y, uint8(d))
+		}
+	}
+	return out
+}
+
+// SmoothQuery is a 3x3 box blur via structural grouping; tile cells
+// outside the image are ignored, so borders average fewer pixels.
+func SmoothQuery(array string) string {
+	return fmt.Sprintf(
+		`SELECT [x], [y], CAST(AVG(v) AS INT) FROM %[1]s GROUP BY %[1]s[x-1:x+2][y-1:y+2]`,
+		array)
+}
+
+// Smooth runs the box blur in the database.
+func Smooth(db *core.DB, array string) (*img.Image, error) {
+	return runImageQuery(db, SmoothQuery(array))
+}
+
+// NativeSmooth is the Go baseline.
+func NativeSmooth(m *img.Image) *img.Image {
+	out := img.New(m.W, m.H)
+	for y := 0; y < m.H; y++ {
+		for x := 0; x < m.W; x++ {
+			sum, cnt := 0, 0
+			for dy := -1; dy <= 1; dy++ {
+				for dx := -1; dx <= 1; dx++ {
+					xx, yy := x+dx, y+dy
+					if xx < 0 || xx >= m.W || yy < 0 || yy >= m.H {
+						continue
+					}
+					sum += int(m.At(xx, yy))
+					cnt++
+				}
+			}
+			out.Set(x, y, uint8(int(float64(sum)/float64(cnt))))
+		}
+	}
+	return out
+}
+
+// ReduceQuery halves the resolution: non-overlapping 2x2 tiles anchored at
+// even coordinates, averaged, re-addressed to [x/2], [y/2].
+func ReduceQuery(array string) string {
+	return fmt.Sprintf(
+		`SELECT [x/2], [y/2], CAST(AVG(v) AS INT) FROM %[1]s
+		 GROUP BY %[1]s[x:x+2][y:y+2]
+		 HAVING x %% 2 = 0 AND y %% 2 = 0`, array)
+}
+
+// Reduce runs resolution reduction in the database.
+func Reduce(db *core.DB, array string) (*img.Image, error) {
+	return runImageQuery(db, ReduceQuery(array))
+}
+
+// NativeReduce is the Go baseline.
+func NativeReduce(m *img.Image) *img.Image {
+	w, h := (m.W+1)/2, (m.H+1)/2
+	out := img.New(w, h)
+	for y := 0; y < m.H; y += 2 {
+		for x := 0; x < m.W; x += 2 {
+			sum, cnt := 0, 0
+			for dy := 0; dy < 2; dy++ {
+				for dx := 0; dx < 2; dx++ {
+					if x+dx < m.W && y+dy < m.H {
+						sum += int(m.At(x+dx, y+dy))
+						cnt++
+					}
+				}
+			}
+			out.Set(x/2, y/2, uint8(int(float64(sum)/float64(cnt))))
+		}
+	}
+	return out
+}
+
+// RotateQuery rotates the image 90 degrees by re-addressing cells: the
+// dimensional expressions [y] and [W-1-x] permute the coordinates.
+func RotateQuery(array string, w int) string {
+	return fmt.Sprintf(`SELECT [y], [%d - x], v FROM %s`, w-1, array)
+}
+
+// Rotate runs the rotation in the database.
+func Rotate(db *core.DB, array string, w int) (*img.Image, error) {
+	return runImageQuery(db, RotateQuery(array, w))
+}
+
+// NativeRotate is the Go baseline: out(y, W-1-x) = in(x, y).
+func NativeRotate(m *img.Image) *img.Image {
+	out := img.New(m.H, m.W)
+	for y := 0; y < m.H; y++ {
+		for x := 0; x < m.W; x++ {
+			out.Set(y, m.W-1-x, m.At(x, y))
+		}
+	}
+	return out
+}
+
+// FilterWaterQuery blacks out dark (water) pixels, the demo's "filtering
+// out water areas" query.
+func FilterWaterQuery(array string, threshold int) string {
+	return fmt.Sprintf(
+		`SELECT [x], [y], CASE WHEN v < %d THEN 0 ELSE v END FROM %s`, threshold, array)
+}
+
+// FilterWater runs the water filter in the database.
+func FilterWater(db *core.DB, array string, threshold int) (*img.Image, error) {
+	return runImageQuery(db, FilterWaterQuery(array, threshold))
+}
+
+// NativeFilterWater is the Go baseline.
+func NativeFilterWater(m *img.Image, threshold int) *img.Image {
+	out := m.Clone()
+	for i, v := range out.Pix {
+		if int(v) < threshold {
+			out.Pix[i] = 0
+		}
+	}
+	return out
+}
+
+// HistogramQuery computes the intensity histogram — value-based GROUP BY
+// over the array, yielding a table (the array↔table symbiosis of §1).
+func HistogramQuery(array string) string {
+	return fmt.Sprintf(`SELECT v, COUNT(*) AS cnt FROM %s GROUP BY v ORDER BY v`, array)
+}
+
+// Histogram runs the histogram query, returning intensity → count.
+func Histogram(db *core.DB, array string) (map[int64]int64, error) {
+	res, err := db.Query(HistogramQuery(array))
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[int64]int64, res.NumRows())
+	for i := 0; i < res.NumRows(); i++ {
+		v, err := res.Value(i, 0).AsInt()
+		if err != nil {
+			return nil, err
+		}
+		c, err := res.Value(i, 1).AsInt()
+		if err != nil {
+			return nil, err
+		}
+		out[v] = c
+	}
+	return out, nil
+}
+
+// NativeHistogram is the Go baseline.
+func NativeHistogram(m *img.Image) map[int64]int64 {
+	out := map[int64]int64{}
+	for _, v := range m.Pix {
+		out[int64(v)]++
+	}
+	return out
+}
+
+// BrightenQuery increases intensity with saturation ("increasing intensity
+// to make the image brighter").
+func BrightenQuery(array string, delta int) string {
+	return fmt.Sprintf(
+		`SELECT [x], [y], CASE WHEN v + %[2]d > 255 THEN 255 ELSE v + %[2]d END FROM %[1]s`,
+		array, delta)
+}
+
+// Brighten runs the brighten query in the database.
+func Brighten(db *core.DB, array string, delta int) (*img.Image, error) {
+	return runImageQuery(db, BrightenQuery(array, delta))
+}
+
+// NativeBrighten is the Go baseline.
+func NativeBrighten(m *img.Image, delta int) *img.Image {
+	out := img.New(m.W, m.H)
+	for i, v := range m.Pix {
+		nv := int(v) + delta
+		if nv > 255 {
+			nv = 255
+		}
+		out.Pix[i] = uint8(nv)
+	}
+	return out
+}
+
+// ZoomQuery magnifies the region [x0,x0+w) x [y0,y0+h) by an integer
+// factor, replicating pixels through a cross join between the image array
+// and a small offsets table — the "zooming in" demo query and another
+// instance of array–table symbiosis. The offsets table must hold the
+// (dx, dy) pairs in [0,factor)^2; EnsureOffsets creates it.
+func ZoomQuery(array string, x0, y0, w, h, factor int) string {
+	return fmt.Sprintf(
+		`SELECT [%[6]d * (x - %[2]d) + dx], [%[6]d * (y - %[3]d) + dy], v
+		 FROM %[1]s, offsets%[6]d
+		 WHERE x >= %[2]d AND x < %[4]d AND y >= %[3]d AND y < %[5]d`,
+		array, x0, y0, x0+w, y0+h, factor)
+}
+
+// EnsureOffsets creates and fills the offsets<factor> helper table.
+func EnsureOffsets(db *core.DB, factor int) error {
+	name := fmt.Sprintf("offsets%d", factor)
+	if db.Catalog().Exists(name) {
+		return nil
+	}
+	if _, err := db.Query(fmt.Sprintf(`CREATE TABLE %s (dx INT, dy INT)`, name)); err != nil {
+		return err
+	}
+	for dx := 0; dx < factor; dx++ {
+		for dy := 0; dy < factor; dy++ {
+			if _, err := db.Query(fmt.Sprintf(`INSERT INTO %s VALUES (%d, %d)`, name, dx, dy)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Zoom runs the zoom query in the database.
+func Zoom(db *core.DB, array string, x0, y0, w, h, factor int) (*img.Image, error) {
+	if err := EnsureOffsets(db, factor); err != nil {
+		return nil, err
+	}
+	return runImageQuery(db, ZoomQuery(array, x0, y0, w, h, factor))
+}
+
+// NativeZoom is the Go baseline.
+func NativeZoom(m *img.Image, x0, y0, w, h, factor int) *img.Image {
+	out := img.New(w*factor, h*factor)
+	for y := 0; y < h*factor; y++ {
+		for x := 0; x < w*factor; x++ {
+			out.Set(x, y, m.At(x0+x/factor, y0+y/factor))
+		}
+	}
+	return out
+}
+
+// BBox is a rectangular area of interest (inclusive bounds, as stored in
+// the demo's maskt table).
+type BBox struct {
+	X1, Y1, X2, Y2 int
+}
+
+// AreasOfInterestQuery selects only the pixels inside the bounding boxes
+// of the maskt table — "a join between the table and the image array is
+// done to filter out the pixel intensities of those areas" (§4). The
+// result keeps the image's shape with holes outside the boxes.
+func AreasOfInterestQuery(array string) string {
+	return fmt.Sprintf(
+		`SELECT [a.x], [a.y], a.v FROM %s a, maskt
+		 WHERE a.x BETWEEN maskt.x1 AND maskt.x2 AND a.y BETWEEN maskt.y1 AND maskt.y2`,
+		array)
+}
+
+// AreasOfInterest stores the boxes in maskt and runs the join query. The
+// query result covers only the selected pixels (§2: array bounds derive
+// from the data); for display it is composed back onto a canvas of the
+// source image's size, mirroring the demo GUI.
+func AreasOfInterest(db *core.DB, array string, boxes []BBox) (*img.Image, error) {
+	if db.Catalog().Exists("maskt") {
+		if _, err := db.Query(`DROP TABLE maskt`); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := db.Query(`CREATE TABLE maskt (x1 INT, y1 INT, x2 INT, y2 INT)`); err != nil {
+		return nil, err
+	}
+	for _, b := range boxes {
+		q := fmt.Sprintf(`INSERT INTO maskt VALUES (%d, %d, %d, %d)`, b.X1, b.Y1, b.X2, b.Y2)
+		if _, err := db.Query(q); err != nil {
+			return nil, err
+		}
+	}
+	return runMaskedQuery(db, array, AreasOfInterestQuery(array))
+}
+
+// NativeAreasOfInterest is the Go baseline (pixels outside every box are 0).
+func NativeAreasOfInterest(m *img.Image, boxes []BBox) *img.Image {
+	out := img.New(m.W, m.H)
+	for _, b := range boxes {
+		for y := b.Y1; y <= b.Y2 && y < m.H; y++ {
+			if y < 0 {
+				continue
+			}
+			for x := b.X1; x <= b.X2 && x < m.W; x++ {
+				if x < 0 {
+					continue
+				}
+				out.Set(x, y, m.At(x, y))
+			}
+		}
+	}
+	return out
+}
+
+// MaskBitQuery applies a 0/1 bit-mask image (the alternative form of the
+// AreasOfInterest demo): an array–array join on the dimensions.
+func MaskBitQuery(array, mask string) string {
+	return fmt.Sprintf(
+		`SELECT [a.x], [a.y], a.v FROM %s a, %s m
+		 WHERE a.x = m.x AND a.y = m.y AND m.v = 1`, array, mask)
+}
+
+// MaskBit runs the bit-mask join in the database, composing the selected
+// pixels onto a source-sized canvas like AreasOfInterest.
+func MaskBit(db *core.DB, array, mask string) (*img.Image, error) {
+	return runMaskedQuery(db, array, MaskBitQuery(array, mask))
+}
+
+// runMaskedQuery executes a pixel-selecting query and pastes the (cropped)
+// array result onto a canvas with the source array's full extent.
+func runMaskedQuery(db *core.DB, array, q string) (*img.Image, error) {
+	a, ok := db.Catalog().Array(array)
+	if !ok || len(a.Shape) != 2 {
+		return nil, fmt.Errorf("%q is not a 2-D array", array)
+	}
+	res, err := db.Query(q)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", q, err)
+	}
+	part, err := vault.ResultImage(res)
+	if err != nil {
+		return nil, err
+	}
+	canvas := img.New(a.Shape[0].N(), a.Shape[1].N())
+	if res.Shape.Cells() == 0 {
+		return canvas, nil
+	}
+	ox := int(res.Shape[0].Start - a.Shape[0].Start)
+	oy := int(res.Shape[1].Start - a.Shape[1].Start)
+	for y := 0; y < part.H; y++ {
+		for x := 0; x < part.W; x++ {
+			cx, cy := x+ox, y+oy
+			if cx >= 0 && cx < canvas.W && cy >= 0 && cy < canvas.H {
+				canvas.Set(cx, cy, part.At(x, y))
+			}
+		}
+	}
+	return canvas, nil
+}
+
+// runImageQuery executes a query expected to produce a 2-D single-
+// attribute array result and renders it as an image.
+func runImageQuery(db *core.DB, q string) (*img.Image, error) {
+	res, err := db.Query(q)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", q, err)
+	}
+	return vault.ResultImage(res)
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

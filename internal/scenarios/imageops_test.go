@@ -1,0 +1,336 @@
+package scenarios
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/img"
+	"repro/internal/vault"
+)
+
+// loadTestImage stores a deterministic synthetic scene as an array.
+func loadTestImage(t *testing.T, db *core.DB, name string, m *img.Image) {
+	t.Helper()
+	if err := vault.LoadImage(db, name, m); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// expectImage compares a database-computed image with the native baseline,
+// allowing an optional border margin where NULL-producing queries differ.
+func expectImage(t *testing.T, got, want *img.Image, skipBorder int) {
+	t.Helper()
+	if got.W != want.W || got.H != want.H {
+		t.Fatalf("size %dx%d, want %dx%d", got.W, got.H, want.W, want.H)
+	}
+	for y := skipBorder; y < got.H; y++ {
+		for x := skipBorder; x < got.W; x++ {
+			if got.At(x, y) != want.At(x, y) {
+				t.Fatalf("pixel (%d,%d) = %d, want %d", x, y, got.At(x, y), want.At(x, y))
+			}
+		}
+	}
+}
+
+func TestInvertMatchesNative(t *testing.T) {
+	db := core.New()
+	m := img.Building(24, 18)
+	loadTestImage(t, db, "bld", m)
+	got, err := Invert(db, "bld")
+	if err != nil {
+		t.Fatal(err)
+	}
+	expectImage(t, got, NativeInvert(m), 0)
+}
+
+func TestInvertInvolution(t *testing.T) {
+	// Property: inverting twice is the identity.
+	db := core.New()
+	m := img.RemoteSensing(16, 16, 7)
+	loadTestImage(t, db, "rs", m)
+	once, err := Invert(db, "rs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := vault.LoadImage(db, "rs_inv", once); err != nil {
+		t.Fatal(err)
+	}
+	twice, err := Invert(db, "rs_inv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !twice.Equal(m) {
+		t.Error("double inversion is not the identity")
+	}
+}
+
+func TestEdgeDetectMatchesNative(t *testing.T) {
+	db := core.New()
+	m := img.Building(20, 16)
+	loadTestImage(t, db, "bld", m)
+	got, err := EdgeDetect(db, "bld")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := NativeEdgeDetect(m)
+	// Border pixels (x=0 or y=0) are holes in SciQL and 0 natively; both
+	// render to 0, so no margin is needed — but edge sums can exceed 255
+	// in SciQL while the native baseline clamps. Compare unclamped cells.
+	for y := 1; y < m.H; y++ {
+		for x := 1; x < m.W; x++ {
+			d := abs(int(m.At(x, y))-int(m.At(x-1, y))) + abs(int(m.At(x, y))-int(m.At(x, y-1)))
+			if d > 255 {
+				continue
+			}
+			if got.At(x, y) != want.At(x, y) {
+				t.Fatalf("pixel (%d,%d) = %d, want %d", x, y, got.At(x, y), want.At(x, y))
+			}
+		}
+	}
+	// Borders are holes.
+	if got.At(0, 5) != 0 || got.At(5, 0) != 0 {
+		t.Error("border should be holes rendered as 0")
+	}
+}
+
+func TestEdgeDetectFlatImageIsZero(t *testing.T) {
+	// Property: a constant image has no edges.
+	db := core.New()
+	m := img.New(10, 10)
+	for i := range m.Pix {
+		m.Pix[i] = 77
+	}
+	loadTestImage(t, db, "flat", m)
+	got, err := EdgeDetect(db, "flat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range got.Pix {
+		if v != 0 {
+			t.Fatal("flat image produced a non-zero edge")
+		}
+	}
+}
+
+func TestSmoothMatchesNative(t *testing.T) {
+	db := core.New()
+	m := img.RemoteSensing(18, 14, 3)
+	loadTestImage(t, db, "rs", m)
+	got, err := Smooth(db, "rs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	expectImage(t, got, NativeSmooth(m), 0)
+}
+
+func TestSmoothIdempotentOnFlat(t *testing.T) {
+	db := core.New()
+	m := img.New(8, 8)
+	for i := range m.Pix {
+		m.Pix[i] = 100
+	}
+	loadTestImage(t, db, "flat", m)
+	got, err := Smooth(db, "flat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(m) {
+		t.Error("smoothing a constant image should not change it")
+	}
+}
+
+func TestReduceMatchesNative(t *testing.T) {
+	db := core.New()
+	m := img.Building(24, 20)
+	loadTestImage(t, db, "bld", m)
+	got, err := Reduce(db, "bld")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := NativeReduce(m)
+	expectImage(t, got, want, 0)
+	if got.W != 12 || got.H != 10 {
+		t.Errorf("reduced to %dx%d, want 12x10", got.W, got.H)
+	}
+}
+
+func TestRotateMatchesNativeAndInverts(t *testing.T) {
+	db := core.New()
+	m := img.Building(16, 12)
+	loadTestImage(t, db, "bld", m)
+	got, err := Rotate(db, "bld", m.W)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := NativeRotate(m)
+	expectImage(t, got, want, 0)
+	// Property: four rotations are the identity (native side).
+	r := m
+	for i := 0; i < 4; i++ {
+		r = NativeRotate(r)
+	}
+	if !r.Equal(m) {
+		t.Error("four native rotations are not the identity")
+	}
+}
+
+func TestFilterWaterMatchesNative(t *testing.T) {
+	db := core.New()
+	m := img.RemoteSensing(20, 20, 11)
+	loadTestImage(t, db, "rs", m)
+	got, err := FilterWater(db, "rs", 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	expectImage(t, got, NativeFilterWater(m, 40), 0)
+}
+
+func TestHistogramMatchesNative(t *testing.T) {
+	db := core.New()
+	m := img.RemoteSensing(16, 16, 5)
+	loadTestImage(t, db, "rs", m)
+	got, err := Histogram(db, "rs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := NativeHistogram(m)
+	if len(got) != len(want) {
+		t.Fatalf("histogram has %d bins, want %d", len(got), len(want))
+	}
+	total := int64(0)
+	for v, c := range want {
+		if got[v] != c {
+			t.Errorf("bin %d = %d, want %d", v, got[v], c)
+		}
+		total += c
+	}
+	// Property: histogram mass equals the pixel count.
+	if total != int64(m.W*m.H) {
+		t.Errorf("mass = %d, want %d", total, m.W*m.H)
+	}
+}
+
+func TestBrightenMatchesNative(t *testing.T) {
+	db := core.New()
+	m := img.RemoteSensing(16, 12, 9)
+	loadTestImage(t, db, "rs", m)
+	got, err := Brighten(db, "rs", 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	expectImage(t, got, NativeBrighten(m, 60), 0)
+}
+
+func TestZoomMatchesNative(t *testing.T) {
+	db := core.New()
+	m := img.Building(20, 20)
+	loadTestImage(t, db, "bld", m)
+	got, err := Zoom(db, "bld", 4, 6, 5, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	expectImage(t, got, NativeZoom(m, 4, 6, 5, 4, 2), 0)
+	if got.W != 10 || got.H != 8 {
+		t.Errorf("zoomed to %dx%d, want 10x8", got.W, got.H)
+	}
+}
+
+func TestAreasOfInterestMatchesNative(t *testing.T) {
+	db := core.New()
+	m := img.RemoteSensing(24, 18, 13)
+	loadTestImage(t, db, "rs", m)
+	boxes := []BBox{{2, 2, 6, 5}, {10, 8, 15, 16}}
+	got, err := AreasOfInterest(db, "rs", boxes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	expectImage(t, got, NativeAreasOfInterest(m, boxes), 0)
+}
+
+func TestMaskBit(t *testing.T) {
+	db := core.New()
+	m := img.Gradient(10, 10)
+	loadTestImage(t, db, "base", m)
+	// Mask: a 0/1 checkerboard image.
+	mask := img.New(10, 10)
+	for y := 0; y < 10; y++ {
+		for x := 0; x < 10; x++ {
+			if (x+y)%2 == 0 {
+				mask.Set(x, y, 1)
+			}
+		}
+	}
+	loadTestImage(t, db, "mask", mask)
+	got, err := MaskBit(db, "base", "mask")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for y := 0; y < 10; y++ {
+		for x := 0; x < 10; x++ {
+			want := uint8(0)
+			if (x+y)%2 == 0 {
+				want = m.At(x, y)
+			}
+			if got.At(x, y) != want {
+				t.Fatalf("pixel (%d,%d) = %d, want %d", x, y, got.At(x, y), want)
+			}
+		}
+	}
+}
+
+func TestVaultLazyMaterialisation(t *testing.T) {
+	db := core.New()
+	v := vault.New(db)
+	m := img.Gradient(8, 8)
+	if err := v.AttachImage("grad", m); err != nil {
+		t.Fatal(err)
+	}
+	if db.Catalog().Exists("grad") {
+		t.Fatal("attachment must not materialise")
+	}
+	loaded, err := v.Materialise("grad")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !loaded {
+		t.Error("first materialisation should load")
+	}
+	if !db.Catalog().Exists("grad") {
+		t.Error("array missing after materialisation")
+	}
+	loaded, err = v.Materialise("grad")
+	if err != nil || loaded {
+		t.Errorf("second materialisation should be a no-op, got (%v, %v)", loaded, err)
+	}
+	back, err := vault.ReadImage(db, "grad")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Equal(m) {
+		t.Error("roundtrip through the vault changed pixels")
+	}
+}
+
+func TestVaultFileRoundtrip(t *testing.T) {
+	dir := t.TempDir()
+	m := img.Checkerboard(12, 8, 3)
+	path := dir + "/cb.pgm"
+	if err := m.SavePGM(path); err != nil {
+		t.Fatal(err)
+	}
+	db := core.New()
+	v := vault.New(db)
+	if err := v.AttachFile("cb", path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := v.Materialise("cb"); err != nil {
+		t.Fatal(err)
+	}
+	back, err := vault.ReadImage(db, "cb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Equal(m) {
+		t.Error("PGM → vault → array → image roundtrip failed")
+	}
+}

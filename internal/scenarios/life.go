@@ -1,0 +1,224 @@
+// Package scenarios implements the two demonstration scenarios of §4 as
+// reusable library code: Conway's Game of Life expressed purely in SciQL
+// queries (Scenario I) and the twelve in-database image-processing
+// operations of Scenario II. Native Go baselines accompany each scenario
+// so tests can verify the SciQL results and benchmarks can compare
+// execution strategies.
+package scenarios
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+)
+
+// Life drives a Game of Life board stored as the SciQL array
+//
+//	CREATE ARRAY <name> (x INT DIMENSION[0:1:n], y INT DIMENSION[0:1:m],
+//	                     v INT DEFAULT 0)
+//
+// with 0 = dead and 1 = alive, exactly as Scenario I. Every rule is a
+// SciQL statement; no game logic runs in Go.
+type Life struct {
+	DB   *core.DB
+	Name string
+	W, H int
+}
+
+// NewLife creates the game board array (the "create a game board" query).
+func NewLife(db *core.DB, name string, w, h int) (*Life, error) {
+	q := fmt.Sprintf(
+		`CREATE ARRAY %s (x INT DIMENSION[0:1:%d], y INT DIMENSION[0:1:%d], v INT DEFAULT 0)`,
+		name, w, h)
+	if _, err := db.Query(q); err != nil {
+		return nil, err
+	}
+	return &Life{DB: db, Name: name, W: w, H: h}, nil
+}
+
+// Seed brings the given cells alive (the "initialise the game with living
+// cells" query).
+func (l *Life) Seed(cells [][2]int) error {
+	if len(cells) == 0 {
+		return nil
+	}
+	var rows []string
+	for _, c := range cells {
+		rows = append(rows, fmt.Sprintf("(%d, %d, 1)", c[0], c[1]))
+	}
+	_, err := l.DB.Query(fmt.Sprintf(`INSERT INTO %s VALUES %s`, l.Name, strings.Join(rows, ", ")))
+	return err
+}
+
+// Clear kills every cell (the "clear the board" query).
+func (l *Life) Clear() error {
+	_, err := l.DB.Query(fmt.Sprintf(`UPDATE %s SET v = 0`, l.Name))
+	return err
+}
+
+// Resize grows or shrinks the board (the "resize the board" queries),
+// preserving the overlapping region per ALTER DIMENSION semantics.
+func (l *Life) Resize(w, h int) error {
+	if _, err := l.DB.Query(fmt.Sprintf(
+		`ALTER ARRAY %s ALTER DIMENSION x SET RANGE [0:1:%d]`, l.Name, w)); err != nil {
+		return err
+	}
+	if _, err := l.DB.Query(fmt.Sprintf(
+		`ALTER ARRAY %s ALTER DIMENSION y SET RANGE [0:1:%d]`, l.Name, h)); err != nil {
+		return err
+	}
+	l.W, l.H = w, h
+	return nil
+}
+
+// StepQuery returns the single SciQL statement computing the next
+// generation, as described in §4: a 3x3 tile is created for each cell with
+// the cell as centre; the tile sum minus the cell's own value is the
+// number of living neighbours. With s = SUM(tile) and c = centre value,
+// a cell lives next generation iff s = 3 (three neighbours, or two
+// neighbours plus itself alive) or s = 4 while currently alive (three
+// neighbours plus itself).
+func (l *Life) StepQuery() string {
+	return fmt.Sprintf(`INSERT INTO %[1]s
+		SELECT [x], [y],
+		       CASE WHEN SUM(v) = 3 OR (SUM(v) = 4 AND v = 1) THEN 1 ELSE 0 END
+		FROM %[1]s
+		GROUP BY %[1]s[x-1:x+2][y-1:y+2]`, l.Name)
+}
+
+// Step advances one generation entirely inside the database.
+func (l *Life) Step() error {
+	_, err := l.DB.Query(l.StepQuery())
+	return err
+}
+
+// Board reads the current generation as a [x][y] boolean grid.
+func (l *Life) Board() ([][]bool, error) {
+	vals, valid, err := l.DB.ReadAttrInts(l.Name, "v")
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]bool, l.W)
+	for x := 0; x < l.W; x++ {
+		out[x] = make([]bool, l.H)
+		for y := 0; y < l.H; y++ {
+			p := x*l.H + y
+			out[x][y] = valid[p] && vals[p] == 1
+		}
+	}
+	return out, nil
+}
+
+// Population counts the living cells with a SciQL aggregate.
+func (l *Life) Population() (int, error) {
+	res, err := l.DB.Query(fmt.Sprintf(`SELECT SUM(v) FROM %s`, l.Name))
+	if err != nil {
+		return 0, err
+	}
+	v := res.Value(0, 0)
+	if v.IsNull() {
+		return 0, nil
+	}
+	n, err := v.AsInt()
+	return int(n), err
+}
+
+// Render draws the board like the demo GUI: red squares become '#',
+// dead cells '.' (y grows upward as in the paper's figures).
+func (l *Life) Render() (string, error) {
+	b, err := l.Board()
+	if err != nil {
+		return "", err
+	}
+	var sb strings.Builder
+	for y := l.H - 1; y >= 0; y-- {
+		for x := 0; x < l.W; x++ {
+			if b[x][y] {
+				sb.WriteByte('#')
+			} else {
+				sb.WriteByte('.')
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String(), nil
+}
+
+// --------------------------------------------------------- native baseline
+
+// NativeLife is the plain-Go reference implementation used to verify the
+// SciQL rules and as the upper performance bound in benchmarks.
+type NativeLife struct {
+	W, H  int
+	Cells []bool // x-major: idx = x*H + y
+}
+
+// NewNativeLife returns an empty board.
+func NewNativeLife(w, h int) *NativeLife {
+	return &NativeLife{W: w, H: h, Cells: make([]bool, w*h)}
+}
+
+// Seed brings cells alive.
+func (n *NativeLife) Seed(cells [][2]int) {
+	for _, c := range cells {
+		n.Cells[c[0]*n.H+c[1]] = true
+	}
+}
+
+// Step advances one generation.
+func (n *NativeLife) Step() {
+	next := make([]bool, len(n.Cells))
+	for x := 0; x < n.W; x++ {
+		for y := 0; y < n.H; y++ {
+			alive := n.Cells[x*n.H+y]
+			nb := 0
+			for dx := -1; dx <= 1; dx++ {
+				for dy := -1; dy <= 1; dy++ {
+					if dx == 0 && dy == 0 {
+						continue
+					}
+					xx, yy := x+dx, y+dy
+					if xx < 0 || xx >= n.W || yy < 0 || yy >= n.H {
+						continue
+					}
+					if n.Cells[xx*n.H+yy] {
+						nb++
+					}
+				}
+			}
+			next[x*n.H+y] = nb == 3 || (alive && nb == 2)
+		}
+	}
+	n.Cells = next
+}
+
+// Board converts to the same layout Life.Board returns.
+func (n *NativeLife) Board() [][]bool {
+	out := make([][]bool, n.W)
+	for x := 0; x < n.W; x++ {
+		out[x] = make([]bool, n.H)
+		for y := 0; y < n.H; y++ {
+			out[x][y] = n.Cells[x*n.H+y]
+		}
+	}
+	return out
+}
+
+// Glider is the standard 5-cell glider at offset (ox, oy), travelling
+// toward increasing x, y.
+func Glider(ox, oy int) [][2]int {
+	return [][2]int{
+		{ox + 1, oy}, {ox + 2, oy + 1}, {ox, oy + 2}, {ox + 1, oy + 2}, {ox + 2, oy + 2},
+	}
+}
+
+// Blinker is the period-2 oscillator at offset (ox, oy).
+func Blinker(ox, oy int) [][2]int {
+	return [][2]int{{ox, oy}, {ox + 1, oy}, {ox + 2, oy}}
+}
+
+// Block is the 2x2 still life at offset (ox, oy).
+func Block(ox, oy int) [][2]int {
+	return [][2]int{{ox, oy}, {ox + 1, oy}, {ox, oy + 1}, {ox + 1, oy + 1}}
+}

@@ -1,0 +1,218 @@
+package scenarios
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+)
+
+func boardsEqual(a, b [][]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for x := range a {
+		if len(a[x]) != len(b[x]) {
+			return false
+		}
+		for y := range a[x] {
+			if a[x][y] != b[x][y] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TestLifeMatchesNative verifies Scenario I: the SciQL next-generation
+// query computes exactly Conway's rules, compared against the native
+// implementation over several generations and seeds.
+func TestLifeMatchesNative(t *testing.T) {
+	db := core.New()
+	l, err := NewLife(db, "life", 12, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := NewNativeLife(12, 10)
+	seed := append(Glider(1, 1), Blinker(7, 6)...)
+	if err := l.Seed(seed); err != nil {
+		t.Fatal(err)
+	}
+	n.Seed(seed)
+	for gen := 0; gen < 8; gen++ {
+		got, err := l.Board()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !boardsEqual(got, n.Board()) {
+			r, _ := l.Render()
+			t.Fatalf("generation %d differs:\n%s", gen, r)
+		}
+		if err := l.Step(); err != nil {
+			t.Fatal(err)
+		}
+		n.Step()
+	}
+}
+
+// TestLifeRandomBoards is the property-based version: random boards evolve
+// identically in SciQL and native Go.
+func TestLifeRandomBoards(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow under -short")
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		w := rng.Intn(6) + 3
+		h := rng.Intn(6) + 3
+		db := core.New()
+		l, err := NewLife(db, "life", w, h)
+		if err != nil {
+			return false
+		}
+		n := NewNativeLife(w, h)
+		var cells [][2]int
+		for i := 0; i < w*h/3+1; i++ {
+			cells = append(cells, [2]int{rng.Intn(w), rng.Intn(h)})
+		}
+		if err := l.Seed(cells); err != nil {
+			return false
+		}
+		n.Seed(cells)
+		for gen := 0; gen < 3; gen++ {
+			if err := l.Step(); err != nil {
+				return false
+			}
+			n.Step()
+		}
+		got, err := l.Board()
+		if err != nil {
+			return false
+		}
+		return boardsEqual(got, n.Board())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLifeStillLifeAndOscillator(t *testing.T) {
+	db := core.New()
+	l, err := NewLife(db, "life", 8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Block: a still life must be a fixed point of the step query.
+	if err := l.Seed(Block(2, 2)); err != nil {
+		t.Fatal(err)
+	}
+	before, _ := l.Board()
+	if err := l.Step(); err != nil {
+		t.Fatal(err)
+	}
+	after, _ := l.Board()
+	if !boardsEqual(before, after) {
+		t.Error("block still life changed")
+	}
+	// Population is conserved for the block.
+	if p, _ := l.Population(); p != 4 {
+		t.Errorf("population = %d, want 4", p)
+	}
+}
+
+func TestLifeBlinkerPeriod2(t *testing.T) {
+	db := core.New()
+	l, err := NewLife(db, "life", 7, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Seed(Blinker(2, 3)); err != nil {
+		t.Fatal(err)
+	}
+	gen0, _ := l.Board()
+	l.Step()
+	gen1, _ := l.Board()
+	l.Step()
+	gen2, _ := l.Board()
+	if boardsEqual(gen0, gen1) {
+		t.Error("blinker should change after one step")
+	}
+	if !boardsEqual(gen0, gen2) {
+		t.Error("blinker should return after two steps")
+	}
+}
+
+func TestLifeEmptyBoardStaysEmpty(t *testing.T) {
+	db := core.New()
+	l, err := NewLife(db, "life", 5, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Step()
+	if p, _ := l.Population(); p != 0 {
+		t.Errorf("population = %d, want 0", p)
+	}
+}
+
+func TestLifeClearAndResize(t *testing.T) {
+	db := core.New()
+	l, err := NewLife(db, "life", 6, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Seed(Block(1, 1))
+	if err := l.Clear(); err != nil {
+		t.Fatal(err)
+	}
+	if p, _ := l.Population(); p != 0 {
+		t.Error("clear failed")
+	}
+	l.Seed(Block(1, 1))
+	if err := l.Resize(10, 10); err != nil {
+		t.Fatal(err)
+	}
+	if p, _ := l.Population(); p != 4 {
+		t.Error("resize should preserve the block")
+	}
+	b, _ := l.Board()
+	if len(b) != 10 || len(b[0]) != 10 {
+		t.Errorf("board is %dx%d", len(b), len(b[0]))
+	}
+}
+
+func TestGliderTravels(t *testing.T) {
+	db := core.New()
+	l, err := NewLife(db, "life", 16, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Seed(Glider(1, 1))
+	// After 4 generations a glider translates by (1, 1).
+	want := NewNativeLife(16, 16)
+	want.Seed(Glider(2, 2))
+	for i := 0; i < 4; i++ {
+		if err := l.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, _ := l.Board()
+	if !boardsEqual(got, want.Board()) {
+		r, _ := l.Render()
+		t.Errorf("glider did not translate:\n%s", r)
+	}
+}
+
+func TestRenderShape(t *testing.T) {
+	db := core.New()
+	l, _ := NewLife(db, "life", 4, 3)
+	l.Seed([][2]int{{0, 0}})
+	r, err := l.Render()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "....\n....\n#...\n"
+	if r != want {
+		t.Errorf("render = %q, want %q", r, want)
+	}
+}

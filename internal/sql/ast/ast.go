@@ -1,0 +1,511 @@
+// Package ast defines the abstract syntax tree for SQL/SciQL statements.
+// SciQL extensions over plain SQL appear in three places: CREATE ARRAY with
+// DIMENSION column constraints, dimension qualifiers `[expr]` in projection
+// lists (table→array coercion), and structural grouping / cell references
+// that address array cells by (relative) position.
+package ast
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/types"
+)
+
+// Pos is a 1-based source position.
+type Pos struct {
+	Line, Col int
+}
+
+func (p Pos) String() string { return fmt.Sprintf("line %d, column %d", p.Line, p.Col) }
+
+// Statement is any parsed statement.
+type Statement interface {
+	stmt()
+}
+
+// Expr is any scalar expression.
+type Expr interface {
+	expr()
+	// String renders the expression in (approximately) SQL syntax.
+	String() string
+	// Position returns the source position of the expression head.
+	Position() Pos
+}
+
+// ---------------------------------------------------------------- literals
+
+// Literal is a constant.
+type Literal struct {
+	Val types.Value
+	Pos Pos
+}
+
+func (*Literal) expr()           {}
+func (e *Literal) Position() Pos { return e.Pos }
+func (e *Literal) String() string {
+	if !e.Val.IsNull() && e.Val.Kind() == types.KindStr {
+		return "'" + strings.ReplaceAll(e.Val.StrVal(), "'", "''") + "'"
+	}
+	return e.Val.String()
+}
+
+// ColRef is a (possibly qualified) column or dimension reference.
+type ColRef struct {
+	Table string // optional qualifier
+	Name  string
+	Pos   Pos
+}
+
+func (*ColRef) expr()           {}
+func (e *ColRef) Position() Pos { return e.Pos }
+func (e *ColRef) String() string {
+	if e.Table != "" {
+		return e.Table + "." + e.Name
+	}
+	return e.Name
+}
+
+// CellRef addresses an array cell by coordinates: A[x-1][y] or
+// A[x-1][y].v for a specific attribute (§4 EdgeDetection).
+type CellRef struct {
+	Array  string
+	Coords []Expr
+	Attr   string // empty: the array's single attribute
+	Pos    Pos
+}
+
+func (*CellRef) expr()           {}
+func (e *CellRef) Position() Pos { return e.Pos }
+func (e *CellRef) String() string {
+	var sb strings.Builder
+	sb.WriteString(e.Array)
+	for _, c := range e.Coords {
+		fmt.Fprintf(&sb, "[%s]", c)
+	}
+	if e.Attr != "" {
+		sb.WriteString("." + e.Attr)
+	}
+	return sb.String()
+}
+
+// BinExpr is a binary operation: arithmetic, comparison, AND/OR, ||.
+type BinExpr struct {
+	Op   string
+	L, R Expr
+	Pos  Pos
+}
+
+func (*BinExpr) expr()           {}
+func (e *BinExpr) Position() Pos { return e.Pos }
+func (e *BinExpr) String() string {
+	return fmt.Sprintf("(%s %s %s)", e.L, e.Op, e.R)
+}
+
+// UnExpr is a unary operation: - or NOT.
+type UnExpr struct {
+	Op  string
+	X   Expr
+	Pos Pos
+}
+
+func (*UnExpr) expr()           {}
+func (e *UnExpr) Position() Pos { return e.Pos }
+func (e *UnExpr) String() string {
+	if e.Op == "NOT" {
+		return fmt.Sprintf("(NOT %s)", e.X)
+	}
+	return fmt.Sprintf("(%s%s)", e.Op, e.X)
+}
+
+// FuncCall is a function or aggregate invocation.
+type FuncCall struct {
+	Name     string // lower-case
+	Args     []Expr
+	Star     bool // COUNT(*)
+	Distinct bool
+	Pos      Pos
+}
+
+func (*FuncCall) expr()           {}
+func (e *FuncCall) Position() Pos { return e.Pos }
+func (e *FuncCall) String() string {
+	if e.Star {
+		return strings.ToUpper(e.Name) + "(*)"
+	}
+	args := make([]string, len(e.Args))
+	for i, a := range e.Args {
+		args[i] = a.String()
+	}
+	d := ""
+	if e.Distinct {
+		d = "DISTINCT "
+	}
+	return strings.ToUpper(e.Name) + "(" + d + strings.Join(args, ", ") + ")"
+}
+
+// CaseExpr is a searched CASE WHEN chain.
+type CaseExpr struct {
+	Whens []CaseWhen
+	Else  Expr // may be nil (implicit NULL)
+	Pos   Pos
+}
+
+// CaseWhen is one WHEN cond THEN result arm.
+type CaseWhen struct {
+	Cond   Expr
+	Result Expr
+}
+
+func (*CaseExpr) expr()           {}
+func (e *CaseExpr) Position() Pos { return e.Pos }
+func (e *CaseExpr) String() string {
+	var sb strings.Builder
+	sb.WriteString("CASE")
+	for _, w := range e.Whens {
+		fmt.Fprintf(&sb, " WHEN %s THEN %s", w.Cond, w.Result)
+	}
+	if e.Else != nil {
+		fmt.Fprintf(&sb, " ELSE %s", e.Else)
+	}
+	sb.WriteString(" END")
+	return sb.String()
+}
+
+// CastExpr is CAST(x AS type).
+type CastExpr struct {
+	X        Expr
+	TypeName string
+	Pos      Pos
+}
+
+func (*CastExpr) expr()           {}
+func (e *CastExpr) Position() Pos { return e.Pos }
+func (e *CastExpr) String() string {
+	return fmt.Sprintf("CAST(%s AS %s)", e.X, e.TypeName)
+}
+
+// BetweenExpr is x [NOT] BETWEEN lo AND hi (inclusive).
+type BetweenExpr struct {
+	X, Lo, Hi Expr
+	Not       bool
+	Pos       Pos
+}
+
+func (*BetweenExpr) expr()           {}
+func (e *BetweenExpr) Position() Pos { return e.Pos }
+func (e *BetweenExpr) String() string {
+	n := ""
+	if e.Not {
+		n = "NOT "
+	}
+	return fmt.Sprintf("(%s %sBETWEEN %s AND %s)", e.X, n, e.Lo, e.Hi)
+}
+
+// InExpr is x [NOT] IN (v1, v2, ...).
+type InExpr struct {
+	X    Expr
+	List []Expr
+	Not  bool
+	Pos  Pos
+}
+
+func (*InExpr) expr()           {}
+func (e *InExpr) Position() Pos { return e.Pos }
+func (e *InExpr) String() string {
+	items := make([]string, len(e.List))
+	for i, v := range e.List {
+		items[i] = v.String()
+	}
+	n := ""
+	if e.Not {
+		n = "NOT "
+	}
+	return fmt.Sprintf("(%s %sIN (%s))", e.X, n, strings.Join(items, ", "))
+}
+
+// IsNullExpr is x IS [NOT] NULL.
+type IsNullExpr struct {
+	X   Expr
+	Not bool
+	Pos Pos
+}
+
+func (*IsNullExpr) expr()           {}
+func (e *IsNullExpr) Position() Pos { return e.Pos }
+func (e *IsNullExpr) String() string {
+	if e.Not {
+		return fmt.Sprintf("(%s IS NOT NULL)", e.X)
+	}
+	return fmt.Sprintf("(%s IS NULL)", e.X)
+}
+
+// LikeExpr is x [NOT] LIKE pattern.
+type LikeExpr struct {
+	X, Pattern Expr
+	Not        bool
+	Pos        Pos
+}
+
+func (*LikeExpr) expr()           {}
+func (e *LikeExpr) Position() Pos { return e.Pos }
+func (e *LikeExpr) String() string {
+	n := ""
+	if e.Not {
+		n = "NOT "
+	}
+	return fmt.Sprintf("(%s %sLIKE %s)", e.X, n, e.Pattern)
+}
+
+// ------------------------------------------------------------------- DDL
+
+// ColumnDef is one column (or dimension) in CREATE TABLE / CREATE ARRAY.
+type ColumnDef struct {
+	Name      string
+	TypeName  string
+	Dimension bool      // SciQL: declared with DIMENSION
+	Range     *DimRange // optional [start:step:stop]; nil = unbounded
+	Default   Expr      // optional DEFAULT; nil = NULL
+	Pos       Pos
+}
+
+// DimRange is the [start:step:stop] constraint of a dimension; any of the
+// three may be nil when unbounded forms are used. A two-expression form
+// [start:stop] gets Step == nil (defaults to 1).
+type DimRange struct {
+	Start, Step, Stop Expr
+}
+
+// CreateTable is CREATE TABLE name (cols...).
+type CreateTable struct {
+	Name string
+	Cols []ColumnDef
+	Pos  Pos
+}
+
+func (*CreateTable) stmt() {}
+
+// CreateArray is CREATE ARRAY name (dims and attrs...).
+type CreateArray struct {
+	Name string
+	Cols []ColumnDef
+	Pos  Pos
+}
+
+func (*CreateArray) stmt() {}
+
+// Drop is DROP TABLE/ARRAY name.
+type Drop struct {
+	Array    bool
+	Name     string
+	IfExists bool
+	Pos      Pos
+}
+
+func (*Drop) stmt() {}
+
+// AlterDimension is ALTER ARRAY a ALTER DIMENSION d SET RANGE [lo:step:hi].
+type AlterDimension struct {
+	Array string
+	Dim   string
+	Range DimRange
+	Pos   Pos
+}
+
+func (*AlterDimension) stmt() {}
+
+// ------------------------------------------------------------------- DML
+
+// Assignment is one SET col = expr clause.
+type Assignment struct {
+	Col  string
+	Expr Expr
+}
+
+// Insert is INSERT INTO t [(cols)] VALUES (...) | SELECT ...
+type Insert struct {
+	Table   string
+	Columns []string
+	Rows    [][]Expr // literal rows; nil when Query is set
+	Query   *Select
+	Pos     Pos
+}
+
+func (*Insert) stmt() {}
+
+// Update is UPDATE t SET ... [WHERE ...].
+type Update struct {
+	Table string
+	Sets  []Assignment
+	Where Expr
+	Pos   Pos
+}
+
+func (*Update) stmt() {}
+
+// Delete is DELETE FROM t [WHERE ...].
+type Delete struct {
+	Table string
+	Where Expr
+	Pos   Pos
+}
+
+func (*Delete) stmt() {}
+
+// ----------------------------------------------------------------- SELECT
+
+// SelectItem is one projection. Dimensional marks the SciQL `[expr]`
+// qualifier that coerces the result into an array dimension (§2 "Array and
+// Table Coercions").
+type SelectItem struct {
+	Expr        Expr
+	Alias       string
+	Dimensional bool
+	Star        bool // SELECT *
+}
+
+// TableRef is a FROM-clause item.
+type TableRef interface {
+	tableRef()
+}
+
+// BaseTable references a named table or array.
+type BaseTable struct {
+	Name  string
+	Alias string
+	Pos   Pos
+}
+
+func (*BaseTable) tableRef() {}
+
+// SubqueryRef is a derived table: FROM (SELECT ...) AS alias.
+type SubqueryRef struct {
+	Query *Select
+	Alias string
+	Pos   Pos
+}
+
+func (*SubqueryRef) tableRef() {}
+
+// JoinRef is an explicit join: left [INNER|LEFT [OUTER]] JOIN right ON cond.
+type JoinRef struct {
+	Left, Right TableRef
+	LeftOuter   bool
+	On          Expr
+	Pos         Pos
+}
+
+func (*JoinRef) tableRef() {}
+
+// TileDim is one bracket group of a structural-grouping spec:
+// [lo : hi] or [lo : step : hi] or the single-cell form [expr].
+// Bounds are expressions over the anchor's dimension variables.
+type TileDim struct {
+	Lo, Step, Hi Expr // Hi nil for single-cell form; Step usually nil
+}
+
+// TileSpec is the SciQL structural grouping clause:
+// GROUP BY name[x:x+2][y:y+2] (§2 "Array Tiling").
+type TileSpec struct {
+	Array string // array name or FROM alias
+	Dims  []TileDim
+	Pos   Pos
+}
+
+// OrderItem is one ORDER BY key.
+type OrderItem struct {
+	Expr Expr
+	Desc bool
+}
+
+// Select is a (possibly compound) SELECT statement.
+type Select struct {
+	Distinct bool
+	Items    []SelectItem
+	From     []TableRef
+	Where    Expr
+	GroupBy  []Expr    // value-based grouping
+	Tile     *TileSpec // structural grouping (mutually exclusive with GroupBy)
+	Having   Expr
+	OrderBy  []OrderItem
+	Limit    Expr // nil = no limit
+	Offset   Expr
+	UnionAll *Select // UNION ALL continuation
+	Pos      Pos
+}
+
+func (*Select) stmt() {}
+
+// ----------------------------------------------------------- transactions
+
+// TxnKind is a transaction-control verb.
+type TxnKind int
+
+// Transaction statement kinds.
+const (
+	TxnBegin TxnKind = iota
+	TxnCommit
+	TxnRollback
+)
+
+// Txn is START TRANSACTION / COMMIT / ROLLBACK.
+type Txn struct {
+	Kind TxnKind
+	Pos  Pos
+}
+
+func (*Txn) stmt() {}
+
+// Explain wraps a statement for EXPLAIN (logical plan) or PLAN (MAL text).
+type Explain struct {
+	MAL  bool // true: PLAN (MAL program); false: EXPLAIN (logical plan)
+	Stmt Statement
+	Pos  Pos
+}
+
+func (*Explain) stmt() {}
+
+// Walk visits every expression in the tree rooted at e, parents before
+// children. A nil visitor result stops descent into that subtree.
+func Walk(e Expr, visit func(Expr) bool) {
+	if e == nil || !visit(e) {
+		return
+	}
+	switch x := e.(type) {
+	case *BinExpr:
+		Walk(x.L, visit)
+		Walk(x.R, visit)
+	case *UnExpr:
+		Walk(x.X, visit)
+	case *FuncCall:
+		for _, a := range x.Args {
+			Walk(a, visit)
+		}
+	case *CaseExpr:
+		for _, w := range x.Whens {
+			Walk(w.Cond, visit)
+			Walk(w.Result, visit)
+		}
+		Walk(x.Else, visit)
+	case *CastExpr:
+		Walk(x.X, visit)
+	case *BetweenExpr:
+		Walk(x.X, visit)
+		Walk(x.Lo, visit)
+		Walk(x.Hi, visit)
+	case *InExpr:
+		Walk(x.X, visit)
+		for _, v := range x.List {
+			Walk(v, visit)
+		}
+	case *IsNullExpr:
+		Walk(x.X, visit)
+	case *LikeExpr:
+		Walk(x.X, visit)
+		Walk(x.Pattern, visit)
+	case *CellRef:
+		for _, c := range x.Coords {
+			Walk(c, visit)
+		}
+	}
+}

@@ -1,0 +1,86 @@
+package ast
+
+import (
+	"testing"
+
+	"repro/internal/types"
+)
+
+func lit(v int64) Expr { return &Literal{Val: types.Int(v)} }
+
+func TestExprStrings(t *testing.T) {
+	cases := []struct {
+		e    Expr
+		want string
+	}{
+		{&Literal{Val: types.Str("it's")}, "'it''s'"},
+		{&Literal{Val: types.NullUnknown()}, "null"},
+		{&ColRef{Name: "v"}, "v"},
+		{&ColRef{Table: "t", Name: "v"}, "t.v"},
+		{&BinExpr{Op: "+", L: lit(1), R: lit(2)}, "(1 + 2)"},
+		{&UnExpr{Op: "NOT", X: &ColRef{Name: "b"}}, "(NOT b)"},
+		{&UnExpr{Op: "-", X: lit(3)}, "(-3)"},
+		{&FuncCall{Name: "sum", Args: []Expr{&ColRef{Name: "v"}}}, "SUM(v)"},
+		{&FuncCall{Name: "count", Star: true}, "COUNT(*)"},
+		{&FuncCall{Name: "count", Distinct: true, Args: []Expr{&ColRef{Name: "v"}}}, "COUNT(DISTINCT v)"},
+		{&CellRef{Array: "img", Coords: []Expr{&ColRef{Name: "x"}, lit(0)}, Attr: "v"}, "img[x][0].v"},
+		{&CellRef{Array: "a", Coords: []Expr{lit(1)}}, "a[1]"},
+		{&CastExpr{X: &ColRef{Name: "v"}, TypeName: "INT"}, "CAST(v AS INT)"},
+		{&BetweenExpr{X: &ColRef{Name: "v"}, Lo: lit(1), Hi: lit(2)}, "(v BETWEEN 1 AND 2)"},
+		{&BetweenExpr{X: &ColRef{Name: "v"}, Lo: lit(1), Hi: lit(2), Not: true}, "(v NOT BETWEEN 1 AND 2)"},
+		{&InExpr{X: &ColRef{Name: "v"}, List: []Expr{lit(1), lit(2)}}, "(v IN (1, 2))"},
+		{&IsNullExpr{X: &ColRef{Name: "v"}}, "(v IS NULL)"},
+		{&IsNullExpr{X: &ColRef{Name: "v"}, Not: true}, "(v IS NOT NULL)"},
+		{&LikeExpr{X: &ColRef{Name: "s"}, Pattern: &Literal{Val: types.Str("a%")}}, "(s LIKE 'a%')"},
+		{&CaseExpr{
+			Whens: []CaseWhen{{Cond: &ColRef{Name: "c"}, Result: lit(1)}},
+			Else:  lit(0),
+		}, "CASE WHEN c THEN 1 ELSE 0 END"},
+	}
+	for _, c := range cases {
+		if got := c.e.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestWalkVisitsEverything(t *testing.T) {
+	e := &CaseExpr{
+		Whens: []CaseWhen{{
+			Cond:   &BinExpr{Op: "=", L: &ColRef{Name: "a"}, R: lit(1)},
+			Result: &CellRef{Array: "m", Coords: []Expr{&ColRef{Name: "x"}}},
+		}},
+		Else: &FuncCall{Name: "abs", Args: []Expr{&ColRef{Name: "b"}}},
+	}
+	var cols []string
+	Walk(e, func(x Expr) bool {
+		if c, ok := x.(*ColRef); ok {
+			cols = append(cols, c.Name)
+		}
+		return true
+	})
+	if len(cols) != 3 {
+		t.Errorf("visited columns %v, want a, x, b", cols)
+	}
+}
+
+func TestWalkStopsDescent(t *testing.T) {
+	e := &BinExpr{Op: "+", L: &BinExpr{Op: "*", L: lit(1), R: lit(2)}, R: lit(3)}
+	count := 0
+	Walk(e, func(x Expr) bool {
+		count++
+		_, isBin := x.(*BinExpr)
+		return !isBin || count == 1 // stop below the first BinExpr's children
+	})
+	// Visit root (descends), then L (*BinExpr, stops) and R literal.
+	if count != 3 {
+		t.Errorf("visited %d nodes, want 3", count)
+	}
+}
+
+func TestPosString(t *testing.T) {
+	p := Pos{Line: 3, Col: 14}
+	if p.String() != "line 3, column 14" {
+		t.Errorf("pos = %q", p.String())
+	}
+}

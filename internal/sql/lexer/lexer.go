@@ -1,0 +1,291 @@
+// Package lexer tokenises SQL/SciQL query text. It covers the SQL subset
+// the engine implements plus the SciQL extensions: dimension qualifiers
+// `[` `]`, the range punctuation inside DIMENSION[start:step:stop], and
+// cell references A[x-1][y].
+package lexer
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// TokenType classifies a token.
+type TokenType int
+
+// Token types.
+const (
+	EOF      TokenType = iota
+	Ident              // unquoted or "quoted" identifier
+	Keyword            // reserved word, normalised upper-case in Text
+	IntLit             // integer literal
+	FloatLit           // floating-point literal
+	StrLit             // 'string' literal, unescaped in Text
+	Op                 // operator or punctuation
+)
+
+// Token is one lexical token with its source position (1-based).
+type Token struct {
+	Type TokenType
+	Text string
+	Line int
+	Col  int
+}
+
+func (t Token) String() string {
+	switch t.Type {
+	case EOF:
+		return "end of input"
+	case StrLit:
+		return fmt.Sprintf("'%s'", t.Text)
+	default:
+		return t.Text
+	}
+}
+
+// Keywords recognised by the parser. SciQL additions: ARRAY, DIMENSION.
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "GROUP": true, "BY": true,
+	"HAVING": true, "ORDER": true, "LIMIT": true, "OFFSET": true, "AS": true,
+	"AND": true, "OR": true, "NOT": true, "NULL": true, "IS": true,
+	"IN": true, "BETWEEN": true, "LIKE": true, "CASE": true, "WHEN": true,
+	"THEN": true, "ELSE": true, "END": true, "CAST": true, "CREATE": true,
+	"TABLE": true, "ARRAY": true, "DIMENSION": true, "DEFAULT": true,
+	"INSERT": true, "INTO": true, "VALUES": true, "UPDATE": true, "SET": true,
+	"DELETE": true, "DROP": true, "ALTER": true, "RANGE": true,
+	"JOIN": true, "INNER": true, "LEFT": true, "OUTER": true, "ON": true,
+	"DISTINCT": true, "UNION": true, "ALL": true, "ASC": true, "DESC": true,
+	"TRUE": true, "FALSE": true, "MOD": true, "PRIMARY": true, "KEY": true,
+	"START": true, "TRANSACTION": true, "BEGIN": true, "COMMIT": true,
+	"ROLLBACK": true, "EXPLAIN": true, "PLAN": true, "EXISTS": true,
+	"IF": true, "SUBSTRING": true, "FOR": true, "COALESCE": true,
+	"NULLIF": true, "GREATEST": true, "LEAST": true,
+}
+
+// IsKeyword reports whether the upper-cased word is reserved.
+func IsKeyword(word string) bool { return keywords[strings.ToUpper(word)] }
+
+// Lexer walks the input producing tokens.
+type Lexer struct {
+	src  []rune
+	pos  int
+	line int
+	col  int
+}
+
+// New returns a lexer over src.
+func New(src string) *Lexer {
+	return &Lexer{src: []rune(src), line: 1, col: 1}
+}
+
+// Error is a lexical error with position information.
+type Error struct {
+	Msg  string
+	Line int
+	Col  int
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("syntax error at line %d, column %d: %s", e.Line, e.Col, e.Msg)
+}
+
+func (l *Lexer) errf(line, col int, format string, args ...any) error {
+	return &Error{Msg: fmt.Sprintf(format, args...), Line: line, Col: col}
+}
+
+func (l *Lexer) peek() rune {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *Lexer) peekAt(off int) rune {
+	if l.pos+off >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos+off]
+}
+
+func (l *Lexer) advance() rune {
+	r := l.src[l.pos]
+	l.pos++
+	if r == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return r
+}
+
+func (l *Lexer) skipSpaceAndComments() error {
+	for l.pos < len(l.src) {
+		r := l.peek()
+		switch {
+		case unicode.IsSpace(r):
+			l.advance()
+		case r == '-' && l.peekAt(1) == '-':
+			for l.pos < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+		case r == '/' && l.peekAt(1) == '*':
+			line, col := l.line, l.col
+			l.advance()
+			l.advance()
+			closed := false
+			for l.pos < len(l.src) {
+				if l.peek() == '*' && l.peekAt(1) == '/' {
+					l.advance()
+					l.advance()
+					closed = true
+					break
+				}
+				l.advance()
+			}
+			if !closed {
+				return l.errf(line, col, "unterminated block comment")
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+// Next returns the next token.
+func (l *Lexer) Next() (Token, error) {
+	if err := l.skipSpaceAndComments(); err != nil {
+		return Token{}, err
+	}
+	line, col := l.line, l.col
+	if l.pos >= len(l.src) {
+		return Token{Type: EOF, Line: line, Col: col}, nil
+	}
+	r := l.peek()
+	switch {
+	case unicode.IsLetter(r) || r == '_':
+		start := l.pos
+		for l.pos < len(l.src) && (unicode.IsLetter(l.peek()) || unicode.IsDigit(l.peek()) || l.peek() == '_') {
+			l.advance()
+		}
+		word := string(l.src[start:l.pos])
+		if IsKeyword(word) {
+			return Token{Type: Keyword, Text: strings.ToUpper(word), Line: line, Col: col}, nil
+		}
+		return Token{Type: Ident, Text: strings.ToLower(word), Line: line, Col: col}, nil
+	case unicode.IsDigit(r), r == '.' && unicode.IsDigit(l.peekAt(1)):
+		return l.lexNumber(line, col)
+	case r == '\'':
+		return l.lexString(line, col)
+	case r == '"':
+		return l.lexQuotedIdent(line, col)
+	default:
+		return l.lexOp(line, col)
+	}
+}
+
+func (l *Lexer) lexNumber(line, col int) (Token, error) {
+	start := l.pos
+	seenDot, seenExp := false, false
+	for l.pos < len(l.src) {
+		r := l.peek()
+		switch {
+		case unicode.IsDigit(r):
+			l.advance()
+		case r == '.' && !seenDot && !seenExp:
+			seenDot = true
+			l.advance()
+		case (r == 'e' || r == 'E') && !seenExp && l.pos > start:
+			nxt := l.peekAt(1)
+			if unicode.IsDigit(nxt) || ((nxt == '+' || nxt == '-') && unicode.IsDigit(l.peekAt(2))) {
+				seenExp = true
+				l.advance()
+				if l.peek() == '+' || l.peek() == '-' {
+					l.advance()
+				}
+			} else {
+				goto done
+			}
+		default:
+			goto done
+		}
+	}
+done:
+	text := string(l.src[start:l.pos])
+	if seenDot || seenExp {
+		return Token{Type: FloatLit, Text: text, Line: line, Col: col}, nil
+	}
+	return Token{Type: IntLit, Text: text, Line: line, Col: col}, nil
+}
+
+func (l *Lexer) lexString(line, col int) (Token, error) {
+	l.advance() // opening quote
+	var sb strings.Builder
+	for l.pos < len(l.src) {
+		r := l.advance()
+		if r == '\'' {
+			if l.peek() == '\'' { // escaped quote
+				sb.WriteRune('\'')
+				l.advance()
+				continue
+			}
+			return Token{Type: StrLit, Text: sb.String(), Line: line, Col: col}, nil
+		}
+		sb.WriteRune(r)
+	}
+	return Token{}, l.errf(line, col, "unterminated string literal")
+}
+
+func (l *Lexer) lexQuotedIdent(line, col int) (Token, error) {
+	l.advance() // opening quote
+	var sb strings.Builder
+	for l.pos < len(l.src) {
+		r := l.advance()
+		if r == '"' {
+			if l.peek() == '"' {
+				sb.WriteRune('"')
+				l.advance()
+				continue
+			}
+			return Token{Type: Ident, Text: sb.String(), Line: line, Col: col}, nil
+		}
+		sb.WriteRune(r)
+	}
+	return Token{}, l.errf(line, col, "unterminated quoted identifier")
+}
+
+func (l *Lexer) lexOp(line, col int) (Token, error) {
+	two := map[string]bool{
+		"<=": true, ">=": true, "<>": true, "!=": true, "||": true,
+	}
+	r := l.advance()
+	if l.pos < len(l.src) {
+		pair := string(r) + string(l.peek())
+		if two[pair] {
+			l.advance()
+			return Token{Type: Op, Text: pair, Line: line, Col: col}, nil
+		}
+	}
+	switch r {
+	case '+', '-', '*', '/', '%', '(', ')', ',', ';', '=', '<', '>', '[', ']', ':', '.':
+		return Token{Type: Op, Text: string(r), Line: line, Col: col}, nil
+	}
+	return Token{}, l.errf(line, col, "unexpected character %q", string(r))
+}
+
+// Tokenize lexes the whole input (testing helper).
+func Tokenize(src string) ([]Token, error) {
+	l := New(src)
+	var out []Token
+	for {
+		t, err := l.Next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		if t.Type == EOF {
+			return out, nil
+		}
+	}
+}

@@ -1,0 +1,138 @@
+package lexer
+
+import (
+	"strings"
+	"testing"
+)
+
+func tokens(t *testing.T, src string) []Token {
+	t.Helper()
+	toks, err := Tokenize(src)
+	if err != nil {
+		t.Fatalf("%q: %v", src, err)
+	}
+	return toks[:len(toks)-1] // drop EOF
+}
+
+func TestBasicTokens(t *testing.T) {
+	toks := tokens(t, `SELECT x, "Weird Name" FROM t WHERE v <= 1.5e2 AND s = 'it''s'`)
+	kinds := []TokenType{
+		Keyword, Ident, Op, Ident, Keyword, Ident, Keyword,
+		Ident, Op, FloatLit, Keyword, Ident, Op, StrLit,
+	}
+	if len(toks) != len(kinds) {
+		t.Fatalf("got %d tokens: %v", len(toks), toks)
+	}
+	for i, k := range kinds {
+		if toks[i].Type != k {
+			t.Errorf("token %d (%s): type %v, want %v", i, toks[i].Text, toks[i].Type, k)
+		}
+	}
+	if toks[3].Text != "Weird Name" {
+		t.Errorf("quoted ident = %q", toks[3].Text)
+	}
+	if toks[13].Text != "it's" {
+		t.Errorf("string = %q", toks[13].Text)
+	}
+}
+
+func TestCaseNormalisation(t *testing.T) {
+	toks := tokens(t, `select FOO From Bar`)
+	if toks[0].Text != "SELECT" || toks[2].Text != "FROM" {
+		t.Error("keywords must upper-case")
+	}
+	if toks[1].Text != "foo" || toks[3].Text != "bar" {
+		t.Error("identifiers must lower-case")
+	}
+}
+
+func TestNumbers(t *testing.T) {
+	cases := map[string]TokenType{
+		"42":     IntLit,
+		"0":      IntLit,
+		"1.5":    FloatLit,
+		".5":     FloatLit,
+		"2e10":   FloatLit,
+		"2E-3":   FloatLit,
+		"1.5e+2": FloatLit,
+	}
+	for src, want := range cases {
+		toks := tokens(t, src)
+		if len(toks) != 1 || toks[0].Type != want {
+			t.Errorf("%q: %v", src, toks)
+		}
+	}
+	// A trailing dot binds to the number; "1.e" stays separate tokens.
+	toks := tokens(t, "1e")
+	if len(toks) != 2 || toks[0].Type != IntLit || toks[1].Type != Ident {
+		t.Errorf("1e: %v", toks)
+	}
+}
+
+func TestSciQLBrackets(t *testing.T) {
+	toks := tokens(t, `m[x-1:x+2][y]`)
+	var ops []string
+	for _, tok := range toks {
+		if tok.Type == Op {
+			ops = append(ops, tok.Text)
+		}
+	}
+	want := []string{"[", "-", ":", "+", "]", "[", "]"}
+	if strings.Join(ops, " ") != strings.Join(want, " ") {
+		t.Errorf("ops = %v, want %v", ops, want)
+	}
+}
+
+func TestTwoCharOperators(t *testing.T) {
+	toks := tokens(t, `a <= b >= c <> d != e || f`)
+	var ops []string
+	for _, tok := range toks {
+		if tok.Type == Op {
+			ops = append(ops, tok.Text)
+		}
+	}
+	want := "<= >= <> != ||"
+	if strings.Join(ops, " ") != want {
+		t.Errorf("ops = %v", ops)
+	}
+}
+
+func TestComments(t *testing.T) {
+	toks := tokens(t, "a -- rest of line\nb /* block\nspanning */ c")
+	if len(toks) != 3 {
+		t.Errorf("tokens = %v", toks)
+	}
+}
+
+func TestPositions(t *testing.T) {
+	toks := tokens(t, "a\n  bb")
+	if toks[0].Line != 1 || toks[0].Col != 1 {
+		t.Errorf("a at %d:%d", toks[0].Line, toks[0].Col)
+	}
+	if toks[1].Line != 2 || toks[1].Col != 3 {
+		t.Errorf("bb at %d:%d", toks[1].Line, toks[1].Col)
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	for _, src := range []string{
+		"'unterminated",
+		`"unterminated`,
+		"/* unterminated",
+		"a ? b",
+	} {
+		if _, err := Tokenize(src); err == nil {
+			t.Errorf("%q: expected error", src)
+		}
+	}
+	_, err := Tokenize("ok\n  'bad")
+	if err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Errorf("error lacks position: %v", err)
+	}
+}
+
+func TestIsKeyword(t *testing.T) {
+	if !IsKeyword("select") || !IsKeyword("DIMENSION") || IsKeyword("foo") {
+		t.Error("IsKeyword wrong")
+	}
+}

@@ -1,0 +1,481 @@
+package parser
+
+import (
+	"strconv"
+	"strings"
+
+	"repro/internal/sql/ast"
+	"repro/internal/sql/lexer"
+	"repro/internal/types"
+)
+
+// Expression grammar (highest binding last):
+//
+//	expr    := orExpr
+//	orExpr  := andExpr (OR andExpr)*
+//	andExpr := notExpr (AND notExpr)*
+//	notExpr := NOT notExpr | predicate
+//	predicate := addExpr (compOp addExpr | IS [NOT] NULL
+//	              | [NOT] BETWEEN addExpr AND addExpr
+//	              | [NOT] IN (expr, ...) | [NOT] LIKE addExpr)?
+//	addExpr := mulExpr (('+'|'-'|'||') mulExpr)*
+//	mulExpr := unary (('*'|'/'|'%'|MOD) unary)*
+//	unary   := '-' unary | primary
+func (p *parser) parseExpr() (ast.Expr, error) { return p.parseOr() }
+
+func (p *parser) parseOr() (ast.Expr, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.isKw("OR") {
+		pos := p.posOf(p.next())
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = &ast.BinExpr{Op: "OR", L: l, R: r, Pos: pos}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAnd() (ast.Expr, error) {
+	l, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.isKw("AND") {
+		pos := p.posOf(p.next())
+		r, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		l = &ast.BinExpr{Op: "AND", L: l, R: r, Pos: pos}
+	}
+	return l, nil
+}
+
+func (p *parser) parseNot() (ast.Expr, error) {
+	if p.isKw("NOT") {
+		pos := p.posOf(p.next())
+		x, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return &ast.UnExpr{Op: "NOT", X: x, Pos: pos}, nil
+	}
+	return p.parsePredicate()
+}
+
+func (p *parser) parsePredicate() (ast.Expr, error) {
+	l, err := p.parseAdd()
+	if err != nil {
+		return nil, err
+	}
+	// Comparison operators.
+	for _, op := range []string{"<=", ">=", "<>", "!=", "=", "<", ">"} {
+		if p.isOp(op) {
+			pos := p.posOf(p.next())
+			r, err := p.parseAdd()
+			if err != nil {
+				return nil, err
+			}
+			o := op
+			if o == "!=" {
+				o = "<>"
+			}
+			return &ast.BinExpr{Op: o, L: l, R: r, Pos: pos}, nil
+		}
+	}
+	not := false
+	t := p.cur()
+	if p.isKw("NOT") && (p.peekAt(1).Text == "BETWEEN" || p.peekAt(1).Text == "IN" || p.peekAt(1).Text == "LIKE") {
+		p.next()
+		not = true
+	}
+	switch {
+	case p.acceptKw("IS"):
+		n := p.acceptKw("NOT")
+		if err := p.expectKw("NULL"); err != nil {
+			return nil, err
+		}
+		return &ast.IsNullExpr{X: l, Not: n, Pos: p.posOf(t)}, nil
+	case p.acceptKw("BETWEEN"):
+		lo, err := p.parseAdd()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKw("AND"); err != nil {
+			return nil, err
+		}
+		hi, err := p.parseAdd()
+		if err != nil {
+			return nil, err
+		}
+		return &ast.BetweenExpr{X: l, Lo: lo, Hi: hi, Not: not, Pos: p.posOf(t)}, nil
+	case p.acceptKw("IN"):
+		if err := p.expectOp("("); err != nil {
+			return nil, err
+		}
+		var list []ast.Expr
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			list = append(list, e)
+			if p.acceptOp(",") {
+				continue
+			}
+			break
+		}
+		if err := p.expectOp(")"); err != nil {
+			return nil, err
+		}
+		return &ast.InExpr{X: l, List: list, Not: not, Pos: p.posOf(t)}, nil
+	case p.acceptKw("LIKE"):
+		pat, err := p.parseAdd()
+		if err != nil {
+			return nil, err
+		}
+		return &ast.LikeExpr{X: l, Pattern: pat, Not: not, Pos: p.posOf(t)}, nil
+	}
+	if not {
+		return nil, p.errf("expected BETWEEN, IN or LIKE after NOT")
+	}
+	return l, nil
+}
+
+func (p *parser) parseAdd() (ast.Expr, error) {
+	l, err := p.parseMul()
+	if err != nil {
+		return nil, err
+	}
+	for p.isOp("+") || p.isOp("-") || p.isOp("||") {
+		t := p.next()
+		r, err := p.parseMul()
+		if err != nil {
+			return nil, err
+		}
+		l = &ast.BinExpr{Op: t.Text, L: l, R: r, Pos: p.posOf(t)}
+	}
+	return l, nil
+}
+
+func (p *parser) parseMul() (ast.Expr, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for p.isOp("*") || p.isOp("/") || p.isOp("%") || p.isKw("MOD") {
+		t := p.next()
+		op := t.Text
+		if op == "MOD" {
+			op = "%"
+		}
+		r, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		l = &ast.BinExpr{Op: op, L: l, R: r, Pos: p.posOf(t)}
+	}
+	return l, nil
+}
+
+func (p *parser) parseUnary() (ast.Expr, error) {
+	if p.isOp("-") {
+		t := p.next()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		// Fold -literal immediately so that INT_MIN-ish literals and
+		// dimension ranges like [-1:1:5] stay simple literals.
+		if lit, ok := x.(*ast.Literal); ok && !lit.Val.IsNull() {
+			switch lit.Val.Kind() {
+			case types.KindInt:
+				return &ast.Literal{Val: types.Int(-lit.Val.Int64()), Pos: p.posOf(t)}, nil
+			case types.KindFloat:
+				return &ast.Literal{Val: types.Float(-lit.Val.Float64()), Pos: p.posOf(t)}, nil
+			}
+		}
+		return &ast.UnExpr{Op: "-", X: x, Pos: p.posOf(t)}, nil
+	}
+	if p.isOp("+") {
+		p.next()
+		return p.parseUnary()
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (ast.Expr, error) {
+	t := p.cur()
+	switch t.Type {
+	case lexer.IntLit:
+		p.next()
+		v, err := strconv.ParseInt(t.Text, 10, 64)
+		if err != nil {
+			return nil, p.errf("invalid integer literal %q", t.Text)
+		}
+		return &ast.Literal{Val: types.Int(v), Pos: p.posOf(t)}, nil
+	case lexer.FloatLit:
+		p.next()
+		v, err := strconv.ParseFloat(t.Text, 64)
+		if err != nil {
+			return nil, p.errf("invalid float literal %q", t.Text)
+		}
+		return &ast.Literal{Val: types.Float(v), Pos: p.posOf(t)}, nil
+	case lexer.StrLit:
+		p.next()
+		return &ast.Literal{Val: types.Str(t.Text), Pos: p.posOf(t)}, nil
+	case lexer.Keyword:
+		return p.parseKeywordPrimary()
+	case lexer.Ident:
+		return p.parseIdentPrimary()
+	case lexer.Op:
+		if t.Text == "(" {
+			p.next()
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectOp(")"); err != nil {
+				return nil, err
+			}
+			return e, nil
+		}
+	}
+	return nil, p.errf("unexpected %s in expression", t)
+}
+
+func (p *parser) parseKeywordPrimary() (ast.Expr, error) {
+	t := p.cur()
+	switch t.Text {
+	case "NULL":
+		p.next()
+		return &ast.Literal{Val: types.NullUnknown(), Pos: p.posOf(t)}, nil
+	case "TRUE":
+		p.next()
+		return &ast.Literal{Val: types.Bool(true), Pos: p.posOf(t)}, nil
+	case "FALSE":
+		p.next()
+		return &ast.Literal{Val: types.Bool(false), Pos: p.posOf(t)}, nil
+	case "CASE":
+		return p.parseCase()
+	case "CAST":
+		p.next()
+		if err := p.expectOp("("); err != nil {
+			return nil, err
+		}
+		x, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKw("AS"); err != nil {
+			return nil, err
+		}
+		tt := p.cur()
+		if tt.Type != lexer.Ident && tt.Type != lexer.Keyword {
+			return nil, p.errf("expected type name, found %s", tt)
+		}
+		p.next()
+		if err := p.expectOp(")"); err != nil {
+			return nil, err
+		}
+		return &ast.CastExpr{X: x, TypeName: tt.Text, Pos: p.posOf(t)}, nil
+	case "SUBSTRING":
+		p.next()
+		if err := p.expectOp("("); err != nil {
+			return nil, err
+		}
+		x, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		var from, length ast.Expr
+		if p.acceptKw("FROM") {
+			from, err = p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if p.acceptKw("FOR") {
+				length, err = p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+			}
+		} else if p.acceptOp(",") {
+			from, err = p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if p.acceptOp(",") {
+				length, err = p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+			}
+		}
+		if err := p.expectOp(")"); err != nil {
+			return nil, err
+		}
+		if from == nil {
+			return nil, p.errf("SUBSTRING requires a start position")
+		}
+		args := []ast.Expr{x, from}
+		if length != nil {
+			args = append(args, length)
+		}
+		return &ast.FuncCall{Name: "substring", Args: args, Pos: p.posOf(t)}, nil
+	case "COALESCE", "NULLIF", "GREATEST", "LEAST", "MOD":
+		p.next()
+		name := strings.ToLower(t.Text)
+		if err := p.expectOp("("); err != nil {
+			return nil, err
+		}
+		var args []ast.Expr
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			args = append(args, e)
+			if p.acceptOp(",") {
+				continue
+			}
+			break
+		}
+		if err := p.expectOp(")"); err != nil {
+			return nil, err
+		}
+		return &ast.FuncCall{Name: name, Args: args, Pos: p.posOf(t)}, nil
+	}
+	return nil, p.errf("unexpected %s in expression", t)
+}
+
+func (p *parser) parseCase() (ast.Expr, error) {
+	t := p.cur()
+	p.next() // CASE
+	c := &ast.CaseExpr{Pos: p.posOf(t)}
+	if !p.isKw("WHEN") {
+		// Simple CASE: CASE x WHEN v THEN r ... — desugar to x = v.
+		x, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		for p.isKw("WHEN") {
+			p.next()
+			v, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectKw("THEN"); err != nil {
+				return nil, err
+			}
+			r, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			c.Whens = append(c.Whens, ast.CaseWhen{
+				Cond:   &ast.BinExpr{Op: "=", L: x, R: v, Pos: v.Position()},
+				Result: r,
+			})
+		}
+		if len(c.Whens) == 0 {
+			return nil, p.errf("CASE requires at least one WHEN arm")
+		}
+	} else {
+		for p.isKw("WHEN") {
+			p.next()
+			cond, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectKw("THEN"); err != nil {
+				return nil, err
+			}
+			r, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			c.Whens = append(c.Whens, ast.CaseWhen{Cond: cond, Result: r})
+		}
+	}
+	if p.acceptKw("ELSE") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		c.Else = e
+	}
+	if err := p.expectKw("END"); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// parseIdentPrimary handles column references (a, t.a), function calls
+// (f(x)), cell references (A[x-1][y] and A[x][y].v) and qualified cell
+// attribute access.
+func (p *parser) parseIdentPrimary() (ast.Expr, error) {
+	t := p.cur()
+	name := p.next().Text
+	switch {
+	case p.isOp("("):
+		p.next()
+		fc := &ast.FuncCall{Name: strings.ToLower(name), Pos: p.posOf(t)}
+		if p.isOp("*") {
+			p.next()
+			fc.Star = true
+		} else if !p.isOp(")") {
+			if p.acceptKw("DISTINCT") {
+				fc.Distinct = true
+			}
+			for {
+				e, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				fc.Args = append(fc.Args, e)
+				if p.acceptOp(",") {
+					continue
+				}
+				break
+			}
+		}
+		if err := p.expectOp(")"); err != nil {
+			return nil, err
+		}
+		return fc, nil
+	case p.isOp("["):
+		cr := &ast.CellRef{Array: name, Pos: p.posOf(t)}
+		for p.isOp("[") {
+			p.next()
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectOp("]"); err != nil {
+				return nil, err
+			}
+			cr.Coords = append(cr.Coords, e)
+		}
+		if p.acceptOp(".") {
+			a, _, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			cr.Attr = a
+		}
+		return cr, nil
+	case p.isOp("."):
+		p.next()
+		col, _, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		return &ast.ColRef{Table: name, Name: col, Pos: p.posOf(t)}, nil
+	default:
+		return &ast.ColRef{Name: name, Pos: p.posOf(t)}, nil
+	}
+}

@@ -1,0 +1,525 @@
+// Package parser turns SQL/SciQL text into AST statements. It is a
+// hand-written recursive-descent parser with precedence climbing for
+// expressions, covering the language subset described in DESIGN.md §2.
+package parser
+
+import (
+	"fmt"
+
+	"repro/internal/sql/ast"
+	"repro/internal/sql/lexer"
+)
+
+// Error is a parse error with source position.
+type Error struct {
+	Msg  string
+	Line int
+	Col  int
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("parse error at line %d, column %d: %s", e.Line, e.Col, e.Msg)
+}
+
+type parser struct {
+	toks []lexer.Token
+	pos  int
+}
+
+// Parse parses a semicolon-separated sequence of statements.
+func Parse(src string) ([]ast.Statement, error) {
+	toks, err := lexer.Tokenize(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	var out []ast.Statement
+	for {
+		for p.isOp(";") {
+			p.next()
+		}
+		if p.cur().Type == lexer.EOF {
+			return out, nil
+		}
+		s, err := p.parseStatement()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+		if !p.isOp(";") && p.cur().Type != lexer.EOF {
+			return nil, p.errf("expected ';' or end of input, found %s", p.cur())
+		}
+	}
+}
+
+// ParseOne parses exactly one statement.
+func ParseOne(src string) (ast.Statement, error) {
+	stmts, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	if len(stmts) != 1 {
+		return nil, fmt.Errorf("expected exactly one statement, got %d", len(stmts))
+	}
+	return stmts[0], nil
+}
+
+// ParseExpr parses a standalone scalar expression (testing helper).
+func ParseExpr(src string) (ast.Expr, error) {
+	toks, err := lexer.Tokenize(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	e, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if p.cur().Type != lexer.EOF {
+		return nil, p.errf("unexpected trailing input %s", p.cur())
+	}
+	return e, nil
+}
+
+// ------------------------------------------------------------ token utils
+
+func (p *parser) cur() lexer.Token { return p.toks[p.pos] }
+
+func (p *parser) peekAt(off int) lexer.Token {
+	if p.pos+off >= len(p.toks) {
+		return p.toks[len(p.toks)-1] // EOF
+	}
+	return p.toks[p.pos+off]
+}
+
+func (p *parser) next() lexer.Token {
+	t := p.toks[p.pos]
+	if p.pos < len(p.toks)-1 {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	t := p.cur()
+	return &Error{Msg: fmt.Sprintf(format, args...), Line: t.Line, Col: t.Col}
+}
+
+func (p *parser) isKw(kw string) bool {
+	t := p.cur()
+	return t.Type == lexer.Keyword && t.Text == kw
+}
+
+func (p *parser) isOp(op string) bool {
+	t := p.cur()
+	return t.Type == lexer.Op && t.Text == op
+}
+
+func (p *parser) acceptKw(kw string) bool {
+	if p.isKw(kw) {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *parser) acceptOp(op string) bool {
+	if p.isOp(op) {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectKw(kw string) error {
+	if !p.acceptKw(kw) {
+		return p.errf("expected %s, found %s", kw, p.cur())
+	}
+	return nil
+}
+
+func (p *parser) expectOp(op string) error {
+	if !p.acceptOp(op) {
+		return p.errf("expected %q, found %s", op, p.cur())
+	}
+	return nil
+}
+
+func (p *parser) expectIdent() (string, ast.Pos, error) {
+	t := p.cur()
+	if t.Type != lexer.Ident {
+		return "", ast.Pos{}, p.errf("expected identifier, found %s", t)
+	}
+	p.next()
+	return t.Text, ast.Pos{Line: t.Line, Col: t.Col}, nil
+}
+
+func (p *parser) posOf(t lexer.Token) ast.Pos { return ast.Pos{Line: t.Line, Col: t.Col} }
+
+// ------------------------------------------------------------- statements
+
+func (p *parser) parseStatement() (ast.Statement, error) {
+	t := p.cur()
+	if t.Type != lexer.Keyword {
+		return nil, p.errf("expected a statement, found %s", t)
+	}
+	switch t.Text {
+	case "SELECT":
+		return p.parseSelect()
+	case "CREATE":
+		return p.parseCreate()
+	case "DROP":
+		return p.parseDrop()
+	case "ALTER":
+		return p.parseAlter()
+	case "INSERT":
+		return p.parseInsert()
+	case "UPDATE":
+		return p.parseUpdate()
+	case "DELETE":
+		return p.parseDelete()
+	case "START", "BEGIN":
+		p.next()
+		if t.Text == "START" {
+			if err := p.expectKw("TRANSACTION"); err != nil {
+				return nil, err
+			}
+		} else {
+			p.acceptKw("TRANSACTION")
+		}
+		return &ast.Txn{Kind: ast.TxnBegin, Pos: p.posOf(t)}, nil
+	case "COMMIT":
+		p.next()
+		return &ast.Txn{Kind: ast.TxnCommit, Pos: p.posOf(t)}, nil
+	case "ROLLBACK":
+		p.next()
+		return &ast.Txn{Kind: ast.TxnRollback, Pos: p.posOf(t)}, nil
+	case "EXPLAIN", "PLAN":
+		p.next()
+		inner, err := p.parseStatement()
+		if err != nil {
+			return nil, err
+		}
+		return &ast.Explain{MAL: t.Text == "PLAN", Stmt: inner, Pos: p.posOf(t)}, nil
+	default:
+		return nil, p.errf("unexpected %s at start of statement", t)
+	}
+}
+
+func (p *parser) parseCreate() (ast.Statement, error) {
+	start := p.cur()
+	p.next() // CREATE
+	isArray := false
+	switch {
+	case p.acceptKw("TABLE"):
+	case p.acceptKw("ARRAY"):
+		isArray = true
+	default:
+		return nil, p.errf("expected TABLE or ARRAY after CREATE, found %s", p.cur())
+	}
+	name, _, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectOp("("); err != nil {
+		return nil, err
+	}
+	var cols []ast.ColumnDef
+	for {
+		col, err := p.parseColumnDef(isArray)
+		if err != nil {
+			return nil, err
+		}
+		cols = append(cols, col)
+		if p.acceptOp(",") {
+			continue
+		}
+		break
+	}
+	if err := p.expectOp(")"); err != nil {
+		return nil, err
+	}
+	if isArray {
+		return &ast.CreateArray{Name: name, Cols: cols, Pos: p.posOf(start)}, nil
+	}
+	return &ast.CreateTable{Name: name, Cols: cols, Pos: p.posOf(start)}, nil
+}
+
+func (p *parser) parseColumnDef(arrayCtx bool) (ast.ColumnDef, error) {
+	name, pos, err := p.expectIdent()
+	if err != nil {
+		return ast.ColumnDef{}, err
+	}
+	t := p.cur()
+	if t.Type != lexer.Ident && t.Type != lexer.Keyword {
+		return ast.ColumnDef{}, p.errf("expected type name, found %s", t)
+	}
+	typeName := t.Text
+	p.next()
+	col := ast.ColumnDef{Name: name, TypeName: typeName, Pos: pos}
+	for {
+		switch {
+		case p.acceptKw("DIMENSION"):
+			if !arrayCtx {
+				return ast.ColumnDef{}, p.errf("DIMENSION columns are only allowed in CREATE ARRAY")
+			}
+			col.Dimension = true
+			if p.isOp("[") {
+				r, err := p.parseDimRange()
+				if err != nil {
+					return ast.ColumnDef{}, err
+				}
+				col.Range = &r
+			}
+		case p.acceptKw("DEFAULT"):
+			e, err := p.parseExpr()
+			if err != nil {
+				return ast.ColumnDef{}, err
+			}
+			col.Default = e
+		case p.isKw("NOT"):
+			// Accept and ignore NOT NULL constraints.
+			p.next()
+			if err := p.expectKw("NULL"); err != nil {
+				return ast.ColumnDef{}, err
+			}
+		case p.isKw("PRIMARY"):
+			p.next()
+			if err := p.expectKw("KEY"); err != nil {
+				return ast.ColumnDef{}, err
+			}
+		default:
+			return col, nil
+		}
+	}
+}
+
+// parseDimRange parses [start:step:stop] (three-part) or [start:stop]
+// (two-part, step defaults to 1).
+func (p *parser) parseDimRange() (ast.DimRange, error) {
+	if err := p.expectOp("["); err != nil {
+		return ast.DimRange{}, err
+	}
+	first, err := p.parseExpr()
+	if err != nil {
+		return ast.DimRange{}, err
+	}
+	if err := p.expectOp(":"); err != nil {
+		return ast.DimRange{}, err
+	}
+	second, err := p.parseExpr()
+	if err != nil {
+		return ast.DimRange{}, err
+	}
+	var r ast.DimRange
+	if p.acceptOp(":") {
+		third, err := p.parseExpr()
+		if err != nil {
+			return ast.DimRange{}, err
+		}
+		r = ast.DimRange{Start: first, Step: second, Stop: third}
+	} else {
+		r = ast.DimRange{Start: first, Stop: second}
+	}
+	if err := p.expectOp("]"); err != nil {
+		return ast.DimRange{}, err
+	}
+	return r, nil
+}
+
+func (p *parser) parseDrop() (ast.Statement, error) {
+	start := p.cur()
+	p.next() // DROP
+	isArray := false
+	switch {
+	case p.acceptKw("TABLE"):
+	case p.acceptKw("ARRAY"):
+		isArray = true
+	default:
+		return nil, p.errf("expected TABLE or ARRAY after DROP, found %s", p.cur())
+	}
+	ifExists := false
+	if p.acceptKw("IF") {
+		if err := p.expectKw("EXISTS"); err != nil {
+			return nil, err
+		}
+		ifExists = true
+	}
+	name, _, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	return &ast.Drop{Array: isArray, Name: name, IfExists: ifExists, Pos: p.posOf(start)}, nil
+}
+
+func (p *parser) parseAlter() (ast.Statement, error) {
+	start := p.cur()
+	p.next() // ALTER
+	if err := p.expectKw("ARRAY"); err != nil {
+		return nil, err
+	}
+	arr, _, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKw("ALTER"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKw("DIMENSION"); err != nil {
+		return nil, err
+	}
+	dim, _, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKw("SET"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKw("RANGE"); err != nil {
+		return nil, err
+	}
+	r, err := p.parseDimRange()
+	if err != nil {
+		return nil, err
+	}
+	return &ast.AlterDimension{Array: arr, Dim: dim, Range: r, Pos: p.posOf(start)}, nil
+}
+
+func (p *parser) parseInsert() (ast.Statement, error) {
+	start := p.cur()
+	p.next() // INSERT
+	if err := p.expectKw("INTO"); err != nil {
+		return nil, err
+	}
+	table, _, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	ins := &ast.Insert{Table: table, Pos: p.posOf(start)}
+	// Optional column list — only when followed by identifiers, to keep
+	// `INSERT INTO t (SELECT ...)` unambiguous.
+	if p.isOp("(") && p.peekAt(1).Type == lexer.Ident {
+		p.next()
+		for {
+			c, _, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			ins.Columns = append(ins.Columns, c)
+			if p.acceptOp(",") {
+				continue
+			}
+			break
+		}
+		if err := p.expectOp(")"); err != nil {
+			return nil, err
+		}
+	}
+	switch {
+	case p.acceptKw("VALUES"):
+		for {
+			if err := p.expectOp("("); err != nil {
+				return nil, err
+			}
+			var row []ast.Expr
+			for {
+				e, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				row = append(row, e)
+				if p.acceptOp(",") {
+					continue
+				}
+				break
+			}
+			if err := p.expectOp(")"); err != nil {
+				return nil, err
+			}
+			ins.Rows = append(ins.Rows, row)
+			if p.acceptOp(",") {
+				continue
+			}
+			break
+		}
+	case p.isKw("SELECT"):
+		q, err := p.parseSelect()
+		if err != nil {
+			return nil, err
+		}
+		ins.Query = q
+	case p.isOp("("):
+		p.next()
+		q, err := p.parseSelect()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectOp(")"); err != nil {
+			return nil, err
+		}
+		ins.Query = q
+	default:
+		return nil, p.errf("expected VALUES or SELECT in INSERT, found %s", p.cur())
+	}
+	return ins, nil
+}
+
+func (p *parser) parseUpdate() (ast.Statement, error) {
+	start := p.cur()
+	p.next() // UPDATE
+	table, _, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKw("SET"); err != nil {
+		return nil, err
+	}
+	u := &ast.Update{Table: table, Pos: p.posOf(start)}
+	for {
+		col, _, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectOp("="); err != nil {
+			return nil, err
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		u.Sets = append(u.Sets, ast.Assignment{Col: col, Expr: e})
+		if p.acceptOp(",") {
+			continue
+		}
+		break
+	}
+	if p.acceptKw("WHERE") {
+		w, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		u.Where = w
+	}
+	return u, nil
+}
+
+func (p *parser) parseDelete() (ast.Statement, error) {
+	start := p.cur()
+	p.next() // DELETE
+	if err := p.expectKw("FROM"); err != nil {
+		return nil, err
+	}
+	table, _, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	d := &ast.Delete{Table: table, Pos: p.posOf(start)}
+	if p.acceptKw("WHERE") {
+		w, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		d.Where = w
+	}
+	return d, nil
+}

@@ -1,0 +1,231 @@
+package types
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestValueConstructors(t *testing.T) {
+	cases := []struct {
+		v    Value
+		kind Kind
+		str  string
+	}{
+		{Int(42), KindInt, "42"},
+		{Int(-1), KindInt, "-1"},
+		{Float(1.5), KindFloat, "1.5"},
+		{Float(0), KindFloat, "0"},
+		{Bool(true), KindBool, "true"},
+		{Bool(false), KindBool, "false"},
+		{Str("hi"), KindStr, "hi"},
+		{Oid(7), KindOID, "7"},
+		{Null(KindInt), KindInt, "null"},
+		{NullUnknown(), KindVoid, "null"},
+	}
+	for _, c := range cases {
+		if c.v.Kind() != c.kind {
+			t.Errorf("%v: kind %v, want %v", c.v, c.v.Kind(), c.kind)
+		}
+		if c.v.String() != c.str {
+			t.Errorf("%v: string %q, want %q", c.v, c.v.String(), c.str)
+		}
+	}
+}
+
+func TestNullness(t *testing.T) {
+	if Int(0).IsNull() || Str("").IsNull() || Bool(false).IsNull() {
+		t.Error("zero values are not NULL")
+	}
+	if !Null(KindStr).IsNull() || !NullUnknown().IsNull() {
+		t.Error("null values must report IsNull")
+	}
+	var zero Value
+	if !zero.IsNull() {
+		t.Error("the zero Value is NULL")
+	}
+}
+
+func TestCompare(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		want int
+	}{
+		{Int(1), Int(2), -1},
+		{Int(2), Int(2), 0},
+		{Int(3), Int(2), 1},
+		{Float(1.5), Int(2), -1},
+		{Int(2), Float(1.5), 1},
+		{Str("a"), Str("b"), -1},
+		{Bool(false), Bool(true), -1},
+		{Null(KindInt), Int(0), -1}, // NULL sorts first
+		{Int(0), Null(KindInt), 1},
+		{Null(KindInt), Null(KindStr), 0},
+	}
+	for _, c := range cases {
+		if got := c.a.Compare(c.b); got != c.want {
+			t.Errorf("Compare(%v, %v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestCompareAntisymmetry(t *testing.T) {
+	f := func(a, b int64) bool {
+		return Int(a).Compare(Int(b)) == -Int(b).Compare(Int(a))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEqualCrossKind(t *testing.T) {
+	if !Int(2).Equal(Float(2.0)) {
+		t.Error("2 should equal 2.0")
+	}
+	if Int(2).Equal(Str("2")) {
+		t.Error("2 should not equal '2'")
+	}
+	if !Null(KindInt).Equal(NullUnknown()) {
+		t.Error("nulls are Equal for grouping purposes")
+	}
+}
+
+func TestCasts(t *testing.T) {
+	ok := []struct {
+		in   Value
+		to   Kind
+		want Value
+	}{
+		{Float(3.9), KindInt, Int(3)},
+		{Float(-3.9), KindInt, Int(-3)},
+		{Int(1), KindBool, Bool(true)},
+		{Int(0), KindBool, Bool(false)},
+		{Str(" 42 "), KindInt, Int(42)},
+		{Str("1.5"), KindFloat, Float(1.5)},
+		{Str("true"), KindBool, Bool(true)},
+		{Str("f"), KindBool, Bool(false)},
+		{Int(7), KindStr, Str("7")},
+		{Bool(true), KindInt, Int(1)},
+		{Int(5), KindOID, Oid(5)},
+		{Null(KindStr), KindInt, Null(KindInt)},
+	}
+	for _, c := range ok {
+		got, err := c.in.Cast(c.to)
+		if err != nil {
+			t.Errorf("Cast(%v, %v): %v", c.in, c.to, err)
+			continue
+		}
+		if !got.Equal(c.want) || got.IsNull() != c.want.IsNull() {
+			t.Errorf("Cast(%v, %v) = %v, want %v", c.in, c.to, got, c.want)
+		}
+	}
+	bad := []struct {
+		in Value
+		to Kind
+	}{
+		{Str("abc"), KindInt},
+		{Str("x"), KindBool},
+		{Int(-1), KindOID},
+		{Float(math.NaN()), KindInt},
+		{Float(math.Inf(1)), KindInt},
+	}
+	for _, c := range bad {
+		if _, err := c.in.Cast(c.to); err == nil {
+			t.Errorf("Cast(%v, %v) should fail", c.in, c.to)
+		}
+	}
+}
+
+func TestCastRoundtripProperty(t *testing.T) {
+	// int → float → int round-trips for values in the float-exact range.
+	f := func(v int32) bool {
+		fv, err := Int(int64(v)).Cast(KindFloat)
+		if err != nil {
+			return false
+		}
+		iv, err := fv.Cast(KindInt)
+		if err != nil {
+			return false
+		}
+		return iv.Int64() == int64(v)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCommonKind(t *testing.T) {
+	cases := []struct {
+		a, b Kind
+		want Kind
+		err  bool
+	}{
+		{KindInt, KindInt, KindInt, false},
+		{KindInt, KindFloat, KindFloat, false},
+		{KindFloat, KindInt, KindFloat, false},
+		{KindOID, KindInt, KindInt, false},
+		{KindVoid, KindStr, KindStr, false},
+		{KindBool, KindVoid, KindBool, false},
+		{KindStr, KindInt, 0, true},
+		{KindBool, KindInt, 0, true},
+	}
+	for _, c := range cases {
+		got, err := CommonKind(c.a, c.b)
+		if (err != nil) != c.err {
+			t.Errorf("CommonKind(%v,%v): err=%v", c.a, c.b, err)
+			continue
+		}
+		if !c.err && got != c.want {
+			t.Errorf("CommonKind(%v,%v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestSQLTypeByName(t *testing.T) {
+	for name, kind := range map[string]Kind{
+		"INT": KindInt, "integer": KindInt, "BIGINT": KindInt,
+		"double": KindFloat, "REAL": KindFloat, "FLOAT": KindFloat,
+		"VARCHAR": KindStr, "text": KindStr, "string": KindStr,
+		"BOOLEAN": KindBool, "bool": KindBool,
+	} {
+		st, ok := SQLTypeByName(name)
+		if !ok || st.Kind != kind {
+			t.Errorf("SQLTypeByName(%q) = %v, %v", name, st, ok)
+		}
+	}
+	if _, ok := SQLTypeByName("BLOB"); ok {
+		t.Error("BLOB should be unsupported")
+	}
+}
+
+func TestAsIntAsFloat(t *testing.T) {
+	if v, err := Float(2.9).AsInt(); err != nil || v != 2 {
+		t.Errorf("AsInt(2.9) = %d, %v", v, err)
+	}
+	if v, err := Int(3).AsFloat(); err != nil || v != 3.0 {
+		t.Errorf("AsFloat(3) = %v, %v", v, err)
+	}
+	if _, err := Str("x").AsInt(); err == nil {
+		t.Error("AsInt on string should fail")
+	}
+	if _, err := Null(KindInt).AsFloat(); err == nil {
+		t.Error("AsFloat on NULL should fail")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for k, want := range map[Kind]string{
+		KindVoid: "void", KindOID: "oid", KindInt: "lng",
+		KindFloat: "dbl", KindBool: "bit", KindStr: "str",
+	} {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q, want %q", k, k.String(), want)
+		}
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	if FormatFloat(1.5) != "1.5" || FormatFloat(2) != "2" {
+		t.Errorf("formats: %q %q", FormatFloat(1.5), FormatFloat(2))
+	}
+}

@@ -1,0 +1,209 @@
+// Package vault reproduces the Data Vault of the paper's Scenario II
+// (Ivanova et al. [9]): a symbiosis between the DBMS and external file
+// repositories. Image files are *attached* to the vault cheaply; the pixel
+// data is materialised into a SciQL array only when first needed, so the
+// database can catalogue large image repositories without ingesting them
+// up front. The paper used a GeoTIFF vault over GDAL; this one reads PGM
+// rasters (see internal/img for why that substitution is behaviour-
+// preserving).
+package vault
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/img"
+)
+
+// Vault manages lazily-materialised external images.
+type Vault struct {
+	mu sync.Mutex
+	db *core.DB
+
+	entries map[string]*entry
+}
+
+type entry struct {
+	path         string
+	image        *img.Image // pre-loaded in-memory image (alternative to path)
+	materialised bool
+	w, h         int
+}
+
+// New returns a vault over the database.
+func New(db *core.DB) *Vault {
+	return &Vault{db: db, entries: map[string]*entry{}}
+}
+
+// AttachFile registers an external PGM file under an array name without
+// reading its pixels.
+func (v *Vault) AttachFile(name, path string) error {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if _, dup := v.entries[name]; dup {
+		return fmt.Errorf("vault: %q is already attached", name)
+	}
+	v.entries[name] = &entry{path: path}
+	return nil
+}
+
+// AttachImage registers an in-memory image (used by the demo scenarios and
+// tests, where scenes are synthesised rather than read from disk).
+func (v *Vault) AttachImage(name string, m *img.Image) error {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if _, dup := v.entries[name]; dup {
+		return fmt.Errorf("vault: %q is already attached", name)
+	}
+	v.entries[name] = &entry{image: m}
+	return nil
+}
+
+// Attached lists the attached names, sorted.
+func (v *Vault) Attached() []string {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	out := make([]string, 0, len(v.entries))
+	for n := range v.entries {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Materialise ensures the named image exists as a SciQL array
+// (x, y dimensions and an INT intensity attribute v), loading it on first
+// use. It reports whether this call performed the load.
+func (v *Vault) Materialise(name string) (bool, error) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	e, ok := v.entries[name]
+	if !ok {
+		return false, fmt.Errorf("vault: %q is not attached", name)
+	}
+	if e.materialised {
+		return false, nil
+	}
+	m := e.image
+	if m == nil {
+		var err error
+		m, err = img.LoadPGM(e.path)
+		if err != nil {
+			return false, fmt.Errorf("vault: loading %q: %v", e.path, err)
+		}
+	}
+	if err := LoadImage(v.db, name, m); err != nil {
+		return false, err
+	}
+	e.materialised = true
+	e.w, e.h = m.W, m.H
+	return true, nil
+}
+
+// LoadImage stores an image as the SciQL array
+//
+//	CREATE ARRAY <name> (x INT DIMENSION[0:1:W], y INT DIMENSION[0:1:H],
+//	                     v INT DEFAULT 0)
+//
+// exactly as Scenario II stores GeoTIFFs: "each image is stored as a 2-D
+// array with x, y dimensions denoting the pixel positions and an integer
+// column v denoting the grey-scale intensities".
+func LoadImage(db *core.DB, name string, m *img.Image) error {
+	q := fmt.Sprintf(
+		`CREATE ARRAY %s (x INT DIMENSION[0:1:%d], y INT DIMENSION[0:1:%d], v INT DEFAULT 0)`,
+		name, m.W, m.H)
+	if _, err := db.Query(q); err != nil {
+		return err
+	}
+	// Array cells are row-major over (x, y): pos = x*H + y. The raster is
+	// y-major, so transpose while copying.
+	data := make([]int64, m.W*m.H)
+	for x := 0; x < m.W; x++ {
+		base := x * m.H
+		for y := 0; y < m.H; y++ {
+			data[base+y] = int64(m.At(x, y))
+		}
+	}
+	return db.BulkSetAttrInts(name, "v", data)
+}
+
+// ReadImage extracts an array back into an image; holes and out-of-range
+// intensities clamp to [0, 255].
+func ReadImage(db *core.DB, name string) (*img.Image, error) {
+	a, ok := db.Catalog().Array(name)
+	if !ok {
+		return nil, fmt.Errorf("no such array: %q", name)
+	}
+	if len(a.Shape) != 2 {
+		return nil, fmt.Errorf("array %q is not 2-D", name)
+	}
+	w, h := a.Shape[0].N(), a.Shape[1].N()
+	vals, valid, err := db.ReadAttrInts(name, a.Attrs[0].Name)
+	if err != nil {
+		return nil, err
+	}
+	out := img.New(w, h)
+	for x := 0; x < w; x++ {
+		for y := 0; y < h; y++ {
+			p := x*h + y
+			v := int64(0)
+			if valid[p] {
+				v = vals[p]
+			}
+			if v < 0 {
+				v = 0
+			}
+			if v > 255 {
+				v = 255
+			}
+			out.Set(x, y, uint8(v))
+		}
+	}
+	return out, nil
+}
+
+// ResultImage renders an array-valued query result (2-D, single integer
+// attribute) as an image, mapping holes to black.
+func ResultImage(res *core.Result) (*img.Image, error) {
+	if !res.IsArray || len(res.Shape) != 2 {
+		return nil, fmt.Errorf("result is not a 2-D array")
+	}
+	attr := -1
+	for i, d := range res.Dims {
+		if !d {
+			if attr >= 0 {
+				return nil, fmt.Errorf("result has more than one attribute")
+			}
+			attr = i
+		}
+	}
+	if attr < 0 {
+		return nil, fmt.Errorf("result has no attribute column")
+	}
+	w, h := res.Shape[0].N(), res.Shape[1].N()
+	out := img.New(w, h)
+	col := res.Cols[attr]
+	coords := make([]int64, 2)
+	for p := 0; p < res.Shape.Cells(); p++ {
+		res.Shape.Coords(p, coords)
+		xi := int((coords[0] - res.Shape[0].Start) / res.Shape[0].Step)
+		yi := int((coords[1] - res.Shape[1].Start) / res.Shape[1].Step)
+		if col.IsNull(p) {
+			continue
+		}
+		v, err := col.Get(p).AsInt()
+		if err != nil {
+			return nil, err
+		}
+		if v < 0 {
+			v = 0
+		}
+		if v > 255 {
+			v = 255
+		}
+		out.Set(xi, yi, uint8(v))
+	}
+	return out, nil
+}

@@ -1,0 +1,101 @@
+package vault
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/img"
+)
+
+func TestLoadImageCreatesScenarioIISchema(t *testing.T) {
+	db := core.New()
+	m := img.Gradient(6, 4)
+	if err := LoadImage(db, "pic", m); err != nil {
+		t.Fatal(err)
+	}
+	a, ok := db.Catalog().Array("pic")
+	if !ok {
+		t.Fatal("array not created")
+	}
+	// "Each image is stored as a 2D array with x,y dimensions ... and an
+	// integer column v" (§4).
+	if len(a.Shape) != 2 || a.Shape[0].Name != "x" || a.Shape[1].Name != "y" {
+		t.Errorf("shape = %v", a.Shape)
+	}
+	if a.Shape[0].N() != 6 || a.Shape[1].N() != 4 {
+		t.Errorf("extent %dx%d", a.Shape[0].N(), a.Shape[1].N())
+	}
+	if len(a.Attrs) != 1 || a.Attrs[0].Name != "v" {
+		t.Errorf("attrs = %v", a.Attrs)
+	}
+	// Pixels queryable by position.
+	res := db.MustQuery(`SELECT v FROM pic WHERE x = 5 AND y = 3`)
+	if res.Value(0, 0).Int64() != int64(m.At(5, 3)) {
+		t.Errorf("pixel = %v, want %d", res.Value(0, 0), m.At(5, 3))
+	}
+}
+
+func TestLoadImageDuplicateFails(t *testing.T) {
+	db := core.New()
+	m := img.Gradient(2, 2)
+	if err := LoadImage(db, "p", m); err != nil {
+		t.Fatal(err)
+	}
+	if err := LoadImage(db, "p", m); err == nil {
+		t.Error("duplicate load must fail")
+	}
+}
+
+func TestReadImageClampsAndHoles(t *testing.T) {
+	db := core.New()
+	if err := LoadImage(db, "p", img.Gradient(4, 4)); err != nil {
+		t.Fatal(err)
+	}
+	db.MustQuery(`UPDATE p SET v = 999 WHERE x = 0 AND y = 0`)
+	db.MustQuery(`UPDATE p SET v = -5 WHERE x = 1 AND y = 0`)
+	db.MustQuery(`DELETE FROM p WHERE x = 2 AND y = 0`)
+	back, err := ReadImage(db, "p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.At(0, 0) != 255 || back.At(1, 0) != 0 || back.At(2, 0) != 0 {
+		t.Errorf("clamp/hole handling: %d %d %d", back.At(0, 0), back.At(1, 0), back.At(2, 0))
+	}
+}
+
+func TestResultImageErrors(t *testing.T) {
+	db := core.New()
+	db.MustQuery(`CREATE TABLE t (a INT)`)
+	db.MustQuery(`INSERT INTO t VALUES (1)`)
+	res := db.MustQuery(`SELECT a FROM t`)
+	if _, err := ResultImage(res); err == nil {
+		t.Error("table result must be rejected")
+	}
+	db.MustQuery(`CREATE ARRAY one (x INT DIMENSION[0:1:2], v INT DEFAULT 0)`)
+	res = db.MustQuery(`SELECT [x], v FROM one`)
+	if _, err := ResultImage(res); err == nil {
+		t.Error("1-D result must be rejected")
+	}
+	db.MustQuery(`CREATE ARRAY two (x INT DIMENSION[0:1:2], y INT DIMENSION[0:1:2], a INT DEFAULT 0, b INT DEFAULT 0)`)
+	res = db.MustQuery(`SELECT [x], [y], a, b FROM two`)
+	if _, err := ResultImage(res); err == nil {
+		t.Error("two-attribute result must be rejected")
+	}
+}
+
+func TestVaultErrors(t *testing.T) {
+	db := core.New()
+	v := New(db)
+	if _, err := v.Materialise("nothere"); err == nil {
+		t.Error("materialising an unattached name must fail")
+	}
+	if err := v.AttachFile("x", "/nonexistent/file.pgm"); err != nil {
+		t.Fatalf("attach is lazy and must not touch the file: %v", err)
+	}
+	if _, err := v.Materialise("x"); err == nil {
+		t.Error("materialising a missing file must fail")
+	}
+	if err := v.AttachFile("x", "elsewhere.pgm"); err == nil {
+		t.Error("duplicate attach must fail")
+	}
+}

@@ -1,0 +1,86 @@
+// Package-level tests exercising the public façade exactly as a downstream
+// user would.
+package sciql_test
+
+import (
+	"strings"
+	"testing"
+
+	sciql "repro"
+)
+
+func TestFacadeQuickstart(t *testing.T) {
+	db := sciql.New()
+	if _, err := db.Exec(`CREATE ARRAY matrix (
+		x INT DIMENSION[0:1:4], y INT DIMENSION[0:1:4],
+		v INT DEFAULT 0)`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec(`UPDATE matrix SET v = CASE
+		WHEN x > y THEN x + y WHEN x < y THEN x - y ELSE 0 END`); err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.Query(`SELECT [x], [y], AVG(v) FROM matrix
+		GROUP BY matrix[x:x+2][y:y+2]
+		HAVING x MOD 2 = 1 AND y MOD 2 = 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.IsArray || len(res.Shape) != 2 {
+		t.Fatalf("expected a 2-D array result, got %+v", res.Shape)
+	}
+	if res.Shape.Cells() != 16 {
+		t.Errorf("shape %v", res.Shape)
+	}
+}
+
+func TestFacadePersistence(t *testing.T) {
+	dir := t.TempDir()
+	db, err := sciql.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.MustQuery(`CREATE TABLE notes (id INT, body VARCHAR)`)
+	db.MustQuery(`INSERT INTO notes VALUES (1, 'hello')`)
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	db2, err := sciql.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	res := db2.MustQuery(`SELECT body FROM notes`)
+	if res.NumRows() != 1 || res.Value(0, 0).StrVal() != "hello" {
+		t.Errorf("persisted data lost: %v", res)
+	}
+}
+
+func TestFacadeErrorsAreSQLish(t *testing.T) {
+	db := sciql.New()
+	_, err := db.Query(`SELECT * FROM missing`)
+	if err == nil || !strings.Contains(err.Error(), "no such table") {
+		t.Errorf("err = %v", err)
+	}
+	_, err = db.Query(`SELEC 1`)
+	if err == nil || !strings.Contains(err.Error(), "parse error") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestFacadeBatchExec(t *testing.T) {
+	db := sciql.New()
+	results, err := db.Exec(`
+		CREATE TABLE t (a INT);
+		INSERT INTO t VALUES (1), (2);
+		SELECT SUM(a) FROM t;`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("got %d results", len(results))
+	}
+	if results[2].Value(0, 0).Int64() != 3 {
+		t.Errorf("sum = %v", results[2].Value(0, 0))
+	}
+}
