@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# bench.sh — verify loop + benchmark harness for the parallel GDK kernels.
+#
+# Runs go vet and the full test suite under -race (the parallel kernels'
+# correctness gate), then the Figure-1/Scenario benchmarks plus the
+# threads=1 vs threads=GOMAXPROCS kernel comparisons with -benchmem, and
+# emits the results as BENCH_parallel.json next to this script.
+#
+# Usage: ./bench.sh [bench-regex]   (default: Fig|Scenario|Parallel|ParseCache)
+set -euo pipefail
+cd "$(dirname "$0")"
+
+PATTERN="${1:-BenchmarkFig|BenchmarkScenario|BenchmarkParallel|BenchmarkParseCache|BenchmarkAblation}"
+OUT=BENCH_parallel.json
+TXT=bench_out.txt
+
+echo "== go vet"
+go vet ./...
+
+echo "== go test -race (kernel equivalence under the race detector)"
+go test -race ./internal/gdk/... ./internal/par/...
+
+echo "== go test (full tier-1 suite)"
+go test ./...
+
+echo "== benchmarks: ${PATTERN}"
+go test -run '^$' -bench "${PATTERN}" -benchmem . | tee "${TXT}"
+
+# Convert "BenchmarkName-8  iters  ns/op  B/op  allocs/op" lines to JSON.
+awk '
+BEGIN { print "["; first = 1 }
+/^Benchmark/ {
+    name = $1; iters = $2; ns = $3; bytes = ""; allocs = ""
+    for (i = 4; i <= NF; i++) {
+        if ($(i) == "B/op")      bytes  = $(i - 1)
+        if ($(i) == "allocs/op") allocs = $(i - 1)
+    }
+    if (!first) printf ",\n"
+    first = 0
+    printf "  {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s", name, iters, ns
+    if (bytes  != "") printf ", \"bytes_per_op\": %s", bytes
+    if (allocs != "") printf ", \"allocs_per_op\": %s", allocs
+    printf "}"
+}
+END { print "\n]" }
+' "${TXT}" > "${OUT}"
+
+echo "wrote ${OUT} ($(grep -c '"name"' "${OUT}") entries)"

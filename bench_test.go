@@ -7,7 +7,9 @@ package sciql_test
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
+	"time"
 
 	sciql "repro"
 	"repro/internal/baseline"
@@ -463,5 +465,155 @@ func mustExec(b *testing.B, db *sciql.DB, q string) {
 	b.Helper()
 	if _, err := db.Query(q); err != nil {
 		b.Fatalf("%s: %v", q, err)
+	}
+}
+
+// ------------------------------------------------- morsel-parallel kernels
+
+// parallelRowCount is the input size of the threads=1 vs threads=N kernel
+// comparisons: far above the morsel threshold so the pool engages fully.
+const parallelRowCount = 1 << 20
+
+// assertParallelSpeedup times fn at threads=1 and threads=GOMAXPROCS (min
+// of several runs) and fails the benchmark when the parallel run is not at
+// least 2x faster on machines with 4 or more cores. On smaller machines it
+// only reports the ratio.
+func assertParallelSpeedup(b *testing.B, label string, fn func() error) {
+	b.Helper()
+	cores := runtime.GOMAXPROCS(0)
+	timed := func(threads int) time.Duration {
+		prev := sciql.SetThreads(threads)
+		defer sciql.SetThreads(prev)
+		if err := fn(); err != nil { // warm up
+			b.Fatal(err)
+		}
+		best := time.Duration(1<<63 - 1)
+		for run := 0; run < 5; run++ {
+			start := time.Now()
+			err := fn()
+			if d := time.Since(start); d < best {
+				best = d
+			}
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		return best
+	}
+	serial := timed(1)
+	parallel := timed(cores)
+	ratio := float64(serial) / float64(parallel)
+	b.Logf("%s: serial %v, parallel(%d) %v, speedup %.2fx", label, serial, cores, parallel, ratio)
+	if cores >= 4 && ratio < 2 {
+		b.Errorf("%s: parallel speedup %.2fx at %d cores, want >= 2x", label, ratio, cores)
+	}
+}
+
+// BenchmarkParallel_Arith compares a 1M-row vectorised addition at
+// threads=1 against threads=GOMAXPROCS and asserts the >= 2x speedup on
+// machines with at least 4 cores.
+func BenchmarkParallel_Arith(b *testing.B) {
+	li := make([]int64, parallelRowCount)
+	ri := make([]int64, parallelRowCount)
+	for i := range li {
+		li[i] = int64(i)
+		ri[i] = int64(i % 977)
+	}
+	l, r := bat.FromInts(li), bat.FromInts(ri)
+	work := func() error {
+		_, err := gdk.Arith("+", gdk.B(l), gdk.B(r))
+		return err
+	}
+	for _, th := range []int{1, runtime.GOMAXPROCS(0)} {
+		b.Run(fmt.Sprintf("threads=%d", th), func(b *testing.B) {
+			prev := sciql.SetThreads(th)
+			defer sciql.SetThreads(prev)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := work(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	assertParallelSpeedup(b, "Arith 1M", work)
+}
+
+// BenchmarkParallel_Join compares a 1M-row probe against a 1024-row build
+// side at threads=1 and threads=GOMAXPROCS. The probe path performs no
+// per-row allocation (the row hash is an inlined FNV-1a over the typed
+// slices), which -benchmem makes visible: allocs/op stays constant while
+// rows scale.
+func BenchmarkParallel_Join(b *testing.B) {
+	lk := make([]int64, parallelRowCount)
+	for i := range lk {
+		lk[i] = int64(i % 4096)
+	}
+	rk := make([]int64, 1024)
+	for i := range rk {
+		rk[i] = int64(i)
+	}
+	l, r := bat.FromInts(lk), bat.FromInts(rk)
+	work := func() error {
+		_, _, err := gdk.HashJoin([]*bat.BAT{l}, []*bat.BAT{r})
+		return err
+	}
+	for _, th := range []int{1, runtime.GOMAXPROCS(0)} {
+		b.Run(fmt.Sprintf("threads=%d", th), func(b *testing.B) {
+			prev := sciql.SetThreads(th)
+			defer sciql.SetThreads(prev)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := work(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	assertParallelSpeedup(b, "HashJoin 1Mx1K", work)
+}
+
+// BenchmarkParallel_SubAggr covers the grouped-aggregate partial-merge
+// path: 1M rows into 1024 groups.
+func BenchmarkParallel_SubAggr(b *testing.B) {
+	vals := make([]int64, parallelRowCount)
+	gids := make([]int64, parallelRowCount)
+	for i := range vals {
+		vals[i] = int64(i % 7919)
+		gids[i] = int64(i % 1024)
+	}
+	v, g := bat.FromInts(vals), bat.FromOIDs(gids)
+	work := func() error {
+		_, err := gdk.SubAggr(gdk.AggSum, v, g, 1024)
+		return err
+	}
+	for _, th := range []int{1, runtime.GOMAXPROCS(0)} {
+		b.Run(fmt.Sprintf("threads=%d", th), func(b *testing.B) {
+			prev := sciql.SetThreads(th)
+			defer sciql.SetThreads(prev)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := work(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	assertParallelSpeedup(b, "SubAggr 1M/1K groups", work)
+}
+
+// BenchmarkParseCache measures the statement cache on the Fig. 1(b)
+// guarded-update pattern: the same statement re-executed against a 256x256
+// array, the dominant shape in the Life and image scenarios.
+func BenchmarkParseCache(b *testing.B) {
+	db := sciql.New()
+	mustExec(b, db,
+		`CREATE ARRAY m (x INT DIMENSION[0:1:256], y INT DIMENSION[0:1:256], v INT DEFAULT 0)`)
+	q := `SELECT SUM(v) FROM m WHERE x > 10 AND y > 10`
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Query(q); err != nil {
+			b.Fatal(err)
+		}
 	}
 }

@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	sciql [-d dir] [-e "statements"] [-grid] [file.sql ...]
+//	sciql [-d dir] [-e "statements"] [-grid] [-threads n] [file.sql ...]
 //
 // With -d the database persists to the directory on exit. With -e (or SQL
 // files as arguments) statements run non-interactively. Inside the shell:
@@ -30,7 +30,10 @@ func main() {
 	dir := flag.String("d", "", "database directory (empty: in-memory)")
 	exec := flag.String("e", "", "statements to execute and exit")
 	grid := flag.Bool("grid", false, "render 2-D array results as grids")
+	threads := flag.Int("threads", 0, "kernel worker threads (0: GOMAXPROCS)")
 	flag.Parse()
+
+	sciql.SetThreads(*threads)
 
 	var (
 		db  *sciql.DB

@@ -74,6 +74,16 @@ func FromOIDs(vals []int64) *BAT {
 	return &BAT{kind: types.KindOID, count: len(vals), ints: vals}
 }
 
+// FromIntsOfKind wraps an int64 slice as a KindInt or KindOID BAT; other
+// kinds panic. Parallel kernels use it to assemble pre-filled outputs.
+func FromIntsOfKind(vals []int64, kind types.Kind) *BAT {
+	switch kind {
+	case types.KindInt, types.KindOID:
+		return &BAT{kind: kind, count: len(vals), ints: vals}
+	}
+	panic(fmt.Sprintf("bat: FromIntsOfKind on %v", kind))
+}
+
 // FromFloats wraps a float64 slice as a KindFloat BAT.
 func FromFloats(vals []float64) *BAT {
 	return &BAT{kind: types.KindFloat, count: len(vals), floats: vals}
@@ -128,6 +138,18 @@ func (b *BAT) SetNull(i int, null bool) {
 
 // NullMask exposes the NULL bitmap (may be nil).
 func (b *BAT) NullMask() *Bitmap { return b.nulls }
+
+// SetNullMask attaches m as the BAT's NULL bitmap in O(1), replacing any
+// existing mask. A nil or all-zero mask clears it. The mask is resized to
+// the row count so stale tail bits cannot leak in.
+func (b *BAT) SetNullMask(m *Bitmap) {
+	if m == nil || !m.Any() {
+		b.nulls = nil
+		return
+	}
+	m.Resize(b.count)
+	b.nulls = m
+}
 
 // Ints returns the underlying int64 slice (KindInt/KindOID only).
 func (b *BAT) Ints() []int64 { return b.ints }

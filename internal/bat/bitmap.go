@@ -124,6 +124,65 @@ func (b *Bitmap) Slice(lo, hi int) *Bitmap {
 	return out
 }
 
+// Union returns a new n-bit bitmap holding the bitwise OR of a and b,
+// word-at-a-time. Either input may be nil (all-zero) or shorter than n
+// (zero-extended). It returns nil when both inputs are nil, preserving the
+// "no NULLs" fast path.
+func Union(n int, a, b *Bitmap) *Bitmap {
+	if a == nil && b == nil {
+		return nil
+	}
+	out := NewBitmap(n)
+	if a != nil {
+		copyWords(out.words, a.words, a.n)
+	}
+	if b != nil {
+		orWords(out.words, b.words, b.n)
+	}
+	// Clear bits beyond n in case an input was longer than the result.
+	if rem := n & 63; rem != 0 && len(out.words) > 0 {
+		out.words[len(out.words)-1] &= (1 << uint(rem)) - 1
+	}
+	return out
+}
+
+// copyWords copies min(len(dst), words covering srcLen bits) words from src,
+// masking the partial tail word of src so stale bits never transfer.
+func copyWords(dst, src []uint64, srcLen int) {
+	k := (srcLen + 63) / 64
+	if k > len(dst) {
+		k = len(dst)
+	}
+	copy(dst[:k], src[:k])
+	maskTail(dst, srcLen, k)
+}
+
+func orWords(dst, src []uint64, srcLen int) {
+	k := (srcLen + 63) / 64
+	if k > len(dst) {
+		k = len(dst)
+	}
+	for i := 0; i < k-1; i++ {
+		dst[i] |= src[i]
+	}
+	if k > 0 {
+		w := src[k-1]
+		if rem := srcLen & 63; rem != 0 && k == (srcLen+63)/64 {
+			w &= (1 << uint(rem)) - 1
+		}
+		dst[k-1] |= w
+	}
+}
+
+func maskTail(dst []uint64, srcLen, k int) {
+	if k == 0 || k != (srcLen+63)/64 {
+		return
+	}
+	if rem := srcLen & 63; rem != 0 {
+		dst[k-1] &= (1 << uint(rem)) - 1
+	}
+}
+
 // Resize truncates or extends (with zero bits) the bitmap to n bits.
 func (b *Bitmap) Resize(n int) {
 	if n < 0 {

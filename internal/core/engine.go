@@ -24,16 +24,18 @@ type DB struct {
 	dir string // persistence directory; empty = in-memory
 
 	txn *txn // open explicit transaction, nil in autocommit
+
+	pcache *parseCache // bounded LRU of parsed statements, purged on DDL
 }
 
 // New creates an empty in-memory database.
 func New() *DB {
-	return &DB{cat: catalog.New()}
+	return &DB{cat: catalog.New(), pcache: newParseCache()}
 }
 
 // Open loads (or initialises) a database persisted in dir.
 func Open(dir string) (*DB, error) {
-	db := &DB{cat: catalog.New(), dir: dir}
+	db := &DB{cat: catalog.New(), dir: dir, pcache: newParseCache()}
 	if err := db.load(); err != nil {
 		return nil, err
 	}
@@ -58,11 +60,17 @@ func (db *DB) Close() error {
 }
 
 // Exec parses and executes a semicolon-separated batch, returning one
-// result per statement.
+// result per statement. Repeated batches skip the parser via the DB's
+// statement cache.
 func (db *DB) Exec(query string) ([]*Result, error) {
-	stmts, err := parser.Parse(query)
-	if err != nil {
-		return nil, err
+	stmts, ok := db.pcache.get(query)
+	if !ok {
+		var err error
+		stmts, err = parser.Parse(query)
+		if err != nil {
+			return nil, err
+		}
+		db.pcache.put(query, stmts)
 	}
 	out := make([]*Result, 0, len(stmts))
 	for _, s := range stmts {
@@ -75,12 +83,17 @@ func (db *DB) Exec(query string) ([]*Result, error) {
 	return out, nil
 }
 
-// Query executes exactly one statement and returns its result.
+// Query executes exactly one statement and returns its result. Repeated
+// statements skip the parser via the DB's statement cache.
 func (db *DB) Query(query string) (*Result, error) {
+	if stmts, ok := db.pcache.get(query); ok && len(stmts) == 1 {
+		return db.ExecStmt(stmts[0])
+	}
 	stmt, err := parser.ParseOne(query)
 	if err != nil {
 		return nil, err
 	}
+	db.pcache.put(query, []ast.Statement{stmt})
 	return db.ExecStmt(stmt)
 }
 
@@ -105,12 +118,16 @@ func (db *DB) execLocked(stmt ast.Statement) (*Result, error) {
 	case *ast.Select:
 		return db.runSelect(s)
 	case *ast.CreateTable:
+		db.pcache.purge() // DDL invalidates cached statements
 		return db.createTable(s)
 	case *ast.CreateArray:
+		db.pcache.purge()
 		return db.createArray(s)
 	case *ast.Drop:
+		db.pcache.purge()
 		return db.drop(s)
 	case *ast.AlterDimension:
+		db.pcache.purge()
 		return db.alterDimension(s)
 	case *ast.Insert:
 		return db.insert(s)

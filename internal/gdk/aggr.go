@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/bat"
+	"repro/internal/par"
 	"repro/internal/types"
 )
 
@@ -45,32 +46,48 @@ func AggResultKind(agg AggKind, k types.Kind) (types.Kind, error) {
 	}
 }
 
+// aggrPlan partitions the rows for a grouped aggregate. Each chunk owns a
+// private ngroups-sized partial state, so the plan stays serial when the
+// partial states would dwarf the input (many tiny groups, e.g. per-cell
+// structural grouping) — there the merge would cost more than the scan.
+func aggrPlan(n, ngroups int) par.Plan {
+	plan := par.NewPlan(n)
+	if plan.Parallel() && ngroups*plan.Chunks() > 4*n {
+		return par.Serial(n)
+	}
+	return plan
+}
+
+// gidSlice normalises the group-id column to a plain int64 slice.
+func gidSlice(gids *bat.BAT) []int64 {
+	if gids.Kind() == types.KindVoid {
+		return gids.Materialize().Ints()
+	}
+	return gids.Ints()
+}
+
 // SubAggr computes a grouped aggregate (MAL aggr.sub*): vals and gids are
 // aligned; the result has one row per group id in [0, ngroups).
 // NULL input rows are ignored; a group with no non-NULL input yields NULL
 // (count yields 0), per SQL semantics and §2 of the paper ("holes and cells
 // outside the array dimension ranges are ignored by the aggregation").
+//
+// Above the morsel threshold, each worker accumulates morsel-local partial
+// aggregates which are merged group-wise at the end (when the group count
+// permits, see aggrPlan).
 func SubAggr(agg AggKind, vals, gids *bat.BAT, ngroups int) (*bat.BAT, error) {
 	if vals != nil && gids.Len() != vals.Len() {
 		return nil, fmt.Errorf("gdk: aggregate inputs not aligned")
 	}
 	n := gids.Len()
-	gid := func(i int) int { return int(gids.OidAt(i)) }
+	gs := gidSlice(gids)
 
 	switch agg {
 	case AggCountAll:
-		counts := make([]int64, ngroups)
-		for i := 0; i < n; i++ {
-			counts[gid(i)]++
-		}
+		counts := countPartials(n, ngroups, gs, nil)
 		return bat.FromInts(counts), nil
 	case AggCount:
-		counts := make([]int64, ngroups)
-		for i := 0; i < n; i++ {
-			if !vals.IsNull(i) {
-				counts[gid(i)]++
-			}
-		}
+		counts := countPartials(n, ngroups, gs, vals)
 		return bat.FromInts(counts), nil
 	}
 
@@ -84,23 +101,27 @@ func SubAggr(agg AggKind, vals, gids *bat.BAT, ngroups int) (*bat.BAT, error) {
 		}
 		switch agg {
 		case AggSum, AggAvg:
-			sums := make([]int64, ngroups)
-			counts := make([]int64, ngroups)
-			for i := 0; i < n; i++ {
-				if vals.IsNull(i) {
-					continue
+			plan := aggrPlan(n, ngroups)
+			sumsP := make([][]int64, plan.Chunks())
+			countsP := make([][]int64, plan.Chunks())
+			plan.Run(func(c, lo, hi int) {
+				sums := make([]int64, ngroups)
+				counts := make([]int64, ngroups)
+				for i := lo; i < hi; i++ {
+					if vals.IsNull(i) {
+						continue
+					}
+					g := gs[i]
+					sums[g] += ints[i]
+					counts[g]++
 				}
-				g := gid(i)
-				sums[g] += ints[i]
-				counts[g]++
-			}
+				sumsP[c], countsP[c] = sums, counts
+			})
+			sums := mergeAdd(sumsP, ngroups)
+			counts := mergeAdd(countsP, ngroups)
 			if agg == AggSum {
 				out := bat.FromInts(sums)
-				for g, c := range counts {
-					if c == 0 {
-						out.SetNull(g, true)
-					}
-				}
+				markEmpty(out, counts)
 				return out, nil
 			}
 			avgs := make([]float64, ngroups)
@@ -110,48 +131,55 @@ func SubAggr(agg AggKind, vals, gids *bat.BAT, ngroups int) (*bat.BAT, error) {
 				}
 			}
 			out := bat.FromFloats(avgs)
-			for g, c := range counts {
-				if c == 0 {
-					out.SetNull(g, true)
-				}
-			}
+			markEmpty(out, counts)
 			return out, nil
 		case AggMin, AggMax:
-			best := make([]int64, ngroups)
-			seen := make([]bool, ngroups)
-			for i := 0; i < n; i++ {
-				if vals.IsNull(i) {
-					continue
+			plan := aggrPlan(n, ngroups)
+			bestP := make([][]int64, plan.Chunks())
+			seenP := make([][]bool, plan.Chunks())
+			plan.Run(func(c, lo, hi int) {
+				best := make([]int64, ngroups)
+				seen := make([]bool, ngroups)
+				for i := lo; i < hi; i++ {
+					if vals.IsNull(i) {
+						continue
+					}
+					g := gs[i]
+					v := ints[i]
+					if !seen[g] || (agg == AggMin && v < best[g]) || (agg == AggMax && v > best[g]) {
+						best[g] = v
+						seen[g] = true
+					}
 				}
-				g := gid(i)
-				v := ints[i]
-				if !seen[g] || (agg == AggMin && v < best[g]) || (agg == AggMax && v > best[g]) {
-					best[g] = v
-					seen[g] = true
-				}
-			}
+				bestP[c], seenP[c] = best, seen
+			})
+			best, seen := mergeMinMax(agg, bestP, seenP, ngroups)
 			out := bat.FromInts(best)
-			for g, s := range seen {
-				if !s {
-					out.SetNull(g, true)
-				}
-			}
+			markUnseen(out, seen)
 			return out, nil
 		}
 	case types.KindFloat:
 		fs := vals.Floats()
 		switch agg {
 		case AggSum, AggAvg:
-			sums := make([]float64, ngroups)
-			counts := make([]int64, ngroups)
-			for i := 0; i < n; i++ {
-				if vals.IsNull(i) {
-					continue
+			plan := aggrPlan(n, ngroups)
+			sumsP := make([][]float64, plan.Chunks())
+			countsP := make([][]int64, plan.Chunks())
+			plan.Run(func(c, lo, hi int) {
+				sums := make([]float64, ngroups)
+				counts := make([]int64, ngroups)
+				for i := lo; i < hi; i++ {
+					if vals.IsNull(i) {
+						continue
+					}
+					g := gs[i]
+					sums[g] += fs[i]
+					counts[g]++
 				}
-				g := gid(i)
-				sums[g] += fs[i]
-				counts[g]++
-			}
+				sumsP[c], countsP[c] = sums, counts
+			})
+			sums := mergeAdd(sumsP, ngroups)
+			counts := mergeAdd(countsP, ngroups)
 			if agg == AggAvg {
 				for g := range sums {
 					if counts[g] > 0 {
@@ -160,36 +188,37 @@ func SubAggr(agg AggKind, vals, gids *bat.BAT, ngroups int) (*bat.BAT, error) {
 				}
 			}
 			out := bat.FromFloats(sums)
-			for g, c := range counts {
-				if c == 0 {
-					out.SetNull(g, true)
-				}
-			}
+			markEmpty(out, counts)
 			return out, nil
 		case AggMin, AggMax:
-			best := make([]float64, ngroups)
-			seen := make([]bool, ngroups)
-			for i := 0; i < n; i++ {
-				if vals.IsNull(i) {
-					continue
+			plan := aggrPlan(n, ngroups)
+			bestP := make([][]float64, plan.Chunks())
+			seenP := make([][]bool, plan.Chunks())
+			plan.Run(func(c, lo, hi int) {
+				best := make([]float64, ngroups)
+				seen := make([]bool, ngroups)
+				for i := lo; i < hi; i++ {
+					if vals.IsNull(i) {
+						continue
+					}
+					g := gs[i]
+					v := fs[i]
+					if !seen[g] || (agg == AggMin && v < best[g]) || (agg == AggMax && v > best[g]) {
+						best[g] = v
+						seen[g] = true
+					}
 				}
-				g := gid(i)
-				v := fs[i]
-				if !seen[g] || (agg == AggMin && v < best[g]) || (agg == AggMax && v > best[g]) {
-					best[g] = v
-					seen[g] = true
-				}
-			}
+				bestP[c], seenP[c] = best, seen
+			})
+			best, seen := mergeMinMax(agg, bestP, seenP, ngroups)
 			out := bat.FromFloats(best)
-			for g, s := range seen {
-				if !s {
-					out.SetNull(g, true)
-				}
-			}
+			markUnseen(out, seen)
 			return out, nil
 		}
 	case types.KindStr:
 		if agg == AggMin || agg == AggMax {
+			// String min/max stays serial: comparisons dominate and the
+			// partial-merge gain is marginal for the workloads we serve.
 			best := make([]string, ngroups)
 			seen := make([]bool, ngroups)
 			ss := vals.Strs()
@@ -197,7 +226,7 @@ func SubAggr(agg AggKind, vals, gids *bat.BAT, ngroups int) (*bat.BAT, error) {
 				if vals.IsNull(i) {
 					continue
 				}
-				g := gid(i)
+				g := gs[i]
 				v := ss[i]
 				if !seen[g] || (agg == AggMin && v < best[g]) || (agg == AggMax && v > best[g]) {
 					best[g] = v
@@ -205,15 +234,81 @@ func SubAggr(agg AggKind, vals, gids *bat.BAT, ngroups int) (*bat.BAT, error) {
 				}
 			}
 			out := bat.FromStrings(best)
-			for g, s := range seen {
-				if !s {
-					out.SetNull(g, true)
-				}
-			}
+			markUnseen(out, seen)
 			return out, nil
 		}
 	}
 	return nil, fmt.Errorf("gdk: aggregate %s not defined on %s", agg, vals.ValueKind())
+}
+
+// countPartials counts rows (all rows when vals is nil, non-NULL rows
+// otherwise) per group with chunk-local partials.
+func countPartials(n, ngroups int, gs []int64, vals *bat.BAT) []int64 {
+	plan := aggrPlan(n, ngroups)
+	parts := make([][]int64, plan.Chunks())
+	plan.Run(func(c, lo, hi int) {
+		counts := make([]int64, ngroups)
+		if vals == nil {
+			for i := lo; i < hi; i++ {
+				counts[gs[i]]++
+			}
+		} else {
+			for i := lo; i < hi; i++ {
+				if !vals.IsNull(i) {
+					counts[gs[i]]++
+				}
+			}
+		}
+		parts[c] = counts
+	})
+	return mergeAdd(parts, ngroups)
+}
+
+// mergeAdd sums chunk partials element-wise into the first partial.
+func mergeAdd[T int64 | float64](parts [][]T, ngroups int) []T {
+	out := parts[0]
+	for c := 1; c < len(parts); c++ {
+		for g := 0; g < ngroups; g++ {
+			out[g] += parts[c][g]
+		}
+	}
+	return out
+}
+
+// mergeMinMax folds chunk-local best/seen partials into the first pair.
+func mergeMinMax[T int64 | float64](agg AggKind, bestP [][]T, seenP [][]bool, ngroups int) ([]T, []bool) {
+	best, seen := bestP[0], seenP[0]
+	for c := 1; c < len(bestP); c++ {
+		for g := 0; g < ngroups; g++ {
+			if !seenP[c][g] {
+				continue
+			}
+			v := bestP[c][g]
+			if !seen[g] || (agg == AggMin && v < best[g]) || (agg == AggMax && v > best[g]) {
+				best[g] = v
+				seen[g] = true
+			}
+		}
+	}
+	return best, seen
+}
+
+// markEmpty nulls groups with no non-NULL input rows.
+func markEmpty(out *bat.BAT, counts []int64) {
+	for g, c := range counts {
+		if c == 0 {
+			out.SetNull(g, true)
+		}
+	}
+}
+
+// markUnseen nulls groups no row contributed to.
+func markUnseen(out *bat.BAT, seen []bool) {
+	for g, s := range seen {
+		if !s {
+			out.SetNull(g, true)
+		}
+	}
 }
 
 // TotalAggr computes an ungrouped aggregate over the whole column.
@@ -222,11 +317,9 @@ func TotalAggr(agg AggKind, vals *bat.BAT) (types.Value, error) {
 	if vals != nil {
 		n = vals.Len()
 	}
-	gids := bat.NewVoid(0, n)
 	// A single group containing every row.
 	zero := make([]int64, n)
 	g := bat.FromOIDs(zero)
-	_ = gids
 	out, err := SubAggr(agg, vals, g, 1)
 	if err != nil {
 		return types.Value{}, err

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/bat"
+	"repro/internal/par"
 	"repro/internal/shape"
 	"repro/internal/types"
 )
@@ -81,16 +82,18 @@ func TileAggSAT(agg AggKind, attr *bat.BAT, sh shape.Shape, tile []TileRange) (*
 	} else if ivals != nil {
 		psumI = make([]int64, cells)
 	}
-	for p := 0; p < cells; p++ {
-		if !attr.IsNull(p) {
-			pcount[p] = 1
-			if useFloat {
-				psumF[p] = fvals[p]
-			} else if ivals != nil {
-				psumI[p] = ivals[p]
+	par.Do(cells, func(from, to int) {
+		for p := from; p < to; p++ {
+			if !attr.IsNull(p) {
+				pcount[p] = 1
+				if useFloat {
+					psumF[p] = fvals[p]
+				} else if ivals != nil {
+					psumI[p] = ivals[p]
+				}
 			}
 		}
-	}
+	})
 	strides := make([]int, k)
 	acc := 1
 	for d := k - 1; d >= 0; d-- {
@@ -114,8 +117,10 @@ func TileAggSAT(agg AggKind, attr *bat.BAT, sh shape.Shape, tile []TileRange) (*
 		}
 	}
 
-	// boxQuery evaluates the inclusion-exclusion sum of the prefix table at
-	// the clipped box around anchor coordinates.
+	// Box queries: every output cell evaluates the inclusion-exclusion sum
+	// of the prefix table at the clipped box around its coordinates. Cells
+	// are independent, so they run morsel-parallel on the shared pool, each
+	// chunk with its own coordinate scratch.
 	counts := make([]int64, cells)
 	var sumsF []float64
 	var sumsI []int64
@@ -124,16 +129,17 @@ func TileAggSAT(agg AggKind, attr *bat.BAT, sh shape.Shape, tile []TileRange) (*
 	} else if psumI != nil {
 		sumsI = make([]int64, cells)
 	}
-	idx := make([]int, k)
-	loC := make([]int, k)
-	hiC := make([]int, k)
-	corner := make([]int, k)
-	var walk func(d, pos int)
-	walk = func(d, pos int) {
-		if d == k {
-			p := pos
-			// Clip the box per dimension; empty boxes contribute nothing.
+	par.Do(cells, func(from, to int) {
+		idx := make([]int, k)
+		loC := make([]int, k)
+		hiC := make([]int, k)
+		corner := make([]int, k)
+	cellLoop:
+		for p := from; p < to; p++ {
+			// Decompose the flat position into per-dimension coordinates and
+			// clip the box; empty boxes contribute nothing.
 			for dd := 0; dd < k; dd++ {
+				idx[dd] = (p / strides[dd]) % dims[dd]
 				loC[dd] = idx[dd] + lo[dd]
 				hiC[dd] = idx[dd] + hi[dd]
 				if loC[dd] < 0 {
@@ -143,7 +149,7 @@ func TileAggSAT(agg AggKind, attr *bat.BAT, sh shape.Shape, tile []TileRange) (*
 					hiC[dd] = dims[dd] - 1
 				}
 				if loC[dd] > hiC[dd] {
-					return
+					continue cellLoop
 				}
 			}
 			// Inclusion-exclusion over 2^k corners.
@@ -176,14 +182,8 @@ func TileAggSAT(agg AggKind, attr *bat.BAT, sh shape.Shape, tile []TileRange) (*
 					sumsI[p] += sign * psumI[q]
 				}
 			}
-			return
 		}
-		for i := 0; i < dims[d]; i++ {
-			idx[d] = i
-			walk(d+1, pos+i*strides[d])
-		}
-	}
-	walk(0, 0)
+	})
 
 	return finishAccumulate(agg, sumsI, sumsF, counts)
 }

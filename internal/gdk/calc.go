@@ -6,8 +6,16 @@ import (
 	"strings"
 
 	"repro/internal/bat"
+	"repro/internal/par"
 	"repro/internal/types"
 )
+
+// The calculator kernels split their input into morsels and run on the
+// shared worker pool (package par) above the morsel threshold; below it
+// they execute the same loop serially on the caller's goroutine. Output
+// vectors are pre-sized so workers write disjoint ranges, and null bitmaps
+// are pre-allocated with 64-aligned morsel boundaries so no two workers
+// ever touch the same bitmap word.
 
 // Arith evaluates a vectorised binary arithmetic operation
 // (op one of "+", "-", "*", "/", "%"). Integer operands stay integral;
@@ -42,30 +50,48 @@ func Arith(op string, l, r Opnd) (*bat.BAT, error) {
 		out := make([]float64, n)
 		switch op {
 		case "+":
-			for i := range out {
-				out[i] = lf[i] + rf[i]
-			}
-		case "-":
-			for i := range out {
-				out[i] = lf[i] - rf[i]
-			}
-		case "*":
-			for i := range out {
-				out[i] = lf[i] * rf[i]
-			}
-		case "/":
-			for i := range out {
-				if rf[i] == 0 && !nulls.Get(i) {
-					return nil, fmt.Errorf("division by zero")
+			par.Do(n, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					out[i] = lf[i] + rf[i]
 				}
-				out[i] = lf[i] / rf[i]
+			})
+		case "-":
+			par.Do(n, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					out[i] = lf[i] - rf[i]
+				}
+			})
+		case "*":
+			par.Do(n, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					out[i] = lf[i] * rf[i]
+				}
+			})
+		case "/":
+			err := par.DoErr(n, func(lo, hi int) error {
+				for i := lo; i < hi; i++ {
+					if rf[i] == 0 && !nulls.Get(i) {
+						return fmt.Errorf("division by zero")
+					}
+					out[i] = lf[i] / rf[i]
+				}
+				return nil
+			})
+			if err != nil {
+				return nil, err
 			}
 		case "%":
-			for i := range out {
-				if rf[i] == 0 && !nulls.Get(i) {
-					return nil, fmt.Errorf("modulo by zero")
+			err := par.DoErr(n, func(lo, hi int) error {
+				for i := lo; i < hi; i++ {
+					if rf[i] == 0 && !nulls.Get(i) {
+						return fmt.Errorf("modulo by zero")
+					}
+					out[i] = math.Mod(lf[i], rf[i])
 				}
-				out[i] = math.Mod(lf[i], rf[i])
+				return nil
+			})
+			if err != nil {
+				return nil, err
 			}
 		default:
 			return nil, fmt.Errorf("gdk: unknown arithmetic op %q", op)
@@ -84,41 +110,108 @@ func Arith(op string, l, r Opnd) (*bat.BAT, error) {
 	out := make([]int64, n)
 	switch op {
 	case "+":
-		for i := range out {
-			out[i] = li[i] + ri[i]
-		}
+		par.Do(n, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				out[i] = li[i] + ri[i]
+			}
+		})
 	case "-":
-		for i := range out {
-			out[i] = li[i] - ri[i]
-		}
+		par.Do(n, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				out[i] = li[i] - ri[i]
+			}
+		})
 	case "*":
-		for i := range out {
-			out[i] = li[i] * ri[i]
-		}
+		par.Do(n, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				out[i] = li[i] * ri[i]
+			}
+		})
 	case "/":
-		for i := range out {
-			if nulls.Get(i) {
-				continue
+		err := par.DoErr(n, func(lo, hi int) error {
+			for i := lo; i < hi; i++ {
+				if nulls.Get(i) {
+					continue
+				}
+				if ri[i] == 0 {
+					return fmt.Errorf("division by zero")
+				}
+				out[i] = li[i] / ri[i]
 			}
-			if ri[i] == 0 {
-				return nil, fmt.Errorf("division by zero")
-			}
-			out[i] = li[i] / ri[i]
+			return nil
+		})
+		if err != nil {
+			return nil, err
 		}
 	case "%":
-		for i := range out {
-			if nulls.Get(i) {
-				continue
+		err := par.DoErr(n, func(lo, hi int) error {
+			for i := lo; i < hi; i++ {
+				if nulls.Get(i) {
+					continue
+				}
+				if ri[i] == 0 {
+					return fmt.Errorf("modulo by zero")
+				}
+				out[i] = li[i] % ri[i]
 			}
-			if ri[i] == 0 {
-				return nil, fmt.Errorf("modulo by zero")
-			}
-			out[i] = li[i] % ri[i]
+			return nil
+		})
+		if err != nil {
+			return nil, err
 		}
 	default:
 		return nil, fmt.Errorf("gdk: unknown arithmetic op %q", op)
 	}
-	return withNulls(bat.FromInts(out), nulls), nil
+	return withNulls(bat.FromIntsOfKind(out, types.KindInt), nulls), nil
+}
+
+// cmpOp is a pre-decoded comparison operator, so the per-row loop tests a
+// small integer instead of re-dispatching on the operator string.
+type cmpOp int
+
+const (
+	cmpEq cmpOp = iota
+	cmpNe
+	cmpLt
+	cmpLe
+	cmpGt
+	cmpGe
+)
+
+func cmpOpOf(op string) (cmpOp, error) {
+	switch op {
+	case "=":
+		return cmpEq, nil
+	case "<>", "!=":
+		return cmpNe, nil
+	case "<":
+		return cmpLt, nil
+	case "<=":
+		return cmpLe, nil
+	case ">":
+		return cmpGt, nil
+	case ">=":
+		return cmpGe, nil
+	}
+	return 0, fmt.Errorf("gdk: unknown comparison %q", op)
+}
+
+// ok reports whether a three-way comparison result c satisfies the operator.
+func (o cmpOp) ok(c int) bool {
+	switch o {
+	case cmpEq:
+		return c == 0
+	case cmpNe:
+		return c != 0
+	case cmpLt:
+		return c < 0
+	case cmpLe:
+		return c <= 0
+	case cmpGt:
+		return c > 0
+	default:
+		return c >= 0
+	}
 }
 
 // Compare evaluates a vectorised comparison (op one of "=", "<>", "<",
@@ -133,7 +226,11 @@ func Compare(op string, l, r Opnd) (*bat.BAT, error) {
 	if err != nil {
 		return nil, fmt.Errorf("gdk: %s: %v", op, err)
 	}
-	cmp := make([]int, n)
+	o, err := cmpOpOf(op)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]bool, n)
 	var nulls *bat.Bitmap
 	switch k {
 	case types.KindInt, types.KindOID:
@@ -146,14 +243,18 @@ func Compare(op string, l, r Opnd) (*bat.BAT, error) {
 			return nil, err
 		}
 		nulls = orNulls(n, ln, rn)
-		for i := range cmp {
-			switch {
-			case li[i] < ri[i]:
-				cmp[i] = -1
-			case li[i] > ri[i]:
-				cmp[i] = 1
+		par.Do(n, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				c := 0
+				switch {
+				case li[i] < ri[i]:
+					c = -1
+				case li[i] > ri[i]:
+					c = 1
+				}
+				out[i] = o.ok(c)
 			}
-		}
+		})
 	case types.KindFloat:
 		lf, ln, err := l.floats()
 		if err != nil {
@@ -164,14 +265,18 @@ func Compare(op string, l, r Opnd) (*bat.BAT, error) {
 			return nil, err
 		}
 		nulls = orNulls(n, ln, rn)
-		for i := range cmp {
-			switch {
-			case lf[i] < rf[i]:
-				cmp[i] = -1
-			case lf[i] > rf[i]:
-				cmp[i] = 1
+		par.Do(n, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				c := 0
+				switch {
+				case lf[i] < rf[i]:
+					c = -1
+				case lf[i] > rf[i]:
+					c = 1
+				}
+				out[i] = o.ok(c)
 			}
-		}
+		})
 	case types.KindBool:
 		lb, ln, err := l.boolsv()
 		if err != nil {
@@ -182,16 +287,18 @@ func Compare(op string, l, r Opnd) (*bat.BAT, error) {
 			return nil, err
 		}
 		nulls = orNulls(n, ln, rn)
-		for i := range cmp {
-			a, b := 0, 0
-			if lb[i] {
-				a = 1
+		par.Do(n, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				a, b := 0, 0
+				if lb[i] {
+					a = 1
+				}
+				if rb[i] {
+					b = 1
+				}
+				out[i] = o.ok(a - b)
 			}
-			if rb[i] {
-				b = 1
-			}
-			cmp[i] = a - b
-		}
+		})
 	case types.KindStr:
 		ls, ln, err := l.strsv()
 		if err != nil {
@@ -202,34 +309,16 @@ func Compare(op string, l, r Opnd) (*bat.BAT, error) {
 			return nil, err
 		}
 		nulls = orNulls(n, ln, rn)
-		for i := range cmp {
-			cmp[i] = strings.Compare(ls[i], rs[i])
-		}
+		par.Do(n, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				out[i] = o.ok(strings.Compare(ls[i], rs[i]))
+			}
+		})
 	case types.KindVoid:
 		// Both sides are untyped NULL constants: every row is NULL.
 		nulls = allNull(n)
 	default:
 		return nil, fmt.Errorf("gdk: cannot compare %s values", k)
-	}
-	out := make([]bool, n)
-	for i := range out {
-		c := cmp[i]
-		switch op {
-		case "=":
-			out[i] = c == 0
-		case "<>", "!=":
-			out[i] = c != 0
-		case "<":
-			out[i] = c < 0
-		case "<=":
-			out[i] = c <= 0
-		case ">":
-			out[i] = c > 0
-		case ">=":
-			out[i] = c >= 0
-		default:
-			return nil, fmt.Errorf("gdk: unknown comparison %q", op)
-		}
 	}
 	return withNulls(bat.FromBools(out), nulls), nil
 }
@@ -248,19 +337,27 @@ func And(l, r Opnd) (*bat.BAT, error) {
 		return nil, err
 	}
 	n := l.Len()
-	out := bat.New(types.KindBool, n)
-	for i := 0; i < n; i++ {
-		lnull, rnull := ln.Get(i), rn.Get(i)
-		switch {
-		case !lnull && !lb[i], !rnull && !rb[i]:
-			out.AppendBool(false) // false AND anything = false
-		case lnull || rnull:
-			out.AppendNull()
-		default:
-			out.AppendBool(true)
-		}
+	out := make([]bool, n)
+	var mask *bat.Bitmap
+	if ln != nil || rn != nil {
+		mask = bat.NewBitmap(n)
 	}
-	return out, nil
+	par.Do(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			lnull, rnull := ln.Get(i), rn.Get(i)
+			switch {
+			case !lnull && !lb[i], !rnull && !rb[i]:
+				// false AND anything = false
+			case lnull || rnull:
+				mask.Set(i, true)
+			default:
+				out[i] = true
+			}
+		}
+	})
+	b := bat.FromBools(out)
+	b.SetNullMask(mask)
+	return b, nil
 }
 
 // Or evaluates three-valued logical OR.
@@ -277,19 +374,25 @@ func Or(l, r Opnd) (*bat.BAT, error) {
 		return nil, err
 	}
 	n := l.Len()
-	out := bat.New(types.KindBool, n)
-	for i := 0; i < n; i++ {
-		lnull, rnull := ln.Get(i), rn.Get(i)
-		switch {
-		case !lnull && lb[i], !rnull && rb[i]:
-			out.AppendBool(true) // true OR anything = true
-		case lnull || rnull:
-			out.AppendNull()
-		default:
-			out.AppendBool(false)
-		}
+	out := make([]bool, n)
+	var mask *bat.Bitmap
+	if ln != nil || rn != nil {
+		mask = bat.NewBitmap(n)
 	}
-	return out, nil
+	par.Do(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			lnull, rnull := ln.Get(i), rn.Get(i)
+			switch {
+			case !lnull && lb[i], !rnull && rb[i]:
+				out[i] = true // true OR anything = true
+			case lnull || rnull:
+				mask.Set(i, true)
+			}
+		}
+	})
+	b := bat.FromBools(out)
+	b.SetNullMask(mask)
+	return b, nil
 }
 
 // Not evaluates three-valued logical NOT.
@@ -298,15 +401,14 @@ func Not(x Opnd) (*bat.BAT, error) {
 	if err != nil {
 		return nil, err
 	}
-	out := bat.New(types.KindBool, x.Len())
-	for i := 0; i < x.Len(); i++ {
-		if xn.Get(i) {
-			out.AppendNull()
-		} else {
-			out.AppendBool(!xb[i])
+	n := x.Len()
+	out := make([]bool, n)
+	par.Do(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = !xb[i]
 		}
-	}
-	return out, nil
+	})
+	return withNulls(bat.FromBools(out), xn.Clone()), nil
 }
 
 // IsNull produces a boolean BAT that is true exactly where x is NULL.
@@ -314,9 +416,11 @@ func IsNull(x Opnd) *bat.BAT {
 	n := x.Len()
 	out := make([]bool, n)
 	if x.b != nil {
-		for i := 0; i < n; i++ {
-			out[i] = x.b.IsNull(i)
-		}
+		par.Do(n, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				out[i] = x.b.IsNull(i)
+			}
+		})
 	} else if x.v.IsNull() {
 		for i := range out {
 			out[i] = true
@@ -327,7 +431,9 @@ func IsNull(x Opnd) *bat.BAT {
 
 // IfThenElse picks a[i] where cond[i] is true, b[i] where cond[i] is false
 // or NULL — the semantics a CASE WHEN chain needs (an unknown condition
-// falls through to the next branch).
+// falls through to the next branch). It stays serial: the per-row cast of
+// only the picked branch cannot be pre-materialised without changing which
+// cast errors surface.
 func IfThenElse(cond, a, b Opnd) (*bat.BAT, error) {
 	n := cond.Len()
 	if a.Len() != n || b.Len() != n {
@@ -388,13 +494,15 @@ func UnaryNum(op string, x Opnd) (*bat.BAT, error) {
 				return nil, err
 			}
 			out := make([]float64, n)
-			for i := range out {
-				if op == "-" {
-					out[i] = -xf[i]
-				} else {
-					out[i] = math.Abs(xf[i])
+			par.Do(n, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					if op == "-" {
+						out[i] = -xf[i]
+					} else {
+						out[i] = math.Abs(xf[i])
+					}
 				}
-			}
+			})
 			return withNulls(bat.FromFloats(out), xn.Clone()), nil
 		}
 		xi, xn, err := x.ints()
@@ -402,46 +510,54 @@ func UnaryNum(op string, x Opnd) (*bat.BAT, error) {
 			return nil, err
 		}
 		out := make([]int64, n)
-		for i := range out {
-			if op == "-" {
-				out[i] = -xi[i]
-			} else if xi[i] < 0 {
-				out[i] = -xi[i]
-			} else {
-				out[i] = xi[i]
+		par.Do(n, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				if op == "-" {
+					out[i] = -xi[i]
+				} else if xi[i] < 0 {
+					out[i] = -xi[i]
+				} else {
+					out[i] = xi[i]
+				}
 			}
-		}
-		return withNulls(bat.FromInts(out), xn.Clone()), nil
+		})
+		return withNulls(bat.FromIntsOfKind(out, types.KindInt), xn.Clone()), nil
 	case "sqrt", "floor", "ceil", "exp", "log", "round":
 		xf, xn, err := x.floats()
 		if err != nil {
 			return nil, err
 		}
 		out := make([]float64, n)
-		for i := range out {
-			if xn.Get(i) {
-				continue
-			}
-			switch op {
-			case "sqrt":
-				if xf[i] < 0 {
-					return nil, fmt.Errorf("sqrt of negative value %v", xf[i])
+		err = par.DoErr(n, func(lo, hi int) error {
+			for i := lo; i < hi; i++ {
+				if xn.Get(i) {
+					continue
 				}
-				out[i] = math.Sqrt(xf[i])
-			case "floor":
-				out[i] = math.Floor(xf[i])
-			case "ceil":
-				out[i] = math.Ceil(xf[i])
-			case "exp":
-				out[i] = math.Exp(xf[i])
-			case "log":
-				if xf[i] <= 0 {
-					return nil, fmt.Errorf("log of non-positive value %v", xf[i])
+				switch op {
+				case "sqrt":
+					if xf[i] < 0 {
+						return fmt.Errorf("sqrt of negative value %v", xf[i])
+					}
+					out[i] = math.Sqrt(xf[i])
+				case "floor":
+					out[i] = math.Floor(xf[i])
+				case "ceil":
+					out[i] = math.Ceil(xf[i])
+				case "exp":
+					out[i] = math.Exp(xf[i])
+				case "log":
+					if xf[i] <= 0 {
+						return fmt.Errorf("log of non-positive value %v", xf[i])
+					}
+					out[i] = math.Log(xf[i])
+				case "round":
+					out[i] = math.Round(xf[i])
 				}
-				out[i] = math.Log(xf[i])
-			case "round":
-				out[i] = math.Round(xf[i])
 			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
 		}
 		return withNulls(bat.FromFloats(out), xn.Clone()), nil
 	case "sign":
@@ -450,15 +566,17 @@ func UnaryNum(op string, x Opnd) (*bat.BAT, error) {
 			return nil, err
 		}
 		out := make([]int64, n)
-		for i := range out {
-			switch {
-			case xf[i] > 0:
-				out[i] = 1
-			case xf[i] < 0:
-				out[i] = -1
+		par.Do(n, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				switch {
+				case xf[i] > 0:
+					out[i] = 1
+				case xf[i] < 0:
+					out[i] = -1
+				}
 			}
-		}
-		return withNulls(bat.FromInts(out), xn.Clone()), nil
+		})
+		return withNulls(bat.FromIntsOfKind(out, types.KindInt), xn.Clone()), nil
 	default:
 		return nil, fmt.Errorf("gdk: unknown unary op %q", op)
 	}
@@ -482,9 +600,11 @@ func Power(l, r Opnd) (*bat.BAT, error) {
 	n := l.Len()
 	nulls := orNulls(n, ln, rn)
 	out := make([]float64, n)
-	for i := range out {
-		out[i] = math.Pow(lf[i], rf[i])
-	}
+	par.Do(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = math.Pow(lf[i], rf[i])
+		}
+	})
 	return withNulls(bat.FromFloats(out), nulls), nil
 }
 
@@ -523,9 +643,11 @@ func Concat(l, r Opnd) (*bat.BAT, error) {
 	}
 	nulls := orNulls(n, ln, rn)
 	out := make([]string, n)
-	for i := range out {
-		out[i] = ls[i] + rs[i]
-	}
+	par.Do(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = ls[i] + rs[i]
+		}
+	})
 	return withNulls(bat.FromStrings(out), nulls), nil
 }
 
@@ -539,20 +661,24 @@ func StrUnary(op string, x Opnd) (*bat.BAT, error) {
 	switch op {
 	case "upper", "lower":
 		out := make([]string, n)
-		for i := range out {
-			if op == "upper" {
-				out[i] = strings.ToUpper(xs[i])
-			} else {
-				out[i] = strings.ToLower(xs[i])
+		par.Do(n, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				if op == "upper" {
+					out[i] = strings.ToUpper(xs[i])
+				} else {
+					out[i] = strings.ToLower(xs[i])
+				}
 			}
-		}
+		})
 		return withNulls(bat.FromStrings(out), xn.Clone()), nil
 	case "length":
 		out := make([]int64, n)
-		for i := range out {
-			out[i] = int64(len(xs[i]))
-		}
-		return withNulls(bat.FromInts(out), xn.Clone()), nil
+		par.Do(n, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				out[i] = int64(len(xs[i]))
+			}
+		})
+		return withNulls(bat.FromIntsOfKind(out, types.KindInt), xn.Clone()), nil
 	default:
 		return nil, fmt.Errorf("gdk: unknown string op %q", op)
 	}
@@ -576,27 +702,29 @@ func Substring(x, start, length Opnd) (*bat.BAT, error) {
 	}
 	nulls := orNulls(n, orNulls(n, xn, sn), lnn)
 	out := make([]string, n)
-	for i := range out {
-		if nulls.Get(i) {
-			continue
+	par.Do(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if nulls.Get(i) {
+				continue
+			}
+			s := xs[i]
+			from := int(si[i]) - 1
+			if from < 0 {
+				from = 0
+			}
+			if from > len(s) {
+				from = len(s)
+			}
+			to := from + int(li[i])
+			if to < from {
+				to = from
+			}
+			if to > len(s) {
+				to = len(s)
+			}
+			out[i] = s[from:to]
 		}
-		s := xs[i]
-		from := int(si[i]) - 1
-		if from < 0 {
-			from = 0
-		}
-		if from > len(s) {
-			from = len(s)
-		}
-		to := from + int(li[i])
-		if to < from {
-			to = from
-		}
-		if to > len(s) {
-			to = len(s)
-		}
-		out[i] = s[from:to]
-	}
+	})
 	return withNulls(bat.FromStrings(out), nulls), nil
 }
 
@@ -613,21 +741,24 @@ func Like(x, pattern Opnd) (*bat.BAT, error) {
 	}
 	nulls := orNulls(n, xn, pn)
 	out := make([]bool, n)
-	// Cache the matcher when the pattern is constant.
+	// Cache the matcher when the pattern is constant (stateless, so it is
+	// safe to share across workers).
 	var cached func(string) bool
 	if pattern.IsConst() && !pattern.ConstValue().IsNull() {
 		cached = likeMatcher(pattern.ConstValue().StrVal())
 	}
-	for i := range out {
-		if nulls.Get(i) {
-			continue
+	par.Do(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if nulls.Get(i) {
+				continue
+			}
+			m := cached
+			if m == nil {
+				m = likeMatcher(ps[i])
+			}
+			out[i] = m(xs[i])
 		}
-		m := cached
-		if m == nil {
-			m = likeMatcher(ps[i])
-		}
-		out[i] = m(xs[i])
-	}
+	})
 	return withNulls(bat.FromBools(out), nulls), nil
 }
 

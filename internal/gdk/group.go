@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/bat"
+	"repro/internal/par"
 )
 
 // GroupResult is the output of value-based grouping (MAL group.group):
@@ -18,6 +19,12 @@ type GroupResult struct {
 
 // Group performs value-based grouping over one or more aligned key columns.
 // NULLs group together (SQL GROUP BY semantics).
+//
+// Above the morsel threshold the input is partitioned into contiguous row
+// ranges, each worker groups its partition locally, and the local tables
+// are merged in partition order. Merging in order keeps group ids dense in
+// global first-occurrence order, so the parallel result is bit-identical to
+// the serial one.
 func Group(keys []*bat.BAT) (*GroupResult, error) {
 	if len(keys) == 0 {
 		return nil, fmt.Errorf("gdk: group needs at least one key column")
@@ -29,35 +36,68 @@ func Group(keys []*bat.BAT) (*GroupResult, error) {
 		}
 	}
 	gids := make([]int64, n)
+	plan := par.NewPlan(n)
+	if !plan.Parallel() {
+		extents := groupRange(keys, 0, n, gids)
+		return groupResult(gids, extents), nil
+	}
+
+	// Phase 1: group each partition locally. localExtents[c] holds absolute
+	// first-row positions of the partition's groups in first-occurrence
+	// order; gids temporarily holds partition-local ids.
+	localExtents := make([][]int64, plan.Chunks())
+	plan.Run(func(c, lo, hi int) {
+		localExtents[c] = groupRange(keys, lo, hi, gids)
+	})
+
+	// Phase 2: merge partitions in order. Each local group's representative
+	// row is looked up in the global table; processing partitions in row
+	// order makes global ids dense in first-occurrence order.
+	table := make(map[uint64][]int32)
+	var extents []int64
+	remaps := make([][]int64, plan.Chunks())
+	for c := range localExtents {
+		remap := make([]int64, len(localExtents[c]))
+		for g, first := range localExtents[c] {
+			remap[g] = mergeGroup(keys, first, table, &extents)
+		}
+		remaps[c] = remap
+	}
+
+	// Phase 3: rewrite partition-local ids to global ids, in parallel.
+	plan.Run(func(c, lo, hi int) {
+		remap := remaps[c]
+		for i := lo; i < hi; i++ {
+			gids[i] = remap[gids[i]]
+		}
+	})
+	return groupResult(gids, extents), nil
+}
+
+func groupResult(gids, extents []int64) *GroupResult {
+	g := bat.FromOIDs(gids)
+	e := bat.FromOIDs(extents)
+	e.Key = true
+	return &GroupResult{GIDs: g, Extents: e, N: len(extents)}
+}
+
+// groupRange groups rows [lo,hi) against a fresh local table, writing local
+// group ids (dense from 0 in first-occurrence order) into gids[lo:hi] and
+// returning the groups' absolute first-row positions.
+func groupRange(keys []*bat.BAT, lo, hi int, gids []int64) []int64 {
+	table := make(map[uint64][]int32, hi-lo)
 	extents := make([]int64, 0)
-	// Bucket by hash, resolve collisions by comparing to the group's first row.
-	table := make(map[uint64][]int32, n)
-	for i := 0; i < n; i++ {
+	for i := lo; i < hi; i++ {
 		h, ok := hashRow(keys, i)
 		if !ok {
 			// Row contains NULL key(s): all-NULL-pattern rows must still group
 			// by their exact NULL pattern + non-NULL values.
 			h = nullPatternHash(keys, i)
-			found := int64(-1)
-			for _, g := range table[h] {
-				first := int(extents[g])
-				if nullRowsEqual(keys, i, first) {
-					found = int64(g)
-					break
-				}
-			}
-			if found < 0 {
-				found = int64(len(extents))
-				extents = append(extents, int64(i))
-				table[h] = append(table[h], int32(found))
-			}
-			gids[i] = found
-			continue
 		}
 		found := int64(-1)
 		for _, g := range table[h] {
 			first := int(extents[g])
-			if !anyNullAt(keys, first) && rowsEqual(keys, i, keys, first) {
+			if groupRowsEqual(keys, i, first) {
 				found = int64(g)
 				break
 			}
@@ -69,43 +109,31 @@ func Group(keys []*bat.BAT) (*GroupResult, error) {
 		}
 		gids[i] = found
 	}
-	g := bat.FromOIDs(gids)
-	e := bat.FromOIDs(extents)
-	e.Key = true
-	return &GroupResult{GIDs: g, Extents: e, N: len(extents)}, nil
+	return extents
 }
 
-func anyNullAt(keys []*bat.BAT, i int) bool {
-	for _, k := range keys {
-		if k.IsNull(i) {
-			return true
+// mergeGroup folds one local group (represented by its first row) into the
+// global table, returning its global id.
+func mergeGroup(keys []*bat.BAT, first int64, table map[uint64][]int32, extents *[]int64) int64 {
+	i := int(first)
+	h, ok := hashRow(keys, i)
+	if !ok {
+		h = nullPatternHash(keys, i)
+	}
+	for _, g := range (table)[h] {
+		if groupRowsEqual(keys, i, int((*extents)[g])) {
+			return int64(g)
 		}
 	}
-	return false
+	gid := int64(len(*extents))
+	*extents = append(*extents, first)
+	table[h] = append(table[h], int32(gid))
+	return gid
 }
 
-// nullPatternHash hashes a row that contains NULLs: NULL contributes a
-// marker byte, non-NULL values contribute their rendered form.
-func nullPatternHash(keys []*bat.BAT, i int) uint64 {
-	var h uint64 = 1469598103934665603 // FNV offset basis
-	const prime = 1099511628211
-	for _, k := range keys {
-		if k.IsNull(i) {
-			h = (h ^ 0xFF) * prime
-			continue
-		}
-		s := k.Get(i).String()
-		for j := 0; j < len(s); j++ {
-			h = (h ^ uint64(s[j])) * prime
-		}
-		h = (h ^ 0xFE) * prime
-	}
-	return h
-}
-
-// nullRowsEqual compares rows treating NULL as equal to NULL (GROUP BY
-// semantics), used only for rows known to contain NULLs.
-func nullRowsEqual(keys []*bat.BAT, i, j int) bool {
+// groupRowsEqual compares two rows with GROUP BY semantics (NULL equals
+// NULL, NULL differs from every value).
+func groupRowsEqual(keys []*bat.BAT, i, j int) bool {
 	for _, k := range keys {
 		in, jn := k.IsNull(i), k.IsNull(j)
 		if in != jn {

@@ -1,0 +1,124 @@
+package gdk
+
+import (
+	"math"
+
+	"repro/internal/bat"
+	"repro/internal/par"
+	"repro/internal/types"
+)
+
+// Row hashing for the hash join, grouping and DISTINCT kernels.
+//
+// The hash is an inlined FNV-1a over the typed column slices: no hash.Hash
+// interface, no per-row buffer, zero allocations on the hot path. Numeric
+// values feed the mix eight bytes at a time through an unrolled round, so a
+// probe over int keys costs a handful of multiplies per row.
+
+const (
+	fnvOffset uint64 = 14695981039346656037
+	fnvPrime  uint64 = 1099511628211
+)
+
+// mix64 folds one 64-bit value into the running FNV-1a state byte-wise
+// (little-endian), exactly like hashing the value's 8 bytes.
+func mix64(h, v uint64) uint64 {
+	h = (h ^ (v & 0xFF)) * fnvPrime
+	h = (h ^ ((v >> 8) & 0xFF)) * fnvPrime
+	h = (h ^ ((v >> 16) & 0xFF)) * fnvPrime
+	h = (h ^ ((v >> 24) & 0xFF)) * fnvPrime
+	h = (h ^ ((v >> 32) & 0xFF)) * fnvPrime
+	h = (h ^ ((v >> 40) & 0xFF)) * fnvPrime
+	h = (h ^ ((v >> 48) & 0xFF)) * fnvPrime
+	h = (h ^ (v >> 56)) * fnvPrime
+	return h
+}
+
+// mixByte folds a single byte into the state.
+func mixByte(h uint64, b byte) uint64 {
+	return (h ^ uint64(b)) * fnvPrime
+}
+
+// mixString folds a string's bytes into the state without conversion
+// allocations (indexing a string yields bytes directly).
+func mixString(h uint64, s string) uint64 {
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint64(s[i])) * fnvPrime
+	}
+	return h
+}
+
+// hashRow hashes row i of every key column, returning ok=false for rows
+// containing any NULL (the callers treat those as non-matching). It is
+// read-only on the columns and safe to call concurrently.
+func hashRow(cols []*bat.BAT, i int) (uint64, bool) {
+	h := fnvOffset
+	for _, c := range cols {
+		if c.IsNull(i) {
+			return 0, false
+		}
+		switch c.Kind() {
+		case types.KindInt, types.KindOID:
+			h = mix64(h, uint64(c.Ints()[i]))
+		case types.KindVoid:
+			h = mix64(h, uint64(c.Seqbase())+uint64(i))
+		case types.KindFloat:
+			// Normalise so that int-valued floats hash like ints when joined
+			// against integer columns (keys are pre-promoted by the compiler,
+			// so this only defends against mixed use at the kernel level).
+			h = mix64(h, math.Float64bits(c.Floats()[i]))
+		case types.KindBool:
+			if c.Bools()[i] {
+				h = mixByte(h, 1)
+			} else {
+				h = mixByte(h, 0)
+			}
+		case types.KindStr:
+			h = mixString(h, c.Strs()[i])
+			h = mixByte(h, 0)
+		}
+	}
+	return h, true
+}
+
+// nullPatternHash hashes a row that contains NULLs with GROUP BY semantics:
+// NULL contributes a marker byte, non-NULL values contribute their typed
+// bytes followed by a separator, so (1, NULL) and (NULL, 1) hash apart.
+// Shared with hashRow's per-kind mixing, it allocates nothing.
+func nullPatternHash(keys []*bat.BAT, i int) uint64 {
+	h := fnvOffset
+	for _, k := range keys {
+		if k.IsNull(i) {
+			h = mixByte(h, 0xFF)
+			continue
+		}
+		switch k.Kind() {
+		case types.KindInt, types.KindOID:
+			h = mix64(h, uint64(k.Ints()[i]))
+		case types.KindVoid:
+			h = mix64(h, uint64(k.Seqbase())+uint64(i))
+		case types.KindFloat:
+			h = mix64(h, math.Float64bits(k.Floats()[i]))
+		case types.KindBool:
+			if k.Bools()[i] {
+				h = mixByte(h, 1)
+			} else {
+				h = mixByte(h, 0)
+			}
+		case types.KindStr:
+			h = mixString(h, k.Strs()[i])
+		}
+		h = mixByte(h, 0xFE)
+	}
+	return h
+}
+
+// hashRows computes hashRow for rows [0,n) of cols into hs, with ok bits in
+// valid, splitting the work across the pool. Both slices must be length n.
+func hashRows(cols []*bat.BAT, n int, hs []uint64, valid []bool) {
+	par.Do(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			hs[i], valid[i] = hashRow(cols, i)
+		}
+	})
+}

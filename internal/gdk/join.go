@@ -2,57 +2,12 @@ package gdk
 
 import (
 	"fmt"
-	"hash/fnv"
-	"math"
 	"sort"
 
 	"repro/internal/bat"
+	"repro/internal/par"
 	"repro/internal/types"
 )
-
-// hashRow feeds the normalised bytes of row i of every key column into an
-// FNV hash. Rows containing any NULL hash to a sentinel that the caller
-// treats as non-matching.
-func hashRow(cols []*bat.BAT, i int) (uint64, bool) {
-	h := fnv.New64a()
-	var buf [8]byte
-	for _, c := range cols {
-		if c.IsNull(i) {
-			return 0, false
-		}
-		switch c.Kind() {
-		case types.KindInt, types.KindOID:
-			putUint64(&buf, uint64(c.Ints()[i]))
-			h.Write(buf[:])
-		case types.KindVoid:
-			putUint64(&buf, uint64(c.Seqbase())+uint64(i))
-			h.Write(buf[:])
-		case types.KindFloat:
-			f := c.Floats()[i]
-			// Normalise so that int-valued floats hash like ints when joined
-			// against integer columns (keys are pre-promoted by the compiler,
-			// so this only defends against mixed use at the kernel level).
-			putUint64(&buf, math.Float64bits(f))
-			h.Write(buf[:])
-		case types.KindBool:
-			if c.Bools()[i] {
-				h.Write([]byte{1})
-			} else {
-				h.Write([]byte{0})
-			}
-		case types.KindStr:
-			h.Write([]byte(c.Strs()[i]))
-			h.Write([]byte{0})
-		}
-	}
-	return h.Sum64(), true
-}
-
-func putUint64(buf *[8]byte, v uint64) {
-	for k := 0; k < 8; k++ {
-		buf[k] = byte(v >> (8 * k))
-	}
-}
 
 // rowsEqual compares row li of ls with row ri of rs column-wise (non-NULL
 // rows only; callers exclude NULLs).
@@ -68,6 +23,11 @@ func rowsEqual(ls []*bat.BAT, li int, rs []*bat.BAT, ri int) bool {
 // HashJoin computes the inner equi-join of two aligned column groups on the
 // given key columns. It returns two position lists (left and right), one
 // entry per matching pair, ordered by left position. NULL keys never match.
+//
+// Both phases run on the shared worker pool above the morsel threshold: the
+// build side hashes its rows in parallel before the (serial) table insert,
+// and the probe side scans morsels concurrently, concatenating per-chunk
+// match lists in chunk order so the output stays sorted by probe position.
 func HashJoin(lkeys, rkeys []*bat.BAT) (lIdx, rIdx *bat.BAT, err error) {
 	if len(lkeys) == 0 || len(lkeys) != len(rkeys) {
 		return nil, nil, fmt.Errorf("gdk: join needs matching key column lists")
@@ -91,33 +51,70 @@ func HashJoin(lkeys, rkeys []*bat.BAT) (lIdx, rIdx *bat.BAT, err error) {
 	return sortPairsByLeft(l, r)
 }
 
-func hashJoinBuildRight(lkeys, rkeys []*bat.BAT) (*bat.BAT, *bat.BAT, error) {
-	nl, nr := lkeys[0].Len(), rkeys[0].Len()
-	table := make(map[uint64][]int32, nr)
-	for i := 0; i < nr; i++ {
-		h, ok := hashRow(rkeys, i)
-		if !ok {
-			continue
+// buildHashTable hashes every row of keys (in parallel) and inserts the
+// non-NULL ones into a chained bucket table.
+func buildHashTable(keys []*bat.BAT) map[uint64][]int32 {
+	n := keys[0].Len()
+	hs := make([]uint64, n)
+	ok := make([]bool, n)
+	hashRows(keys, n, hs, ok)
+	table := make(map[uint64][]int32, n)
+	for i := 0; i < n; i++ {
+		if ok[i] {
+			table[hs[i]] = append(table[hs[i]], int32(i))
 		}
-		table[h] = append(table[h], int32(i))
 	}
-	lout := make([]int64, 0, nl)
-	rout := make([]int64, 0, nl)
-	for i := 0; i < nl; i++ {
-		h, ok := hashRow(lkeys, i)
-		if !ok {
-			continue
-		}
-		for _, j := range table[h] {
-			if rowsEqual(lkeys, i, rkeys, int(j)) {
-				lout = append(lout, int64(i))
-				rout = append(rout, int64(j))
+	return table
+}
+
+func hashJoinBuildRight(lkeys, rkeys []*bat.BAT) (*bat.BAT, *bat.BAT, error) {
+	nl := lkeys[0].Len()
+	table := buildHashTable(rkeys)
+
+	// Probe phase: the table is read-only from here on, so morsels probe
+	// concurrently with per-chunk output buffers.
+	plan := par.NewPlan(nl)
+	louts := make([][]int64, plan.Chunks())
+	routs := make([][]int64, plan.Chunks())
+	plan.Run(func(c, lo, hi int) {
+		var lout, rout []int64
+		for i := lo; i < hi; i++ {
+			h, ok := hashRow(lkeys, i)
+			if !ok {
+				continue
+			}
+			for _, j := range table[h] {
+				if rowsEqual(lkeys, i, rkeys, int(j)) {
+					lout = append(lout, int64(i))
+					rout = append(rout, int64(j))
+				}
 			}
 		}
-	}
-	lb, rb := bat.FromOIDs(lout), bat.FromOIDs(rout)
+		louts[c], routs[c] = lout, rout
+	})
+	lb, rb := bat.FromOIDs(concatInt64(louts)), bat.FromOIDs(concatInt64(routs))
 	lb.Sorted = true
 	return lb, rb, nil
+}
+
+// concatInt64 joins per-chunk buffers in chunk order; a single chunk is
+// returned as-is without copying.
+func concatInt64(parts [][]int64) []int64 {
+	if len(parts) == 1 {
+		if parts[0] == nil {
+			return []int64{}
+		}
+		return parts[0]
+	}
+	total := 0
+	for _, p := range parts {
+		total += len(p)
+	}
+	out := make([]int64, 0, total)
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	return out
 }
 
 func sortPairsByLeft(l, r *bat.BAT) (*bat.BAT, *bat.BAT, error) {
@@ -145,39 +142,61 @@ func sortPairsByLeft(l, r *bat.BAT) (*bat.BAT, *bat.BAT, error) {
 }
 
 // LeftJoin computes the left outer equi-join: every left row appears at
-// least once; unmatched rows pair with a NULL right position.
+// least once; unmatched rows pair with a NULL right position. The probe
+// phase is morsel-parallel like HashJoin's.
 func LeftJoin(lkeys, rkeys []*bat.BAT) (lIdx, rIdx *bat.BAT, err error) {
 	if len(lkeys) == 0 || len(lkeys) != len(rkeys) {
 		return nil, nil, fmt.Errorf("gdk: join needs matching key column lists")
 	}
-	nl, nr := lkeys[0].Len(), rkeys[0].Len()
-	table := make(map[uint64][]int32, nr)
-	for i := 0; i < nr; i++ {
-		h, ok := hashRow(rkeys, i)
-		if !ok {
-			continue
-		}
-		table[h] = append(table[h], int32(i))
-	}
-	lout := bat.New(types.KindOID, nl)
-	rout := bat.New(types.KindOID, nl)
-	for i := 0; i < nl; i++ {
-		matched := false
-		if h, ok := hashRow(lkeys, i); ok {
-			for _, j := range table[h] {
-				if rowsEqual(lkeys, i, rkeys, int(j)) {
-					lout.AppendInt(int64(i))
-					rout.AppendInt(int64(j))
-					matched = true
+	nl := lkeys[0].Len()
+	table := buildHashTable(rkeys)
+
+	plan := par.NewPlan(nl)
+	louts := make([][]int64, plan.Chunks())
+	routs := make([][]int64, plan.Chunks())
+	rnulls := make([][]bool, plan.Chunks())
+	plan.Run(func(c, lo, hi int) {
+		var lout, rout []int64
+		var rnull []bool
+		for i := lo; i < hi; i++ {
+			matched := false
+			if h, ok := hashRow(lkeys, i); ok {
+				for _, j := range table[h] {
+					if rowsEqual(lkeys, i, rkeys, int(j)) {
+						lout = append(lout, int64(i))
+						rout = append(rout, int64(j))
+						rnull = append(rnull, false)
+						matched = true
+					}
 				}
 			}
+			if !matched {
+				lout = append(lout, int64(i))
+				rout = append(rout, 0)
+				rnull = append(rnull, true)
+			}
 		}
-		if !matched {
-			lout.AppendInt(int64(i))
-			rout.AppendNull()
+		louts[c], routs[c], rnulls[c] = lout, rout, rnull
+	})
+
+	lout := bat.FromOIDs(concatInt64(louts))
+	lout.Sorted = true
+	rvals := concatInt64(routs)
+	rout := bat.FromOIDs(rvals)
+	var mask *bat.Bitmap
+	pos := 0
+	for _, part := range rnulls {
+		for _, isNull := range part {
+			if isNull {
+				if mask == nil {
+					mask = bat.NewBitmap(len(rvals))
+				}
+				mask.Set(pos, true)
+			}
+			pos++
 		}
 	}
-	lout.Sorted = true
+	rout.SetNullMask(mask)
 	return lout, rout, nil
 }
 
@@ -190,14 +209,14 @@ func Cross(nl, nr int) (lIdx, rIdx *bat.BAT, err error) {
 		return nil, nil, fmt.Errorf("gdk: cross product of %d x %d rows exceeds limit", nl, nr)
 	}
 	n := nl * nr
-	lo := make([]int64, 0, n)
-	ro := make([]int64, 0, n)
-	for i := 0; i < nl; i++ {
-		for j := 0; j < nr; j++ {
-			lo = append(lo, int64(i))
-			ro = append(ro, int64(j))
+	lo := make([]int64, n)
+	ro := make([]int64, n)
+	par.Do(n, func(from, to int) {
+		for p := from; p < to; p++ {
+			lo[p] = int64(p / nr)
+			ro[p] = int64(p % nr)
 		}
-	}
+	})
 	lb, rb := bat.FromOIDs(lo), bat.FromOIDs(ro)
 	lb.Sorted = true
 	return lb, rb, nil

@@ -166,29 +166,14 @@ func (o Opnd) strsv() ([]string, *bat.Bitmap, error) {
 	return out, nil, nil
 }
 
-// orNulls returns the union of two null masks (nil when both nil).
+// orNulls returns the union of two null masks (nil when both nil),
+// computed word-at-a-time.
 func orNulls(n int, a, c *bat.Bitmap) *bat.Bitmap {
-	if a == nil && c == nil {
-		return nil
-	}
-	out := bat.NewBitmap(n)
-	for i := 0; i < n; i++ {
-		if a.Get(i) || c.Get(i) {
-			out.Set(i, true)
-		}
-	}
-	return out
+	return bat.Union(n, a, c)
 }
 
-// withNulls attaches a null mask to a freshly built BAT.
+// withNulls attaches a null mask to a freshly built BAT in O(1).
 func withNulls(b *bat.BAT, nulls *bat.Bitmap) *bat.BAT {
-	if nulls == nil {
-		return b
-	}
-	for i := 0; i < b.Len(); i++ {
-		if nulls.Get(i) {
-			b.SetNull(i, true)
-		}
-	}
+	b.SetNullMask(nulls)
 	return b
 }

@@ -4,12 +4,17 @@ import (
 	"fmt"
 
 	"repro/internal/bat"
+	"repro/internal/par"
 	"repro/internal/types"
 )
 
 // Project implements MonetDB's algebra.projection (fetch join): the result
 // holds b[idx[i]] for every position i of the index list. A NULL index entry
 // yields a NULL row (used for outer joins). idx must be void/oid typed.
+//
+// The output vector is pre-sized and filled morsel-parallel; the null
+// bitmap is pre-allocated when any NULL can occur, and morsel boundaries
+// are 64-aligned so workers never share a bitmap word.
 func Project(idx, b *bat.BAT) (*bat.BAT, error) {
 	switch idx.Kind() {
 	case types.KindVoid, types.KindOID:
@@ -21,89 +26,66 @@ func Project(idx, b *bat.BAT) (*bat.BAT, error) {
 	if idx.Kind() == types.KindVoid && idx.Seqbase() == 0 && n == b.Len() {
 		return b, nil
 	}
-	out := bat.New(b.ValueKind(), n)
+	mayNull := idx.HasNulls() || b.HasNulls()
+	var mask *bat.Bitmap
+	if mayNull {
+		mask = bat.NewBitmap(n)
+	}
+	var out *bat.BAT
+	var fill func(i, j int) // copy source row j to output row i (non-NULL)
 	switch b.Kind() {
 	case types.KindInt, types.KindOID:
 		src := b.Ints()
-		hasNulls := b.HasNulls()
-		for i := 0; i < n; i++ {
-			j, null, err := fetchIdx(idx, i, b.Len())
-			if err != nil {
-				return nil, err
-			}
-			if null || (hasNulls && b.IsNull(j)) {
-				out.AppendNull()
-			} else {
-				out.AppendInt(src[j])
-			}
-		}
+		dst := make([]int64, n)
+		out = bat.FromIntsOfKind(dst, b.ValueKind())
+		fill = func(i, j int) { dst[i] = src[j] }
 	case types.KindFloat:
 		src := b.Floats()
-		hasNulls := b.HasNulls()
-		for i := 0; i < n; i++ {
-			j, null, err := fetchIdx(idx, i, b.Len())
-			if err != nil {
-				return nil, err
-			}
-			if null || (hasNulls && b.IsNull(j)) {
-				out.AppendNull()
-			} else {
-				out.AppendFloat(src[j])
-			}
-		}
+		dst := make([]float64, n)
+		out = bat.FromFloats(dst)
+		fill = func(i, j int) { dst[i] = src[j] }
 	case types.KindBool:
 		src := b.Bools()
-		for i := 0; i < n; i++ {
-			j, null, err := fetchIdx(idx, i, b.Len())
-			if err != nil {
-				return nil, err
-			}
-			if null || b.IsNull(j) {
-				out.AppendNull()
-			} else {
-				out.AppendBool(src[j])
-			}
-		}
+		dst := make([]bool, n)
+		out = bat.FromBools(dst)
+		fill = func(i, j int) { dst[i] = src[j] }
 	case types.KindStr:
 		src := b.Strs()
-		for i := 0; i < n; i++ {
-			j, null, err := fetchIdx(idx, i, b.Len())
-			if err != nil {
-				return nil, err
-			}
-			if null || b.IsNull(j) {
-				out.AppendNull()
-			} else {
-				out.AppendStr(src[j])
-			}
-		}
+		dst := make([]string, n)
+		out = bat.FromStrings(dst)
+		fill = func(i, j int) { dst[i] = src[j] }
 	case types.KindVoid:
-		for i := 0; i < n; i++ {
-			j, null, err := fetchIdx(idx, i, b.Len())
-			if err != nil {
-				return nil, err
-			}
-			if null {
-				out.AppendNull()
-			} else {
-				out.AppendInt(int64(b.Seqbase()) + int64(j))
-			}
-		}
+		base := int64(b.Seqbase())
+		dst := make([]int64, n)
+		out = bat.FromIntsOfKind(dst, types.KindOID)
+		fill = func(i, j int) { dst[i] = base + int64(j) }
 	default:
 		return nil, fmt.Errorf("gdk: cannot project %s column", b.Kind())
 	}
+	limit := b.Len()
+	err := par.DoErr(n, func(lo, hi int) error {
+		for i := lo; i < hi; i++ {
+			if idx.IsNull(i) {
+				mask.Set(i, true)
+				continue
+			}
+			j := int(idx.OidAt(i))
+			if j < 0 || j >= limit {
+				return fmt.Errorf("gdk: projection index %d out of range [0,%d)", j, limit)
+			}
+			if b.IsNull(j) {
+				mask.Set(i, true)
+				continue
+			}
+			fill(i, j)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out.SetNullMask(mask)
 	return out, nil
-}
-
-func fetchIdx(idx *bat.BAT, i, limit int) (int, bool, error) {
-	if idx.IsNull(i) {
-		return 0, true, nil
-	}
-	j := int(idx.OidAt(i))
-	if j < 0 || j >= limit {
-		return 0, false, fmt.Errorf("gdk: projection index %d out of range [0,%d)", j, limit)
-	}
-	return j, false, nil
 }
 
 // ProjectAll projects every column in cols through idx.

@@ -4,8 +4,24 @@ import (
 	"fmt"
 
 	"repro/internal/bat"
+	"repro/internal/par"
 	"repro/internal/types"
 )
+
+// gatherOIDs scans [0,n) in parallel chunks. pick appends the matching
+// positions of its range to dst and returns it. Chunks are concatenated in
+// chunk order, so the result stays position-sorted.
+func gatherOIDs(n int, pick func(lo, hi int, dst []int64) []int64) []int64 {
+	plan := par.NewPlan(n)
+	if !plan.Parallel() {
+		return pick(0, n, make([]int64, 0, n/2+1))
+	}
+	parts := make([][]int64, plan.Chunks())
+	plan.Run(func(c, lo, hi int) {
+		parts[c] = pick(lo, hi, nil)
+	})
+	return concatInt64(parts)
+}
 
 // SelectBool returns the positions (as an oid BAT) where the boolean column
 // is true. NULL rows are not selected (SQL WHERE semantics).
@@ -14,19 +30,25 @@ func SelectBool(cond *bat.BAT) (*bat.BAT, error) {
 		return nil, fmt.Errorf("gdk: select needs a boolean column, got %s", cond.Kind())
 	}
 	vals := cond.Bools()
-	out := make([]int64, 0, len(vals)/2)
+	var out []int64
 	if cond.HasNulls() {
-		for i, v := range vals {
-			if v && !cond.IsNull(i) {
-				out = append(out, int64(i))
+		out = gatherOIDs(len(vals), func(lo, hi int, dst []int64) []int64 {
+			for i := lo; i < hi; i++ {
+				if vals[i] && !cond.IsNull(i) {
+					dst = append(dst, int64(i))
+				}
 			}
-		}
+			return dst
+		})
 	} else {
-		for i, v := range vals {
-			if v {
-				out = append(out, int64(i))
+		out = gatherOIDs(len(vals), func(lo, hi int, dst []int64) []int64 {
+			for i := lo; i < hi; i++ {
+				if vals[i] {
+					dst = append(dst, int64(i))
+				}
 			}
-		}
+			return dst
+		})
 	}
 	b := bat.FromOIDs(out)
 	b.Sorted, b.Key = true, true
@@ -48,26 +70,34 @@ func ThetaSelect(b *bat.BAT, cand *bat.BAT, val types.Value, op string) (*bat.BA
 	if err != nil {
 		return nil, err
 	}
-	out := make([]int64, 0)
+	var out []int64
 	if cand == nil {
-		for i := 0; i < b.Len(); i++ {
-			if b.IsNull(i) {
-				continue
+		out = gatherOIDs(b.Len(), func(lo, hi int, dst []int64) []int64 {
+			for i := lo; i < hi; i++ {
+				if b.IsNull(i) {
+					continue
+				}
+				if test(b, i) {
+					dst = append(dst, int64(i))
+				}
 			}
-			if test(b, i) {
-				out = append(out, int64(i))
-			}
-		}
+			return dst
+		})
 	} else {
-		for c := 0; c < cand.Len(); c++ {
-			i := int(cand.OidAt(c))
-			if i >= b.Len() || b.IsNull(i) {
-				continue
+		// Scan the candidate list in parallel chunks: candidates are
+		// position-sorted, so chunk order keeps the output sorted.
+		out = gatherOIDs(cand.Len(), func(lo, hi int, dst []int64) []int64 {
+			for c := lo; c < hi; c++ {
+				i := int(cand.OidAt(c))
+				if i >= b.Len() || b.IsNull(i) {
+					continue
+				}
+				if test(b, i) {
+					dst = append(dst, int64(i))
+				}
 			}
-			if test(b, i) {
-				out = append(out, int64(i))
-			}
-		}
+			return dst
+		})
 	}
 	ob := bat.FromOIDs(out)
 	ob.Sorted, ob.Key = true, true
@@ -75,26 +105,8 @@ func ThetaSelect(b *bat.BAT, cand *bat.BAT, val types.Value, op string) (*bat.BA
 }
 
 func thetaTest(k types.Kind, val types.Value, op string) (func(*bat.BAT, int) bool, error) {
-	cmpOK := func(c int) bool {
-		switch op {
-		case "=":
-			return c == 0
-		case "<>", "!=":
-			return c != 0
-		case "<":
-			return c < 0
-		case "<=":
-			return c <= 0
-		case ">":
-			return c > 0
-		case ">=":
-			return c >= 0
-		}
-		return false
-	}
-	switch op {
-	case "=", "<>", "!=", "<", "<=", ">", ">=":
-	default:
+	o, err := cmpOpOf(op)
+	if err != nil {
 		return nil, fmt.Errorf("gdk: unknown theta op %q", op)
 	}
 	switch k {
@@ -107,11 +119,11 @@ func thetaTest(k types.Kind, val types.Value, op string) (func(*bat.BAT, int) bo
 			v := b.Ints()[i]
 			switch {
 			case v < want:
-				return cmpOK(-1)
+				return o.ok(-1)
 			case v > want:
-				return cmpOK(1)
+				return o.ok(1)
 			default:
-				return cmpOK(0)
+				return o.ok(0)
 			}
 		}, nil
 	case types.KindFloat:
@@ -123,16 +135,16 @@ func thetaTest(k types.Kind, val types.Value, op string) (func(*bat.BAT, int) bo
 			v := b.Floats()[i]
 			switch {
 			case v < want:
-				return cmpOK(-1)
+				return o.ok(-1)
 			case v > want:
-				return cmpOK(1)
+				return o.ok(1)
 			default:
-				return cmpOK(0)
+				return o.ok(0)
 			}
 		}, nil
 	default:
 		return func(b *bat.BAT, i int) bool {
-			return cmpOK(b.Get(i).Compare(val))
+			return o.ok(b.Get(i).Compare(val))
 		}, nil
 	}
 }
@@ -153,23 +165,32 @@ func RangeSelect(b *bat.BAT, cand *bat.BAT, lo, hi types.Value) (*bat.BAT, error
 	if err != nil {
 		return nil, err
 	}
-	out := make([]int64, 0)
-	check := func(i int) {
-		if b.IsNull(i) {
-			return
-		}
-		if ge(b, i) && le(b, i) {
-			out = append(out, int64(i))
-		}
-	}
+	var out []int64
 	if cand == nil {
-		for i := 0; i < b.Len(); i++ {
-			check(i)
-		}
+		out = gatherOIDs(b.Len(), func(from, to int, dst []int64) []int64 {
+			for i := from; i < to; i++ {
+				if b.IsNull(i) {
+					continue
+				}
+				if ge(b, i) && le(b, i) {
+					dst = append(dst, int64(i))
+				}
+			}
+			return dst
+		})
 	} else {
-		for c := 0; c < cand.Len(); c++ {
-			check(int(cand.OidAt(c)))
-		}
+		out = gatherOIDs(cand.Len(), func(from, to int, dst []int64) []int64 {
+			for c := from; c < to; c++ {
+				i := int(cand.OidAt(c))
+				if b.IsNull(i) {
+					continue
+				}
+				if ge(b, i) && le(b, i) {
+					dst = append(dst, int64(i))
+				}
+			}
+			return dst
+		})
 	}
 	ob := bat.FromOIDs(out)
 	ob.Sorted, ob.Key = true, true
@@ -178,12 +199,14 @@ func RangeSelect(b *bat.BAT, cand *bat.BAT, lo, hi types.Value) (*bat.BAT, error
 
 // SelectNonNull returns the positions of non-NULL rows.
 func SelectNonNull(b *bat.BAT) *bat.BAT {
-	out := make([]int64, 0, b.Len())
-	for i := 0; i < b.Len(); i++ {
-		if !b.IsNull(i) {
-			out = append(out, int64(i))
+	out := gatherOIDs(b.Len(), func(lo, hi int, dst []int64) []int64 {
+		for i := lo; i < hi; i++ {
+			if !b.IsNull(i) {
+				dst = append(dst, int64(i))
+			}
 		}
-	}
+		return dst
+	})
 	ob := bat.FromOIDs(out)
 	ob.Sorted, ob.Key = true, true
 	return ob

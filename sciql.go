@@ -32,6 +32,7 @@ package sciql
 
 import (
 	"repro/internal/core"
+	"repro/internal/par"
 	"repro/internal/shape"
 	"repro/internal/types"
 )
@@ -59,3 +60,12 @@ func New() *DB { return core.New() }
 // Open loads (or initialises) a database persisted in dir; Close or Save
 // writes it back.
 func Open(dir string) (*DB, error) { return core.Open(dir) }
+
+// SetThreads sets the worker count the GDK kernels use for morsel-parallel
+// execution (process-wide); n <= 0 restores the default, GOMAXPROCS. It
+// returns the previous setting (0 = default). Inputs below the morsel
+// threshold always run serially regardless of this setting.
+func SetThreads(n int) int { return par.SetThreads(n) }
+
+// Threads returns the current kernel worker count.
+func Threads() int { return par.Threads() }
