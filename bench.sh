@@ -1,18 +1,20 @@
 #!/usr/bin/env bash
-# bench.sh — verify loop + benchmark harness for the parallel GDK kernels.
+# bench.sh — verify loop + benchmark harness for the GDK kernels.
 #
-# Runs go vet and the full test suite under -race (the parallel kernels'
-# correctness gate), then the Figure-1/Scenario benchmarks plus the
-# threads=1 vs threads=GOMAXPROCS kernel comparisons with -benchmem, and
-# emits the results as BENCH_parallel.json next to this script.
+# Runs go vet and the full test suite under -race (the parallel and
+# candidate-execution correctness gates), then two benchmark passes with
+# -benchmem:
+#   1. the Figure-1/Scenario benchmarks plus the threads=1 vs
+#      threads=GOMAXPROCS kernel comparisons  -> BENCH_parallel.json
+#   2. the candidate-list vs materializing selective-scan comparisons
+#      (BenchmarkSelective_*)                 -> BENCH_candidates.json
 #
-# Usage: ./bench.sh [bench-regex]   (default: Fig|Scenario|Parallel|ParseCache)
+# Usage: ./bench.sh [bench-regex]   (overrides the first pass's pattern)
 set -euo pipefail
 cd "$(dirname "$0")"
 
 PATTERN="${1:-BenchmarkFig|BenchmarkScenario|BenchmarkParallel|BenchmarkParseCache|BenchmarkAblation}"
-OUT=BENCH_parallel.json
-TXT=bench_out.txt
+CAND_PATTERN="BenchmarkSelective"
 
 echo "== go vet"
 go vet ./...
@@ -23,26 +25,31 @@ go test -race ./internal/gdk/... ./internal/par/...
 echo "== go test (full tier-1 suite)"
 go test ./...
 
-echo "== benchmarks: ${PATTERN}"
-go test -run '^$' -bench "${PATTERN}" -benchmem . | tee "${TXT}"
-
-# Convert "BenchmarkName-8  iters  ns/op  B/op  allocs/op" lines to JSON.
-awk '
-BEGIN { print "["; first = 1 }
-/^Benchmark/ {
-    name = $1; iters = $2; ns = $3; bytes = ""; allocs = ""
-    for (i = 4; i <= NF; i++) {
-        if ($(i) == "B/op")      bytes  = $(i - 1)
-        if ($(i) == "allocs/op") allocs = $(i - 1)
+# bench_json PATTERN OUT_JSON OUT_TXT — run one benchmark pass and convert
+# "BenchmarkName-8  iters  ns/op  B/op  allocs/op" lines to JSON.
+bench_json() {
+    local pattern="$1" out="$2" txt="$3"
+    echo "== benchmarks: ${pattern}"
+    go test -run '^$' -bench "${pattern}" -benchmem . | tee "${txt}"
+    awk '
+    BEGIN { print "["; first = 1 }
+    /^Benchmark/ {
+        name = $1; iters = $2; ns = $3; bytes = ""; allocs = ""
+        for (i = 4; i <= NF; i++) {
+            if ($(i) == "B/op")      bytes  = $(i - 1)
+            if ($(i) == "allocs/op") allocs = $(i - 1)
+        }
+        if (!first) printf ",\n"
+        first = 0
+        printf "  {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s", name, iters, ns
+        if (bytes  != "") printf ", \"bytes_per_op\": %s", bytes
+        if (allocs != "") printf ", \"allocs_per_op\": %s", allocs
+        printf "}"
     }
-    if (!first) printf ",\n"
-    first = 0
-    printf "  {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s", name, iters, ns
-    if (bytes  != "") printf ", \"bytes_per_op\": %s", bytes
-    if (allocs != "") printf ", \"allocs_per_op\": %s", allocs
-    printf "}"
+    END { print "\n]" }
+    ' "${txt}" > "${out}"
+    echo "wrote ${out} ($(grep -c '"name"' "${out}") entries)"
 }
-END { print "\n]" }
-' "${TXT}" > "${OUT}"
 
-echo "wrote ${OUT} ($(grep -c '"name"' "${OUT}") entries)"
+bench_json "${PATTERN}" BENCH_parallel.json bench_out.txt
+bench_json "${CAND_PATTERN}" BENCH_candidates.json bench_cand_out.txt

@@ -34,19 +34,19 @@ func evalVec(cols []*bat.BAT, n int, e rel.Expr) (gdk.Opnd, error) {
 		var out *bat.BAT
 		switch x.Op {
 		case "+", "-", "*", "/", "%":
-			out, err = gdk.Arith(x.Op, l, r)
+			out, err = gdk.Arith(x.Op, l, r, nil)
 		case "=", "<>", "<", "<=", ">", ">=":
-			out, err = gdk.Compare(x.Op, l, r)
+			out, err = gdk.Compare(x.Op, l, r, nil)
 		case "AND":
-			out, err = gdk.And(l, r)
+			out, err = gdk.And(l, r, nil)
 		case "OR":
-			out, err = gdk.Or(l, r)
+			out, err = gdk.Or(l, r, nil)
 		case "||":
-			out, err = gdk.Concat(l, r)
+			out, err = gdk.Concat(l, r, nil)
 		case "like":
-			out, err = gdk.Like(l, r)
+			out, err = gdk.Like(l, r, nil)
 		case "pow":
-			out, err = gdk.Power(l, r)
+			out, err = gdk.Power(l, r, nil)
 		default:
 			return gdk.Opnd{}, fmt.Errorf("unknown operator %q", x.Op)
 		}
@@ -62,13 +62,13 @@ func evalVec(cols []*bat.BAT, n int, e rel.Expr) (gdk.Opnd, error) {
 		var out *bat.BAT
 		switch x.Op {
 		case "-", "abs", "sqrt", "floor", "ceil", "exp", "log", "round", "sign":
-			out, err = gdk.UnaryNum(x.Op, xe)
+			out, err = gdk.UnaryNum(x.Op, xe, nil)
 		case "not":
-			out, err = gdk.Not(xe)
+			out, err = gdk.Not(xe, nil)
 		case "isnull":
-			out = gdk.IsNull(xe)
+			out, err = gdk.IsNull(xe, nil)
 		case "upper", "lower", "length":
-			out, err = gdk.StrUnary(x.Op, xe)
+			out, err = gdk.StrUnary(x.Op, xe, nil)
 		default:
 			return gdk.Opnd{}, fmt.Errorf("unknown unary operator %q", x.Op)
 		}
@@ -89,7 +89,7 @@ func evalVec(cols []*bat.BAT, n int, e rel.Expr) (gdk.Opnd, error) {
 		if err != nil {
 			return gdk.Opnd{}, err
 		}
-		out, err := gdk.IfThenElse(c, t, f)
+		out, err := gdk.IfThenElse(c, t, f, nil)
 		if err != nil {
 			return gdk.Opnd{}, err
 		}
@@ -99,7 +99,7 @@ func evalVec(cols []*bat.BAT, n int, e rel.Expr) (gdk.Opnd, error) {
 		if err != nil {
 			return gdk.Opnd{}, err
 		}
-		out, err := gdk.CastBAT(xe, x.To)
+		out, err := gdk.CastBAT(xe, x.To, nil)
 		if err != nil {
 			return gdk.Opnd{}, err
 		}
@@ -117,7 +117,7 @@ func evalVec(cols []*bat.BAT, n int, e rel.Expr) (gdk.Opnd, error) {
 		if err != nil {
 			return gdk.Opnd{}, err
 		}
-		out, err := gdk.Substring(s, from, forO)
+		out, err := gdk.Substring(s, from, forO, nil)
 		if err != nil {
 			return gdk.Opnd{}, err
 		}

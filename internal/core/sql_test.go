@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 
@@ -318,7 +319,9 @@ func TestExplainAndPlan(t *testing.T) {
 		t.Errorf("explain output:\n%s", res.Text)
 	}
 	res = db.MustQuery(`PLAN SELECT name FROM items WHERE price > 1`)
-	for _, frag := range []string{"function user.main", "sql.bind", "algebra.projection", "batcalc.bin", "sql.resultSet"} {
+	// The WHERE decomposes into a candidate-list theta selection; the
+	// projection materialises the output column through the candidates.
+	for _, frag := range []string{"function user.main", "sql.bind", "algebra.projection", "algebra.thetaselect", "sql.resultSet"} {
 		if !strings.Contains(res.Text, frag) {
 			t.Errorf("plan output lacks %q:\n%s", frag, res.Text)
 		}
@@ -547,4 +550,37 @@ func TestSumTypeResult(t *testing.T) {
 	if res.Kinds[0] != types.KindInt || res.Kinds[1] != types.KindFloat || res.Kinds[2] != types.KindFloat {
 		t.Errorf("kinds = %v", res.Kinds)
 	}
+}
+
+// TestCandidateExecutionEndToEnd drives the candidate-threading paths
+// through the whole engine: theta/range chains over tables with deleted
+// rows, OR-unions of candidate lists, residual predicates over survivors,
+// LIMIT slicing the candidate list, and the fused group-by path.
+func TestCandidateExecutionEndToEnd(t *testing.T) {
+	db := New()
+	db.MustQuery(`CREATE TABLE ev (id INT, grp INT, val DOUBLE, tag VARCHAR)`)
+	for i := 0; i < 500; i++ {
+		db.MustQuery(fmt.Sprintf(`INSERT INTO ev VALUES (%d, %d, %g, 't%d')`,
+			i, i%7, float64(i)*0.5, i%3))
+	}
+	// Punch holes so tablecand is a real oid list, not a dense range.
+	db.MustQuery(`DELETE FROM ev WHERE id % 10 = 3`)
+
+	// Theta + range chain with a residual over the survivors.
+	expectRows(t, db, `SELECT id FROM ev WHERE id >= 100 AND id < 110 AND grp = 2 AND id + grp > 0`,
+		[]string{"100", "107"})
+	// OR branches union candidate lists (id 3 is deleted, 496 survives).
+	expectRows(t, db, `SELECT id FROM ev WHERE id < 4 OR id > 495`,
+		[]string{"0", "1", "2", "496", "497", "498", "499"})
+	// LIMIT slices the candidate list before any column materialises.
+	expectRows(t, db, `SELECT id FROM ev WHERE id > 400 LIMIT 3 OFFSET 2`,
+		[]string{"404", "405", "406"})
+	// Fused group path: bare-column keys and aggregate args over a
+	// candidate list, COUNT(*) via the gid column.
+	expectRows(t, db, `SELECT grp, COUNT(*), SUM(val) FROM ev WHERE id < 20 AND grp < 2 GROUP BY grp`,
+		[]string{"0|3|10.5", "1|3|12"})
+	// Column-vs-column residual evaluated over the atom's survivors:
+	// id - grp is id rounded down to a multiple of 7, > 490 only for 497+.
+	expectRows(t, db, `SELECT id FROM ev WHERE id - grp > 490 AND id > 400`,
+		[]string{"497", "498", "499"})
 }

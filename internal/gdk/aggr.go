@@ -72,10 +72,22 @@ func gidSlice(gids *bat.BAT) []int64 {
 // (count yields 0), per SQL semantics and §2 of the paper ("holes and cells
 // outside the array dimension ranges are ignored by the aggregation").
 //
+// When cand is non-nil, vals is base-aligned and only the candidate rows
+// feed the aggregate; gids must already be candidate-aligned (as produced
+// by Group with the same candidate list). This is the late-materialization
+// sink for aggregation inputs: the value column is gathered exactly once,
+// here.
+//
 // Above the morsel threshold, each worker accumulates morsel-local partial
 // aggregates which are merged group-wise at the end (when the group count
 // permits, see aggrPlan).
-func SubAggr(agg AggKind, vals, gids *bat.BAT, ngroups int) (*bat.BAT, error) {
+func SubAggr(agg AggKind, vals, gids *bat.BAT, ngroups int, cand *bat.BAT) (*bat.BAT, error) {
+	if cand != nil && vals != nil {
+		var err error
+		if vals, err = Project(cand, vals); err != nil {
+			return nil, err
+		}
+	}
 	if vals != nil && gids.Len() != vals.Len() {
 		return nil, fmt.Errorf("gdk: aggregate inputs not aligned")
 	}
@@ -320,7 +332,7 @@ func TotalAggr(agg AggKind, vals *bat.BAT) (types.Value, error) {
 	// A single group containing every row.
 	zero := make([]int64, n)
 	g := bat.FromOIDs(zero)
-	out, err := SubAggr(agg, vals, g, 1)
+	out, err := SubAggr(agg, vals, g, 1, nil)
 	if err != nil {
 		return types.Value{}, err
 	}

@@ -16,13 +16,19 @@ import (
 // vectors are pre-sized so workers write disjoint ranges, and null bitmaps
 // are pre-allocated with 64-aligned morsel boundaries so no two workers
 // ever touch the same bitmap word.
+//
+// Every kernel takes an optional candidate list (nil = all rows): operands
+// are base-aligned and the output is candidate-aligned, holding the result
+// for base row cand[i] at row i (see the contract in cand.go). The
+// restriction itself chunks the candidate list across morsels, so work and
+// allocation are proportional to the surviving rows, not the base size.
 
 // Arith evaluates a vectorised binary arithmetic operation
 // (op one of "+", "-", "*", "/", "%"). Integer operands stay integral;
 // mixing in a float promotes to float. NULL operands produce NULL rows.
-// Division (or modulo) by zero on a non-NULL row is an error, matching
-// MonetDB's behaviour.
-func Arith(op string, l, r Opnd) (*bat.BAT, error) {
+// Division (or modulo) by zero on a non-NULL candidate row is an error,
+// matching MonetDB's behaviour.
+func Arith(op string, l, r Opnd, cand *bat.BAT) (*bat.BAT, error) {
 	if l.Len() != r.Len() {
 		return nil, fmt.Errorf("gdk: operand length mismatch %d vs %d", l.Len(), r.Len())
 	}
@@ -32,9 +38,12 @@ func Arith(op string, l, r Opnd) (*bat.BAT, error) {
 	}
 	if !k.Numeric() {
 		if k == types.KindStr && op == "+" {
-			return Concat(l, r)
+			return Concat(l, r, cand)
 		}
 		return nil, fmt.Errorf("gdk: arithmetic on non-numeric type %s", k)
+	}
+	if err := restrictTo(cand, &l, &r); err != nil {
+		return nil, err
 	}
 	n := l.Len()
 	if k == types.KindFloat {
@@ -217,9 +226,12 @@ func (o cmpOp) ok(c int) bool {
 // Compare evaluates a vectorised comparison (op one of "=", "<>", "<",
 // "<=", ">", ">=") producing a boolean BAT; rows with a NULL operand are
 // NULL (SQL three-valued logic).
-func Compare(op string, l, r Opnd) (*bat.BAT, error) {
+func Compare(op string, l, r Opnd, cand *bat.BAT) (*bat.BAT, error) {
 	if l.Len() != r.Len() {
 		return nil, fmt.Errorf("gdk: operand length mismatch %d vs %d", l.Len(), r.Len())
+	}
+	if err := restrictTo(cand, &l, &r); err != nil {
+		return nil, err
 	}
 	n := l.Len()
 	k, err := types.CommonKind(l.Kind(), r.Kind())
@@ -324,9 +336,12 @@ func Compare(op string, l, r Opnd) (*bat.BAT, error) {
 }
 
 // And evaluates three-valued logical AND.
-func And(l, r Opnd) (*bat.BAT, error) {
+func And(l, r Opnd, cand *bat.BAT) (*bat.BAT, error) {
 	if l.Len() != r.Len() {
 		return nil, fmt.Errorf("gdk: operand length mismatch")
+	}
+	if err := restrictTo(cand, &l, &r); err != nil {
+		return nil, err
 	}
 	lb, ln, err := l.boolsv()
 	if err != nil {
@@ -361,9 +376,12 @@ func And(l, r Opnd) (*bat.BAT, error) {
 }
 
 // Or evaluates three-valued logical OR.
-func Or(l, r Opnd) (*bat.BAT, error) {
+func Or(l, r Opnd, cand *bat.BAT) (*bat.BAT, error) {
 	if l.Len() != r.Len() {
 		return nil, fmt.Errorf("gdk: operand length mismatch")
+	}
+	if err := restrictTo(cand, &l, &r); err != nil {
+		return nil, err
 	}
 	lb, ln, err := l.boolsv()
 	if err != nil {
@@ -396,7 +414,10 @@ func Or(l, r Opnd) (*bat.BAT, error) {
 }
 
 // Not evaluates three-valued logical NOT.
-func Not(x Opnd) (*bat.BAT, error) {
+func Not(x Opnd, cand *bat.BAT) (*bat.BAT, error) {
+	if err := restrictTo(cand, &x); err != nil {
+		return nil, err
+	}
 	xb, xn, err := x.boolsv()
 	if err != nil {
 		return nil, err
@@ -412,7 +433,10 @@ func Not(x Opnd) (*bat.BAT, error) {
 }
 
 // IsNull produces a boolean BAT that is true exactly where x is NULL.
-func IsNull(x Opnd) *bat.BAT {
+func IsNull(x Opnd, cand *bat.BAT) (*bat.BAT, error) {
+	if err := restrictTo(cand, &x); err != nil {
+		return nil, err
+	}
 	n := x.Len()
 	out := make([]bool, n)
 	if x.b != nil {
@@ -426,7 +450,7 @@ func IsNull(x Opnd) *bat.BAT {
 			out[i] = true
 		}
 	}
-	return bat.FromBools(out)
+	return bat.FromBools(out), nil
 }
 
 // IfThenElse picks a[i] where cond[i] is true, b[i] where cond[i] is false
@@ -434,11 +458,14 @@ func IsNull(x Opnd) *bat.BAT {
 // falls through to the next branch). It stays serial: the per-row cast of
 // only the picked branch cannot be pre-materialised without changing which
 // cast errors surface.
-func IfThenElse(cond, a, b Opnd) (*bat.BAT, error) {
-	n := cond.Len()
-	if a.Len() != n || b.Len() != n {
+func IfThenElse(cond, a, b Opnd, cand *bat.BAT) (*bat.BAT, error) {
+	if a.Len() != cond.Len() || b.Len() != cond.Len() {
 		return nil, fmt.Errorf("gdk: ifthenelse operand length mismatch")
 	}
+	if err := restrictTo(cand, &cond, &a, &b); err != nil {
+		return nil, err
+	}
+	n := cond.Len()
 	cb, cn, err := cond.boolsv()
 	if err != nil {
 		return nil, err
@@ -484,7 +511,10 @@ func IfThenElse(cond, a, b Opnd) (*bat.BAT, error) {
 
 // UnaryNum evaluates a numeric unary function: "-", "abs", "sqrt",
 // "floor", "ceil". sqrt/floor/ceil produce floats; "-"/abs preserve kind.
-func UnaryNum(op string, x Opnd) (*bat.BAT, error) {
+func UnaryNum(op string, x Opnd, cand *bat.BAT) (*bat.BAT, error) {
+	if err := restrictTo(cand, &x); err != nil {
+		return nil, err
+	}
 	n := x.Len()
 	switch op {
 	case "-", "abs":
@@ -585,9 +615,12 @@ func UnaryNum(op string, x Opnd) (*bat.BAT, error) {
 // Power computes l^r element-wise in floating point, following SQL's
 // POWER: any NULL operand yields NULL; domain errors (negative base with
 // fractional exponent) yield NaN like math.Pow.
-func Power(l, r Opnd) (*bat.BAT, error) {
+func Power(l, r Opnd, cand *bat.BAT) (*bat.BAT, error) {
 	if l.Len() != r.Len() {
 		return nil, fmt.Errorf("gdk: operand length mismatch")
+	}
+	if err := restrictTo(cand, &l, &r); err != nil {
+		return nil, err
 	}
 	lf, ln, err := l.floats()
 	if err != nil {
@@ -609,7 +642,10 @@ func Power(l, r Opnd) (*bat.BAT, error) {
 }
 
 // CastBAT converts every row of the operand to kind k.
-func CastBAT(x Opnd, k types.Kind) (*bat.BAT, error) {
+func CastBAT(x Opnd, k types.Kind, cand *bat.BAT) (*bat.BAT, error) {
+	if err := restrictTo(cand, &x); err != nil {
+		return nil, err
+	}
 	n := x.Len()
 	out := bat.New(k, n)
 	for i := 0; i < n; i++ {
@@ -631,7 +667,10 @@ func CastBAT(x Opnd, k types.Kind) (*bat.BAT, error) {
 }
 
 // Concat string-concatenates two operands ("||").
-func Concat(l, r Opnd) (*bat.BAT, error) {
+func Concat(l, r Opnd, cand *bat.BAT) (*bat.BAT, error) {
+	if err := restrictTo(cand, &l, &r); err != nil {
+		return nil, err
+	}
 	n := l.Len()
 	ls, ln, err := l.strsv()
 	if err != nil {
@@ -652,7 +691,10 @@ func Concat(l, r Opnd) (*bat.BAT, error) {
 }
 
 // StrUnary evaluates "upper", "lower" or "length".
-func StrUnary(op string, x Opnd) (*bat.BAT, error) {
+func StrUnary(op string, x Opnd, cand *bat.BAT) (*bat.BAT, error) {
+	if err := restrictTo(cand, &x); err != nil {
+		return nil, err
+	}
 	xs, xn, err := x.strsv()
 	if err != nil {
 		return nil, err
@@ -686,7 +728,10 @@ func StrUnary(op string, x Opnd) (*bat.BAT, error) {
 
 // Substring implements SUBSTRING(s FROM start FOR length) with SQL's
 // 1-based start position.
-func Substring(x, start, length Opnd) (*bat.BAT, error) {
+func Substring(x, start, length Opnd, cand *bat.BAT) (*bat.BAT, error) {
+	if err := restrictTo(cand, &x, &start, &length); err != nil {
+		return nil, err
+	}
 	n := x.Len()
 	xs, xn, err := x.strsv()
 	if err != nil {
@@ -729,7 +774,10 @@ func Substring(x, start, length Opnd) (*bat.BAT, error) {
 }
 
 // Like evaluates the SQL LIKE predicate with % and _ wildcards.
-func Like(x, pattern Opnd) (*bat.BAT, error) {
+func Like(x, pattern Opnd, cand *bat.BAT) (*bat.BAT, error) {
+	if err := restrictTo(cand, &x, &pattern); err != nil {
+		return nil, err
+	}
 	n := x.Len()
 	xs, xn, err := x.strsv()
 	if err != nil {

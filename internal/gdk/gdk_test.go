@@ -23,7 +23,7 @@ func TestArithInt(t *testing.T) {
 		"%": {1, 0, 0},
 	}
 	for op, want := range cases {
-		got, err := Arith(op, B(l), B(r))
+		got, err := Arith(op, B(l), B(r), nil)
 		if err != nil {
 			t.Fatalf("%s: %v", op, err)
 		}
@@ -41,7 +41,7 @@ func TestArithInt(t *testing.T) {
 func TestArithFloatPromotion(t *testing.T) {
 	l := bat.FromInts([]int64{1, 2})
 	r := bat.FromFloats([]float64{0.5, 0.25})
-	got, err := Arith("*", B(l), B(r))
+	got, err := Arith("*", B(l), B(r), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -53,34 +53,34 @@ func TestArithFloatPromotion(t *testing.T) {
 func TestDivisionByZeroErrors(t *testing.T) {
 	l := bat.FromInts([]int64{1})
 	z := bat.FromInts([]int64{0})
-	if _, err := Arith("/", B(l), B(z)); err == nil {
+	if _, err := Arith("/", B(l), B(z), nil); err == nil {
 		t.Error("int division by zero not detected")
 	}
-	if _, err := Arith("%", B(l), B(z)); err == nil {
+	if _, err := Arith("%", B(l), B(z), nil); err == nil {
 		t.Error("int modulo by zero not detected")
 	}
 	fz := bat.FromFloats([]float64{0})
-	if _, err := Arith("/", B(bat.FromFloats([]float64{1})), B(fz)); err == nil {
+	if _, err := Arith("/", B(bat.FromFloats([]float64{1})), B(fz), nil); err == nil {
 		t.Error("float division by zero not detected")
 	}
 	// NULL divisor rows do not trip the error.
 	nz := bat.FromInts([]int64{0})
 	nz.SetNull(0, true)
-	if _, err := Arith("/", B(l), B(nz)); err != nil {
+	if _, err := Arith("/", B(l), B(nz), nil); err != nil {
 		t.Errorf("NULL divisor should not error: %v", err)
 	}
 }
 
 func TestConstBroadcast(t *testing.T) {
 	l := bat.FromInts([]int64{1, 2, 3})
-	got, err := Arith("+", B(l), C(types.Int(10), 3))
+	got, err := Arith("+", B(l), C(types.Int(10), 3), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if got.Ints()[2] != 13 {
 		t.Errorf("broadcast add wrong: %v", got.Ints())
 	}
-	got, err = Compare("<", C(types.Int(2), 3), B(l))
+	got, err = Compare("<", C(types.Int(2), 3), B(l), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -92,7 +92,7 @@ func TestConstBroadcast(t *testing.T) {
 func TestCompareKinds(t *testing.T) {
 	s1 := bat.FromStrings([]string{"a", "b"})
 	s2 := bat.FromStrings([]string{"b", "b"})
-	got, err := Compare("<", B(s1), B(s2))
+	got, err := Compare("<", B(s1), B(s2), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -101,14 +101,14 @@ func TestCompareKinds(t *testing.T) {
 	}
 	b1 := bat.FromBools([]bool{false, true})
 	b2 := bat.FromBools([]bool{true, true})
-	got, err = Compare("=", B(b1), B(b2))
+	got, err = Compare("=", B(b1), B(b2), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if got.Bools()[0] || !got.Bools()[1] {
 		t.Errorf("bool compare wrong: %v", got.Bools())
 	}
-	if _, err := Compare("=", B(s1), B(b1)); err == nil {
+	if _, err := Compare("=", B(s1), B(b1), nil); err == nil {
 		t.Error("str vs bool comparison should fail")
 	}
 }
@@ -121,7 +121,7 @@ func TestThreeValuedLogic(t *testing.T) {
 	tt, _ := bat.Filler(3, types.Bool(true), types.KindBool)
 	ff, _ := bat.Filler(3, types.Bool(false), types.KindBool)
 
-	and, err := And(B(tri), B(tt))
+	and, err := And(B(tri), B(tt), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -129,24 +129,24 @@ func TestThreeValuedLogic(t *testing.T) {
 	if !and.Bools()[0] || and.Bools()[1] || !and.IsNull(2) {
 		t.Errorf("AND true: %v nulls=%v", and.Bools(), and.IsNull(2))
 	}
-	and, _ = And(B(tri), B(ff))
+	and, _ = And(B(tri), B(ff), nil)
 	// anything AND f = f (even null)
 	for i := 0; i < 3; i++ {
 		if and.IsNull(i) || and.Bools()[i] {
 			t.Errorf("AND false row %d wrong", i)
 		}
 	}
-	or, _ := Or(B(tri), B(tt))
+	or, _ := Or(B(tri), B(tt), nil)
 	for i := 0; i < 3; i++ {
 		if or.IsNull(i) || !or.Bools()[i] {
 			t.Errorf("OR true row %d wrong", i)
 		}
 	}
-	or, _ = Or(B(tri), B(ff))
+	or, _ = Or(B(tri), B(ff), nil)
 	if !or.Bools()[0] || or.Bools()[1] || !or.IsNull(2) {
 		t.Errorf("OR false wrong")
 	}
-	not, _ := Not(B(tri))
+	not, _ := Not(B(tri), nil)
 	if not.Bools()[0] || !not.Bools()[1] || !not.IsNull(2) {
 		t.Errorf("NOT wrong")
 	}
@@ -157,7 +157,7 @@ func TestIfThenElseNullCondPicksElse(t *testing.T) {
 	cond.AppendBool(true)
 	cond.AppendBool(false)
 	cond.AppendNull()
-	got, err := IfThenElse(B(cond), C(types.Int(1), 3), C(types.Int(2), 3))
+	got, err := IfThenElse(B(cond), C(types.Int(1), 3), C(types.Int(2), 3), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -171,41 +171,41 @@ func TestIfThenElseNullCondPicksElse(t *testing.T) {
 
 func TestUnaryOps(t *testing.T) {
 	x := bat.FromInts([]int64{-3, 4})
-	abs, err := UnaryNum("abs", B(x))
+	abs, err := UnaryNum("abs", B(x), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if abs.Ints()[0] != 3 || abs.Ints()[1] != 4 {
 		t.Errorf("abs: %v", abs.Ints())
 	}
-	neg, _ := UnaryNum("-", B(x))
+	neg, _ := UnaryNum("-", B(x), nil)
 	if neg.Ints()[0] != 3 || neg.Ints()[1] != -4 {
 		t.Errorf("neg: %v", neg.Ints())
 	}
-	sq, err := UnaryNum("sqrt", B(bat.FromInts([]int64{16})))
+	sq, err := UnaryNum("sqrt", B(bat.FromInts([]int64{16})), nil)
 	if err != nil || sq.Floats()[0] != 4 {
 		t.Errorf("sqrt: %v %v", sq, err)
 	}
-	if _, err := UnaryNum("sqrt", B(bat.FromInts([]int64{-1}))); err == nil {
+	if _, err := UnaryNum("sqrt", B(bat.FromInts([]int64{-1})), nil); err == nil {
 		t.Error("sqrt(-1) should fail")
 	}
 }
 
 func TestStringKernels(t *testing.T) {
 	s := bat.FromStrings([]string{"Hello", "wörld"})
-	up, err := StrUnary("upper", B(s))
+	up, err := StrUnary("upper", B(s), nil)
 	if err != nil || up.Strs()[0] != "HELLO" {
 		t.Errorf("upper: %v %v", up.Strs(), err)
 	}
-	ln, _ := StrUnary("length", B(s))
+	ln, _ := StrUnary("length", B(s), nil)
 	if ln.Ints()[0] != 5 {
 		t.Errorf("length: %v", ln.Ints())
 	}
-	cc, err := Concat(B(s), C(types.Str("!"), 2))
+	cc, err := Concat(B(s), C(types.Str("!"), 2), nil)
 	if err != nil || cc.Strs()[1] != "wörld!" {
 		t.Errorf("concat: %v %v", cc.Strs(), err)
 	}
-	sub, err := Substring(B(s), C(types.Int(2), 2), C(types.Int(3), 2))
+	sub, err := Substring(B(s), C(types.Int(2), 2), C(types.Int(3), 2), nil)
 	if err != nil || sub.Strs()[0] != "ell" {
 		t.Errorf("substring: %v %v", sub.Strs(), err)
 	}
@@ -213,7 +213,7 @@ func TestStringKernels(t *testing.T) {
 
 func TestLikeKernel(t *testing.T) {
 	s := bat.FromStrings([]string{"apple", "banana", "cherry", ""})
-	got, err := Like(B(s), C(types.Str("%an%"), 4))
+	got, err := Like(B(s), C(types.Str("%an%"), 4), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -223,11 +223,11 @@ func TestLikeKernel(t *testing.T) {
 			t.Errorf("LIKE row %d = %v, want %v", i, got.Bools()[i], w)
 		}
 	}
-	got, _ = Like(B(s), C(types.Str("_pp%"), 4))
+	got, _ = Like(B(s), C(types.Str("_pp%"), 4), nil)
 	if !got.Bools()[0] || got.Bools()[1] {
 		t.Error("underscore wildcard wrong")
 	}
-	got, _ = Like(B(s), C(types.Str(""), 4))
+	got, _ = Like(B(s), C(types.Str(""), 4), nil)
 	if got.Bools()[0] || !got.Bools()[3] {
 		t.Error("empty pattern matches only empty string")
 	}
@@ -243,7 +243,7 @@ func TestLikeProperty(t *testing.T) {
 			}
 		}
 		col := bat.FromStrings([]string{s})
-		got, err := Like(B(col), C(types.Str(s), 1))
+		got, err := Like(B(col), C(types.Str(s), 1), nil)
 		return err == nil && got.Bools()[0]
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
@@ -254,7 +254,7 @@ func TestLikeProperty(t *testing.T) {
 func TestCastBATKernel(t *testing.T) {
 	x := bat.FromFloats([]float64{1.9, -2.9})
 	x.SetNull(1, true)
-	got, err := CastBAT(B(x), types.KindInt)
+	got, err := CastBAT(B(x), types.KindInt, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -271,7 +271,7 @@ func TestSelectBool(t *testing.T) {
 	cond.AppendBool(false)
 	cond.AppendNull()
 	cond.AppendBool(true)
-	got, err := SelectBool(cond)
+	got, err := SelectBool(cond, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -337,11 +337,11 @@ func TestThetaVsCompareProperty(t *testing.T) {
 			if err != nil {
 				return false
 			}
-			mask, err := Compare(op, B(col), C(val, n))
+			mask, err := Compare(op, B(col), C(val, n), nil)
 			if err != nil {
 				return false
 			}
-			b, err := SelectBool(mask)
+			b, err := SelectBool(mask, nil)
 			if err != nil {
 				return false
 			}
@@ -402,7 +402,7 @@ func TestProject(t *testing.T) {
 func TestHashJoinBasic(t *testing.T) {
 	l := bat.FromInts([]int64{1, 2, 3, 2})
 	r := bat.FromInts([]int64{2, 4, 2})
-	li, ri, err := HashJoin([]*bat.BAT{l}, []*bat.BAT{r})
+	li, ri, err := HashJoin([]*bat.BAT{l}, []*bat.BAT{r}, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -424,7 +424,7 @@ func TestHashJoinNullsNeverMatch(t *testing.T) {
 	l.SetNull(1, true)
 	r := bat.FromInts([]int64{0, 1})
 	r.SetNull(0, true)
-	li, _, err := HashJoin([]*bat.BAT{l}, []*bat.BAT{r})
+	li, _, err := HashJoin([]*bat.BAT{l}, []*bat.BAT{r}, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -438,7 +438,7 @@ func TestHashJoinMultiKey(t *testing.T) {
 	l2 := bat.FromStrings([]string{"a", "b", "a"})
 	r1 := bat.FromInts([]int64{1, 2})
 	r2 := bat.FromStrings([]string{"b", "a"})
-	li, ri, err := HashJoin([]*bat.BAT{l1, l2}, []*bat.BAT{r1, r2})
+	li, ri, err := HashJoin([]*bat.BAT{l1, l2}, []*bat.BAT{r1, r2}, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -453,7 +453,7 @@ func TestHashJoinMultiKey(t *testing.T) {
 func TestLeftJoinKeepsUnmatched(t *testing.T) {
 	l := bat.FromInts([]int64{1, 9})
 	r := bat.FromInts([]int64{1})
-	li, ri, err := LeftJoin([]*bat.BAT{l}, []*bat.BAT{r})
+	li, ri, err := LeftJoin([]*bat.BAT{l}, []*bat.BAT{r}, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -485,7 +485,7 @@ func TestJoinProperty(t *testing.T) {
 		for i := 0; i < nr; i++ {
 			r.AppendInt(int64(rng.Intn(5)))
 		}
-		li, _, err := HashJoin([]*bat.BAT{l}, []*bat.BAT{r})
+		li, _, err := HashJoin([]*bat.BAT{l}, []*bat.BAT{r}, nil, nil)
 		if err != nil {
 			return false
 		}
@@ -508,7 +508,7 @@ func TestJoinProperty(t *testing.T) {
 
 func TestGroupBasic(t *testing.T) {
 	col := bat.FromInts([]int64{5, 3, 5, 3, 7})
-	res, err := Group([]*bat.BAT{col})
+	res, err := Group([]*bat.BAT{col}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -530,7 +530,7 @@ func TestGroupNullsGroupTogether(t *testing.T) {
 	col.AppendInt(1)
 	col.AppendNull()
 	col.AppendInt(1)
-	res, err := Group([]*bat.BAT{col})
+	res, err := Group([]*bat.BAT{col}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -555,11 +555,11 @@ func TestGroupCountInvariant(t *testing.T) {
 				col.AppendInt(int64(rng.Intn(8)))
 			}
 		}
-		res, err := Group([]*bat.BAT{col})
+		res, err := Group([]*bat.BAT{col}, nil)
 		if err != nil {
 			return false
 		}
-		counts, err := SubAggr(AggCountAll, col, res.GIDs, res.N)
+		counts, err := SubAggr(AggCountAll, col, res.GIDs, res.N, nil)
 		if err != nil {
 			return false
 		}
@@ -580,27 +580,27 @@ func TestSubAggr(t *testing.T) {
 	vals := bat.FromInts([]int64{10, 20, 30, 40})
 	vals.SetNull(3, true)
 	gids := bat.FromOIDs([]int64{0, 1, 0, 1})
-	sum, err := SubAggr(AggSum, vals, gids, 2)
+	sum, err := SubAggr(AggSum, vals, gids, 2, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if sum.Ints()[0] != 40 || sum.Ints()[1] != 20 {
 		t.Errorf("sums: %v", sum.Ints())
 	}
-	cnt, _ := SubAggr(AggCount, vals, gids, 2)
+	cnt, _ := SubAggr(AggCount, vals, gids, 2, nil)
 	if cnt.Ints()[0] != 2 || cnt.Ints()[1] != 1 {
 		t.Errorf("counts: %v", cnt.Ints())
 	}
-	all, _ := SubAggr(AggCountAll, vals, gids, 2)
+	all, _ := SubAggr(AggCountAll, vals, gids, 2, nil)
 	if all.Ints()[1] != 2 {
 		t.Errorf("countall: %v", all.Ints())
 	}
-	avg, _ := SubAggr(AggAvg, vals, gids, 2)
+	avg, _ := SubAggr(AggAvg, vals, gids, 2, nil)
 	if avg.Floats()[0] != 20 || avg.Floats()[1] != 20 {
 		t.Errorf("avgs: %v", avg.Floats())
 	}
-	mn, _ := SubAggr(AggMin, vals, gids, 2)
-	mx, _ := SubAggr(AggMax, vals, gids, 2)
+	mn, _ := SubAggr(AggMin, vals, gids, 2, nil)
+	mx, _ := SubAggr(AggMax, vals, gids, 2, nil)
 	if mn.Ints()[0] != 10 || mx.Ints()[0] != 30 {
 		t.Errorf("min/max: %v %v", mn.Ints(), mx.Ints())
 	}
@@ -610,14 +610,14 @@ func TestSubAggrEmptyGroup(t *testing.T) {
 	vals := bat.New(types.KindInt, 1)
 	vals.AppendNull()
 	gids := bat.FromOIDs([]int64{0})
-	sum, err := SubAggr(AggSum, vals, gids, 2)
+	sum, err := SubAggr(AggSum, vals, gids, 2, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !sum.IsNull(0) || !sum.IsNull(1) {
 		t.Error("groups with no non-NULL input must be NULL")
 	}
-	cnt, _ := SubAggr(AggCount, vals, gids, 2)
+	cnt, _ := SubAggr(AggCount, vals, gids, 2, nil)
 	if cnt.Ints()[0] != 0 || cnt.Ints()[1] != 0 {
 		t.Error("counts of empty groups must be 0")
 	}
@@ -765,7 +765,7 @@ func TestSlabMatchesScanFilter(t *testing.T) {
 
 func TestUnique(t *testing.T) {
 	col := bat.FromInts([]int64{1, 2, 1, 3, 2})
-	ext, err := Unique([]*bat.BAT{col})
+	ext, err := Unique([]*bat.BAT{col}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -20,14 +20,39 @@ type GroupResult struct {
 // Group performs value-based grouping over one or more aligned key columns.
 // NULLs group together (SQL GROUP BY semantics).
 //
+// When cand is non-nil the key columns are base-aligned and only the
+// candidate rows are grouped: GIDs is candidate-aligned (row i is the
+// group of base row cand[i]) while Extents holds base positions, so key
+// output columns project directly from base storage.
+//
 // Above the morsel threshold the input is partitioned into contiguous row
 // ranges, each worker groups its partition locally, and the local tables
 // are merged in partition order. Merging in order keeps group ids dense in
 // global first-occurrence order, so the parallel result is bit-identical to
 // the serial one.
-func Group(keys []*bat.BAT) (*GroupResult, error) {
+func Group(keys []*bat.BAT, cand *bat.BAT) (*GroupResult, error) {
 	if len(keys) == 0 {
 		return nil, fmt.Errorf("gdk: group needs at least one key column")
+	}
+	if cand != nil {
+		rk, err := restrictCols(keys, cand)
+		if err != nil {
+			return nil, err
+		}
+		res, err := Group(rk, nil)
+		if err != nil {
+			return nil, err
+		}
+		// Map extents (positions into candidate space) back to base rows;
+		// composition through the ascending candidate list keeps them in
+		// first-occurrence order.
+		ext, err := Project(res.Extents, cand)
+		if err != nil {
+			return nil, err
+		}
+		ext.Key = true
+		res.Extents = ext
+		return res, nil
 	}
 	n := keys[0].Len()
 	for _, k := range keys {
@@ -150,9 +175,10 @@ func groupRowsEqual(keys []*bat.BAT, i, j int) bool {
 }
 
 // Unique returns the positions of the first occurrence of each distinct row
-// (used by SELECT DISTINCT).
-func Unique(cols []*bat.BAT) (*bat.BAT, error) {
-	g, err := Group(cols)
+// (used by SELECT DISTINCT), restricted to the candidate rows when cand is
+// non-nil.
+func Unique(cols []*bat.BAT, cand *bat.BAT) (*bat.BAT, error) {
+	g, err := Group(cols, cand)
 	if err != nil {
 		return nil, err
 	}

@@ -24,11 +24,17 @@ func rowsEqual(ls []*bat.BAT, li int, rs []*bat.BAT, ri int) bool {
 // given key columns. It returns two position lists (left and right), one
 // entry per matching pair, ordered by left position. NULL keys never match.
 //
+// When lcand/rcand are non-nil the key columns are base-aligned and only
+// the candidate rows on that side participate: the build side inserts only
+// candidate rows, the probe side probes only candidate rows, and the
+// returned position lists hold base positions, so downstream projections
+// fetch from base storage directly.
+//
 // Both phases run on the shared worker pool above the morsel threshold: the
 // build side hashes its rows in parallel before the (serial) table insert,
 // and the probe side scans morsels concurrently, concatenating per-chunk
 // match lists in chunk order so the output stays sorted by probe position.
-func HashJoin(lkeys, rkeys []*bat.BAT) (lIdx, rIdx *bat.BAT, err error) {
+func HashJoin(lkeys, rkeys []*bat.BAT, lcand, rcand *bat.BAT) (lIdx, rIdx *bat.BAT, err error) {
 	if len(lkeys) == 0 || len(lkeys) != len(rkeys) {
 		return nil, nil, fmt.Errorf("gdk: join needs matching key column lists")
 	}
@@ -38,6 +44,26 @@ func HashJoin(lkeys, rkeys []*bat.BAT) (lIdx, rIdx *bat.BAT, err error) {
 			return nil, nil, fmt.Errorf("gdk: join key %d: %v", k, err)
 		}
 	}
+	if lkeys, err = restrictCols(lkeys, lcand); err != nil {
+		return nil, nil, err
+	}
+	if rkeys, err = restrictCols(rkeys, rcand); err != nil {
+		return nil, nil, err
+	}
+	lIdx, rIdx, err = hashJoinDense(lkeys, rkeys)
+	if err != nil {
+		return nil, nil, err
+	}
+	if lIdx, err = mapCand(lIdx, lcand); err != nil {
+		return nil, nil, err
+	}
+	if rIdx, err = mapCand(rIdx, rcand); err != nil {
+		return nil, nil, err
+	}
+	return lIdx, rIdx, nil
+}
+
+func hashJoinDense(lkeys, rkeys []*bat.BAT) (lIdx, rIdx *bat.BAT, err error) {
 	nl, nr := lkeys[0].Len(), rkeys[0].Len()
 	// Build on the smaller side.
 	if nr <= nl {
@@ -142,12 +168,35 @@ func sortPairsByLeft(l, r *bat.BAT) (*bat.BAT, *bat.BAT, error) {
 }
 
 // LeftJoin computes the left outer equi-join: every left row appears at
-// least once; unmatched rows pair with a NULL right position. The probe
-// phase is morsel-parallel like HashJoin's.
-func LeftJoin(lkeys, rkeys []*bat.BAT) (lIdx, rIdx *bat.BAT, err error) {
+// least once; unmatched rows pair with a NULL right position. Candidate
+// lists restrict each side like HashJoin's; the probe phase is
+// morsel-parallel like HashJoin's.
+func LeftJoin(lkeys, rkeys []*bat.BAT, lcand, rcand *bat.BAT) (lIdx, rIdx *bat.BAT, err error) {
 	if len(lkeys) == 0 || len(lkeys) != len(rkeys) {
 		return nil, nil, fmt.Errorf("gdk: join needs matching key column lists")
 	}
+	if lkeys, err = restrictCols(lkeys, lcand); err != nil {
+		return nil, nil, err
+	}
+	if rkeys, err = restrictCols(rkeys, rcand); err != nil {
+		return nil, nil, err
+	}
+	lIdx, rIdx, err = leftJoinDense(lkeys, rkeys)
+	if err != nil {
+		return nil, nil, err
+	}
+	// NULL right positions (unmatched left rows) survive the composition:
+	// Project keeps NULL index entries NULL.
+	if lIdx, err = mapCand(lIdx, lcand); err != nil {
+		return nil, nil, err
+	}
+	if rIdx, err = mapCand(rIdx, rcand); err != nil {
+		return nil, nil, err
+	}
+	return lIdx, rIdx, nil
+}
+
+func leftJoinDense(lkeys, rkeys []*bat.BAT) (lIdx, rIdx *bat.BAT, err error) {
 	nl := lkeys[0].Len()
 	table := buildHashTable(rkeys)
 

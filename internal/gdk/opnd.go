@@ -5,6 +5,14 @@
 //
 // The design follows MonetDB's GDK: every operator consumes and produces
 // whole columns; row positions travel between operators as OID lists.
+//
+// Candidate lists: every selection, calculator, grouping, aggregation and
+// join kernel takes an optional candidate list — a sorted, unique oid BAT
+// naming the base rows it may touch; nil means all rows (dense), and a
+// contiguous run is represented virtually as a void BAT. Selection kernels
+// return base positions; calculator kernels return candidate-aligned
+// vectors. The full convention, including SelectBool's residual-sink role,
+// is documented in cand.go.
 package gdk
 
 import (

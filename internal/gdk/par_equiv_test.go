@@ -132,14 +132,14 @@ func TestParEquivArith(t *testing.T) {
 		lf, rf := mkFloats(rng, n), mkFloats(rng, n)
 		for _, op := range []string{"+", "-", "*"} {
 			runBoth(t, func() *bat.BAT {
-				out, err := Arith(op, B(li), B(ri))
+				out, err := Arith(op, B(li), B(ri), nil)
 				if err != nil {
 					t.Fatal(err)
 				}
 				return out
 			}, func(s, p *bat.BAT) { batsEqual(t, fmt.Sprintf("int %s n=%d", op, n), s, p) })
 			runBoth(t, func() *bat.BAT {
-				out, err := Arith(op, B(lf), B(rf))
+				out, err := Arith(op, B(lf), B(rf), nil)
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -148,7 +148,7 @@ func TestParEquivArith(t *testing.T) {
 		}
 		// Division with a guaranteed non-zero divisor.
 		runBoth(t, func() *bat.BAT {
-			out, err := Arith("/", B(li), C(types.Int(7), n))
+			out, err := Arith("/", B(li), C(types.Int(7), n), nil)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -163,7 +163,7 @@ func TestParEquivArithErrors(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
 	li := mkInts(rng, n)
 	runBoth(t, func() string {
-		_, err := Arith("/", B(li), C(types.Int(0), n))
+		_, err := Arith("/", B(li), C(types.Int(0), n), nil)
 		if err == nil {
 			return ""
 		}
@@ -182,7 +182,7 @@ func TestParEquivCompareLogic(t *testing.T) {
 		lb, rb := mkBools(rng, n), mkBools(rng, n)
 		for _, op := range []string{"=", "<>", "<", "<=", ">", ">="} {
 			runBoth(t, func() *bat.BAT {
-				out, err := Compare(op, B(li), B(ri))
+				out, err := Compare(op, B(li), B(ri), nil)
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -190,21 +190,21 @@ func TestParEquivCompareLogic(t *testing.T) {
 			}, func(s, p *bat.BAT) { batsEqual(t, fmt.Sprintf("cmp %s n=%d", op, n), s, p) })
 		}
 		runBoth(t, func() *bat.BAT {
-			out, err := And(B(lb), B(rb))
+			out, err := And(B(lb), B(rb), nil)
 			if err != nil {
 				t.Fatal(err)
 			}
 			return out
 		}, func(s, p *bat.BAT) { batsEqual(t, fmt.Sprintf("and n=%d", n), s, p) })
 		runBoth(t, func() *bat.BAT {
-			out, err := Or(B(lb), B(rb))
+			out, err := Or(B(lb), B(rb), nil)
 			if err != nil {
 				t.Fatal(err)
 			}
 			return out
 		}, func(s, p *bat.BAT) { batsEqual(t, fmt.Sprintf("or n=%d", n), s, p) })
 		runBoth(t, func() *bat.BAT {
-			out, err := Not(B(lb))
+			out, err := Not(B(lb), nil)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -219,7 +219,7 @@ func TestParEquivSelections(t *testing.T) {
 		col := mkInts(rng, n)
 		cond := mkBools(rng, n)
 		runBoth(t, func() *bat.BAT {
-			out, err := SelectBool(cond)
+			out, err := SelectBool(cond, nil)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -240,7 +240,11 @@ func TestParEquivSelections(t *testing.T) {
 			return out
 		}, func(s, p *bat.BAT) { batsEqual(t, fmt.Sprintf("range n=%d", n), s, p) })
 		runBoth(t, func() *bat.BAT {
-			return SelectNonNull(col)
+			out, err := SelectNonNull(col, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return out
 		}, func(s, p *bat.BAT) { batsEqual(t, fmt.Sprintf("nonnull n=%d", n), s, p) })
 		// Candidate-restricted scan through a prior selection.
 		cand, err := ThetaSelect(col, nil, types.Int(20), "<")
@@ -312,7 +316,7 @@ func TestParEquivGroupAggr(t *testing.T) {
 			n             int
 		}
 		runBoth(t, func() groupOut {
-			g, err := Group([]*bat.BAT{key1, key2})
+			g, err := Group([]*bat.BAT{key1, key2}, nil)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -325,13 +329,13 @@ func TestParEquivGroupAggr(t *testing.T) {
 			batsEqual(t, fmt.Sprintf("group extents n=%d", n), s.extents, p.extents)
 		})
 
-		g, err := Group([]*bat.BAT{key1})
+		g, err := Group([]*bat.BAT{key1}, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
 		for _, agg := range aggs {
 			runBoth(t, func() *bat.BAT {
-				out, err := SubAggr(agg, valsI, g.GIDs, g.N)
+				out, err := SubAggr(agg, valsI, g.GIDs, g.N, nil)
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -340,7 +344,7 @@ func TestParEquivGroupAggr(t *testing.T) {
 				batsEqual(t, fmt.Sprintf("subaggr int %s n=%d", agg, n), s, p)
 			})
 			runBoth(t, func() *bat.BAT {
-				out, err := SubAggr(agg, valsF, g.GIDs, g.N)
+				out, err := SubAggr(agg, valsF, g.GIDs, g.N, nil)
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -362,7 +366,7 @@ func TestParEquivJoins(t *testing.T) {
 		rng := rand.New(rand.NewSource(int64(n)))
 		lk, rk := mkInts(rng, n), mkInts(rng, n/2+1)
 		runBoth(t, func() [2]*bat.BAT {
-			l, r, err := HashJoin([]*bat.BAT{lk}, []*bat.BAT{rk})
+			l, r, err := HashJoin([]*bat.BAT{lk}, []*bat.BAT{rk}, nil, nil)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -372,7 +376,7 @@ func TestParEquivJoins(t *testing.T) {
 			batsEqual(t, fmt.Sprintf("hashjoin r n=%d", n), s[1], p[1])
 		})
 		runBoth(t, func() [2]*bat.BAT {
-			l, r, err := LeftJoin([]*bat.BAT{lk}, []*bat.BAT{rk})
+			l, r, err := LeftJoin([]*bat.BAT{lk}, []*bat.BAT{rk}, nil, nil)
 			if err != nil {
 				t.Fatal(err)
 			}

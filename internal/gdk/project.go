@@ -26,6 +26,16 @@ func Project(idx, b *bat.BAT) (*bat.BAT, error) {
 	if idx.Kind() == types.KindVoid && idx.Seqbase() == 0 && n == b.Len() {
 		return b, nil
 	}
+	// Fast path: a void index is a contiguous run [lo, lo+n) — common after
+	// slab candidates — so the gather collapses to a bulk slice copy with no
+	// per-element indirection. Out-of-range runs fall through to the generic
+	// loop, which reports the offending position.
+	if idx.Kind() == types.KindVoid && !idx.HasNulls() {
+		lo := int(idx.Seqbase())
+		if lo >= 0 && lo+n <= b.Len() {
+			return b.Slice(lo, lo+n), nil
+		}
+	}
 	mayNull := idx.HasNulls() || b.HasNulls()
 	var mask *bat.Bitmap
 	if mayNull {

@@ -11,10 +11,18 @@ import (
 // gatherOIDs scans [0,n) in parallel chunks. pick appends the matching
 // positions of its range to dst and returns it. Chunks are concatenated in
 // chunk order, so the result stays position-sorted.
+//
+// Buffers grow geometrically from a small seed rather than pre-allocating
+// for the worst case: selective scans (the common case under candidate
+// execution) then allocate proportionally to their matches, not the input.
 func gatherOIDs(n int, pick func(lo, hi int, dst []int64) []int64) []int64 {
 	plan := par.NewPlan(n)
 	if !plan.Parallel() {
-		return pick(0, n, make([]int64, 0, n/2+1))
+		seed := n/64 + 16
+		if seed > 4096 {
+			seed = 4096
+		}
+		return pick(0, n, make([]int64, 0, seed))
 	}
 	parts := make([][]int64, plan.Chunks())
 	plan.Run(func(c, lo, hi int) {
@@ -25,17 +33,31 @@ func gatherOIDs(n int, pick func(lo, hi int, dst []int64) []int64) []int64 {
 
 // SelectBool returns the positions (as an oid BAT) where the boolean column
 // is true. NULL rows are not selected (SQL WHERE semantics).
-func SelectBool(cond *bat.BAT) (*bat.BAT, error) {
+//
+// SelectBool is the residual-predicate sink of candidate execution: when
+// cand is non-nil, cond must be candidate-aligned (cond[i] is the
+// predicate value for base row cand[i], so len(cond) == cand.Len()) and
+// the result holds the qualifying base positions cand[i]. With a nil
+// candidate list the two spaces coincide and the result holds the
+// positions of cond itself.
+func SelectBool(cond, cand *bat.BAT) (*bat.BAT, error) {
 	if cond.Kind() != types.KindBool {
 		return nil, fmt.Errorf("gdk: select needs a boolean column, got %s", cond.Kind())
 	}
+	if err := checkCand(cand); err != nil {
+		return nil, err
+	}
+	if cand != nil && cand.Len() != cond.Len() {
+		return nil, fmt.Errorf("gdk: select condition not aligned with candidate list: %d vs %d", cond.Len(), cand.Len())
+	}
 	vals := cond.Bools()
+	co, cbase := candSlice(cand)
 	var out []int64
 	if cond.HasNulls() {
 		out = gatherOIDs(len(vals), func(lo, hi int, dst []int64) []int64 {
 			for i := lo; i < hi; i++ {
 				if vals[i] && !cond.IsNull(i) {
-					dst = append(dst, int64(i))
+					dst = append(dst, candAt(co, cbase, i))
 				}
 			}
 			return dst
@@ -44,7 +66,7 @@ func SelectBool(cond *bat.BAT) (*bat.BAT, error) {
 		out = gatherOIDs(len(vals), func(lo, hi int, dst []int64) []int64 {
 			for i := lo; i < hi; i++ {
 				if vals[i] {
-					dst = append(dst, int64(i))
+					dst = append(dst, candAt(co, cbase, i))
 				}
 			}
 			return dst
@@ -68,6 +90,9 @@ func ThetaSelect(b *bat.BAT, cand *bat.BAT, val types.Value, op string) (*bat.BA
 	}
 	test, err := thetaTest(b.ValueKind(), val, op)
 	if err != nil {
+		return nil, err
+	}
+	if err := candInRange(cand, b.Len()); err != nil {
 		return nil, err
 	}
 	var out []int64
@@ -165,6 +190,9 @@ func RangeSelect(b *bat.BAT, cand *bat.BAT, lo, hi types.Value) (*bat.BAT, error
 	if err != nil {
 		return nil, err
 	}
+	if err := candInRange(cand, b.Len()); err != nil {
+		return nil, err
+	}
 	var out []int64
 	if cand == nil {
 		out = gatherOIDs(b.Len(), func(from, to int, dst []int64) []int64 {
@@ -182,7 +210,7 @@ func RangeSelect(b *bat.BAT, cand *bat.BAT, lo, hi types.Value) (*bat.BAT, error
 		out = gatherOIDs(cand.Len(), func(from, to int, dst []int64) []int64 {
 			for c := from; c < to; c++ {
 				i := int(cand.OidAt(c))
-				if b.IsNull(i) {
+				if i >= b.Len() || b.IsNull(i) {
 					continue
 				}
 				if ge(b, i) && le(b, i) {
@@ -197,17 +225,36 @@ func RangeSelect(b *bat.BAT, cand *bat.BAT, lo, hi types.Value) (*bat.BAT, error
 	return ob, nil
 }
 
-// SelectNonNull returns the positions of non-NULL rows.
-func SelectNonNull(b *bat.BAT) *bat.BAT {
-	out := gatherOIDs(b.Len(), func(lo, hi int, dst []int64) []int64 {
-		for i := lo; i < hi; i++ {
-			if !b.IsNull(i) {
-				dst = append(dst, int64(i))
+// SelectNonNull returns the positions of non-NULL rows of the base-aligned
+// column b, restricted to the candidate positions when cand is non-nil
+// (same convention as ThetaSelect/RangeSelect).
+func SelectNonNull(b, cand *bat.BAT) (*bat.BAT, error) {
+	if err := candInRange(cand, b.Len()); err != nil {
+		return nil, err
+	}
+	var out []int64
+	if cand == nil {
+		out = gatherOIDs(b.Len(), func(lo, hi int, dst []int64) []int64 {
+			for i := lo; i < hi; i++ {
+				if !b.IsNull(i) {
+					dst = append(dst, int64(i))
+				}
 			}
-		}
-		return dst
-	})
+			return dst
+		})
+	} else {
+		co, cbase := candSlice(cand)
+		out = gatherOIDs(cand.Len(), func(lo, hi int, dst []int64) []int64 {
+			for c := lo; c < hi; c++ {
+				i := candAt(co, cbase, c)
+				if !b.IsNull(int(i)) {
+					dst = append(dst, i)
+				}
+			}
+			return dst
+		})
+	}
 	ob := bat.FromOIDs(out)
 	ob.Sorted, ob.Key = true, true
-	return ob
+	return ob, nil
 }

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/bat"
 	"repro/internal/shape"
+	"repro/internal/types"
 )
 
 // SlabCandidates enumerates the cell positions of a hyper-rectangular slab
@@ -36,12 +37,37 @@ func SlabCandidates(sh shape.Shape, lo, hi []int) (*bat.BAT, error) {
 		total *= h - l + 1
 	}
 	strides := sh.Strides()
-	out := make([]int64, 0, total)
-	idx := make([]int, k)
-	copy(idx, lo)
 	if k == 0 {
 		return bat.FromOIDs(nil), nil
 	}
+	// Contiguous slabs — singleton prefix dims, one free dim, full suffix
+	// dims — are a single run [start, start+total) in row-major order:
+	// represent them as a virtual (void) candidate list so downstream
+	// kernels slice instead of gathering and no oid vector is allocated.
+	// This covers whole-row/column selections and every 1-D range.
+	contiguous := true
+	free := false // a non-singleton dim has been seen
+	for d := 0; d < k; d++ {
+		full := lo[d] == 0 && hi[d] == dims[d]-1
+		single := lo[d] == hi[d]
+		if free && !full {
+			contiguous = false
+			break
+		}
+		if !single {
+			free = true
+		}
+	}
+	if contiguous {
+		start := 0
+		for d := 0; d < k; d++ {
+			start += lo[d] * strides[d]
+		}
+		return bat.NewVoid(types.OID(start), total), nil
+	}
+	out := make([]int64, 0, total)
+	idx := make([]int, k)
+	copy(idx, lo)
 	for {
 		base := 0
 		for d := 0; d < k; d++ {

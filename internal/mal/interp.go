@@ -42,6 +42,15 @@ func (c *Ctx) opnd(a Arg, n int) (gdk.Opnd, error) {
 	return gdk.C(a.Const, n), nil
 }
 
+// candOf resolves an optional candidate-list argument: a variable holds
+// the candidate BAT, a nil constant means "all rows".
+func (c *Ctx) candOf(a Arg) (*bat.BAT, error) {
+	if !a.IsVar() {
+		return nil, nil
+	}
+	return c.batVar(a)
+}
+
 // scalarInt extracts a constant (or scalar-variable) integer argument.
 func (c *Ctx) scalarInt(a Arg) (int64, error) {
 	v := a.Const
@@ -249,7 +258,13 @@ func (c *Ctx) exec(in *Instr) error {
 		if err != nil {
 			return err
 		}
-		out, err := gdk.SelectBool(cond)
+		var cand *bat.BAT
+		if len(in.Args) > 1 {
+			if cand, err = c.candOf(in.Args[1]); err != nil {
+				return err
+			}
+		}
+		out, err := gdk.SelectBool(cond, cand)
 		if err != nil {
 			return err
 		}
@@ -261,12 +276,48 @@ func (c *Ctx) exec(in *Instr) error {
 		if err != nil {
 			return err
 		}
-		op := in.Args[2].Aux.(string)
-		out, err := gdk.ThetaSelect(b, nil, in.Args[1].Const, op)
+		cand, err := c.candOf(in.Args[1])
+		if err != nil {
+			return err
+		}
+		op := in.Args[3].Aux.(string)
+		out, err := gdk.ThetaSelect(b, cand, in.Args[2].Const, op)
 		if err != nil {
 			return err
 		}
 		c.Vars[in.Rets[0]] = out
+		return nil
+
+	case "algebra.rangeselect":
+		b, err := c.batVar(in.Args[0])
+		if err != nil {
+			return err
+		}
+		cand, err := c.candOf(in.Args[1])
+		if err != nil {
+			return err
+		}
+		out, err := gdk.RangeSelect(b, cand, in.Args[2].Const, in.Args[3].Const)
+		if err != nil {
+			return err
+		}
+		c.Vars[in.Rets[0]] = out
+		return nil
+
+	case "algebra.candand", "algebra.candor":
+		a, err := c.batVar(in.Args[0])
+		if err != nil {
+			return err
+		}
+		b, err := c.batVar(in.Args[1])
+		if err != nil {
+			return err
+		}
+		if in.Fn == "candand" {
+			c.Vars[in.Rets[0]] = gdk.AndCand(a, b)
+		} else {
+			c.Vars[in.Rets[0]] = gdk.OrCand(a, b)
+		}
 		return nil
 
 	case "algebra.join", "algebra.leftjoin":
@@ -282,12 +333,22 @@ func (c *Ctx) exec(in *Instr) error {
 				return err
 			}
 		}
+		var lcand, rcand *bat.BAT
+		if len(in.Args) > 1+2*nk {
+			var err error
+			if lcand, err = c.candOf(in.Args[1+2*nk]); err != nil {
+				return err
+			}
+			if rcand, err = c.candOf(in.Args[2+2*nk]); err != nil {
+				return err
+			}
+		}
 		var li, ri *bat.BAT
 		var err error
 		if in.Fn == "leftjoin" {
-			li, ri, err = gdk.LeftJoin(lkeys, rkeys)
+			li, ri, err = gdk.LeftJoin(lkeys, rkeys, lcand, rcand)
 		} else {
-			li, ri, err = gdk.HashJoin(lkeys, rkeys)
+			li, ri, err = gdk.HashJoin(lkeys, rkeys, lcand, rcand)
 		}
 		if err != nil {
 			return err
@@ -393,15 +454,21 @@ func (c *Ctx) exec(in *Instr) error {
 		return nil
 
 	case "group.group":
-		keys := make([]*bat.BAT, len(in.Args))
-		for i, a := range in.Args {
+		// First argument is the candidate list (nil = all rows), the rest
+		// are the key columns.
+		cand, err := c.candOf(in.Args[0])
+		if err != nil {
+			return err
+		}
+		keys := make([]*bat.BAT, len(in.Args)-1)
+		for i, a := range in.Args[1:] {
 			b, err := c.batVar(a)
 			if err != nil {
 				return err
 			}
 			keys[i] = b
 		}
-		res, err := gdk.Group(keys)
+		res, err := gdk.Group(keys, cand)
 		if err != nil {
 			return err
 		}
@@ -424,7 +491,13 @@ func (c *Ctx) exec(in *Instr) error {
 			return err
 		}
 		agg := in.Args[3].Aux.(gdk.AggKind)
-		out, err := gdk.SubAggr(agg, vals, gids, int(ng))
+		var cand *bat.BAT
+		if len(in.Args) > 4 {
+			if cand, err = c.candOf(in.Args[4]); err != nil {
+				return err
+			}
+		}
+		out, err := gdk.SubAggr(agg, vals, gids, int(ng), cand)
 		if err != nil {
 			return err
 		}
@@ -436,7 +509,7 @@ func (c *Ctx) exec(in *Instr) error {
 
 	case "batcalc.un":
 		op := in.Args[0].Aux.(string)
-		n, err := c.rowCount(in.Args[1:])
+		n, err := c.rowCount(in.Args[1:2])
 		if err != nil {
 			return err
 		}
@@ -444,16 +517,22 @@ func (c *Ctx) exec(in *Instr) error {
 		if err != nil {
 			return err
 		}
+		var cand *bat.BAT
+		if len(in.Args) > 2 {
+			if cand, err = c.candOf(in.Args[2]); err != nil {
+				return err
+			}
+		}
 		var out *bat.BAT
 		switch op {
 		case "-", "abs", "sqrt", "floor", "ceil", "exp", "log", "round", "sign":
-			out, err = gdk.UnaryNum(op, x)
+			out, err = gdk.UnaryNum(op, x, cand)
 		case "not":
-			out, err = gdk.Not(x)
+			out, err = gdk.Not(x, cand)
 		case "isnull":
-			out = gdk.IsNull(x)
+			out, err = gdk.IsNull(x, cand)
 		case "upper", "lower", "length":
-			out, err = gdk.StrUnary(op, x)
+			out, err = gdk.StrUnary(op, x, cand)
 		default:
 			return fmt.Errorf("unknown unary op %q", op)
 		}
@@ -480,7 +559,7 @@ func (c *Ctx) exec(in *Instr) error {
 		if err != nil {
 			return err
 		}
-		out, err := gdk.IfThenElse(cond, a, b)
+		out, err := gdk.IfThenElse(cond, a, b, nil)
 		if err != nil {
 			return err
 		}
@@ -497,7 +576,7 @@ func (c *Ctx) exec(in *Instr) error {
 		if err != nil {
 			return err
 		}
-		out, err := gdk.CastBAT(x, kind)
+		out, err := gdk.CastBAT(x, kind, nil)
 		if err != nil {
 			return err
 		}
@@ -505,7 +584,7 @@ func (c *Ctx) exec(in *Instr) error {
 		return nil
 
 	case "batcalc.substring":
-		n, err := c.rowCount(in.Args)
+		n, err := c.rowCount(in.Args[:3])
 		if err != nil {
 			return err
 		}
@@ -521,7 +600,13 @@ func (c *Ctx) exec(in *Instr) error {
 		if err != nil {
 			return err
 		}
-		out, err := gdk.Substring(x, from, forO)
+		var cand *bat.BAT
+		if len(in.Args) > 3 {
+			if cand, err = c.candOf(in.Args[3]); err != nil {
+				return err
+			}
+		}
+		out, err := gdk.Substring(x, from, forO, cand)
 		if err != nil {
 			return err
 		}
@@ -535,7 +620,7 @@ func (c *Ctx) exec(in *Instr) error {
 
 func (c *Ctx) execBin(in *Instr) error {
 	op := in.Args[0].Aux.(string)
-	n, err := c.rowCount(in.Args[1:])
+	n, err := c.rowCount(in.Args[1:3])
 	if err != nil {
 		return err
 	}
@@ -547,22 +632,30 @@ func (c *Ctx) execBin(in *Instr) error {
 	if err != nil {
 		return err
 	}
+	// Optional trailing candidate list: operands are base-aligned, the
+	// kernel restricts them and produces a candidate-aligned result.
+	var cand *bat.BAT
+	if len(in.Args) > 3 {
+		if cand, err = c.candOf(in.Args[3]); err != nil {
+			return err
+		}
+	}
 	var out *bat.BAT
 	switch op {
 	case "+", "-", "*", "/", "%":
-		out, err = gdk.Arith(op, l, r)
+		out, err = gdk.Arith(op, l, r, cand)
 	case "=", "<>", "<", "<=", ">", ">=":
-		out, err = gdk.Compare(op, l, r)
+		out, err = gdk.Compare(op, l, r, cand)
 	case "AND":
-		out, err = gdk.And(l, r)
+		out, err = gdk.And(l, r, cand)
 	case "OR":
-		out, err = gdk.Or(l, r)
+		out, err = gdk.Or(l, r, cand)
 	case "||":
-		out, err = gdk.Concat(l, r)
+		out, err = gdk.Concat(l, r, cand)
 	case "like":
-		out, err = gdk.Like(l, r)
+		out, err = gdk.Like(l, r, cand)
 	case "pow":
-		out, err = gdk.Power(l, r)
+		out, err = gdk.Power(l, r, cand)
 	default:
 		return fmt.Errorf("unknown binary op %q", op)
 	}

@@ -88,7 +88,9 @@ func TestProgramTextContainsPipeline(t *testing.T) {
 		"sql.tablecand",
 		"sql.bind",
 		"batcalc.bin",
-		"algebra.boolselect",
+		// WHERE a > 0 decomposes into a fused candidate selection instead
+		// of a boolean column + boolselect.
+		"algebra.thetaselect",
 		"algebra.projection",
 		"algebra.sort",
 		"bat.slice",

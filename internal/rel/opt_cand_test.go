@@ -1,0 +1,109 @@
+package rel
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/types"
+)
+
+func intCol(idx int) *Col {
+	return &Col{Idx: idx, Info: ColInfo{Name: "c", Kind: types.KindInt}}
+}
+
+func cmp(op string, l, r Expr) *Bin {
+	return &Bin{Op: op, L: l, R: r, K: types.KindBool}
+}
+
+func TestDecomposeAtomsAndResidual(t *testing.T) {
+	// a > 1 AND 2 = b AND a + b < 7
+	pred := cmp("AND",
+		cmp("AND",
+			cmp(">", intCol(0), &Const{Val: types.Int(1)}),
+			cmp("=", &Const{Val: types.Int(2)}, intCol(1))),
+		cmp("<", &Bin{Op: "+", L: intCol(0), R: intCol(1), K: types.KindInt}, &Const{Val: types.Int(7)}))
+	steps := DecomposePred(pred)
+	if len(steps) != 3 {
+		t.Fatalf("got %d steps: %+v", len(steps), steps)
+	}
+	// a > 1 normalises to a >= 2 (integer strictness).
+	if steps[0].Atom == nil || steps[0].Atom.Op != ">=" || !steps[0].Atom.Val.Equal(types.Int(2)) {
+		t.Errorf("step 0: %+v", steps[0].Atom)
+	}
+	// 2 = b flips to b = 2.
+	if steps[1].Atom == nil || steps[1].Atom.Col != 1 || steps[1].Atom.Op != "=" {
+		t.Errorf("step 1: %+v", steps[1].Atom)
+	}
+	if steps[2].Pred == nil {
+		t.Errorf("step 2 should be residual: %+v", steps[2])
+	}
+}
+
+func TestDecomposeRangeMerge(t *testing.T) {
+	// x >= 100 AND x < 132 fuses into one inclusive range [100, 131].
+	pred := cmp("AND",
+		cmp(">=", intCol(0), &Const{Val: types.Int(100)}),
+		cmp("<", intCol(0), &Const{Val: types.Int(132)}))
+	steps := DecomposePred(pred)
+	if len(steps) != 1 || steps[0].Atom == nil || steps[0].Atom.Op != "between" {
+		t.Fatalf("expected one between step, got %+v", steps)
+	}
+	if !steps[0].Atom.Lo.Equal(types.Int(100)) || !steps[0].Atom.Hi.Equal(types.Int(131)) {
+		t.Errorf("bounds: %v..%v", steps[0].Atom.Lo, steps[0].Atom.Hi)
+	}
+}
+
+func TestDecomposeOrBranches(t *testing.T) {
+	// (a < 1 OR a > 9) AND b = 2: the disjunction becomes a union step.
+	pred := cmp("AND",
+		cmp("OR",
+			cmp("<", intCol(0), &Const{Val: types.Int(1)}),
+			cmp(">", intCol(0), &Const{Val: types.Int(9)})),
+		cmp("=", intCol(1), &Const{Val: types.Int(2)}))
+	steps := DecomposePred(pred)
+	if len(steps) != 2 {
+		t.Fatalf("got %d steps", len(steps))
+	}
+	if steps[0].Atom == nil { // atoms order before or-steps
+		t.Fatalf("step 0 should be the b = 2 atom: %+v", steps[0])
+	}
+	if len(steps[1].Or) != 2 {
+		t.Fatalf("step 1 should have 2 or-branches: %+v", steps[1])
+	}
+}
+
+func TestDecomposeTypeGuard(t *testing.T) {
+	// A float constant against an int column must stay residual (the theta
+	// kernel would truncate where the generic path compares in float).
+	pred := cmp("=", intCol(0), &Const{Val: types.Float(3.5)})
+	steps := DecomposePred(pred)
+	if len(steps) != 1 || steps[0].Pred == nil {
+		t.Fatalf("float-vs-int must stay residual: %+v", steps)
+	}
+	// Mixed OR with one unselectable branch stays residual as a whole.
+	pred = cmp("OR",
+		cmp("<", intCol(0), &Const{Val: types.Int(1)}),
+		cmp("<", &Bin{Op: "+", L: intCol(0), R: intCol(1), K: types.KindInt}, &Const{Val: types.Int(7)}))
+	steps = DecomposePred(pred)
+	if len(steps) != 1 || steps[0].Pred == nil {
+		t.Fatalf("mixed OR must stay residual: %+v", steps)
+	}
+}
+
+func TestCandSelectExplain(t *testing.T) {
+	f := &Filter{
+		Child: &ScanDual{},
+		Pred: cmp("AND",
+			cmp(">", intCol(0), &Const{Val: types.Int(1)}),
+			cmp("<", intCol(0), &Const{Val: types.Int(5)})),
+	}
+	n := decomposeFilter(f)
+	cs, ok := n.(*CandSelect)
+	if !ok {
+		t.Fatalf("expected CandSelect, got %T", n)
+	}
+	txt := Explain(cs)
+	if !strings.Contains(txt, "select candidates") || !strings.Contains(txt, "between") {
+		t.Errorf("explain: %s", txt)
+	}
+}

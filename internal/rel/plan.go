@@ -268,6 +268,9 @@ func explain(sb *strings.Builder, n Node, depth int) {
 	case *Filter:
 		fmt.Fprintf(sb, "%sselect %s\n", ind, x.Pred)
 		explain(sb, x.Child, depth+1)
+	case *CandSelect:
+		fmt.Fprintf(sb, "%sselect candidates %s\n", ind, stepsString(x.Steps))
+		explain(sb, x.Child, depth+1)
 	case *Project:
 		items := make([]string, len(x.Exprs))
 		for i, e := range x.Exprs {
@@ -342,6 +345,26 @@ func joinKeys(j *Join) string {
 		parts[i] = fmt.Sprintf("%s = %s", j.LKeys[i], j.RKeys[i])
 	}
 	return strings.Join(parts, " and ")
+}
+
+// stepsString renders a candidate-selection chain for EXPLAIN output.
+func stepsString(steps []SelStep) string {
+	parts := make([]string, len(steps))
+	for i, s := range steps {
+		switch {
+		case s.Atom != nil:
+			parts[i] = s.Atom.String()
+		case s.Or != nil:
+			ors := make([]string, len(s.Or))
+			for j, a := range s.Or {
+				ors[j] = a.String()
+			}
+			parts[i] = "(" + strings.Join(ors, " or ") + ")"
+		default:
+			parts[i] = "residual " + s.Pred.String()
+		}
+	}
+	return strings.Join(parts, " -> ")
 }
 
 func aggList(aggs []AggSpec) string {
