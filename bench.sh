@@ -8,6 +8,9 @@
 #      threads=GOMAXPROCS kernel comparisons  -> BENCH_parallel.json
 #   2. the candidate-list vs materializing selective-scan comparisons
 #      (BenchmarkSelective_*)                 -> BENCH_candidates.json
+#   3. the concurrent-session read throughput comparison
+#      (BenchmarkConcurrentReaders at 1/4/8 sessions plus the
+#      serialized baseline)                   -> BENCH_server.json
 #
 # Usage: ./bench.sh [bench-regex]   (overrides the first pass's pattern)
 set -euo pipefail
@@ -15,6 +18,7 @@ cd "$(dirname "$0")"
 
 PATTERN="${1:-BenchmarkFig|BenchmarkScenario|BenchmarkParallel|BenchmarkParseCache|BenchmarkAblation}"
 CAND_PATTERN="BenchmarkSelective"
+SERVER_PATTERN="BenchmarkConcurrentReaders"
 
 echo "== go vet"
 go vet ./...
@@ -53,3 +57,4 @@ bench_json() {
 
 bench_json "${PATTERN}" BENCH_parallel.json bench_out.txt
 bench_json "${CAND_PATTERN}" BENCH_candidates.json bench_cand_out.txt
+bench_json "${SERVER_PATTERN}" BENCH_server.json bench_server_out.txt

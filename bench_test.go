@@ -8,6 +8,8 @@ package sciql_test
 import (
 	"fmt"
 	"runtime"
+	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -803,5 +805,137 @@ func BenchmarkParseCache(b *testing.B) {
 		if _, err := db.Query(q); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// ------------------------------------------------- Concurrent sessions
+
+// concurrentReaderDB builds the table the session-concurrency benchmarks
+// scan: 20000 rows, small enough that each SELECT stays below the morsel
+// threshold — the benchmarks then run with threads=1 so the measured
+// speedup comes purely from session-level read concurrency (the snapshot
+// engine), not from intra-query kernel parallelism.
+func concurrentReaderDB(b *testing.B) *sciql.DB {
+	db := sciql.New()
+	mustExec(b, db, `CREATE TABLE r (id INT, v INT)`)
+	var sb strings.Builder
+	for base := 0; base < 20000; base += 1000 {
+		sb.Reset()
+		sb.WriteString(`INSERT INTO r VALUES `)
+		for i := 0; i < 1000; i++ {
+			if i > 0 {
+				sb.WriteString(",")
+			}
+			fmt.Fprintf(&sb, "(%d,%d)", base+i, (base+i)*2654435761%9973)
+		}
+		mustExec(b, db, sb.String())
+	}
+	return db
+}
+
+const concurrentReaderQuery = `SELECT SUM(v), COUNT(*) FROM r WHERE v % 7 = 3`
+
+// runConcurrentReaders fires total queries spread over n concurrent
+// sessions. With serialized=true every statement additionally goes
+// through one shared mutex — the execution model of the engine before
+// snapshot isolation, kept as the benchmark baseline.
+func runConcurrentReaders(db *sciql.DB, n, total int, serialized bool) error {
+	var (
+		mu   sync.Mutex
+		wg   sync.WaitGroup
+		errc = make(chan error, n)
+	)
+	per := total / n
+	for s := 0; s < n; s++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sess := db.NewSession()
+			defer sess.Close()
+			for i := 0; i < per; i++ {
+				if serialized {
+					mu.Lock()
+				}
+				_, err := sess.Query(concurrentReaderQuery)
+				if serialized {
+					mu.Unlock()
+				}
+				if err != nil {
+					errc <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		return err
+	}
+	return nil
+}
+
+// BenchmarkConcurrentReaders measures aggregate SELECT throughput at
+// 1, 4 and 8 concurrent sessions (ns/op is per query across all
+// sessions), plus the pre-snapshot serialized baseline at 4 sessions.
+// On machines with at least 4 cores it asserts the snapshot engine
+// reaches >= 2x the serialized baseline's aggregate throughput.
+func BenchmarkConcurrentReaders(b *testing.B) {
+	db := concurrentReaderDB(b)
+	defer db.Close()
+	prev := sciql.SetThreads(1)
+	defer sciql.SetThreads(prev)
+
+	for _, sessions := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("sessions=%d", sessions), func(b *testing.B) {
+			b.ReportAllocs()
+			total := b.N
+			if total < sessions {
+				total = sessions
+			}
+			if err := runConcurrentReaders(db, sessions, total, false); err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+	b.Run("sessions=4/serialized", func(b *testing.B) {
+		b.ReportAllocs()
+		total := b.N
+		if total < 4 {
+			total = 4
+		}
+		if err := runConcurrentReaders(db, 4, total, true); err != nil {
+			b.Fatal(err)
+		}
+	})
+
+	// Speedup gate: aggregate throughput of 4 concurrent sessions vs the
+	// serialized baseline, best of 5 runs each (as assertParallelSpeedup).
+	cores := runtime.GOMAXPROCS(0)
+	const total = 400
+	timed := func(serialized bool) time.Duration {
+		if err := runConcurrentReaders(db, 4, total, serialized); err != nil {
+			b.Fatal(err) // warm up
+		}
+		best := time.Duration(1<<63 - 1)
+		for run := 0; run < 5; run++ {
+			start := time.Now()
+			err := runConcurrentReaders(db, 4, total, serialized)
+			if d := time.Since(start); d < best {
+				best = d
+			}
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		return best
+	}
+	serial := timed(true)
+	concurrent := timed(false)
+	ratio := float64(serial) / float64(concurrent)
+	b.Logf("4 sessions, %d queries: serialized %v, concurrent %v, speedup %.2fx (%d cores)",
+		total, serial, concurrent, ratio, cores)
+	if cores >= 4 && ratio < 2 {
+		b.Errorf("concurrent read speedup %.2fx at %d cores, want >= 2x over the serialized baseline", ratio, cores)
 	}
 }

@@ -1,0 +1,80 @@
+// Command sciqld serves a SciQL database over the network: an HTTP/JSON
+// endpoint (POST /query, GET /healthz) and a newline-delimited text
+// protocol share one port. It is the engine's mserver equivalent — many
+// concurrent clients, snapshot-isolated parallel reads, single-writer
+// transactions.
+//
+// Usage:
+//
+//	sciqld [-addr :8642] [-db dir] [-threads n] [-max-sessions n]
+//
+// Try it:
+//
+//	sciqld -addr :8642 &
+//	curl -s localhost:8642/query -d '{"query":"SELECT 1 + 1"}'
+//	printf 'SELECT 40 + 2\n' | nc localhost 8642
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	sciql "repro"
+	"repro/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8642", "TCP listen address (HTTP/JSON + text protocol)")
+	dir := flag.String("db", "", "database directory (empty: in-memory)")
+	threads := flag.Int("threads", 0, "kernel worker threads (0: GOMAXPROCS)")
+	maxSessions := flag.Int("max-sessions", server.DefaultMaxSessions, "maximum concurrent client sessions")
+	workers := flag.Int("workers", 0, "concurrent statement executions admitted (0: GOMAXPROCS)")
+	flag.Parse()
+
+	sciql.SetThreads(*threads)
+
+	var (
+		db  *sciql.DB
+		err error
+	)
+	if *dir != "" {
+		db, err = sciql.Open(*dir)
+	} else {
+		db = sciql.New()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sciqld:", err)
+		os.Exit(1)
+	}
+
+	srv := server.New(db, server.Config{
+		Addr:        *addr,
+		MaxSessions: *maxSessions,
+		Workers:     *workers,
+	})
+	if err := srv.Start(); err != nil {
+		fmt.Fprintln(os.Stderr, "sciqld:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("sciqld listening on %s (db: %s)\n", srv.Addr(), dbLabel(*dir))
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("sciqld: shutting down")
+	_ = srv.Close()
+	if err := db.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "sciqld:", err)
+		os.Exit(1)
+	}
+}
+
+func dbLabel(dir string) string {
+	if dir == "" {
+		return "in-memory"
+	}
+	return dir
+}

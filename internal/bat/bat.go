@@ -33,6 +33,11 @@ type BAT struct {
 
 	nulls *Bitmap
 
+	// shared marks the backing data arrays as referenced by a frozen
+	// snapshot copy (see Freeze); in-place overwrites must go through
+	// Writable first, which clones shared storage (copy-on-write).
+	shared bool
+
 	// Properties maintained opportunistically; used by kernels when true,
 	// never required to be set.
 	Sorted bool // tail is non-decreasing (ignoring NULLs)
@@ -352,6 +357,31 @@ func (b *BAT) Replace(i int, v types.Value) error {
 	b.Sorted = false
 	b.Key = false
 	return nil
+}
+
+// Freeze returns a reader-safe frozen copy of the BAT for snapshot
+// publication. The copy shares the backing data arrays but fixes the row
+// count and deep-clones the NULL mask, so the original's owner may keep
+// appending (appends only touch rows at or beyond the frozen count) and
+// may flip NULL bits (it keeps the original mask) without the frozen copy
+// observing anything. Both sides are marked shared: an in-place overwrite
+// of a visible row must go through Writable, which clones the data first.
+func (b *BAT) Freeze() *BAT {
+	f := *b
+	f.nulls = b.nulls.Clone()
+	f.shared = true
+	b.shared = true
+	return &f
+}
+
+// Writable returns b when its data arrays are private, or a deep private
+// copy when they are shared with a frozen snapshot (copy-on-write). The
+// caller must store the returned BAT back into the owning slot.
+func (b *BAT) Writable() *BAT {
+	if !b.shared {
+		return b
+	}
+	return b.Clone()
 }
 
 // Clone returns a deep copy of the BAT.

@@ -60,6 +60,19 @@ func (t *Table) ColumnIndex(name string) (int, bool) {
 	return 0, false
 }
 
+// Freeze returns an immutable snapshot copy of the table for concurrent
+// readers: a fresh Table struct whose BATs are frozen (shared data, fixed
+// counts, private NULL masks) and whose deletion mask is deep-cloned. The
+// Columns slice is shared; schema metadata is never mutated in place.
+func (t *Table) Freeze() *Table {
+	f := &Table{Name: t.Name, Columns: t.Columns, Deleted: t.Deleted.Clone()}
+	f.Bats = make([]*bat.BAT, len(t.Bats))
+	for i, b := range t.Bats {
+		f.Bats[i] = b.Freeze()
+	}
+	return f
+}
+
 // Array is a SciQL array: named dimensions with ranges plus one attribute
 // column per non-dimensional column. Cells are stored row-major; dimension
 // BATs are materialised on creation exactly as the paper's Fig. 3 and kept
@@ -108,6 +121,27 @@ func (a *Array) RebuildDims() error {
 	}
 	a.DimBats = dims
 	return nil
+}
+
+// Freeze returns an immutable snapshot copy of the array for concurrent
+// readers (see Table.Freeze). Shape and Unbounded are copied because the
+// writer replaces them wholesale on ALTER DIMENSION / unbounded growth.
+func (a *Array) Freeze() *Array {
+	f := &Array{
+		Name:      a.Name,
+		Shape:     append(shape.Shape{}, a.Shape...),
+		Attrs:     a.Attrs,
+		Unbounded: append([]bool{}, a.Unbounded...),
+	}
+	f.DimBats = make([]*bat.BAT, len(a.DimBats))
+	for i, b := range a.DimBats {
+		f.DimBats[i] = b.Freeze()
+	}
+	f.AttrBats = make([]*bat.BAT, len(a.AttrBats))
+	for i, b := range a.AttrBats {
+		f.AttrBats[i] = b.Freeze()
+	}
+	return f
 }
 
 // Catalog is the set of named objects. It is guarded by a mutex so that
@@ -209,6 +243,52 @@ func (c *Catalog) DropArray(name string) error {
 	}
 	delete(c.arrays, n)
 	return nil
+}
+
+// CloneRefs returns a new catalog holding the same object pointers: the
+// maps are copied, the tables and arrays are shared. It is the cheap first
+// step of snapshot publication — the engine then swaps frozen copies of
+// the objects it actually changed into the clone.
+func (c *Catalog) CloneRefs() *Catalog {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := New()
+	for n, t := range c.tables {
+		out.tables[n] = t
+	}
+	for n, a := range c.arrays {
+		out.arrays[n] = a
+	}
+	return out
+}
+
+// ReplaceTable installs (or overwrites) a table, removing any same-named
+// array. Snapshot publication uses it to swap frozen object versions in.
+func (c *Catalog) ReplaceTable(t *Table) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := normalize(t.Name)
+	delete(c.arrays, n)
+	c.tables[n] = t
+}
+
+// ReplaceArray installs (or overwrites) an array, removing any same-named
+// table.
+func (c *Catalog) ReplaceArray(a *Array) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := normalize(a.Name)
+	delete(c.tables, n)
+	c.arrays[n] = a
+}
+
+// Remove deletes any object of that name (no error when absent).
+func (c *Catalog) Remove(name string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := normalize(name)
+	delete(c.tables, n)
+	delete(c.arrays, n)
 }
 
 // TableNames returns the sorted table names.

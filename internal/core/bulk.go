@@ -30,15 +30,26 @@ func (db *DB) BulkSetAttrInts(array, attr string, data []int64) error {
 	}
 	db.noteModifyArray(a)
 	a.AttrBats[ai] = bat.FromInts(append([]int64(nil), data...))
+	if db.txn == nil {
+		db.publishLocked()
+	}
 	return nil
 }
 
 // ReadAttrInts copies the cell values of an integer array attribute, in
 // row-major cell order; holes read as (0, false).
 func (db *DB) ReadAttrInts(array, attr string) ([]int64, []bool, error) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	a, ok := db.cat.Array(array)
+	// Read from the published snapshot — consistent and concurrent with
+	// other readers. With an explicit transaction open, read the live
+	// catalog instead (read-your-writes: bulk loads inside a transaction
+	// are unpublished until COMMIT); the read lock excludes the writer.
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	cat := db.view.Load()
+	if db.txn != nil {
+		cat = db.cat
+	}
+	a, ok := cat.Array(array)
 	if !ok {
 		return nil, nil, fmt.Errorf("no such array: %q", array)
 	}

@@ -37,7 +37,7 @@ func (db *DB) insertSource(s *ast.Insert, wantCols int) ([][]types.Value, error)
 // runSelectRaw executes the query side of an INSERT without array coercion
 // (positions matter, not the coerced shape).
 func (db *DB) runSelectRaw(sel *ast.Select) (*Result, error) {
-	prog, err := db.compileSelect(sel)
+	prog, err := compileSelect(db.cat, sel)
 	if err != nil {
 		return nil, err
 	}
@@ -219,7 +219,14 @@ func (db *DB) insertArray(s *ast.Insert, a *catalog.Array) (*Result, error) {
 		return nil, err
 	}
 
-	// Second pass: overwrite cells.
+	// Second pass: overwrite cells. Cell overwrites are in-place, so any
+	// attribute column shared with a published snapshot is cloned first
+	// (copy-on-write); concurrent readers keep their frozen version.
+	for _, tg := range targets {
+		if !tg.isDim {
+			a.AttrBats[tg.idx] = a.AttrBats[tg.idx].Writable()
+		}
+	}
 	affected := 0
 	for ri, row := range rows {
 		p, ok := a.Shape.Pos(coordsPerRow[ri])
@@ -378,6 +385,11 @@ func (db *DB) updateTable(s *ast.Update, t *catalog.Table) (*Result, error) {
 		ops = append(ops, setOp{ci, vals})
 	}
 	db.noteModifyTable(t)
+	// Copy-on-write: the SET targets are overwritten in place, so clone
+	// any column shared with a published snapshot before mutating it.
+	for _, op := range ops {
+		t.Bats[op.col] = t.Bats[op.col].Writable()
+	}
 	affected := 0
 	for i := 0; i < n; i++ {
 		if t.Deleted.Get(i) || !maskTrue(mask, i) {
@@ -431,6 +443,10 @@ func (db *DB) updateArray(s *ast.Update, a *catalog.Array) (*Result, error) {
 		ops = append(ops, setOp{ai, vals})
 	}
 	db.noteModifyArray(a)
+	// Copy-on-write for the overwritten attribute columns (see updateTable).
+	for _, op := range ops {
+		a.AttrBats[op.attr] = a.AttrBats[op.attr].Writable()
+	}
 	affected := 0
 	for i := 0; i < n; i++ {
 		if !maskTrue(mask, i) {

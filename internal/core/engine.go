@@ -7,6 +7,7 @@ package core
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/catalog"
 	"repro/internal/mal"
@@ -16,42 +17,87 @@ import (
 )
 
 // DB is a SciQL database: a catalog of tables and arrays plus the engine
-// state. All statements execute under a single-writer lock, giving
-// serialisable isolation.
+// state.
+//
+// Statement execution is split into two paths. Reads (SELECT, EXPLAIN,
+// PLAN) run lock-free against the last published catalog snapshot, so any
+// number of concurrent readers execute truly in parallel with each other
+// and with the writer. Writes (DDL, DML, transaction control) keep
+// single-writer semantics under mu: each mutating statement executes
+// against the live catalog and then publishes a fresh copy-on-write
+// snapshot, so readers always observe statement-atomic (and, inside
+// explicit transactions, commit-atomic) state — snapshot isolation.
 type DB struct {
-	mu  sync.Mutex
-	cat *catalog.Catalog
-	dir string // persistence directory; empty = in-memory
+	// mu is the writer lock: held exclusively for every mutating
+	// statement (and briefly, shared, by readers to route against the
+	// transaction state). The published snapshot is what lets readers
+	// drop the lock before executing.
+	mu  sync.RWMutex
+	cat *catalog.Catalog // live catalog, mutated only under mu
+	dir string           // persistence directory; empty = in-memory
 
-	txn *txn // open explicit transaction, nil in autocommit
+	// view is the published immutable snapshot readers execute against.
+	// Objects in it are frozen (catalog.Table.Freeze): their storage is
+	// never mutated in place once published.
+	view atomic.Pointer[catalog.Catalog]
+
+	// dirty names the objects mutated since the last publication; the
+	// next publish re-freezes exactly these (copy-on-write granularity).
+	dirty map[string]struct{}
+
+	txn      *txn     // open explicit transaction, nil in autocommit
+	txnOwner *Session // session holding the open transaction
+
+	session *Session // default session used by the DB-level Exec/Query
 
 	pcache *parseCache // bounded LRU of parsed statements, purged on DDL
 }
 
 // New creates an empty in-memory database.
 func New() *DB {
-	return &DB{cat: catalog.New(), pcache: newParseCache()}
+	db := &DB{cat: catalog.New(), dirty: map[string]struct{}{}, pcache: newParseCache()}
+	db.session = &Session{db: db}
+	db.view.Store(catalog.New())
+	return db
 }
 
 // Open loads (or initialises) a database persisted in dir.
 func Open(dir string) (*DB, error) {
-	db := &DB{cat: catalog.New(), dir: dir, pcache: newParseCache()}
+	db := &DB{cat: catalog.New(), dir: dir, dirty: map[string]struct{}{}, pcache: newParseCache()}
+	db.session = &Session{db: db}
 	if err := db.load(); err != nil {
 		return nil, err
 	}
+	// Publish the loaded state as the first snapshot.
+	for _, n := range db.cat.TableNames() {
+		db.dirty[n] = struct{}{}
+	}
+	for _, n := range db.cat.ArrayNames() {
+		db.dirty[n] = struct{}{}
+	}
+	db.view.Store(catalog.New())
+	db.publishLocked()
 	return db, nil
 }
 
-// Catalog exposes the database catalog (read-mostly; used by tools).
+// Catalog exposes the live database catalog (read-mostly; used by tools).
+// It is not synchronised against concurrent writers beyond its own map
+// locks; concurrent readers should prefer Snapshot.
 func (db *DB) Catalog() *catalog.Catalog { return db.cat }
 
-// Close persists the database (when opened with a directory) and releases it.
+// Snapshot returns the last published immutable catalog snapshot: the
+// state every new read statement observes. Safe for concurrent use.
+func (db *DB) Snapshot() *catalog.Catalog { return db.view.Load() }
+
+// Close persists the database (when opened with a directory) and releases
+// it. An open transaction is rolled back.
 func (db *DB) Close() error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	if db.txn != nil {
 		db.txn.rollback(db)
 		db.txn = nil
+		db.txnOwner = nil
 	}
 	if db.dir == "" {
 		return nil
@@ -59,43 +105,16 @@ func (db *DB) Close() error {
 	return db.save()
 }
 
-// Exec parses and executes a semicolon-separated batch, returning one
-// result per statement. Repeated batches skip the parser via the DB's
-// statement cache.
-func (db *DB) Exec(query string) ([]*Result, error) {
-	stmts, ok := db.pcache.get(query)
-	if !ok {
-		var err error
-		stmts, err = parser.Parse(query)
-		if err != nil {
-			return nil, err
-		}
-		db.pcache.put(query, stmts)
-	}
-	out := make([]*Result, 0, len(stmts))
-	for _, s := range stmts {
-		r, err := db.ExecStmt(s)
-		if err != nil {
-			return out, err
-		}
-		out = append(out, r)
-	}
-	return out, nil
-}
+// Exec parses and executes a semicolon-separated batch on the default
+// session, returning one result per statement. Repeated batches skip the
+// parser via the DB's statement cache. Safe for concurrent use; reads run
+// in parallel, writes serialise.
+func (db *DB) Exec(query string) ([]*Result, error) { return db.session.Exec(query) }
 
-// Query executes exactly one statement and returns its result. Repeated
-// statements skip the parser via the DB's statement cache.
-func (db *DB) Query(query string) (*Result, error) {
-	if stmts, ok := db.pcache.get(query); ok && len(stmts) == 1 {
-		return db.ExecStmt(stmts[0])
-	}
-	stmt, err := parser.ParseOne(query)
-	if err != nil {
-		return nil, err
-	}
-	db.pcache.put(query, []ast.Statement{stmt})
-	return db.ExecStmt(stmt)
-}
+// Query executes exactly one statement on the default session and returns
+// its result. Repeated statements skip the parser via the DB's statement
+// cache. Safe for concurrent use.
+func (db *DB) Query(query string) (*Result, error) { return db.session.Query(query) }
 
 // MustQuery executes a statement and panics on error (testing/examples).
 func (db *DB) MustQuery(query string) *Result {
@@ -106,47 +125,101 @@ func (db *DB) MustQuery(query string) *Result {
 	return r
 }
 
-// ExecStmt executes one parsed statement.
+// ExecStmt executes one parsed statement on the default session.
 func (db *DB) ExecStmt(stmt ast.Statement) (*Result, error) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	return db.execLocked(stmt)
+	return db.execStmt(db.session, stmt)
 }
 
-func (db *DB) execLocked(stmt ast.Statement) (*Result, error) {
+// parse resolves a query text to parsed statements through the cache.
+func (db *DB) parse(query string) ([]ast.Statement, error) {
+	if stmts, ok := db.pcache.get(query); ok {
+		return stmts, nil
+	}
+	stmts, err := parser.Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	db.pcache.put(query, stmts)
+	return stmts, nil
+}
+
+// execStmt routes one statement for a session: reads execute lock-free
+// against the published snapshot unless the session holds the open
+// transaction (read-your-writes); everything else takes the writer lock.
+func (db *DB) execStmt(s *Session, stmt ast.Statement) (*Result, error) {
+	switch stmt.(type) {
+	case *ast.Select, *ast.Explain:
+		db.mu.RLock()
+		inTxn := db.txn != nil && db.txnOwner == s
+		snap := db.view.Load()
+		db.mu.RUnlock()
+		if !inTxn {
+			return db.execRead(snap, stmt)
+		}
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.txn != nil && db.txnOwner != s {
+		return nil, fmt.Errorf("another session holds an open transaction; writes are blocked until it commits or rolls back")
+	}
+	r, err := db.execLocked(s, stmt)
+	// Publish statement-atomically in autocommit. Inside an explicit
+	// transaction publication waits for COMMIT, so concurrent readers
+	// never observe uncommitted state.
+	if db.txn == nil && len(db.dirty) > 0 {
+		db.publishLocked()
+	}
+	return r, err
+}
+
+// execRead executes a read-only statement against an immutable snapshot.
+// It runs without any engine lock: the snapshot's storage is frozen.
+func (db *DB) execRead(cat *catalog.Catalog, stmt ast.Statement) (*Result, error) {
 	switch s := stmt.(type) {
 	case *ast.Select:
-		return db.runSelect(s)
+		return db.runSelect(cat, s)
+	case *ast.Explain:
+		return db.explain(cat, s)
+	default:
+		return nil, fmt.Errorf("unsupported read statement %T", stmt)
+	}
+}
+
+func (db *DB) execLocked(s *Session, stmt ast.Statement) (*Result, error) {
+	switch st := stmt.(type) {
+	case *ast.Select:
+		return db.runSelect(db.cat, st)
 	case *ast.CreateTable:
 		db.pcache.purge() // DDL invalidates cached statements
-		return db.createTable(s)
+		return db.createTable(st)
 	case *ast.CreateArray:
 		db.pcache.purge()
-		return db.createArray(s)
+		return db.createArray(st)
 	case *ast.Drop:
 		db.pcache.purge()
-		return db.drop(s)
+		return db.drop(st)
 	case *ast.AlterDimension:
 		db.pcache.purge()
-		return db.alterDimension(s)
+		return db.alterDimension(st)
 	case *ast.Insert:
-		return db.insert(s)
+		return db.insert(st)
 	case *ast.Update:
-		return db.update(s)
+		return db.update(st)
 	case *ast.Delete:
-		return db.deleteStmt(s)
+		return db.deleteStmt(st)
 	case *ast.Txn:
-		return db.txnStmt(s)
+		return db.txnStmt(s, st)
 	case *ast.Explain:
-		return db.explain(s)
+		return db.explain(db.cat, st)
 	default:
 		return nil, fmt.Errorf("unsupported statement %T", stmt)
 	}
 }
 
-// runSelect binds, optimizes, compiles and interprets a SELECT.
-func (db *DB) runSelect(sel *ast.Select) (*Result, error) {
-	prog, err := db.compileSelect(sel)
+// runSelect binds, optimizes, compiles and interprets a SELECT against the
+// given catalog (live for writers/transactions, a snapshot for readers).
+func (db *DB) runSelect(cat *catalog.Catalog, sel *ast.Select) (*Result, error) {
+	prog, err := compileSelect(cat, sel)
 	if err != nil {
 		return nil, err
 	}
@@ -158,8 +231,8 @@ func (db *DB) runSelect(sel *ast.Select) (*Result, error) {
 }
 
 // compileSelect runs the full front-end pipeline of Fig. 2.
-func (db *DB) compileSelect(sel *ast.Select) (*mal.Program, error) {
-	b := rel.NewBinder(db.cat)
+func compileSelect(cat *catalog.Catalog, sel *ast.Select) (*mal.Program, error) {
+	b := rel.NewBinder(cat)
 	plan, err := b.BindSelect(sel)
 	if err != nil {
 		return nil, err
@@ -169,12 +242,12 @@ func (db *DB) compileSelect(sel *ast.Select) (*mal.Program, error) {
 }
 
 // explain renders the logical plan (EXPLAIN) or the MAL program (PLAN).
-func (db *DB) explain(e *ast.Explain) (*Result, error) {
+func (db *DB) explain(cat *catalog.Catalog, e *ast.Explain) (*Result, error) {
 	sel, ok := e.Stmt.(*ast.Select)
 	if !ok {
 		return nil, fmt.Errorf("EXPLAIN/PLAN supports SELECT statements")
 	}
-	b := rel.NewBinder(db.cat)
+	b := rel.NewBinder(cat)
 	plan, err := b.BindSelect(sel)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,61 @@
+package core
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/testutil"
+)
+
+// The golden end-to-end suite: every testdata/queries/*.sql script runs
+// statement by statement against a fresh database, and the concatenated
+// renderings must match the checked-in *.golden byte for byte. The same
+// scripts and goldens are replayed through a live sciqld server in
+// internal/server (TestGoldenOverServer), pinning the embedded and the
+// network paths to identical output.
+//
+// Regenerate with: go test ./internal/core -run TestGolden -update-golden
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite golden files")
+
+func TestGoldenQueries(t *testing.T) {
+	paths, err := testutil.GoldenScripts(filepath.Join("testdata", "queries"))
+	if err != nil || len(paths) == 0 {
+		t.Fatalf("no golden scripts found: %v", err)
+	}
+	for _, path := range paths {
+		name := strings.TrimSuffix(filepath.Base(path), ".sql")
+		t.Run(name, func(t *testing.T) {
+			src, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			db := New()
+			got := testutil.RenderScript(string(src), func(stmt string) (string, error) {
+				results, err := db.Exec(stmt)
+				var sb strings.Builder
+				for _, r := range results {
+					sb.WriteString(r.String())
+				}
+				return sb.String(), err
+			})
+			goldenPath := strings.TrimSuffix(path, ".sql") + ".golden"
+			if *updateGolden {
+				if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(goldenPath)
+			if err != nil {
+				t.Fatalf("missing golden (run with -update-golden): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("output differs from %s:\n--- got ---\n%s\n--- want ---\n%s", goldenPath, got, want)
+			}
+		})
+	}
+}

@@ -1,0 +1,51 @@
+package core
+
+// Snapshot publication: the copy-on-write half of the engine's
+// concurrency model.
+//
+// The live catalog (db.cat) is owned by the writer lock. Readers never
+// touch it: they execute against db.view, an immutable catalog published
+// after every autocommitted write statement and on COMMIT. Publication is
+// incremental — it clones the previous snapshot's maps and re-freezes only
+// the objects the statement actually dirtied. Freezing (catalog.Freeze /
+// bat.Freeze) shares the backing data arrays with the live object but
+// fixes row counts and deep-clones the NULL/deletion bitmaps, so:
+//
+//   - appends by the writer land at or beyond every published count and
+//     stay invisible to readers;
+//   - bitmap flips (DELETE, NULL punching) hit the writer's private mask;
+//   - in-place data overwrites (UPDATE, array INSERT) go through
+//     bat.Writable, which deep-clones shared storage first.
+//
+// The result: a snapshot, once published, is immutable forever, and a
+// reader holding one sees a consistent statement boundary no matter what
+// the writer does next.
+
+// touch records that an object's storage or existence changed since the
+// last publication. Must be called under the writer lock.
+func (db *DB) touch(name string) {
+	db.dirty[name] = struct{}{}
+}
+
+// publishLocked builds and installs a fresh immutable snapshot from the
+// previous one, re-freezing the dirty objects. Must be called under the
+// writer lock.
+func (db *DB) publishLocked() {
+	if len(db.dirty) == 0 {
+		return
+	}
+	snap := db.view.Load().CloneRefs()
+	for name := range db.dirty {
+		if t, ok := db.cat.Table(name); ok {
+			snap.ReplaceTable(t.Freeze())
+			continue
+		}
+		if a, ok := db.cat.Array(name); ok {
+			snap.ReplaceArray(a.Freeze())
+			continue
+		}
+		snap.Remove(name) // dropped
+	}
+	clear(db.dirty)
+	db.view.Store(snap)
+}

@@ -1,0 +1,7 @@
+CREATE TABLE items (id INT, name STRING, price DOUBLE);
+CREATE TABLE orders (item_id INT, n INT);
+INSERT INTO items VALUES (1, 'apple', 0.5), (2, 'banana', 0.25), (3, 'cherry', 4.0);
+INSERT INTO orders VALUES (1, 10), (1, 5), (2, 7), (9, 1);
+SELECT i.name, o.n FROM items i JOIN orders o ON i.id = o.item_id ORDER BY i.name, o.n;
+SELECT i.name, SUM(i.price * o.n) AS revenue FROM items i JOIN orders o ON i.id = o.item_id GROUP BY i.name ORDER BY revenue DESC;
+SELECT i.name, o.n FROM items i LEFT JOIN orders o ON i.id = o.item_id ORDER BY i.id, o.n;

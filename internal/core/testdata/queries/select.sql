@@ -1,0 +1,9 @@
+CREATE TABLE items (id INT, name STRING, price DOUBLE, qty INT);
+INSERT INTO items VALUES (1, 'apple', 0.5, 100), (2, 'banana', 0.25, 150), (3, 'cherry', 4.0, 30), (4, 'durian', 12.0, NULL), (5, 'elderberry', 8.0, 12);
+SELECT name, price FROM items WHERE price > 1 ORDER BY price DESC;
+SELECT id % 2 AS par, COUNT(*), SUM(qty) FROM items GROUP BY id % 2 ORDER BY 1;
+SELECT name FROM items WHERE name LIKE '%rr%' ORDER BY name;
+SELECT DISTINCT qty IS NULL FROM items ORDER BY 1;
+SELECT name, price * 2 AS doubled FROM items WHERE qty IS NOT NULL AND price < 1 ORDER BY id;
+SELECT nope FROM items;
+SELECT COUNT(*) FROM items WHERE price BETWEEN 0.5 AND 8.0;

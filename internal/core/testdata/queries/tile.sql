@@ -1,0 +1,8 @@
+CREATE ARRAY g (x INT DIMENSION[0:1:6], y INT DIMENSION[0:1:6], v INT DEFAULT 1);
+UPDATE g SET v = x * 10 + y;
+SELECT [x], [y], AVG(v) FROM g GROUP BY g[x:x+2][y:y+2];
+SELECT [x], [y], SUM(v) AS s FROM g GROUP BY g[x-1:x+2][y-1:y+2] HAVING x MOD 2 = 1 AND y MOD 2 = 1;
+CREATE ARRAY line (x INT DIMENSION[0:1:9], v INT DEFAULT 0);
+UPDATE line SET v = x * x;
+SELECT [x], MIN(v), MAX(v) FROM line GROUP BY line[x:x+3] HAVING x MOD 3 = 0;
+

@@ -1,0 +1,9 @@
+CREATE ARRAY img (x INT DIMENSION[0:1:8], y INT DIMENSION[0:1:8], v INT DEFAULT 0);
+UPDATE img SET v = (x * 7 + y * 13) % 32;
+SELECT [x], [y], AVG(v) FROM img GROUP BY img[x:x+4][y:y+4] HAVING x MOD 4 = 0 AND y MOD 4 = 0;
+SELECT COUNT(*) FROM img WHERE v >= 16;
+UPDATE img SET v = 31 - v;
+SELECT MIN(v), MAX(v), AVG(v) FROM img;
+CREATE ARRAY thumb (x INT DIMENSION[0:1:4], y INT DIMENSION[0:1:4], v INT DEFAULT 0);
+INSERT INTO thumb (x, y, v) SELECT x / 2, y / 2, MAX(v) FROM img WHERE x MOD 2 = 0 AND y MOD 2 = 0 GROUP BY x / 2, y / 2;
+SELECT [x], [y], v FROM thumb WHERE x < 2 AND y < 2;

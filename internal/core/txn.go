@@ -43,20 +43,35 @@ func newTxn() *txn {
 	}
 }
 
-// txnStmt implements START TRANSACTION / COMMIT / ROLLBACK.
-func (db *DB) txnStmt(s *ast.Txn) (*Result, error) {
+// txnStmt implements START TRANSACTION / COMMIT / ROLLBACK for a session.
+// The engine supports one explicit transaction at a time; it is owned by
+// the session that opened it (other sessions' writes are rejected at the
+// router, their reads keep executing against the pre-transaction
+// snapshot).
+func (db *DB) txnStmt(sess *Session, s *ast.Txn) (*Result, error) {
 	switch s.Kind {
 	case ast.TxnBegin:
 		if db.txn != nil {
 			return nil, fmt.Errorf("a transaction is already in progress")
 		}
 		db.txn = newTxn()
+		db.txnOwner = sess
 		return statusResult("transaction started"), nil
 	case ast.TxnCommit:
 		if db.txn == nil {
 			return nil, fmt.Errorf("no transaction in progress")
 		}
 		db.txn = nil
+		db.txnOwner = nil
+		wrote := len(db.dirty) > 0
+		db.publishLocked()
+		// Durability: committed work must survive the process, not wait
+		// for the next implicit save. In-memory databases skip this.
+		if wrote && db.dir != "" {
+			if err := db.save(); err != nil {
+				return nil, fmt.Errorf("transaction committed but not persisted: %v", err)
+			}
+		}
 		return statusResult("transaction committed"), nil
 	case ast.TxnRollback:
 		if db.txn == nil {
@@ -64,6 +79,11 @@ func (db *DB) txnStmt(s *ast.Txn) (*Result, error) {
 		}
 		db.txn.rollback(db)
 		db.txn = nil
+		db.txnOwner = nil
+		// Re-publish the restored state: the undo log swapped fresh
+		// clones into the live catalog for every object the transaction
+		// touched.
+		db.publishLocked()
 		return statusResult("transaction rolled back"), nil
 	default:
 		return nil, fmt.Errorf("unknown transaction statement")
@@ -104,8 +124,10 @@ func (t *txn) rollback(db *DB) {
 	}
 }
 
-// noteCreate records an object created inside the transaction.
+// noteCreate records an object created inside the transaction. It also
+// marks the name dirty for snapshot publication.
 func (db *DB) noteCreate(name string) {
+	db.touch(name)
 	if db.txn != nil {
 		db.txn.created = append(db.txn.created, name)
 	}
@@ -113,6 +135,7 @@ func (db *DB) noteCreate(name string) {
 
 // noteDropTable snapshots a table being dropped inside the transaction.
 func (db *DB) noteDropTable(t *catalog.Table) {
+	db.touch(t.Name)
 	if db.txn != nil {
 		db.txn.droppedTables[t.Name] = t
 	}
@@ -120,6 +143,7 @@ func (db *DB) noteDropTable(t *catalog.Table) {
 
 // noteDropArray snapshots an array being dropped inside the transaction.
 func (db *DB) noteDropArray(a *catalog.Array) {
+	db.touch(a.Name)
 	if db.txn != nil {
 		db.txn.droppedArrays[a.Name] = a
 	}
@@ -127,6 +151,7 @@ func (db *DB) noteDropArray(a *catalog.Array) {
 
 // noteModifyTable snapshots a table before its first in-transaction write.
 func (db *DB) noteModifyTable(t *catalog.Table) {
+	db.touch(t.Name)
 	if db.txn == nil {
 		return
 	}
@@ -142,6 +167,7 @@ func (db *DB) noteModifyTable(t *catalog.Table) {
 
 // noteModifyArray snapshots an array before its first in-transaction write.
 func (db *DB) noteModifyArray(a *catalog.Array) {
+	db.touch(a.Name)
 	if db.txn == nil {
 		return
 	}

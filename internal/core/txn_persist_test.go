@@ -1,0 +1,67 @@
+package core
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// TestCommitPersists is the regression test for the lost-commit bug:
+// COMMIT used to drop the undo log without calling save, so committed
+// work vanished if the process exited before the next implicit save.
+// A directory-backed database must persist on COMMIT itself.
+func TestCommitPersists(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "db")
+	db, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.MustQuery(`CREATE TABLE t (a INT)`)
+	db.MustQuery(`INSERT INTO t VALUES (1)`)
+	if _, err := db.Exec(`BEGIN; INSERT INTO t VALUES (2); UPDATE t SET a = a * 10; COMMIT`); err != nil {
+		t.Fatal(err)
+	}
+	// Note: no Close, no Save — simulating a process that exits (or
+	// crashes) right after COMMIT.
+
+	db2, err := Open(dir)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer db2.Close()
+	r, err := db2.Query(`SELECT SUM(a), COUNT(*) FROM t`)
+	if err != nil {
+		t.Fatalf("committed table missing after reopen: %v", err)
+	}
+	sum, _ := r.Value(0, 0).AsInt()
+	cnt, _ := r.Value(0, 1).AsInt()
+	if sum != 30 || cnt != 2 {
+		t.Fatalf("reopened state SUM=%d COUNT=%d, want 30/2 (commit lost)", sum, cnt)
+	}
+}
+
+// TestRollbackDoesNotPersist is the counterpart: rolled-back work must
+// not hit the disk.
+func TestRollbackDoesNotPersist(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "db")
+	db, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.MustQuery(`CREATE TABLE t (a INT)`)
+	db.MustQuery(`INSERT INTO t VALUES (1)`)
+	if err := db.Save(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec(`BEGIN; UPDATE t SET a = 999; ROLLBACK`); err != nil {
+		t.Fatal(err)
+	}
+	db2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	v, _ := db2.MustQuery(`SELECT a FROM t`).Value(0, 0).AsInt()
+	if v != 1 {
+		t.Fatalf("rolled-back value persisted: a = %d, want 1", v)
+	}
+}

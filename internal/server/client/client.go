@@ -1,0 +1,158 @@
+// Package client is a small Go client for the sciqld HTTP/JSON protocol.
+// It is used by the end-to-end test suites and the examples; external
+// programs can speak the same three endpoints with any HTTP library.
+package client
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+)
+
+// Result is one statement result as received from the server.
+type Result struct {
+	Names    []string `json:"names,omitempty"`
+	Kinds    []string `json:"kinds,omitempty"`
+	Rows     [][]any  `json:"rows,omitempty"`
+	Affected int      `json:"affected,omitempty"`
+	Text     string   `json:"text,omitempty"`
+	Rendered string   `json:"rendered"`
+}
+
+// Health is the healthz report.
+type Health struct {
+	Status   string `json:"status"`
+	Sessions int    `json:"sessions"`
+	Queries  int64  `json:"queries"`
+	Rejected int64  `json:"rejected"`
+	Workers  int    `json:"workers"`
+}
+
+// Client talks to one sciqld server. The zero session value runs every
+// batch on an ephemeral autocommit session; NewSession switches to a
+// named server-side session (transactions, prepared statements). A Client
+// is safe for concurrent use; concurrent queries on a *named* session
+// serialise server-side.
+type Client struct {
+	base    string
+	hc      *http.Client
+	session string
+}
+
+// New returns a client for the server at addr ("host:port").
+func New(addr string) *Client {
+	return &Client{
+		base: "http://" + addr,
+		hc:   &http.Client{Timeout: 60 * time.Second},
+	}
+}
+
+type queryRequest struct {
+	Query   string `json:"query"`
+	Session string `json:"session,omitempty"`
+}
+
+type queryResponse struct {
+	Results []Result `json:"results,omitempty"`
+	Error   string   `json:"error,omitempty"`
+}
+
+// Exec runs a semicolon-separated batch, returning one result per
+// completed statement. A statement error is returned alongside the
+// results that preceded it.
+func (c *Client) Exec(query string) ([]Result, error) {
+	body, err := json.Marshal(queryRequest{Query: query, Session: c.session})
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.hc.Post(c.base+"/query", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var qr queryResponse
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 64<<20)).Decode(&qr); err != nil {
+		return nil, fmt.Errorf("bad server response (HTTP %d): %v", resp.StatusCode, err)
+	}
+	if qr.Error != "" {
+		return qr.Results, fmt.Errorf("%s", qr.Error)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return qr.Results, fmt.Errorf("HTTP %d", resp.StatusCode)
+	}
+	return qr.Results, nil
+}
+
+// Query runs exactly one statement and returns its result.
+func (c *Client) Query(query string) (*Result, error) {
+	rs, err := c.Exec(query)
+	if err != nil {
+		return nil, err
+	}
+	if len(rs) == 0 {
+		return nil, fmt.Errorf("no result")
+	}
+	return &rs[0], nil
+}
+
+// NewSession creates a named server-side session and pins the client to
+// it. Further batches share transaction state until CloseSession.
+func (c *Client) NewSession() error {
+	resp, err := c.hc.Post(c.base+"/session", "application/json", nil)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	var out struct {
+		Session string `json:"session"`
+		Error   string `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return err
+	}
+	if out.Error != "" {
+		return fmt.Errorf("%s", out.Error)
+	}
+	c.session = out.Session
+	return nil
+}
+
+// Session returns the pinned server-side session id ("" when ephemeral).
+func (c *Client) Session() string { return c.session }
+
+// CloseSession closes the pinned session (rolling back an open
+// transaction server-side).
+func (c *Client) CloseSession() error {
+	if c.session == "" {
+		return nil
+	}
+	req, err := http.NewRequest(http.MethodDelete, c.base+"/session?id="+c.session, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	c.session = ""
+	return nil
+}
+
+// Health fetches the healthz report.
+func (c *Client) Health() (*Health, error) {
+	resp, err := c.hc.Get(c.base + "/healthz")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var h Health
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		return nil, err
+	}
+	return &h, nil
+}

@@ -1,0 +1,64 @@
+package server
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/server/client"
+	"repro/internal/testutil"
+)
+
+// TestGoldenOverServer replays the embedded engine's golden scripts
+// (internal/core/testdata/queries) through a live sciqld over the HTTP
+// client and asserts the rendered output is byte-identical to the same
+// checked-in goldens: the network path must not change a single byte of
+// a result.
+func TestGoldenOverServer(t *testing.T) {
+	dir := filepath.Join("..", "core", "testdata", "queries")
+	paths, err := testutil.GoldenScripts(dir)
+	if err != nil || len(paths) == 0 {
+		t.Fatalf("no golden scripts under %s: %v", dir, err)
+	}
+	for _, path := range paths {
+		name := strings.TrimSuffix(filepath.Base(path), ".sql")
+		t.Run(name, func(t *testing.T) {
+			src, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := os.ReadFile(strings.TrimSuffix(path, ".sql") + ".golden")
+			if err != nil {
+				t.Fatalf("missing golden: %v", err)
+			}
+
+			srv := New(core.New(), Config{Addr: "127.0.0.1:0"})
+			if err := srv.Start(); err != nil {
+				t.Fatal(err)
+			}
+			defer srv.Close()
+			c := client.New(srv.Addr().String())
+			// A named session so transaction scripts behave like a
+			// single embedded connection.
+			if err := c.NewSession(); err != nil {
+				t.Fatal(err)
+			}
+			defer c.CloseSession()
+
+			got := testutil.RenderScript(string(src), func(stmt string) (string, error) {
+				results, err := c.Exec(stmt)
+				var sb strings.Builder
+				for _, r := range results {
+					sb.WriteString(r.Rendered)
+				}
+				return sb.String(), err
+			})
+			if got != string(want) {
+				t.Errorf("server output differs from embedded golden %s:\n--- got ---\n%s\n--- want ---\n%s",
+					name, got, want)
+			}
+		})
+	}
+}

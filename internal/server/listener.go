@@ -1,0 +1,123 @@
+package server
+
+import (
+	"bufio"
+	"net"
+	"time"
+)
+
+// One port, two protocols. The accept loop peeks at the start of each
+// connection: an HTTP method token followed by a "/" (or "*") request
+// target means the connection is handed to the HTTP server; anything
+// else (a SQL statement, a backslash command) is served by the newline-
+// delimited text protocol. The target check matters because DELETE is
+// both an HTTP method and a SQL keyword — "DELETE /query" is HTTP,
+// "DELETE FROM t" is SQL.
+
+// httpMethods are the tokens that may route a connection to the HTTP
+// server (subject to the request-target check).
+var httpMethods = map[string]bool{
+	"GET": true, "POST": true, "PUT": true, "HEAD": true, "DELETE": true,
+	"OPTIONS": true, "PATCH": true, "CONNECT": true, "TRACE": true,
+}
+
+func (s *Server) acceptLoop() {
+	for {
+		c, err := s.ln.Accept()
+		if err != nil {
+			close(s.acceptDone)
+			return
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.route(c)
+		}()
+	}
+}
+
+// route sniffs the protocol and dispatches the connection.
+func (s *Server) route(c net.Conn) {
+	if !s.trackConn(c) {
+		_ = c.Close() // already shutting down
+		return
+	}
+	br := bufio.NewReader(c)
+	_ = c.SetReadDeadline(time.Now().Add(30 * time.Second))
+	isHTTP := sniffHTTP(br)
+	_ = c.SetReadDeadline(time.Time{})
+	bc := &bufferedConn{Conn: c, r: br}
+	if isHTTP {
+		// The HTTP server takes over (including its own deadlines and
+		// shutdown). If the listener already shut down, drop the
+		// connection.
+		s.untrackConn(c)
+		select {
+		case s.httpConns <- bc:
+		case <-s.acceptDone:
+			_ = c.Close()
+		}
+		return
+	}
+	defer s.untrackConn(c)
+	s.serveText(bc)
+}
+
+// sniffHTTP reports whether the connection starts with an HTTP request
+// line: a method token, one space, and a "/" or "*" request target. It
+// peeks without consuming anything.
+func sniffHTTP(br *bufio.Reader) bool {
+	const maxMethod = 8 // longest method ("CONNECT") + the space
+	token := ""
+	for i := 1; i <= maxMethod+1; i++ {
+		b, err := br.Peek(i)
+		if len(b) == i {
+			switch b[i-1] {
+			case ' ':
+				token = string(b[:i-1])
+			case '\t', '\r', '\n':
+				return false // SQL/whitespace layout, never an HTTP request line
+			}
+		}
+		if token != "" {
+			break
+		}
+		if err != nil {
+			return false
+		}
+	}
+	if !httpMethods[token] {
+		return false
+	}
+	// Require the request target so SQL sharing a method keyword
+	// ("DELETE FROM t") stays on the text protocol.
+	b, _ := br.Peek(len(token) + 2)
+	return len(b) == len(token)+2 && (b[len(token)+1] == '/' || b[len(token)+1] == '*')
+}
+
+// bufferedConn carries the sniffed bytes in front of the raw connection.
+type bufferedConn struct {
+	net.Conn
+	r *bufio.Reader
+}
+
+func (b *bufferedConn) Read(p []byte) (int, error) { return b.r.Read(p) }
+
+// chanListener adapts the accept loop's HTTP connections to net.Listener.
+type chanListener struct {
+	conns chan net.Conn
+	done  chan struct{}
+	addr  net.Addr
+}
+
+func (l *chanListener) Accept() (net.Conn, error) {
+	select {
+	case c := <-l.conns:
+		return c, nil
+	case <-l.done:
+		return nil, net.ErrClosed
+	}
+}
+
+func (l *chanListener) Close() error   { return nil }
+func (l *chanListener) Addr() net.Addr { return l.addr }

@@ -1,0 +1,462 @@
+// Package server puts a network front door on the SciQL engine: the
+// sciqld daemon. One TCP port serves two protocols — an HTTP/JSON query
+// endpoint (POST /query, GET /healthz) for programs and a newline-
+// delimited text protocol for CLI use — distinguished by sniffing the
+// first request line, like MonetDB's mserver speaking MAPI to many client
+// kinds on one socket.
+//
+// Every connection (and every named HTTP session) owns a core.Session, so
+// transactions and prepared statements are per-client while reads from all
+// sessions execute in parallel against the engine's published snapshots.
+// A bounded worker pool admits statements: when all workers are busy new
+// statements queue, and beyond a depth limit the server sheds load with a
+// clean "overloaded" error instead of collapsing.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/types"
+)
+
+// Config tunes a Server.
+type Config struct {
+	// Addr is the TCP listen address, e.g. ":8642" or "127.0.0.1:0".
+	Addr string
+	// MaxSessions caps live client sessions (text connections plus named
+	// HTTP sessions). 0 means DefaultMaxSessions.
+	MaxSessions int
+	// Workers caps concurrently executing statements. 0 means GOMAXPROCS.
+	Workers int
+	// MaxQueue is the number of statements allowed to wait for a worker
+	// before the server sheds load. 0 means 4*Workers.
+	MaxQueue int
+}
+
+// DefaultMaxSessions bounds concurrent sessions when Config leaves it 0.
+const DefaultMaxSessions = 64
+
+// ErrOverloaded is reported (wrapped) when the admission queue is full.
+var ErrOverloaded = fmt.Errorf("server overloaded: admission queue is full")
+
+// Server is a running (or startable) sciqld instance.
+type Server struct {
+	db  *core.DB
+	cfg Config
+
+	ln         net.Listener
+	httpSrv    *http.Server
+	httpConns  chan net.Conn
+	acceptDone chan struct{}
+	wg         sync.WaitGroup
+
+	sem      chan struct{} // worker admission tokens
+	waiting  atomic.Int64  // statements queued for a worker
+	queries  atomic.Int64  // statements served
+	rejected atomic.Int64  // statements shed
+
+	mu       sync.Mutex
+	sessions map[string]*session
+	// conns are accepted connections not (yet) owned by the HTTP server:
+	// being sniffed, or speaking the text protocol. Close must close them
+	// explicitly or their goroutines would block shutdown indefinitely.
+	conns    map[net.Conn]struct{}
+	textLive int // open text-protocol connections
+	nextID   int64
+	closed   bool
+}
+
+// session is one named HTTP-facing session. Statements on the same
+// session serialise (a session is a logical connection); distinct
+// sessions run concurrently.
+type session struct {
+	id   string
+	mu   sync.Mutex
+	sess *core.Session
+	used time.Time
+}
+
+// New returns an unstarted server over the database.
+func New(db *core.DB, cfg Config) *Server {
+	if cfg.MaxSessions <= 0 {
+		cfg.MaxSessions = DefaultMaxSessions
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.MaxQueue <= 0 {
+		cfg.MaxQueue = 4 * cfg.Workers
+	}
+	return &Server{
+		db:       db,
+		cfg:      cfg,
+		sem:      make(chan struct{}, cfg.Workers),
+		sessions: map[string]*session{},
+		conns:    map[net.Conn]struct{}{},
+	}
+}
+
+// trackConn registers an accepted connection for shutdown; it reports
+// false (and closes nothing) when the server is already closing.
+func (s *Server) trackConn(c net.Conn) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return false
+	}
+	s.conns[c] = struct{}{}
+	return true
+}
+
+// untrackConn hands a connection off (to the HTTP server, or to Close).
+func (s *Server) untrackConn(c net.Conn) {
+	s.mu.Lock()
+	delete(s.conns, c)
+	s.mu.Unlock()
+}
+
+// Start listens on cfg.Addr and serves until Close. It returns once the
+// listener is bound (use Addr to learn the port when binding to :0).
+func (s *Server) Start() error {
+	ln, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		return err
+	}
+	s.ln = ln
+	s.httpConns = make(chan net.Conn)
+	s.acceptDone = make(chan struct{})
+	s.httpSrv = &http.Server{Handler: s.Handler(), ReadHeaderTimeout: 10 * time.Second}
+	s.wg.Add(2)
+	go func() {
+		defer s.wg.Done()
+		s.acceptLoop()
+	}()
+	go func() {
+		defer s.wg.Done()
+		_ = s.httpSrv.Serve(&chanListener{conns: s.httpConns, done: s.acceptDone, addr: ln.Addr()})
+	}()
+	return nil
+}
+
+// Addr returns the bound listen address (nil before Start).
+func (s *Server) Addr() net.Addr {
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+// Close stops accepting, shuts both protocol servers down and closes all
+// client sessions (rolling back their open transactions).
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	sessions := make([]*session, 0, len(s.sessions))
+	for _, se := range s.sessions {
+		sessions = append(sessions, se)
+	}
+	s.sessions = map[string]*session{}
+	// Unblock sniffing and text-protocol goroutines: their reads fail
+	// once the connection is closed, so wg.Wait below terminates.
+	for c := range s.conns {
+		_ = c.Close()
+	}
+	s.conns = map[net.Conn]struct{}{}
+	s.mu.Unlock()
+
+	var err error
+	if s.ln != nil {
+		err = s.ln.Close()
+	}
+	if s.httpSrv != nil {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		_ = s.httpSrv.Shutdown(ctx)
+	}
+	for _, se := range sessions {
+		_ = se.sess.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+// admit blocks until a worker token is free; beyond MaxQueue waiting
+// statements it sheds load immediately. release must be called when the
+// statement ends. Executing statements hold sem and do not count as
+// waiting.
+func (s *Server) admit(ctx context.Context) (release func(), err error) {
+	if s.waiting.Add(1) > int64(s.cfg.MaxQueue) {
+		s.waiting.Add(-1)
+		s.rejected.Add(1)
+		return nil, ErrOverloaded
+	}
+	defer s.waiting.Add(-1)
+	select {
+	case s.sem <- struct{}{}:
+		s.queries.Add(1)
+		return func() { <-s.sem }, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// ---------------------------------------------------------------- HTTP
+
+// queryRequest is the body of POST /query.
+type queryRequest struct {
+	Query string `json:"query"`
+	// Session pins the statement to a named session created via
+	// POST /session (transactions, prepared statements). Empty runs the
+	// statement on an ephemeral autocommit session.
+	Session string `json:"session,omitempty"`
+}
+
+// wireResult is one statement result on the wire.
+type wireResult struct {
+	Names    []string `json:"names,omitempty"`
+	Kinds    []string `json:"kinds,omitempty"`
+	Rows     [][]any  `json:"rows,omitempty"`
+	Affected int      `json:"affected,omitempty"`
+	Text     string   `json:"text,omitempty"`
+	// Rendered is the engine's canonical text rendering of the result —
+	// byte-identical to what embedded core.Result.String() produces,
+	// which the golden end-to-end suite asserts.
+	Rendered string `json:"rendered"`
+}
+
+type queryResponse struct {
+	Results []wireResult `json:"results,omitempty"`
+	Error   string       `json:"error,omitempty"`
+}
+
+func toWire(r *core.Result) wireResult {
+	w := wireResult{Affected: r.Affected, Text: r.Text, Rendered: r.String()}
+	if len(r.Cols) == 0 {
+		return w
+	}
+	w.Names = r.Names
+	for _, k := range r.Kinds {
+		w.Kinds = append(w.Kinds, k.String())
+	}
+	n := r.NumRows()
+	w.Rows = make([][]any, n)
+	for i := 0; i < n; i++ {
+		row := make([]any, r.NumCols())
+		for c := 0; c < r.NumCols(); c++ {
+			row[c] = valueToJSON(r.Value(i, c))
+		}
+		w.Rows[i] = row
+	}
+	return w
+}
+
+func valueToJSON(v types.Value) any {
+	if v.IsNull() {
+		return nil
+	}
+	switch v.Kind() {
+	case types.KindInt, types.KindOID:
+		iv, _ := v.AsInt()
+		return iv
+	case types.KindFloat:
+		fv, _ := v.AsFloat()
+		return fv
+	case types.KindBool:
+		return v.BoolVal()
+	default:
+		return v.String()
+	}
+}
+
+// Handler returns the HTTP API (also used directly by tests and fuzzing).
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/query", s.handleQuery)
+	mux.HandleFunc("/session", s.handleSession)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, queryResponse{Error: "POST required"})
+		return
+	}
+	var req queryRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err := dec.Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, queryResponse{Error: fmt.Sprintf("bad request: %v", err)})
+		return
+	}
+	if strings.TrimSpace(req.Query) == "" {
+		writeJSON(w, http.StatusBadRequest, queryResponse{Error: "empty query"})
+		return
+	}
+
+	resp := queryResponse{}
+	var err error
+	if req.Session != "" {
+		se, ok := s.lookupSession(req.Session)
+		if !ok {
+			writeJSON(w, http.StatusBadRequest, queryResponse{Error: fmt.Sprintf("unknown session %q", req.Session)})
+			return
+		}
+		// Serialise on the session before admission: a request queued
+		// behind a slow same-session statement must not hold a worker
+		// token while it waits (that would starve other sessions).
+		se.mu.Lock()
+		release, aerr := s.admit(r.Context())
+		if aerr != nil {
+			se.mu.Unlock()
+			writeJSON(w, http.StatusServiceUnavailable, queryResponse{Error: aerr.Error()})
+			return
+		}
+		se.used = time.Now()
+		var results []*core.Result
+		results, err = se.sess.Exec(req.Query)
+		// Render under the session lock: an in-transaction SELECT result
+		// references live storage, which the session's next statement may
+		// mutate in place.
+		for _, r := range results {
+			resp.Results = append(resp.Results, toWire(r))
+		}
+		release()
+		se.mu.Unlock()
+	} else {
+		// Ephemeral autocommit session: cheap, and a leaked transaction
+		// cannot outlive the request.
+		release, aerr := s.admit(r.Context())
+		if aerr != nil {
+			writeJSON(w, http.StatusServiceUnavailable, queryResponse{Error: aerr.Error()})
+			return
+		}
+		sess := s.db.NewSession()
+		var results []*core.Result
+		results, err = sess.Exec(req.Query)
+		for _, r := range results {
+			resp.Results = append(resp.Results, toWire(r))
+		}
+		_ = sess.Close()
+		release()
+	}
+
+	status := http.StatusOK
+	if err != nil {
+		resp.Error = err.Error()
+		status = http.StatusUnprocessableEntity
+	}
+	writeJSON(w, status, resp)
+}
+
+func (s *Server) handleSession(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodPost:
+		id, err := s.createSession()
+		if err != nil {
+			writeJSON(w, http.StatusServiceUnavailable, queryResponse{Error: err.Error()})
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"session": id})
+	case http.MethodDelete:
+		id := r.URL.Query().Get("id")
+		if id == "" {
+			writeJSON(w, http.StatusBadRequest, queryResponse{Error: "missing session id"})
+			return
+		}
+		if !s.dropSession(id) {
+			writeJSON(w, http.StatusBadRequest, queryResponse{Error: fmt.Sprintf("unknown session %q", id)})
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"closed": id})
+	default:
+		writeJSON(w, http.StatusMethodNotAllowed, queryResponse{Error: "POST or DELETE required"})
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	live := len(s.sessions) + s.textLive
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":   "ok",
+		"sessions": live,
+		"queries":  s.queries.Load(),
+		"rejected": s.rejected.Load(),
+		"workers":  s.cfg.Workers,
+	})
+}
+
+// ------------------------------------------------------ session registry
+
+func (s *Server) createSession() (string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return "", fmt.Errorf("server is shutting down")
+	}
+	if len(s.sessions)+s.textLive >= s.cfg.MaxSessions {
+		return "", fmt.Errorf("too many sessions (max %d)", s.cfg.MaxSessions)
+	}
+	s.nextID++
+	id := fmt.Sprintf("s%d", s.nextID)
+	s.sessions[id] = &session{id: id, sess: s.db.NewSession(), used: time.Now()}
+	return id, nil
+}
+
+func (s *Server) lookupSession(id string) (*session, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	se, ok := s.sessions[id]
+	return se, ok
+}
+
+func (s *Server) dropSession(id string) bool {
+	s.mu.Lock()
+	se, ok := s.sessions[id]
+	delete(s.sessions, id)
+	s.mu.Unlock()
+	if ok {
+		_ = se.sess.Close()
+	}
+	return ok
+}
+
+// acquireTextSlot reserves a session slot for a text connection.
+func (s *Server) acquireTextSlot() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("server is shutting down")
+	}
+	if len(s.sessions)+s.textLive >= s.cfg.MaxSessions {
+		return fmt.Errorf("too many sessions (max %d)", s.cfg.MaxSessions)
+	}
+	s.textLive++
+	return nil
+}
+
+func (s *Server) releaseTextSlot() {
+	s.mu.Lock()
+	s.textLive--
+	s.mu.Unlock()
+}

@@ -1,0 +1,80 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"net"
+	"strings"
+)
+
+// The text protocol: newline-delimited statements in, rendered results
+// out. It exists for CLI use (netcat, the sciql shell's remote mode) and
+// mirrors the HTTP endpoint's semantics with a per-connection session.
+//
+//	client: one SQL batch per line (a trailing ';' is fine)
+//	server: the rendered result of each statement, then a line "."
+//	errors: a line "!error: <message>", then "."
+//	"\q" (or EOF) closes the connection.
+//
+// The client speaks first (the shared port sniffs the first token to
+// tell SQL from HTTP), so there is no greeting banner.
+//
+// Each connection owns a core.Session, so BEGIN/COMMIT work naturally and
+// concurrent connections read in parallel.
+
+const maxTextLine = 1 << 20 // 1 MiB per statement batch
+
+func (s *Server) serveText(c net.Conn) {
+	defer func() { _ = c.Close() }()
+	if err := s.acquireTextSlot(); err != nil {
+		fmt.Fprintf(c, "!error: %v\n.\n", err)
+		return
+	}
+	defer s.releaseTextSlot()
+
+	sess := s.db.NewSession()
+	defer func() { _ = sess.Close() }()
+
+	w := bufio.NewWriter(c)
+	sc := bufio.NewScanner(c)
+	sc.Buffer(make([]byte, 64*1024), maxTextLine)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "":
+			continue
+		case line == `\q`:
+			return
+		}
+		release, err := s.admit(context.Background())
+		if err != nil {
+			fmt.Fprintf(w, "!error: %v\n.\n", err)
+			_ = w.Flush()
+			continue
+		}
+		results, err := sess.Exec(line)
+		release()
+		for _, r := range results {
+			out := r.String()
+			w.WriteString(out)
+			if !strings.HasSuffix(out, "\n") {
+				w.WriteByte('\n')
+			}
+		}
+		if err != nil {
+			fmt.Fprintf(w, "!error: %v\n", err)
+		}
+		w.WriteString(".\n")
+		if err := w.Flush(); err != nil {
+			return
+		}
+	}
+	// A scan failure (e.g. a statement over the 1 MiB line limit) is
+	// reported in-band before closing, so the client can tell it from a
+	// crash.
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(w, "!error: %v\n.\n", err)
+		_ = w.Flush()
+	}
+}

@@ -1,0 +1,79 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse asserts the parser's contract under arbitrary input: it must
+// return statements or an error — never panic — and errors must carry
+// position information. The seed corpus is drawn from the statement
+// shapes the engine's SQL suite (internal/core/sql_test.go) exercises.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		// Core relational shapes.
+		`SELECT 1 + 1`,
+		`SELECT name, price FROM items WHERE price > 1 ORDER BY price DESC LIMIT 2 OFFSET 2`,
+		`SELECT id % 2, COUNT(*) FROM items GROUP BY id % 2 ORDER BY 1`,
+		`SELECT i.name, o.n FROM items i JOIN orders o ON i.id = o.item_id ORDER BY i.name, o.n`,
+		`SELECT i.name FROM items i LEFT JOIN orders o ON i.id = o.item_id WHERE i.id >= 4`,
+		`SELECT DISTINCT item_id FROM orders ORDER BY item_id`,
+		`SELECT name FROM items WHERE name LIKE '%rry' OR name NOT LIKE '_a%'`,
+		`SELECT CASE WHEN x > y THEN x + y WHEN x < y THEN x - y ELSE 0 END FROM m`,
+		`SELECT name FROM items WHERE qty IS NOT NULL AND NOT (qty < 50)`,
+		`SELECT s FROM (SELECT SUM(n) AS s FROM orders GROUP BY item_id) t WHERE t.s > 5`,
+		// SciQL array shapes.
+		`CREATE ARRAY m (x INT DIMENSION[0:1:4], y INT DIMENSION[0:1:4], v INT DEFAULT 0)`,
+		`CREATE ARRAY a (x INT DIMENSION, v DOUBLE)`,
+		`SELECT [x], [y], AVG(v) FROM m GROUP BY m[x:x+2][y:y+2] HAVING x MOD 2 = 1`,
+		`SELECT [x], SUM(v) - v FROM a GROUP BY a[x-1:x+2]`,
+		`UPDATE a SET v = COALESCE(a[x+1].v, -1)`,
+		`ALTER ARRAY m ALTER DIMENSION x SET RANGE [0:1:8]`,
+		`INSERT INTO m (x, y, v) VALUES (5, 0, 42)`,
+		`DELETE FROM m WHERE x = 2 AND y = 2`,
+		// DDL/DML/transactions.
+		`CREATE TABLE items (id INT, name STRING, price DOUBLE DEFAULT 1.5, qty INT)`,
+		`INSERT INTO items VALUES (1, 'apple', 0.5, 100), (2, 'banana', 0.25, NULL)`,
+		`UPDATE items SET price = qty, qty = CAST(price AS INT) WHERE id = 1`,
+		`DROP TABLE IF EXISTS scratch`,
+		`START TRANSACTION; UPDATE t SET a = 1; COMMIT`,
+		`BEGIN; ROLLBACK`,
+		`EXPLAIN SELECT v FROM m WHERE x = 1`,
+		`PLAN SELECT [x], [y], SUM(v) FROM m GROUP BY m[x-4:x+5][y-4:y+5]`,
+		// Deliberately malformed.
+		``,
+		`;;;`,
+		`SELECT`,
+		`SELECT * FROM`,
+		`CREATE ARRAY (`,
+		`'unterminated`,
+		`SELECT 'a' +`,
+		`SELECT ((((1`,
+		`INSERT INTO t VALUES (1,`,
+		"SELECT \x00\xff FROM t",
+		`SELECT [x FROM m GROUP BY m[x:`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("Parse(%q) panicked: %v", src, r)
+			}
+		}()
+		stmts, err := Parse(src)
+		if err == nil {
+			// A successful parse must yield well-formed statements.
+			for _, s := range stmts {
+				if s == nil {
+					t.Fatalf("Parse(%q) returned a nil statement", src)
+				}
+			}
+			return
+		}
+		if strings.TrimSpace(err.Error()) == "" {
+			t.Fatalf("Parse(%q) returned an empty error", src)
+		}
+	})
+}

@@ -1,0 +1,53 @@
+// Package testutil holds helpers shared by test suites across packages —
+// currently the golden-script runner used by both the embedded engine
+// suite (internal/core) and the live-server suite (internal/server),
+// which must produce byte-identical output from the same scripts.
+package testutil
+
+import (
+	"path/filepath"
+	"strings"
+)
+
+// GoldenScripts globs the *.sql scripts under dir.
+func GoldenScripts(dir string) ([]string, error) {
+	return filepath.Glob(filepath.Join(dir, "*.sql"))
+}
+
+// SplitScript splits a golden script into statements on ';'. String
+// literals in golden scripts must not contain ';'.
+func SplitScript(src string) []string {
+	var out []string
+	for _, part := range strings.Split(src, ";") {
+		if s := strings.TrimSpace(part); s != "" {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// RenderScript runs a script's statements through exec, producing the
+// golden format: each statement echoed with a "> " prefix, then its
+// rendered result (or "error: ..."), then a blank line.
+func RenderScript(src string, exec func(stmt string) (string, error)) string {
+	var sb strings.Builder
+	for _, stmt := range SplitScript(src) {
+		sb.WriteString("> ")
+		sb.WriteString(stmt)
+		sb.WriteString("\n")
+		out, err := exec(stmt)
+		if out != "" {
+			sb.WriteString(out)
+			if !strings.HasSuffix(out, "\n") {
+				sb.WriteString("\n")
+			}
+		}
+		if err != nil {
+			sb.WriteString("error: ")
+			sb.WriteString(err.Error())
+			sb.WriteString("\n")
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}

@@ -45,6 +45,12 @@ type DB = core.DB
 // Shape and cell-aligned columns.
 type Result = core.Result
 
+// Session is one client's handle on the database: reads execute lock-free
+// against the last published snapshot (so any number of sessions read in
+// parallel), writes serialise, and BEGIN binds the engine's explicit
+// transaction to the session. Obtain one with db.NewSession().
+type Session = core.Session
+
 // Value is a scalar SQL value (integer, double, boolean, string or NULL).
 type Value = types.Value
 
