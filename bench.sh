@@ -11,6 +11,9 @@
 #   3. the concurrent-session read throughput comparison
 #      (BenchmarkConcurrentReaders at 1/4/8 sessions plus the
 #      serialized baseline)                   -> BENCH_server.json
+#   4. the durability comparison: WAL append vs pre-WAL full-rewrite
+#      commits and crash-recovery replay
+#      (BenchmarkCommitSmallWrite, BenchmarkWALRecovery) -> BENCH_wal.json
 #
 # Usage: ./bench.sh [bench-regex]   (overrides the first pass's pattern)
 set -euo pipefail
@@ -19,15 +22,26 @@ cd "$(dirname "$0")"
 PATTERN="${1:-BenchmarkFig|BenchmarkScenario|BenchmarkParallel|BenchmarkParseCache|BenchmarkAblation}"
 CAND_PATTERN="BenchmarkSelective"
 SERVER_PATTERN="BenchmarkConcurrentReaders"
+WAL_PATTERN="BenchmarkCommitSmallWrite|BenchmarkWALRecovery"
 
-echo "== go vet"
-go vet ./...
+# SKIP_VERIFY=1 skips the vet/test preamble (CI runs those in their own
+# jobs; duplicating them here would double the bench job's wall-clock).
+if [[ "${SKIP_VERIFY:-0}" != "1" ]]; then
+    echo "== go vet"
+    go vet ./...
 
-echo "== go test -race (kernel equivalence under the race detector)"
-go test -race ./internal/gdk/... ./internal/par/...
+    echo "== go test -race (kernel equivalence under the race detector)"
+    go test -race ./internal/gdk/... ./internal/par/...
 
-echo "== go test (full tier-1 suite)"
-go test ./...
+    echo "== go test (full tier-1 suite)"
+    go test ./...
+fi
+
+# Record the measurement environment so regression comparisons can skip
+# when the hardware does not match the baseline's.
+cpu_model="$(awk -F': ' '/^model name/ {print $2; exit}' /proc/cpuinfo 2>/dev/null || echo unknown)"
+printf '{"cpu": "%s", "cores": %s, "goos": "%s"}\n' \
+    "${cpu_model}" "$(nproc 2>/dev/null || echo 0)" "$(go env GOOS)" > bench_env.json
 
 # bench_json PATTERN OUT_JSON OUT_TXT — run one benchmark pass and convert
 # "BenchmarkName-8  iters  ns/op  B/op  allocs/op" lines to JSON.
@@ -58,3 +72,4 @@ bench_json() {
 bench_json "${PATTERN}" BENCH_parallel.json bench_out.txt
 bench_json "${CAND_PATTERN}" BENCH_candidates.json bench_cand_out.txt
 bench_json "${SERVER_PATTERN}" BENCH_server.json bench_server_out.txt
+bench_json "${WAL_PATTERN}" BENCH_wal.json bench_wal_out.txt

@@ -7,6 +7,7 @@
 // Usage:
 //
 //	sciqld [-addr :8642] [-db dir] [-threads n] [-max-sessions n]
+//	       [-wal-checkpoint-bytes n]
 //
 // Try it:
 //
@@ -23,6 +24,7 @@ import (
 	"syscall"
 
 	sciql "repro"
+	"repro/internal/core"
 	"repro/internal/server"
 )
 
@@ -32,6 +34,8 @@ func main() {
 	threads := flag.Int("threads", 0, "kernel worker threads (0: GOMAXPROCS)")
 	maxSessions := flag.Int("max-sessions", server.DefaultMaxSessions, "maximum concurrent client sessions")
 	workers := flag.Int("workers", 0, "concurrent statement executions admitted (0: GOMAXPROCS)")
+	ckptBytes := flag.Int64("wal-checkpoint-bytes", core.DefaultCheckpointBytes,
+		"WAL size that triggers an incremental checkpoint (<=0: only checkpoint on shutdown)")
 	flag.Parse()
 
 	sciql.SetThreads(*threads)
@@ -41,7 +45,9 @@ func main() {
 		err error
 	)
 	if *dir != "" {
-		db, err = sciql.Open(*dir)
+		// The threshold is passed into Open so it also governs whether a
+		// large recovered log is folded during startup.
+		db, err = core.OpenWith(*dir, *ckptBytes)
 	} else {
 		db = sciql.New()
 	}

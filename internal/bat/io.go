@@ -213,29 +213,56 @@ func ReadFrom(r io.Reader) (*BAT, error) {
 	return b, nil
 }
 
-// Save writes the BAT to path atomically (write temp file, then rename).
+// Save writes the BAT to path atomically (write temp file, fsync, then
+// rename). See SaveSize for the byte count.
 func (b *BAT) Save(path string) error {
+	_, err := b.SaveSize(path)
+	return err
+}
+
+// SaveSize is Save returning the number of bytes written, which the
+// checkpoint machinery reports for write-amplification accounting. The
+// file is fsynced before the rename: checkpoint manifests must never
+// reference segment data still sitting in the page cache.
+func (b *BAT) SaveSize(path string) (int64, error) {
 	tmp := path + ".tmp"
 	f, err := os.Create(tmp)
 	if err != nil {
-		return err
+		return 0, err
 	}
-	w := bufio.NewWriter(f)
+	cw := &countWriter{w: f}
+	w := bufio.NewWriterSize(cw, 1<<16)
 	if err := b.Write(w); err != nil {
 		f.Close()
 		os.Remove(tmp)
-		return err
+		return 0, err
 	}
 	if err := w.Flush(); err != nil {
 		f.Close()
 		os.Remove(tmp)
-		return err
+		return 0, err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return 0, err
 	}
 	if err := f.Close(); err != nil {
 		os.Remove(tmp)
-		return err
+		return 0, err
 	}
-	return os.Rename(tmp, path)
+	return cw.n, os.Rename(tmp, path)
+}
+
+type countWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
 }
 
 // Load reads a BAT from path.

@@ -31,6 +31,11 @@ type Table struct {
 	Columns []Column
 	Bats    []*bat.BAT
 	Deleted *bat.Bitmap // rows marked deleted; nil when none
+
+	// Version is the checkpoint generation whose segment files hold this
+	// table's columns on disk (bats/<name>.<col>.<version>.bat); 0 means
+	// the legacy unversioned layout. Maintained by the persistence layer.
+	Version uint64
 }
 
 // NumRows returns the number of live rows.
@@ -65,7 +70,7 @@ func (t *Table) ColumnIndex(name string) (int, bool) {
 // counts, private NULL masks) and whose deletion mask is deep-cloned. The
 // Columns slice is shared; schema metadata is never mutated in place.
 func (t *Table) Freeze() *Table {
-	f := &Table{Name: t.Name, Columns: t.Columns, Deleted: t.Deleted.Clone()}
+	f := &Table{Name: t.Name, Columns: t.Columns, Deleted: t.Deleted.Clone(), Version: t.Version}
 	f.Bats = make([]*bat.BAT, len(t.Bats))
 	for i, b := range t.Bats {
 		f.Bats[i] = b.Freeze()
@@ -88,6 +93,10 @@ type Array struct {
 	// Unbounded marks dimensions declared without a fixed range; they grow
 	// on INSERT.
 	Unbounded []bool
+
+	// Version is the checkpoint generation whose segment files hold this
+	// array's attributes on disk (see Table.Version).
+	Version uint64
 }
 
 // Cells returns the number of cells.
@@ -132,6 +141,7 @@ func (a *Array) Freeze() *Array {
 		Shape:     append(shape.Shape{}, a.Shape...),
 		Attrs:     a.Attrs,
 		Unbounded: append([]bool{}, a.Unbounded...),
+		Version:   a.Version,
 	}
 	f.DimBats = make([]*bat.BAT, len(a.DimBats))
 	for i, b := range a.DimBats {
@@ -162,6 +172,10 @@ func New() *Catalog {
 }
 
 func normalize(name string) string { return strings.ToLower(name) }
+
+// Normalize canonicalises an object name the way catalog lookups do
+// (case-insensitive); exported for layers that key maps by object name.
+func Normalize(name string) string { return normalize(name) }
 
 // Table looks up a table by name.
 func (c *Catalog) Table(name string) (*Table, bool) {

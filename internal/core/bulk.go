@@ -14,6 +14,9 @@ import (
 func (db *DB) BulkSetAttrInts(array, attr string, data []int64) error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	if err := db.writeBlockedErr(); err != nil {
+		return err
+	}
 	a, ok := db.cat.Array(array)
 	if !ok {
 		return fmt.Errorf("no such array: %q", array)
@@ -30,8 +33,21 @@ func (db *DB) BulkSetAttrInts(array, attr string, data []int64) error {
 	}
 	db.noteModifyArray(a)
 	a.AttrBats[ai] = bat.FromInts(append([]int64(nil), data...))
+	if db.durable() {
+		db.logRecord(encBulkAttrInts(a.Name, ai, data))
+	}
 	if db.txn == nil {
+		// Durability first, then publication — and publish even when the
+		// flush fails, so readers stay consistent with the applied
+		// in-memory state (same contract as the autocommit boundary).
+		flushErr := db.flushWALLocked()
 		db.publishLocked()
+		if flushErr != nil {
+			return flushErr
+		}
+		if err := db.maybeCheckpointLocked(); err != nil {
+			return err
+		}
 	}
 	return nil
 }

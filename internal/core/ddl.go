@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"repro/internal/catalog"
-	"repro/internal/gdk"
 	"repro/internal/rel"
 	"repro/internal/shape"
 	"repro/internal/sql/ast"
@@ -47,6 +46,9 @@ func (db *DB) createTable(s *ast.CreateTable) (*Result, error) {
 	db.noteCreate(s.Name)
 	if err := db.cat.AddTable(t); err != nil {
 		return nil, err
+	}
+	if db.durable() {
+		db.logRecord(encCreateTable(t))
 	}
 	return statusResult("table %s created", t.Name), nil
 }
@@ -120,6 +122,9 @@ func (db *DB) createArray(s *ast.CreateArray) (*Result, error) {
 	if err := db.cat.AddArray(a); err != nil {
 		return nil, err
 	}
+	if db.durable() {
+		db.logRecord(encCreateArray(a))
+	}
 	return statusResult("array %s created (%d cells)", a.Name, a.Cells()), nil
 }
 
@@ -165,6 +170,9 @@ func (db *DB) drop(s *ast.Drop) (*Result, error) {
 		if err := db.cat.DropArray(s.Name); err != nil {
 			return nil, err
 		}
+		if db.durable() {
+			db.logRecord(encDrop(a.Name, true))
+		}
 		return statusResult("array %s dropped", s.Name), nil
 	}
 	t, ok := db.cat.Table(s.Name)
@@ -177,6 +185,9 @@ func (db *DB) drop(s *ast.Drop) (*Result, error) {
 	db.noteDropTable(t)
 	if err := db.cat.DropTable(s.Name); err != nil {
 		return nil, err
+	}
+	if db.durable() {
+		db.logRecord(encDrop(t.Name, false))
 	}
 	return statusResult("table %s dropped", s.Name), nil
 }
@@ -201,23 +212,13 @@ func (db *DB) alterDimension(s *ast.AlterDimension) (*Result, error) {
 	nd.Name = s.Dim
 	db.noteModifyArray(a)
 
-	oldShape := append(shape.Shape{}, a.Shape...)
 	newShape := append(shape.Shape{}, a.Shape...)
 	newShape[k] = nd
-	for i, col := range a.Attrs {
-		def := col.Default
-		if !col.HasDef {
-			def = types.NullUnknown()
-		}
-		nb, err := gdk.Reshape(a.AttrBats[i], oldShape, newShape, def)
-		if err != nil {
-			return nil, err
-		}
-		a.AttrBats[i] = nb
-	}
-	a.Shape = newShape
-	if err := a.RebuildDims(); err != nil {
+	if err := reshapeArrayTo(a, newShape); err != nil {
 		return nil, err
+	}
+	if db.durable() {
+		db.logRecord(encAlterDim(a.Name, k, nd))
 	}
 	return statusResult("array %s altered (%d cells)", a.Name, a.Cells()), nil
 }

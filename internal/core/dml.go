@@ -5,7 +5,6 @@ import (
 
 	"repro/internal/bat"
 	"repro/internal/catalog"
-	"repro/internal/gdk"
 	"repro/internal/mal"
 	"repro/internal/rel"
 	"repro/internal/shape"
@@ -104,8 +103,11 @@ func (db *DB) insertTable(s *ast.Insert, t *catalog.Table) (*Result, error) {
 			return nil, err
 		}
 	}
-	db.noteModifyTable(t)
-	for _, row := range rows {
+	// Phase 1 — cast every row and fill defaults before touching storage,
+	// so a bad value fails the whole statement cleanly (no partial append)
+	// and the WAL record matches the applied effect exactly.
+	full := make([][]types.Value, len(rows))
+	for ri, row := range rows {
 		vals := make([]types.Value, len(t.Columns))
 		filled := make([]bool, len(t.Columns))
 		for si, ti := range mapping {
@@ -124,6 +126,14 @@ func (db *DB) insertTable(s *ast.Insert, t *catalog.Table) (*Result, error) {
 					vals[i] = types.Null(col.Type.Kind)
 				}
 			}
+		}
+		full[ri] = vals
+	}
+	// Phase 2 — append (appends beyond the frozen count are invisible to
+	// published snapshots, no copy-on-write needed).
+	db.noteModifyTable(t)
+	for _, vals := range full {
+		for i := range t.Columns {
 			if err := t.Bats[i].Append(vals[i]); err != nil {
 				return nil, err
 			}
@@ -131,6 +141,9 @@ func (db *DB) insertTable(s *ast.Insert, t *catalog.Table) (*Result, error) {
 	}
 	if t.Deleted != nil {
 		t.Deleted.Resize(t.PhysRows())
+	}
+	if db.durable() && len(full) > 0 {
+		db.logRecord(encTableAppend(t.Name, len(t.Columns), full))
 	}
 	return &Result{Affected: len(rows), Text: fmt.Sprintf("%d rows inserted", len(rows))}, nil
 }
@@ -215,22 +228,35 @@ func (db *DB) insertArray(s *ast.Insert, a *catalog.Array) (*Result, error) {
 		}
 		coordsPerRow[ri] = coords
 	}
+	oldShape := append(shape.Shape{}, a.Shape...)
 	if err := db.growArray(a, coordsPerRow); err != nil {
 		return nil, err
 	}
-
-	// Second pass: overwrite cells. Cell overwrites are in-place, so any
-	// attribute column shared with a published snapshot is cloned first
-	// (copy-on-write); concurrent readers keep their frozen version.
-	for _, tg := range targets {
-		if !tg.isDim {
-			a.AttrBats[tg.idx] = a.AttrBats[tg.idx].Writable()
+	grew := !shapesEqual(oldShape, a.Shape)
+	// logGrowth records an applied growth even when the statement then
+	// fails: recovery must reproduce the reshape that already happened.
+	logGrowth := func() {
+		if db.durable() && grew {
+			db.logRecord(encArrayCells(recArrayCells, a.Name, a.Shape, nil, nil, nil))
 		}
 	}
-	affected := 0
+
+	// Second pass: resolve positions and cast values without mutating, so
+	// a bad cell fails the statement before any overwrite.
+	var attrIdx []int
+	for _, tg := range targets {
+		if !tg.isDim {
+			attrIdx = append(attrIdx, tg.idx)
+		}
+	}
+	var (
+		idxs []int
+		flat []types.Value // row-major, len(attrIdx) values per cell
+	)
 	for ri, row := range rows {
 		p, ok := a.Shape.Pos(coordsPerRow[ri])
 		if !ok {
+			logGrowth()
 			return nil, fmt.Errorf("cell %v is outside the dimension ranges of array %q", coordsPerRow[ri], a.Name)
 		}
 		for ti, tg := range targets {
@@ -239,15 +265,34 @@ func (db *DB) insertArray(s *ast.Insert, a *catalog.Array) (*Result, error) {
 			}
 			v, err := row[ti].Cast(a.Attrs[tg.idx].Type.Kind)
 			if err != nil {
+				logGrowth()
 				return nil, fmt.Errorf("attribute %q: %v", a.Attrs[tg.idx].Name, err)
 			}
-			if err := a.AttrBats[tg.idx].Replace(p, v); err != nil {
+			flat = append(flat, v)
+		}
+		idxs = append(idxs, p)
+	}
+
+	// Third pass: overwrite cells. Cell overwrites are in-place, so any
+	// attribute column shared with a published snapshot is cloned first
+	// (copy-on-write); concurrent readers keep their frozen version.
+	for _, ai := range attrIdx {
+		a.AttrBats[ai] = a.AttrBats[ai].Writable()
+	}
+	for j, idx := range idxs {
+		for k, ai := range attrIdx {
+			if err := a.AttrBats[ai].Replace(idx, flat[j*len(attrIdx)+k]); err != nil {
+				// Unreachable after phase-2 casts, but keep the invariant:
+				// an applied growth is logged even when the statement fails.
+				logGrowth()
 				return nil, err
 			}
 		}
-		affected++
 	}
-	return &Result{Affected: affected, Text: fmt.Sprintf("%d cells updated", affected)}, nil
+	if db.durable() && (grew || len(idxs) > 0) {
+		db.logRecord(encArrayCells(recArrayCells, a.Name, a.Shape, attrIdx, idxs, flat))
+	}
+	return &Result{Affected: len(idxs), Text: fmt.Sprintf("%d cells updated", len(idxs))}, nil
 }
 
 // growArray expands unbounded dimensions to cover the inserted
@@ -297,20 +342,7 @@ func (db *DB) growArray(a *catalog.Array, coords [][]int64) error {
 	if !changed {
 		return nil
 	}
-	old := a.Shape
-	for i, col := range a.Attrs {
-		def := col.Default
-		if !col.HasDef {
-			def = types.NullUnknown()
-		}
-		nb, err := gdk.Reshape(a.AttrBats[i], old, newShape, def)
-		if err != nil {
-			return err
-		}
-		a.AttrBats[i] = nb
-	}
-	a.Shape = newShape
-	return a.RebuildDims()
+	return reshapeArrayTo(a, newShape)
 }
 
 // update implements UPDATE for tables and arrays. Dimensions act as bound
@@ -387,27 +419,73 @@ func (db *DB) updateTable(s *ast.Update, t *catalog.Table) (*Result, error) {
 	db.noteModifyTable(t)
 	// Copy-on-write: the SET targets are overwritten in place, so clone
 	// any column shared with a published snapshot before mutating it.
-	for _, op := range ops {
-		t.Bats[op.col] = t.Bats[op.col].Writable()
+	cow := func() {
+		for _, op := range ops {
+			t.Bats[op.col] = t.Bats[op.col].Writable()
+		}
 	}
-	affected := 0
+	if !db.durable() {
+		// In-memory: cast and apply in one pass, no capture buffers.
+		// Deliberate trade-off: a cast error mid-statement leaves earlier
+		// rows updated (the engine's historical semantics), in exchange
+		// for zero capture overhead on the hot path. Durable databases
+		// take the two-phase branch below, whose failed statements apply
+		// nothing — the WAL record must match the applied effect exactly.
+		cow()
+		affected := 0
+		for i := 0; i < n; i++ {
+			if t.Deleted.Get(i) || !maskTrue(mask, i) {
+				continue
+			}
+			for _, op := range ops {
+				cv, err := op.vals.Get(i).Cast(t.Columns[op.col].Type.Kind)
+				if err != nil {
+					return nil, fmt.Errorf("column %q: %v", t.Columns[op.col].Name, err)
+				}
+				if err := t.Bats[op.col].Replace(i, cv); err != nil {
+					return nil, err
+				}
+			}
+			affected++
+		}
+		return &Result{Affected: affected, Text: fmt.Sprintf("%d rows updated", affected)}, nil
+	}
+	// Durable: cast every affected row first (flat buffer), so a cast
+	// failure aborts before any overwrite and the WAL record matches the
+	// applied effect exactly; then apply and log.
+	var (
+		idxs []int
+		flat []types.Value // row-major, len(ops) values per affected row
+	)
 	for i := 0; i < n; i++ {
 		if t.Deleted.Get(i) || !maskTrue(mask, i) {
 			continue
 		}
 		for _, op := range ops {
-			v := op.vals.Get(i)
-			cv, err := v.Cast(t.Columns[op.col].Type.Kind)
+			cv, err := op.vals.Get(i).Cast(t.Columns[op.col].Type.Kind)
 			if err != nil {
 				return nil, fmt.Errorf("column %q: %v", t.Columns[op.col].Name, err)
 			}
-			if err := t.Bats[op.col].Replace(i, cv); err != nil {
+			flat = append(flat, cv)
+		}
+		idxs = append(idxs, i)
+	}
+	cow()
+	for j, idx := range idxs {
+		for k, op := range ops {
+			if err := t.Bats[op.col].Replace(idx, flat[j*len(ops)+k]); err != nil {
 				return nil, err
 			}
 		}
-		affected++
 	}
-	return &Result{Affected: affected, Text: fmt.Sprintf("%d rows updated", affected)}, nil
+	if len(idxs) > 0 {
+		cols := make([]int, len(ops))
+		for k, op := range ops {
+			cols[k] = op.col
+		}
+		db.logRecord(encTableUpdate(t.Name, cols, idxs, flat))
+	}
+	return &Result{Affected: len(idxs), Text: fmt.Sprintf("%d rows updated", len(idxs))}, nil
 }
 
 func (db *DB) updateArray(s *ast.Update, a *catalog.Array) (*Result, error) {
@@ -444,27 +522,68 @@ func (db *DB) updateArray(s *ast.Update, a *catalog.Array) (*Result, error) {
 	}
 	db.noteModifyArray(a)
 	// Copy-on-write for the overwritten attribute columns (see updateTable).
-	for _, op := range ops {
-		a.AttrBats[op.attr] = a.AttrBats[op.attr].Writable()
+	cow := func() {
+		for _, op := range ops {
+			a.AttrBats[op.attr] = a.AttrBats[op.attr].Writable()
+		}
 	}
-	affected := 0
+	if !db.durable() {
+		// In-memory: cast and apply in one pass, no capture buffers (see
+		// updateTable for the failed-statement semantics trade-off).
+		cow()
+		affected := 0
+		for i := 0; i < n; i++ {
+			if !maskTrue(mask, i) {
+				continue
+			}
+			for _, op := range ops {
+				cv, err := op.vals.Get(i).Cast(a.Attrs[op.attr].Type.Kind)
+				if err != nil {
+					return nil, fmt.Errorf("attribute %q: %v", a.Attrs[op.attr].Name, err)
+				}
+				if err := a.AttrBats[op.attr].Replace(i, cv); err != nil {
+					return nil, err
+				}
+			}
+			affected++
+		}
+		return &Result{Affected: affected, Text: fmt.Sprintf("%d cells updated", affected)}, nil
+	}
+	// Durable: cast first into a flat buffer, then apply and log (see
+	// updateTable).
+	var (
+		idxs []int
+		flat []types.Value
+	)
 	for i := 0; i < n; i++ {
 		if !maskTrue(mask, i) {
 			continue
 		}
 		for _, op := range ops {
-			v := op.vals.Get(i)
-			cv, err := v.Cast(a.Attrs[op.attr].Type.Kind)
+			cv, err := op.vals.Get(i).Cast(a.Attrs[op.attr].Type.Kind)
 			if err != nil {
 				return nil, fmt.Errorf("attribute %q: %v", a.Attrs[op.attr].Name, err)
 			}
-			if err := a.AttrBats[op.attr].Replace(i, cv); err != nil {
+			flat = append(flat, cv)
+		}
+		idxs = append(idxs, i)
+	}
+	cow()
+	for j, idx := range idxs {
+		for k, op := range ops {
+			if err := a.AttrBats[op.attr].Replace(idx, flat[j*len(ops)+k]); err != nil {
 				return nil, err
 			}
 		}
-		affected++
 	}
-	return &Result{Affected: affected, Text: fmt.Sprintf("%d cells updated", affected)}, nil
+	if len(idxs) > 0 {
+		attrs := make([]int, len(ops))
+		for k, op := range ops {
+			attrs[k] = op.attr
+		}
+		db.logRecord(encArrayCells(recArrayUpdate, a.Name, nil, attrs, idxs, flat))
+	}
+	return &Result{Affected: len(idxs), Text: fmt.Sprintf("%d cells updated", len(idxs))}, nil
 }
 
 // dmlMask evaluates a WHERE clause to a boolean column (nil = all rows).
@@ -499,19 +618,22 @@ func (db *DB) deleteStmt(s *ast.Delete) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		db.noteModifyTable(t)
+		db.noteDeleteTable(t)
 		if t.Deleted == nil {
 			t.Deleted = bat.NewBitmap(n)
 		}
-		affected := 0
+		var idxs []int
 		for i := 0; i < n; i++ {
 			if t.Deleted.Get(i) || !maskTrue(mask, i) {
 				continue
 			}
 			t.Deleted.Set(i, true)
-			affected++
+			idxs = append(idxs, i)
 		}
-		return &Result{Affected: affected, Text: fmt.Sprintf("%d rows deleted", affected)}, nil
+		if db.durable() && len(idxs) > 0 {
+			db.logRecord(encPositions(recTableDelete, t.Name, idxs))
+		}
+		return &Result{Affected: len(idxs), Text: fmt.Sprintf("%d rows deleted", len(idxs))}, nil
 	}
 	if a, ok := db.cat.Array(s.Table); ok {
 		n := a.Cells()
@@ -520,7 +642,7 @@ func (db *DB) deleteStmt(s *ast.Delete) (*Result, error) {
 			return nil, err
 		}
 		db.noteModifyArray(a)
-		affected := 0
+		var idxs []int
 		for i := 0; i < n; i++ {
 			if !maskTrue(mask, i) {
 				continue
@@ -528,9 +650,12 @@ func (db *DB) deleteStmt(s *ast.Delete) (*Result, error) {
 			for _, ab := range a.AttrBats {
 				ab.SetNull(i, true)
 			}
-			affected++
+			idxs = append(idxs, i)
 		}
-		return &Result{Affected: affected, Text: fmt.Sprintf("%d cells deleted", affected)}, nil
+		if db.durable() && len(idxs) > 0 {
+			db.logRecord(encPositions(recArrayDelete, a.Name, idxs))
+		}
+		return &Result{Affected: len(idxs), Text: fmt.Sprintf("%d cells deleted", len(idxs))}, nil
 	}
 	return nil, fmt.Errorf("at %s: no such table or array: %q", s.Pos, s.Table)
 }

@@ -14,6 +14,7 @@ import (
 	"repro/internal/rel"
 	"repro/internal/sql/ast"
 	"repro/internal/sql/parser"
+	"repro/internal/wal"
 )
 
 // DB is a SciQL database: a catalog of tables and arrays plus the engine
@@ -45,6 +46,31 @@ type DB struct {
 	// next publish re-freezes exactly these (copy-on-write granularity).
 	dirty map[string]struct{}
 
+	// wal is the write-ahead log of a directory-backed database (nil for
+	// in-memory). Committed write statements queue encoded effect records
+	// in walPending; the autocommit boundary or COMMIT appends them as one
+	// fsynced batch, ROLLBACK drops them. ckptDirty maps objects that
+	// diverged from the last checkpoint to whether their segment *data*
+	// changed (true) or only manifest-level state like a table's deletion
+	// mask (false): a checkpoint rewrites segments only for data-dirty
+	// objects, so a DELETE-heavy workload does not reintroduce O(table)
+	// write amplification. Once the log outgrows ckptBytes (<= 0 disables
+	// the trigger) a checkpoint folds it into versioned segment files and
+	// resets it.
+	wal         *wal.Log
+	walGen      uint64
+	walPending  [][]byte
+	ckptDirty   map[string]bool
+	ckptBytes   int64
+	ckptWritten int64 // segment bytes written by checkpoints (accounting)
+
+	// walFailed poisons the write path after a WAL append or reset
+	// failure: the in-memory state and the log have diverged, so further
+	// writes are refused (reads keep working) rather than compounding the
+	// divergence into silent data loss or an unreplayable log. Reopening
+	// the database recovers to the last durable state.
+	walFailed error
+
 	txn      *txn     // open explicit transaction, nil in autocommit
 	txnOwner *Session // session holding the open transaction
 
@@ -53,22 +79,42 @@ type DB struct {
 	pcache *parseCache // bounded LRU of parsed statements, purged on DDL
 }
 
+// DefaultCheckpointBytes is the WAL size past which a commit triggers an
+// incremental checkpoint when no explicit threshold is configured.
+const DefaultCheckpointBytes = 4 << 20
+
 // New creates an empty in-memory database.
 func New() *DB {
-	db := &DB{cat: catalog.New(), dirty: map[string]struct{}{}, pcache: newParseCache()}
+	db := &DB{cat: catalog.New(), dirty: map[string]struct{}{}, pcache: newParseCache(),
+		ckptDirty: map[string]bool{}}
 	db.session = &Session{db: db}
 	db.view.Store(catalog.New())
 	return db
 }
 
-// Open loads (or initialises) a database persisted in dir.
+// Open loads (or initialises) a database persisted in dir: it reads the
+// last checkpoint manifest and its BAT segments, then replays the
+// write-ahead log tail — committed work a crash or exit-without-Close
+// left out of the segment store — discarding any torn trailing records.
 func Open(dir string) (*DB, error) {
-	db := &DB{cat: catalog.New(), dir: dir, dirty: map[string]struct{}{}, pcache: newParseCache()}
+	return OpenWith(dir, DefaultCheckpointBytes)
+}
+
+// OpenWith is Open with an explicit WAL checkpoint threshold (see
+// SetWALCheckpointBytes; <= 0 disables automatic checkpoints). Unlike
+// SetWALCheckpointBytes after Open, the threshold also governs whether
+// an oversized recovered log is folded during the open itself.
+func OpenWith(dir string, walCheckpointBytes int64) (*DB, error) {
+	db := &DB{cat: catalog.New(), dir: dir, dirty: map[string]struct{}{}, pcache: newParseCache(),
+		ckptDirty: map[string]bool{}, ckptBytes: walCheckpointBytes}
 	db.session = &Session{db: db}
 	if err := db.load(); err != nil {
 		return nil, err
 	}
-	// Publish the loaded state as the first snapshot.
+	if err := db.recoverWAL(); err != nil {
+		return nil, err
+	}
+	// Publish the recovered state as the first snapshot.
 	for _, n := range db.cat.TableNames() {
 		db.dirty[n] = struct{}{}
 	}
@@ -77,7 +123,72 @@ func Open(dir string) (*DB, error) {
 	}
 	db.view.Store(catalog.New())
 	db.publishLocked()
+	// A recovered log past the threshold is folded immediately so the
+	// next open does not pay the same replay again.
+	if err := db.maybeCheckpointLocked(); err != nil {
+		if db.wal != nil {
+			_ = db.wal.Close()
+		}
+		return nil, err
+	}
 	return db, nil
+}
+
+// SetWALCheckpointBytes sets the WAL size past which a commit triggers an
+// incremental checkpoint. n <= 0 disables the automatic trigger (the
+// final checkpoint on Close still runs). Returns the previous threshold.
+func (db *DB) SetWALCheckpointBytes(n int64) int64 {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	prev := db.ckptBytes
+	db.ckptBytes = n
+	return prev
+}
+
+// CheckIntegrity validates the structural invariants of the live catalog:
+// every column of a table holds the same row count, deletion masks fit
+// the physical row count, and array attribute/dimension BATs are aligned
+// with the declared shape. Recovery tests and the WAL-replay fuzzer use
+// it as the "no silent corruption" oracle after reopening a database.
+func (db *DB) CheckIntegrity() error {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	for _, name := range db.cat.TableNames() {
+		t, _ := db.cat.Table(name)
+		if len(t.Bats) != len(t.Columns) {
+			return fmt.Errorf("table %s: %d columns, %d BATs", name, len(t.Columns), len(t.Bats))
+		}
+		rows := t.PhysRows()
+		for i, b := range t.Bats {
+			if b.Len() != rows {
+				return fmt.Errorf("table %s: column %s has %d rows, expected %d", name, t.Columns[i].Name, b.Len(), rows)
+			}
+		}
+		if t.Deleted != nil && t.Deleted.Len() > rows {
+			return fmt.Errorf("table %s: deletion mask covers %d rows, table has %d", name, t.Deleted.Len(), rows)
+		}
+	}
+	for _, name := range db.cat.ArrayNames() {
+		a, _ := db.cat.Array(name)
+		cells := a.Cells()
+		if len(a.AttrBats) != len(a.Attrs) {
+			return fmt.Errorf("array %s: %d attributes, %d BATs", name, len(a.Attrs), len(a.AttrBats))
+		}
+		for i, b := range a.AttrBats {
+			if b.Len() != cells {
+				return fmt.Errorf("array %s: attribute %s has %d cells, shape has %d", name, a.Attrs[i].Name, b.Len(), cells)
+			}
+		}
+		if len(a.DimBats) != len(a.Shape) {
+			return fmt.Errorf("array %s: %d dimensions, %d dim BATs", name, len(a.Shape), len(a.DimBats))
+		}
+		for k, b := range a.DimBats {
+			if b.Len() != cells {
+				return fmt.Errorf("array %s: dimension %s has %d cells, shape has %d", name, a.Shape[k].Name, b.Len(), cells)
+			}
+		}
+	}
+	return nil
 }
 
 // Catalog exposes the live database catalog (read-mostly; used by tools).
@@ -89,8 +200,10 @@ func (db *DB) Catalog() *catalog.Catalog { return db.cat }
 // state every new read statement observes. Safe for concurrent use.
 func (db *DB) Snapshot() *catalog.Catalog { return db.view.Load() }
 
-// Close persists the database (when opened with a directory) and releases
-// it. An open transaction is rolled back.
+// Close releases the database. A directory-backed database flushes a
+// final checkpoint — folding the WAL tail into the segment store so the
+// log does not grow across restarts — and closes the log. An open
+// transaction is rolled back.
 func (db *DB) Close() error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
@@ -98,11 +211,24 @@ func (db *DB) Close() error {
 		db.txn.rollback(db)
 		db.txn = nil
 		db.txnOwner = nil
+		db.discardWALPending()
+		db.publishLocked()
 	}
 	if db.dir == "" {
 		return nil
 	}
-	return db.save()
+	ckptErr := db.checkpointLocked()
+	// Release the log handle even when the final fold fails: the
+	// committed records are already durable in it and will replay on the
+	// next Open.
+	if db.wal != nil {
+		closeErr := db.wal.Close()
+		db.wal = nil
+		if ckptErr == nil {
+			ckptErr = closeErr
+		}
+	}
+	return ckptErr
 }
 
 // Exec parses and executes a semicolon-separated batch on the default
@@ -162,14 +288,52 @@ func (db *DB) execStmt(s *Session, stmt ast.Statement) (*Result, error) {
 	if db.txn != nil && db.txnOwner != s {
 		return nil, fmt.Errorf("another session holds an open transaction; writes are blocked until it commits or rolls back")
 	}
+	if err := db.writeBlockedErr(); err != nil && isWriteStmt(stmt) {
+		return nil, err
+	}
 	r, err := db.execLocked(s, stmt)
-	// Publish statement-atomically in autocommit. Inside an explicit
-	// transaction publication waits for COMMIT, so concurrent readers
-	// never observe uncommitted state.
-	if db.txn == nil && len(db.dirty) > 0 {
-		db.publishLocked()
+	// Autocommit boundary: make the statement durable (one fsynced WAL
+	// batch; partial effects of a failed statement are logged exactly as
+	// applied) and publish it statement-atomically. Inside an explicit
+	// transaction both wait for COMMIT, so concurrent readers never
+	// observe uncommitted state and rolled-back work never hits the log.
+	if db.txn == nil {
+		if ferr := db.flushWALLocked(); ferr != nil && err == nil {
+			err = ferr
+		}
+		if len(db.dirty) > 0 {
+			db.publishLocked()
+		}
+		// No automatic checkpoint once the log is poisoned: it would
+		// persist the very statement the caller was just told failed (and
+		// silently lift the read-only state). Only an explicit Save/Close
+		// may re-converge after a WAL failure.
+		if db.walFailed == nil {
+			if cerr := db.maybeCheckpointLocked(); cerr != nil && err == nil {
+				err = cerr
+			}
+		}
 	}
 	return r, err
+}
+
+// writeBlockedErr returns the refusal every write path must surface
+// while the WAL is poisoned (nil otherwise). Must be called under the
+// writer lock.
+func (db *DB) writeBlockedErr() error {
+	if db.walFailed == nil {
+		return nil
+	}
+	return fmt.Errorf("database is read-only: write-ahead log failed (%v); reopen to recover", db.walFailed)
+}
+
+// isWriteStmt reports whether a statement mutates the database.
+func isWriteStmt(stmt ast.Statement) bool {
+	switch stmt.(type) {
+	case *ast.Select, *ast.Explain:
+		return false
+	}
+	return true
 }
 
 // execRead executes a read-only statement against an immutable snapshot.

@@ -2,6 +2,7 @@ package core
 
 import (
 	"flag"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -33,8 +34,43 @@ func TestGoldenQueries(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			db := New()
+			// Persistence scripts run against a directory-backed engine and
+			// may close and reopen it mid-script via the .reopen directive;
+			// everything else runs in-memory.
+			var db *DB
+			dir := ""
+			if testutil.NeedsDir(string(src)) {
+				dir = filepath.Join(t.TempDir(), "db")
+				if db, err = Open(dir); err != nil {
+					t.Fatal(err)
+				}
+			} else {
+				db = New()
+			}
+			defer func() {
+				if db != nil {
+					_ = db.Close()
+				}
+			}()
 			got := testutil.RenderScript(string(src), func(stmt string) (string, error) {
+				if stmt == testutil.ReopenStmt {
+					if dir == "" {
+						return "", fmt.Errorf(".reopen requires a directory-backed script")
+					}
+					if db != nil {
+						if err := db.Close(); err != nil {
+							db = nil
+							return "", err
+						}
+					}
+					if db, err = Open(dir); err != nil {
+						return "", err
+					}
+					return "reopened", nil
+				}
+				if db == nil {
+					return "", fmt.Errorf("database unavailable after failed reopen")
+				}
 				results, err := db.Exec(stmt)
 				var sb strings.Builder
 				for _, r := range results {

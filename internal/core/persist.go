@@ -10,20 +10,35 @@ import (
 	"repro/internal/catalog"
 	"repro/internal/shape"
 	"repro/internal/types"
+	"repro/internal/wal"
 )
 
 // On-disk layout of a database directory:
 //
-//	catalog.json      — schema manifest (tables, arrays, shapes, defaults)
-//	bats/<obj>.<col>.bat — one binary BAT file per column (internal/bat format)
+//	catalog.json — checkpoint manifest: schema (tables, arrays, shapes,
+//	               defaults), per-object segment versions, deletion masks
+//	               and the WAL generation the checkpoint pairs with
+//	bats/<obj>.<col>.<ver>.bat — one binary BAT segment per column, at the
+//	               checkpoint generation that last wrote it
+//	wal.log      — write-ahead log of committed effects since the last
+//	               checkpoint (internal/wal framing)
 //
-// Persistence is snapshot-based: Save writes everything, Open reads it
-// back. Durability within a session comes from explicit Save/Close.
+// Durability is WAL-first: every committed write appends records and
+// fsyncs, so COMMIT costs O(delta). A checkpoint folds the log into the
+// segment store — it writes only the BATs of objects dirtied since the
+// last checkpoint (temp-file + rename + fsync), publishes a manifest at
+// the next generation, then starts a fresh log of that generation. A
+// crash at any point leaves either the old manifest + old log (replayed
+// on open) or the new manifest + a stale log the generation check
+// discards: never a torn store.
 
 type manifest struct {
-	Version int             `json:"version"`
-	Tables  []manifestTable `json:"tables"`
-	Arrays  []manifestArray `json:"arrays"`
+	Version int `json:"version"`
+	// WALGen pairs the manifest with its log: wal.log is replayed on open
+	// only when its header carries the same generation.
+	WALGen uint64          `json:"wal_gen,omitempty"`
+	Tables []manifestTable `json:"tables"`
+	Arrays []manifestArray `json:"arrays"`
 }
 
 type manifestCol struct {
@@ -37,6 +52,9 @@ type manifestTable struct {
 	Name    string        `json:"name"`
 	Columns []manifestCol `json:"columns"`
 	Deleted []int         `json:"deleted,omitempty"`
+	// Ver is the checkpoint generation of this table's segment files;
+	// 0 names the legacy unversioned <obj>.<col>.bat layout.
+	Ver uint64 `json:"ver,omitempty"`
 }
 
 type manifestDim struct {
@@ -51,6 +69,7 @@ type manifestArray struct {
 	Name  string        `json:"name"`
 	Dims  []manifestDim `json:"dims"`
 	Attrs []manifestCol `json:"attrs"`
+	Ver   uint64        `json:"ver,omitempty"`
 }
 
 func colToManifest(c catalog.Column) manifestCol {
@@ -86,31 +105,115 @@ func colFromManifest(mc manifestCol) (catalog.Column, error) {
 	return col, nil
 }
 
-// Save writes the database snapshot to its directory.
+// segPath names the segment file of one column at a checkpoint version
+// (version 0 is the legacy pre-WAL layout without a version infix).
+func segPath(batDir, obj, col string, ver uint64) string {
+	if ver == 0 {
+		return filepath.Join(batDir, fmt.Sprintf("%s.%s.bat", obj, col))
+	}
+	return filepath.Join(batDir, fmt.Sprintf("%s.%s.%d.bat", obj, col, ver))
+}
+
+// Save forces a checkpoint: dirty objects are folded into segment files
+// and the WAL is reset. The on-disk state is always complete afterwards
+// (clean objects are covered by their existing segments).
 func (db *DB) Save() error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	return db.save()
+	return db.checkpointLocked()
 }
 
-func (db *DB) save() error {
+// WALSize returns the current write-ahead log size in bytes (0 for
+// in-memory databases): header plus committed records since the last
+// checkpoint.
+func (db *DB) WALSize() int64 {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if db.wal == nil {
+		return 0
+	}
+	return db.wal.Size()
+}
+
+// CheckpointBytes returns the bytes of BAT segment data written by
+// checkpoints so far — the measure BenchmarkCommitSmallWrite compares
+// against WAL append bytes.
+func (db *DB) CheckpointBytes() int64 {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.ckptWritten
+}
+
+// maybeCheckpointLocked folds the log into the segment store once it
+// crosses the configured threshold. Must be called under the writer lock.
+func (db *DB) maybeCheckpointLocked() error {
+	if db.wal == nil || db.ckptBytes <= 0 || db.wal.Size() <= db.ckptBytes {
+		return nil
+	}
+	return db.checkpointLocked()
+}
+
+// checkpointLocked writes the BAT segments of every object dirtied since
+// the last checkpoint at the next generation, publishes the manifest,
+// and resets the WAL to that generation. Must be called under the writer
+// lock.
+func (db *DB) checkpointLocked() error {
 	if db.dir == "" {
 		return fmt.Errorf("database is in-memory; open it with a directory to persist")
+	}
+	if db.txn != nil {
+		// The live catalog holds uncommitted effects whose WAL records are
+		// still pending; folding it into segments would double-apply them
+		// on COMMIT + crash (and persist them on ROLLBACK).
+		return fmt.Errorf("cannot checkpoint while a transaction is open")
 	}
 	batDir := filepath.Join(db.dir, "bats")
 	if err := os.MkdirAll(batDir, 0o755); err != nil {
 		return err
 	}
-	m := manifest{Version: 1}
+	newGen := db.walGen + 1
+
+	// Write the segments of data-dirty objects first: until the manifest
+	// rename below, nothing references them. Meta-dirty objects (deletion
+	// mask changes) are covered by the manifest alone.
+	for name, dataDirty := range db.ckptDirty {
+		if !dataDirty {
+			continue
+		}
+		if t, ok := db.cat.Table(name); ok {
+			for i, c := range t.Columns {
+				n, err := t.Bats[i].SaveSize(segPath(batDir, t.Name, c.Name, newGen))
+				if err != nil {
+					return fmt.Errorf("checkpoint table %s: %v", t.Name, err)
+				}
+				db.ckptWritten += n
+			}
+			t.Version = newGen
+			continue
+		}
+		if a, ok := db.cat.Array(name); ok {
+			for i, c := range a.Attrs {
+				n, err := a.AttrBats[i].SaveSize(segPath(batDir, a.Name, c.Name, newGen))
+				if err != nil {
+					return fmt.Errorf("checkpoint array %s: %v", a.Name, err)
+				}
+				db.ckptWritten += n
+			}
+			a.Version = newGen
+		}
+		// Dropped objects simply vanish from the manifest.
+	}
+	// Make the segment renames durable before a manifest references them.
+	if err := wal.SyncDir(batDir); err != nil {
+		return err
+	}
+
+	m := manifest{Version: 2, WALGen: newGen}
 	for _, name := range db.cat.TableNames() {
 		t, _ := db.cat.Table(name)
-		mt := manifestTable{Name: t.Name}
-		for i, c := range t.Columns {
+		mt := manifestTable{Name: t.Name, Ver: t.Version}
+		for _, c := range t.Columns {
 			mt.Columns = append(mt.Columns, colToManifest(c))
-			path := filepath.Join(batDir, fmt.Sprintf("%s.%s.bat", t.Name, c.Name))
-			if err := t.Bats[i].Save(path); err != nil {
-				return err
-			}
 		}
 		if t.Deleted != nil {
 			for i := 0; i < t.PhysRows(); i++ {
@@ -123,33 +226,113 @@ func (db *DB) save() error {
 	}
 	for _, name := range db.cat.ArrayNames() {
 		a, _ := db.cat.Array(name)
-		ma := manifestArray{Name: a.Name}
+		ma := manifestArray{Name: a.Name, Ver: a.Version}
 		for k, d := range a.Shape {
 			ma.Dims = append(ma.Dims, manifestDim{
 				Name: d.Name, Start: d.Start, Step: d.Step, Stop: d.Stop,
 				Unbounded: a.Unbounded[k],
 			})
 		}
-		for i, c := range a.Attrs {
+		for _, c := range a.Attrs {
 			ma.Attrs = append(ma.Attrs, colToManifest(c))
-			path := filepath.Join(batDir, fmt.Sprintf("%s.%s.bat", a.Name, c.Name))
-			if err := a.AttrBats[i].Save(path); err != nil {
-				return err
-			}
 		}
 		m.Arrays = append(m.Arrays, ma)
 	}
+	if err := writeManifest(db.dir, m); err != nil {
+		return err
+	}
+
+	// The manifest now covers everything the log held: start generation
+	// newGen with an empty log. A crash before this point leaves the old
+	// manifest + old log (still replayable); after the manifest rename the
+	// old log's generation no longer matches and is discarded on open.
+	if db.wal != nil {
+		_ = db.wal.Close()
+	}
+	l, err := wal.Create(filepath.Join(db.dir, "wal.log"), newGen)
+	if err != nil {
+		// The manifest is already durable but there is no log to append
+		// to: poison the write path (reads stay up, a later Save can
+		// retry) instead of silently accepting non-durable writes.
+		db.wal = nil
+		db.walFailed = fmt.Errorf("resetting wal: %v", err)
+		return fmt.Errorf("checkpoint: resetting wal: %v", err)
+	}
+	db.wal = l
+	db.walGen = newGen
+	clear(db.ckptDirty)
+	// A successful checkpoint folds the full in-memory state into the
+	// store, re-converging disk with memory: any earlier WAL failure is
+	// healed and writes may resume.
+	db.walFailed = nil
+	db.gcSegments(batDir, m)
+	return nil
+}
+
+// writeManifest atomically replaces catalog.json (temp file + fsync +
+// rename + directory fsync).
+func writeManifest(dir string, m manifest) error {
 	data, err := json.MarshalIndent(m, "", "  ")
 	if err != nil {
 		return err
 	}
-	tmp := filepath.Join(db.dir, "catalog.json.tmp")
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+	tmp := filepath.Join(dir, "catalog.json.tmp")
+	f, err := os.Create(tmp)
+	if err != nil {
 		return err
 	}
-	return os.Rename(tmp, filepath.Join(db.dir, "catalog.json"))
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, "catalog.json")); err != nil {
+		return err
+	}
+	return wal.SyncDir(dir)
 }
 
+// gcSegments removes segment files the new manifest no longer references
+// (old versions, dropped objects, stale temp files). Best effort: a
+// leftover file is wasted space, not corruption.
+func (db *DB) gcSegments(batDir string, m manifest) {
+	keep := map[string]struct{}{}
+	for _, mt := range m.Tables {
+		for _, c := range mt.Columns {
+			keep[filepath.Base(segPath(batDir, mt.Name, c.Name, mt.Ver))] = struct{}{}
+		}
+	}
+	for _, ma := range m.Arrays {
+		for _, c := range ma.Attrs {
+			keep[filepath.Base(segPath(batDir, ma.Name, c.Name, ma.Ver))] = struct{}{}
+		}
+	}
+	entries, err := os.ReadDir(batDir)
+	if err != nil {
+		return
+	}
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		if _, ok := keep[e.Name()]; !ok {
+			_ = os.Remove(filepath.Join(batDir, e.Name()))
+		}
+	}
+}
+
+// load reads the checkpoint manifest and its segment files into the live
+// catalog and records the WAL generation to pair with. The WAL itself is
+// replayed afterwards by recoverWAL.
 func (db *DB) load() error {
 	path := filepath.Join(db.dir, "catalog.json")
 	data, err := os.ReadFile(path)
@@ -163,16 +346,20 @@ func (db *DB) load() error {
 	if err := json.Unmarshal(data, &m); err != nil {
 		return fmt.Errorf("corrupt catalog: %v", err)
 	}
+	if m.Version != 1 && m.Version != 2 {
+		return fmt.Errorf("unsupported catalog version %d", m.Version)
+	}
+	db.walGen = m.WALGen
 	batDir := filepath.Join(db.dir, "bats")
 	for _, mt := range m.Tables {
-		t := &catalog.Table{Name: mt.Name}
+		t := &catalog.Table{Name: mt.Name, Version: mt.Ver}
 		for _, mc := range mt.Columns {
 			col, err := colFromManifest(mc)
 			if err != nil {
 				return err
 			}
 			t.Columns = append(t.Columns, col)
-			b, err := bat.Load(filepath.Join(batDir, fmt.Sprintf("%s.%s.bat", mt.Name, mc.Name)))
+			b, err := bat.Load(segPath(batDir, mt.Name, mc.Name, mt.Ver))
 			if err != nil {
 				return fmt.Errorf("table %s column %s: %v", mt.Name, mc.Name, err)
 			}
@@ -181,6 +368,9 @@ func (db *DB) load() error {
 		if len(mt.Deleted) > 0 {
 			t.Deleted = bat.NewBitmap(t.PhysRows())
 			for _, i := range mt.Deleted {
+				if i < 0 || i >= t.PhysRows() {
+					return fmt.Errorf("table %s: deleted row %d out of range", mt.Name, i)
+				}
 				t.Deleted.Set(i, true)
 			}
 		}
@@ -189,7 +379,7 @@ func (db *DB) load() error {
 		}
 	}
 	for _, ma := range m.Arrays {
-		a := &catalog.Array{Name: ma.Name}
+		a := &catalog.Array{Name: ma.Name, Version: ma.Ver}
 		for _, md := range ma.Dims {
 			a.Shape = append(a.Shape, shape.Dim{Name: md.Name, Start: md.Start, Step: md.Step, Stop: md.Stop})
 			a.Unbounded = append(a.Unbounded, md.Unbounded)
@@ -200,7 +390,7 @@ func (db *DB) load() error {
 				return err
 			}
 			a.Attrs = append(a.Attrs, col)
-			b, err := bat.Load(filepath.Join(batDir, fmt.Sprintf("%s.%s.bat", ma.Name, mc.Name)))
+			b, err := bat.Load(segPath(batDir, ma.Name, mc.Name, ma.Ver))
 			if err != nil {
 				return fmt.Errorf("array %s attribute %s: %v", ma.Name, mc.Name, err)
 			}
@@ -214,4 +404,70 @@ func (db *DB) load() error {
 		}
 	}
 	return nil
+}
+
+// recoverWAL opens the write-ahead log, replaying the tail of committed
+// effects the last checkpoint does not cover. A log from a different
+// generation is a leftover of an interrupted (but completed-enough)
+// checkpoint and is discarded. Torn or checksum-failing trailing records
+// are truncated by the log layer; a record that fails to decode or apply
+// aborts the open with a recovery error.
+func (db *DB) recoverWAL() error {
+	path := filepath.Join(db.dir, "wal.log")
+	gen, err := wal.Header(path)
+	if os.IsNotExist(err) {
+		l, cerr := wal.Create(path, db.walGen)
+		if cerr != nil {
+			return cerr
+		}
+		db.wal = l
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("wal recovery: %v", err)
+	}
+	if gen != db.walGen {
+		// Pre-checkpoint leftover: its effects are already in the
+		// segment store. Replace it with a fresh log of our generation.
+		l, cerr := wal.Create(path, db.walGen)
+		if cerr != nil {
+			return cerr
+		}
+		db.wal = l
+		return nil
+	}
+	l, err := wal.Open(path, db.applyWALBatch)
+	if err != nil {
+		return fmt.Errorf("wal recovery: %v", err)
+	}
+	db.wal = l
+	return nil
+}
+
+// flushWALLocked appends the pending records of the finished statement or
+// transaction as one WAL record (single fsync): the batch is the commit
+// unit, so a torn write during a multi-statement COMMIT can only lose the
+// transaction whole, never replay half of it. Must be called under the
+// writer lock.
+func (db *DB) flushWALLocked() error {
+	if db.wal == nil || len(db.walPending) == 0 {
+		db.walPending = db.walPending[:0]
+		return nil
+	}
+	err := db.wal.Append(encodeBatch(db.walPending))
+	db.walPending = db.walPending[:0]
+	if err != nil {
+		// The applied effects are now missing from the log: memory and
+		// disk have diverged. Poison the write path so no later record
+		// can reference state the log never saw; a successful checkpoint
+		// (Save/Close) re-converges and clears the poison.
+		db.walFailed = fmt.Errorf("wal append: %v", err)
+		return db.walFailed
+	}
+	return nil
+}
+
+// discardWALPending drops queued records (ROLLBACK, session abort).
+func (db *DB) discardWALPending() {
+	db.walPending = db.walPending[:0]
 }

@@ -81,6 +81,7 @@ func (s *Session) Close() error {
 		s.db.txn.rollback(s.db)
 		s.db.txn = nil
 		s.db.txnOwner = nil
+		s.db.discardWALPending()
 		s.db.publishLocked()
 	}
 	s.prepMu.Lock()

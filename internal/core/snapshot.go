@@ -1,5 +1,7 @@
 package core
 
+import "repro/internal/catalog"
+
 // Snapshot publication: the copy-on-write half of the engine's
 // concurrency model.
 //
@@ -22,9 +24,27 @@ package core
 // the writer does next.
 
 // touch records that an object's storage or existence changed since the
-// last publication. Must be called under the writer lock.
-func (db *DB) touch(name string) {
+// last publication (snapshot granularity) and since the last checkpoint
+// (persistence granularity). touchMeta is the variant for changes that
+// live only in the manifest (a table's deletion mask): the object must
+// re-publish and re-manifest, but its segment files still match and need
+// no rewrite. Inside an explicit transaction every dirty-state upgrade
+// is remembered so ROLLBACK can restore it: a rolled-back object again
+// matches its on-disk state. Must be called under the writer lock.
+func (db *DB) touch(name string)     { db.touchLevel(name, true) }
+func (db *DB) touchMeta(name string) { db.touchLevel(name, false) }
+
+func (db *DB) touchLevel(name string, data bool) {
 	db.dirty[name] = struct{}{}
+	if db.dir == "" {
+		return
+	}
+	n := catalog.Normalize(name)
+	prev, had := db.ckptDirty[n]
+	if db.txn != nil && (!had || (data && !prev)) {
+		db.txn.freshDirty = append(db.txn.freshDirty, dirtyMark{name: n, had: had, data: prev})
+	}
+	db.ckptDirty[n] = prev || data
 }
 
 // publishLocked builds and installs a fresh immutable snapshot from the

@@ -20,6 +20,19 @@ type txn struct {
 	droppedArrays map[string]*catalog.Array
 	tableSnaps    map[string]*tableSnap
 	arraySnaps    map[string]*arraySnap
+
+	// freshDirty records every checkpoint-dirty upgrade this transaction
+	// caused (clean → dirty, or meta-dirty → data-dirty); ROLLBACK
+	// restores the prior marks in reverse so the next checkpoint does not
+	// rewrite segments that still match disk.
+	freshDirty []dirtyMark
+}
+
+// dirtyMark is the pre-transaction checkpoint-dirty state of one object.
+type dirtyMark struct {
+	name string
+	had  bool // present in ckptDirty at all
+	data bool // its previous data-dirty level
 }
 
 type tableSnap struct {
@@ -63,14 +76,18 @@ func (db *DB) txnStmt(sess *Session, s *ast.Txn) (*Result, error) {
 		}
 		db.txn = nil
 		db.txnOwner = nil
-		wrote := len(db.dirty) > 0
+		// Durability first, visibility second (same order as the
+		// autocommit boundary): the transaction's queued effect records
+		// become one fsynced WAL batch — O(delta), not a database rewrite
+		// — before the snapshot is published to concurrent readers.
+		// In-memory databases have no log and skip the flush.
+		flushErr := db.flushWALLocked()
 		db.publishLocked()
-		// Durability: committed work must survive the process, not wait
-		// for the next implicit save. In-memory databases skip this.
-		if wrote && db.dir != "" {
-			if err := db.save(); err != nil {
-				return nil, fmt.Errorf("transaction committed but not persisted: %v", err)
-			}
+		if flushErr != nil {
+			return nil, fmt.Errorf("transaction committed but not persisted: %v", flushErr)
+		}
+		if err := db.maybeCheckpointLocked(); err != nil {
+			return nil, fmt.Errorf("transaction committed but checkpoint failed: %v", err)
 		}
 		return statusResult("transaction committed"), nil
 	case ast.TxnRollback:
@@ -80,6 +97,8 @@ func (db *DB) txnStmt(sess *Session, s *ast.Txn) (*Result, error) {
 		db.txn.rollback(db)
 		db.txn = nil
 		db.txnOwner = nil
+		// Rolled-back work never reaches the log.
+		db.discardWALPending()
 		// Re-publish the restored state: the undo log swapped fresh
 		// clones into the live catalog for every object the transaction
 		// touched.
@@ -122,6 +141,17 @@ func (t *txn) rollback(db *DB) {
 			a.Unbounded = snap.unbounded
 		}
 	}
+	// Everything is back to its pre-transaction state: restore the
+	// checkpoint-dirty marks the transaction upgraded (in reverse, so
+	// multi-step upgrades unwind to the original level).
+	for i := len(t.freshDirty) - 1; i >= 0; i-- {
+		m := t.freshDirty[i]
+		if m.had {
+			db.ckptDirty[m.name] = m.data
+		} else {
+			delete(db.ckptDirty, m.name)
+		}
+	}
 }
 
 // noteCreate records an object created inside the transaction. It also
@@ -152,6 +182,18 @@ func (db *DB) noteDropArray(a *catalog.Array) {
 // noteModifyTable snapshots a table before its first in-transaction write.
 func (db *DB) noteModifyTable(t *catalog.Table) {
 	db.touch(t.Name)
+	db.snapTable(t)
+}
+
+// noteDeleteTable is noteModifyTable for DELETE, which only flips bits in
+// the deletion mask: the table must re-publish and re-manifest, but its
+// segment files still match and the next checkpoint need not rewrite them.
+func (db *DB) noteDeleteTable(t *catalog.Table) {
+	db.touchMeta(t.Name)
+	db.snapTable(t)
+}
+
+func (db *DB) snapTable(t *catalog.Table) {
 	if db.txn == nil {
 		return
 	}

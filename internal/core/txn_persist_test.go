@@ -1,6 +1,8 @@
 package core
 
 import (
+	"fmt"
+	"os"
 	"path/filepath"
 	"testing"
 )
@@ -36,6 +38,54 @@ func TestCommitPersists(t *testing.T) {
 	cnt, _ := r.Value(0, 1).AsInt()
 	if sum != 30 || cnt != 2 {
 		t.Fatalf("reopened state SUM=%d COUNT=%d, want 30/2 (commit lost)", sum, cnt)
+	}
+}
+
+// TestCloseFlushesCheckpoint is the regression test for unbounded WAL
+// growth: Close on a directory-backed database must fold the log into
+// the segment store (final checkpoint), so restart cycles start from an
+// empty log instead of replaying — and re-accumulating — history.
+func TestCloseFlushesCheckpoint(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "db")
+	const walHeader = 14
+	for cycle := 0; cycle < 3; cycle++ {
+		db, err := Open(dir)
+		if err != nil {
+			t.Fatalf("cycle %d: %v", cycle, err)
+		}
+		if cycle == 0 {
+			db.MustQuery(`CREATE TABLE t (a INT)`)
+		}
+		for i := 0; i < 10; i++ {
+			db.MustQuery(fmt.Sprintf(`INSERT INTO t VALUES (%d)`, cycle*10+i))
+		}
+		// Each cycle starts from a reset log, so every cycle's commits
+		// must have appended records beyond the header.
+		if grown := db.WALSize(); grown <= walHeader {
+			t.Fatalf("cycle %d: wal did not grow during commits (size %d)", cycle, grown)
+		}
+		if err := db.Close(); err != nil {
+			t.Fatalf("cycle %d: close: %v", cycle, err)
+		}
+		fi, err := os.Stat(filepath.Join(dir, "wal.log"))
+		if err != nil {
+			t.Fatalf("cycle %d: %v", cycle, err)
+		}
+		// Header only: every commit was folded into segment files.
+		if fi.Size() >= 64 {
+			t.Fatalf("cycle %d: wal.log is %d bytes after Close, want header-only (final checkpoint missing)", cycle, fi.Size())
+		}
+	}
+	db, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	r := db.MustQuery(`SELECT COUNT(*), SUM(a) FROM t`)
+	cnt, _ := r.Value(0, 0).AsInt()
+	sum, _ := r.Value(0, 1).AsInt()
+	if cnt != 30 || sum != 435 {
+		t.Fatalf("after 3 close/reopen cycles COUNT=%d SUM=%d, want 30/435", cnt, sum)
 	}
 }
 

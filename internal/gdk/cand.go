@@ -245,4 +245,3 @@ func emptyCand() *bat.BAT {
 	b.Sorted, b.Key = true, true
 	return b
 }
-

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -34,20 +35,73 @@ func TestGoldenOverServer(t *testing.T) {
 				t.Fatalf("missing golden: %v", err)
 			}
 
-			srv := New(core.New(), Config{Addr: "127.0.0.1:0"})
+			// Persistence scripts get a directory-backed engine; their
+			// .reopen directive restarts the whole stack — daemon and
+			// database — around the same directory, like a sciqld bounce.
+			dbDir := ""
+			var db *core.DB
+			if testutil.NeedsDir(string(src)) {
+				dbDir = filepath.Join(t.TempDir(), "db")
+				if db, err = core.Open(dbDir); err != nil {
+					t.Fatal(err)
+				}
+			} else {
+				db = core.New()
+			}
+			srv := New(db, Config{Addr: "127.0.0.1:0"})
 			if err := srv.Start(); err != nil {
 				t.Fatal(err)
 			}
-			defer srv.Close()
+			defer func() {
+				if srv != nil {
+					srv.Close()
+				}
+				if db != nil {
+					db.Close()
+				}
+			}()
 			c := client.New(srv.Addr().String())
 			// A named session so transaction scripts behave like a
 			// single embedded connection.
 			if err := c.NewSession(); err != nil {
 				t.Fatal(err)
 			}
-			defer c.CloseSession()
+			defer func() { _ = c.CloseSession() }()
 
 			got := testutil.RenderScript(string(src), func(stmt string) (string, error) {
+				if stmt == testutil.ReopenStmt {
+					if dbDir == "" {
+						return "", fmt.Errorf(".reopen requires a directory-backed script")
+					}
+					_ = c.CloseSession()
+					if srv != nil {
+						if err := srv.Close(); err != nil {
+							return "", err
+						}
+						srv = nil
+					}
+					if db != nil {
+						if err := db.Close(); err != nil { // clean shutdown: final checkpoint
+							db = nil
+							return "", err
+						}
+					}
+					if db, err = core.Open(dbDir); err != nil {
+						return "", err
+					}
+					srv = New(db, Config{Addr: "127.0.0.1:0"})
+					if err := srv.Start(); err != nil {
+						return "", err
+					}
+					c = client.New(srv.Addr().String())
+					if err := c.NewSession(); err != nil {
+						return "", err
+					}
+					return "reopened", nil
+				}
+				if srv == nil {
+					return "", fmt.Errorf("server unavailable after failed reopen")
+				}
 				results, err := c.Exec(stmt)
 				var sb strings.Builder
 				for _, r := range results {

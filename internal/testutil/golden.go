@@ -14,6 +14,18 @@ func GoldenScripts(dir string) ([]string, error) {
 	return filepath.Glob(filepath.Join(dir, "*.sql"))
 }
 
+// ReopenStmt is the golden-script directive that closes and reopens the
+// engine (and, in the server suite, restarts the sciqld around it): the
+// statements after it observe only what durably survived. Runners
+// intercept it before the SQL parser ever sees it.
+const ReopenStmt = ".reopen"
+
+// NeedsDir reports whether a golden script requires a directory-backed
+// database (it exercises persistence via ReopenStmt).
+func NeedsDir(src string) bool {
+	return strings.Contains(src, ReopenStmt)
+}
+
 // SplitScript splits a golden script into statements on ';'. String
 // literals in golden scripts must not contain ';'.
 func SplitScript(src string) []string {

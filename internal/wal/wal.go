@@ -1,0 +1,319 @@
+// Package wal implements the engine's write-ahead log: an append-only
+// file of checksummed, length-prefixed records, after MonetDB/ARIES-style
+// logging. The engine appends one batch of records per committed write
+// (autocommit statement or explicit COMMIT) and fsyncs, so a commit costs
+// O(delta) instead of the O(database) full rewrite of the old save path;
+// a checkpoint then folds the log into versioned BAT segment files and
+// starts a fresh log generation.
+//
+// On-disk format, little-endian throughout:
+//
+//	header  magic   [4]byte  "SCQW"
+//	        version uint16   (1)
+//	        gen     uint64   log generation; must match the manifest's
+//	records uvarint payload length
+//	        payload []byte
+//	        crc32   uint32   IEEE, over the payload
+//
+// The generation ties a log to the checkpoint it extends: a checkpoint
+// bumps the manifest's generation and replaces the log with a fresh
+// header, so a log whose generation does not match the manifest is a
+// stale leftover of an interrupted checkpoint and is discarded whole.
+//
+// Recovery scans records until the first torn or checksum-failing one and
+// truncates the file there: a crash mid-append can only lose the record
+// being written, never corrupt the committed prefix.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"syscall"
+)
+
+const (
+	magic   = "SCQW"
+	version = 1
+
+	headerSize = 4 + 2 + 8
+
+	// MaxRecord bounds a single record's payload; a larger length prefix
+	// marks the log corrupt at that point (a real record never comes
+	// close, and the bound keeps a corrupted length from driving a huge
+	// allocation during recovery).
+	MaxRecord = 1 << 30
+)
+
+// ErrBadHeader reports a log file whose header is missing or malformed —
+// unlike a torn tail this is not a normal crash artifact, so opening
+// fails instead of silently discarding the log.
+var ErrBadHeader = errors.New("wal: bad log header")
+
+// Log is an open write-ahead log positioned for appending.
+type Log struct {
+	f    *os.File
+	path string
+	gen  uint64
+	size int64 // bytes of header + valid records on disk
+}
+
+// Create atomically replaces (or creates) the log at path with an empty
+// log of the given generation and returns it opened for appending. The
+// header is written to a temp file, fsynced and renamed into place, so a
+// crash never leaves a half-written header behind.
+func Create(path string, gen uint64) (*Log, error) {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return nil, err
+	}
+	hdr := make([]byte, headerSize)
+	copy(hdr, magic)
+	binary.LittleEndian.PutUint16(hdr[4:], version)
+	binary.LittleEndian.PutUint64(hdr[6:], gen)
+	if _, err := f.Write(hdr); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return nil, err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return nil, err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return nil, err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return nil, err
+	}
+	if err := SyncDir(filepath.Dir(path)); err != nil {
+		return nil, err
+	}
+	f, err = os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &Log{f: f, path: path, gen: gen, size: headerSize}, nil
+}
+
+// readHeader consumes and validates the log header, returning its
+// generation.
+func readHeader(r io.Reader) (uint64, error) {
+	hdr := make([]byte, headerSize)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return 0, fmt.Errorf("%w: %v", ErrBadHeader, err)
+	}
+	if string(hdr[:4]) != magic {
+		return 0, fmt.Errorf("%w: magic %q", ErrBadHeader, hdr[:4])
+	}
+	if v := binary.LittleEndian.Uint16(hdr[4:]); v != version {
+		return 0, fmt.Errorf("%w: unsupported version %d", ErrBadHeader, v)
+	}
+	return binary.LittleEndian.Uint64(hdr[6:]), nil
+}
+
+// Header returns the generation of the log at path without scanning its
+// records, so a caller can discard a stale-generation log before replay.
+func Header(path string) (uint64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	return readHeader(f)
+}
+
+// Open reads the log at path, streams every intact record to apply in
+// order, truncates any torn or checksum-failing tail, and returns the log
+// opened for appending. A nil apply skips replay (the records are still
+// scanned to find the valid end). An error from apply aborts the open.
+func Open(path string, apply func(rec []byte) error) (*Log, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	gen, err := readHeader(f)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+
+	valid, err := scan(f, headerSize, apply)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := f.Close(); err != nil {
+		return nil, err
+	}
+
+	w, err := os.OpenFile(path, os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if fi, err := w.Stat(); err == nil && fi.Size() > valid {
+		// Discard the torn tail so new appends start at a record boundary.
+		if err := w.Truncate(valid); err != nil {
+			w.Close()
+			return nil, err
+		}
+		if err := w.Sync(); err != nil {
+			w.Close()
+			return nil, err
+		}
+	}
+	if _, err := w.Seek(valid, io.SeekStart); err != nil {
+		w.Close()
+		return nil, err
+	}
+	return &Log{f: w, path: path, gen: gen, size: valid}, nil
+}
+
+// scan reads framed records from r (positioned just past the header),
+// calling apply for each intact one, and returns the offset of the end of
+// the last intact record. Any framing violation — truncated length,
+// oversized length, short payload, checksum mismatch — ends the scan
+// without error: it marks the crash point. Offsets are tracked from the
+// bytes actually consumed, not recomputed from decoded values: a
+// corrupted-but-parsable length prefix (e.g. a non-minimal varint) must
+// not desynchronize the truncation point from the stream position.
+func scan(r io.Reader, start int64, apply func(rec []byte) error) (int64, error) {
+	br := &byteReader{r: r}
+	valid := start
+	var payload []byte
+	for {
+		length, err := binary.ReadUvarint(br)
+		if err != nil {
+			return valid, nil // clean EOF or torn length prefix
+		}
+		if length > MaxRecord {
+			return valid, nil // corrupt length
+		}
+		need := int(length) + 4
+		if cap(payload) < need {
+			payload = make([]byte, need)
+		}
+		buf := payload[:need]
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return valid, nil // torn payload or checksum
+		}
+		body, sum := buf[:length], binary.LittleEndian.Uint32(buf[length:])
+		if crc32.ChecksumIEEE(body) != sum {
+			return valid, nil // corrupted record
+		}
+		if apply != nil {
+			if err := apply(body); err != nil {
+				return valid, err
+			}
+		}
+		valid = start + br.consumed
+	}
+}
+
+// byteReader adapts an io.Reader for binary.ReadUvarint, counting the
+// bytes consumed so scan can place record boundaries exactly.
+type byteReader struct {
+	r        io.Reader
+	consumed int64
+	one      [1]byte
+}
+
+func (b *byteReader) ReadByte() (byte, error) {
+	if _, err := io.ReadFull(b.r, b.one[:]); err != nil {
+		return 0, err
+	}
+	b.consumed++
+	return b.one[0], nil
+}
+
+func (b *byteReader) Read(p []byte) (int, error) {
+	n, err := b.r.Read(p)
+	b.consumed += int64(n)
+	return n, err
+}
+
+// Gen returns the log's generation.
+func (l *Log) Gen() uint64 { return l.gen }
+
+// Size returns the current log size in bytes (header + records).
+func (l *Log) Size() int64 { return l.size }
+
+// Append frames and writes the records as one durable unit: all of them
+// are written, then the file is fsynced once. On any error the log file
+// is truncated back to its pre-append size so a failed append can never
+// leave a partial batch that a later append would bury mid-file. A
+// record larger than MaxRecord is refused up front: recovery would
+// treat its length prefix as corruption and silently drop it together
+// with everything after it, so the commit must fail loudly instead.
+func (l *Log) Append(recs ...[]byte) error {
+	if len(recs) == 0 {
+		return nil
+	}
+	for _, rec := range recs {
+		if uint64(len(rec)) > MaxRecord {
+			return fmt.Errorf("wal: record of %d bytes exceeds the %d-byte limit", len(rec), int64(MaxRecord))
+		}
+	}
+	var frame []byte
+	var lenBuf [binary.MaxVarintLen64]byte
+	for _, rec := range recs {
+		n := binary.PutUvarint(lenBuf[:], uint64(len(rec)))
+		frame = append(frame, lenBuf[:n]...)
+		frame = append(frame, rec...)
+		var crc [4]byte
+		binary.LittleEndian.PutUint32(crc[:], crc32.ChecksumIEEE(rec))
+		frame = append(frame, crc[:]...)
+	}
+	if _, err := l.f.Write(frame); err != nil {
+		l.reset()
+		return err
+	}
+	if err := l.f.Sync(); err != nil {
+		l.reset()
+		return err
+	}
+	l.size += int64(len(frame))
+	return nil
+}
+
+// reset truncates the file back to the last known-good size after a
+// failed append (best effort; recovery would discard the tail anyway).
+func (l *Log) reset() {
+	_ = l.f.Truncate(l.size)
+	_, _ = l.f.Seek(l.size, io.SeekStart)
+}
+
+// Close releases the log file handle.
+func (l *Log) Close() error {
+	if l.f == nil {
+		return nil
+	}
+	err := l.f.Close()
+	l.f = nil
+	return err
+}
+
+// SyncDir fsyncs a directory so renames into it are durable. The
+// checkpoint machinery shares it for segment and manifest directories.
+// Filesystems that do not support directory fsync are tolerated; a real
+// I/O failure is not — callers rely on it for their no-torn-store
+// guarantees.
+func SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil && !errors.Is(err, syscall.EINVAL) && !errors.Is(err, syscall.ENOTSUP) {
+		return fmt.Errorf("wal: fsync %s: %w", dir, err)
+	}
+	return nil
+}

@@ -1,0 +1,252 @@
+package wal
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func replayAll(t *testing.T, path string) ([][]byte, *Log) {
+	t.Helper()
+	var recs [][]byte
+	l, err := Open(path, func(rec []byte) error {
+		recs = append(recs, append([]byte(nil), rec...))
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	return recs, l
+}
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	l, err := Create(path, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]byte{[]byte("alpha"), {}, []byte("gamma with a longer payload")}
+	if err := l.Append(want[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(want[1], want[2]); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	recs, l2 := replayAll(t, path)
+	defer l2.Close()
+	if l2.Gen() != 7 {
+		t.Fatalf("gen = %d, want 7", l2.Gen())
+	}
+	if len(recs) != len(want) {
+		t.Fatalf("replayed %d records, want %d", len(recs), len(want))
+	}
+	for i := range want {
+		if !bytes.Equal(recs[i], want[i]) {
+			t.Fatalf("record %d = %q, want %q", i, recs[i], want[i])
+		}
+	}
+}
+
+// TestTornTailTruncated cuts the log at every byte offset and asserts
+// replay yields exactly the records whose frames fit before the cut, the
+// tail is physically truncated, and appending afterwards works.
+func TestTornTailTruncated(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "wal.log")
+	l, err := Create(path, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var boundaries []int64 // log size after each append
+	for i := 0; i < 5; i++ {
+		if err := l.Append([]byte(fmt.Sprintf("record-%d-%s", i, string(make([]byte, i*3))))); err != nil {
+			t.Fatal(err)
+		}
+		boundaries = append(boundaries, l.Size())
+	}
+	l.Close()
+	full, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for cut := headerSize; cut <= len(full); cut++ {
+		cutPath := filepath.Join(dir, "cut.log")
+		if err := os.WriteFile(cutPath, full[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		wantRecs := 0
+		for _, b := range boundaries {
+			if int64(cut) >= b {
+				wantRecs++
+			}
+		}
+		recs, lc := replayAll(t, cutPath)
+		if len(recs) != wantRecs {
+			t.Fatalf("cut at %d: replayed %d records, want %d", cut, len(recs), wantRecs)
+		}
+		wantSize := int64(headerSize)
+		if wantRecs > 0 {
+			wantSize = boundaries[wantRecs-1]
+		}
+		if lc.Size() != wantSize {
+			t.Fatalf("cut at %d: size %d after open, want %d", cut, lc.Size(), wantSize)
+		}
+		if err := lc.Append([]byte("after-recovery")); err != nil {
+			t.Fatalf("cut at %d: append after recovery: %v", cut, err)
+		}
+		lc.Close()
+		recs2, lc2 := replayAll(t, cutPath)
+		if len(recs2) != wantRecs+1 || string(recs2[wantRecs]) != "after-recovery" {
+			t.Fatalf("cut at %d: post-recovery append not replayed", cut)
+		}
+		lc2.Close()
+	}
+}
+
+// TestCorruptedByteStopsReplay flips each byte of the file body in turn;
+// replay must never fail, never panic, and never yield a record that was
+// not written (a flip inside record i discards records >= i).
+func TestCorruptedByteStopsReplay(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "wal.log")
+	l, err := Create(path, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var boundaries []int64
+	for i := 0; i < 4; i++ {
+		if err := l.Append([]byte(fmt.Sprintf("payload-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+		boundaries = append(boundaries, l.Size())
+	}
+	l.Close()
+	full, _ := os.ReadFile(path)
+
+	for off := headerSize; off < len(full); off++ {
+		mut := append([]byte(nil), full...)
+		mut[off] ^= 0x41
+		mutPath := filepath.Join(dir, "mut.log")
+		if err := os.WriteFile(mutPath, mut, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		// The record containing the flipped byte and everything after it
+		// must be gone; records before it must survive intact.
+		hit := 0
+		for hit < len(boundaries) && int64(off) >= boundaries[hit] {
+			hit++
+		}
+		recs, lm := replayAll(t, mutPath)
+		lm.Close()
+		if len(recs) > hit {
+			t.Fatalf("flip at %d: %d records survived, want <= %d", off, len(recs), hit)
+		}
+		for i, rec := range recs {
+			if want := fmt.Sprintf("payload-%d", i); string(rec) != want {
+				t.Fatalf("flip at %d: record %d = %q, want %q", off, i, rec, want)
+			}
+		}
+	}
+}
+
+// TestNonMinimalVarintLengthDoesNotDesync crafts a record whose length
+// prefix is a non-minimal varint (same value, one byte longer). Whether
+// or not the shifted frame happens to survive its CRC, the scan's
+// truncation point must stay in sync with the bytes actually consumed —
+// appending after recovery and re-opening must never lose a record that
+// a previous open already replayed.
+func TestNonMinimalVarintLengthDoesNotDesync(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "wal.log")
+	l, err := Create(path, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append([]byte("first-record")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append([]byte("second-record")); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	full, _ := os.ReadFile(path)
+	// Rewrite record 1's length prefix (single byte, value 12) as the
+	// non-minimal two-byte varint 0x8c 0x00.
+	if full[headerSize] != 12 {
+		t.Fatalf("unexpected frame layout: length byte = %#x", full[headerSize])
+	}
+	mut := append([]byte(nil), full[:headerSize]...)
+	mut = append(mut, 0x8c, 0x00)
+	mut = append(mut, full[headerSize+1:]...)
+	if err := os.WriteFile(path, mut, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	recs1, lm := replayAll(t, path)
+	if err := lm.Append([]byte("post-recovery")); err != nil {
+		t.Fatal(err)
+	}
+	lm.Close()
+	recs2, lm2 := replayAll(t, path)
+	lm2.Close()
+	// Every record the first open replayed, plus the appended one, must
+	// survive the second open byte for byte.
+	if len(recs2) != len(recs1)+1 {
+		t.Fatalf("second open replayed %d records, first saw %d + 1 appended", len(recs2), len(recs1))
+	}
+	for i := range recs1 {
+		if !bytes.Equal(recs2[i], recs1[i]) {
+			t.Fatalf("record %d changed between opens: %q vs %q", i, recs1[i], recs2[i])
+		}
+	}
+	if string(recs2[len(recs2)-1]) != "post-recovery" {
+		t.Fatalf("appended record lost: %q", recs2[len(recs2)-1])
+	}
+}
+
+func TestBadHeaderRejected(t *testing.T) {
+	dir := t.TempDir()
+	for name, content := range map[string][]byte{
+		"empty":     {},
+		"short":     []byte("SCQ"),
+		"bad-magic": append([]byte("NOPE"), make([]byte, 10)...),
+		"bad-ver":   append([]byte("SCQW\xff\xff"), make([]byte, 8)...),
+	} {
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, content, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Open(path, nil); err == nil {
+			t.Fatalf("%s: open succeeded on corrupt header", name)
+		}
+	}
+}
+
+func TestCreateReplacesExisting(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	l, err := Create(path, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append([]byte("old-generation")); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	l2, err := Create(path, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l2.Close()
+	recs, l3 := replayAll(t, path)
+	defer l3.Close()
+	if l3.Gen() != 2 || len(recs) != 0 {
+		t.Fatalf("gen=%d records=%d after recreate, want gen=2, 0 records", l3.Gen(), len(recs))
+	}
+}

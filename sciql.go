@@ -63,8 +63,11 @@ type Shape = shape.Shape
 // New creates an empty in-memory database.
 func New() *DB { return core.New() }
 
-// Open loads (or initialises) a database persisted in dir; Close or Save
-// writes it back.
+// Open loads (or initialises) a database persisted in dir. Every
+// committed write is durable immediately (fsynced write-ahead log
+// record); a crash mid-write recovers to the last committed state on the
+// next Open. Close flushes a final checkpoint. See DB.SetWALCheckpointBytes
+// for the log-folding threshold.
 func Open(dir string) (*DB, error) { return core.Open(dir) }
 
 // SetThreads sets the worker count the GDK kernels use for morsel-parallel

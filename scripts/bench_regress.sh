@@ -1,0 +1,55 @@
+#!/usr/bin/env bash
+# bench_regress.sh — compare freshly measured BENCH_*.json files against
+# the checked-in baselines and fail if any benchmark's ns/op regressed
+# more than the threshold (default 25%).
+#
+# Usage: scripts/bench_regress.sh <baseline-dir> <fresh-dir> [threshold-pct]
+#
+# Matching is by benchmark name; benchmarks present on only one side are
+# reported but do not fail the gate (new benchmarks have no baseline,
+# retired ones no measurement). Mirrors the repo's self-disabling
+# speedup gates: callers should skip the whole comparison on runners
+# with <4 cores, where timings are not comparable to the baselines.
+set -euo pipefail
+
+base_dir="${1:?baseline dir}"
+fresh_dir="${2:?fresh dir}"
+threshold="${3:-25}"
+
+command -v jq >/dev/null || { echo "bench_regress: jq is required" >&2; exit 2; }
+
+fail=0
+for base in "${base_dir}"/BENCH_*.json; do
+    name="$(basename "${base}")"
+    fresh="${fresh_dir}/${name}"
+    if [[ ! -f "${fresh}" ]]; then
+        echo "WARN ${name}: no fresh measurement, skipping"
+        continue
+    fi
+    while IFS=$'\t' read -r bench old new; do
+        if [[ -z "${new}" || "${new}" == "null" ]]; then
+            echo "WARN ${bench}: present only in baseline"
+            continue
+        fi
+        # Regression ratio in percent, integer math via awk.
+        pct=$(awk -v o="${old}" -v n="${new}" 'BEGIN { printf "%.1f", (n - o) * 100.0 / o }')
+        over=$(awk -v p="${pct}" -v t="${threshold}" 'BEGIN { print (p > t) ? 1 : 0 }')
+        if [[ "${over}" == "1" ]]; then
+            echo "FAIL ${bench}: ${old} -> ${new} ns/op (+${pct}%, threshold ${threshold}%)"
+            fail=1
+        else
+            echo "ok   ${bench}: ${old} -> ${new} ns/op (${pct}%)"
+        fi
+    done < <(jq -r --slurpfile f "${fresh}" '
+        .[] as $b
+        | ($f[0] | map(select(.name == $b.name)) | first) as $m
+        | [$b.name, ($b.ns_per_op | tostring), (($m.ns_per_op // "null") | tostring)]
+        | @tsv' "${base}")
+    # New benchmarks without a baseline: informational.
+    jq -r --slurpfile b "${base}" '
+        .[] as $f
+        | select(($b[0] | map(select(.name == $f.name)) | length) == 0)
+        | "INFO \($f.name): new benchmark, no baseline"' "${fresh}"
+done
+
+exit "${fail}"
