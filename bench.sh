@@ -14,6 +14,12 @@
 #   4. the durability comparison: WAL append vs pre-WAL full-rewrite
 #      commits and crash-recovery replay
 #      (BenchmarkCommitSmallWrite, BenchmarkWALRecovery) -> BENCH_wal.json
+#   5. the column-statistics comparisons: zonemap skip-scan vs candidate
+#      scan and merge vs hash join
+#      (BenchmarkZonemapSelect, BenchmarkMergeJoin) -> BENCH_stats.json
+#
+# Raw benchmark text lands under bench-artifacts/ (gitignored); only the
+# BENCH_*.json baselines are checked in.
 #
 # Usage: ./bench.sh [bench-regex]   (overrides the first pass's pattern)
 set -euo pipefail
@@ -23,6 +29,12 @@ PATTERN="${1:-BenchmarkFig|BenchmarkScenario|BenchmarkParallel|BenchmarkParseCac
 CAND_PATTERN="BenchmarkSelective"
 SERVER_PATTERN="BenchmarkConcurrentReaders"
 WAL_PATTERN="BenchmarkCommitSmallWrite|BenchmarkWALRecovery"
+STATS_PATTERN="BenchmarkZonemapSelect|BenchmarkMergeJoin"
+
+# Raw per-pass output is an artifact, not a source: keep it out of the
+# repo root so it can never be committed again.
+ARTIFACTS=bench-artifacts
+mkdir -p "${ARTIFACTS}"
 
 # SKIP_VERIFY=1 skips the vet/test preamble (CI runs those in their own
 # jobs; duplicating them here would double the bench job's wall-clock).
@@ -69,7 +81,8 @@ bench_json() {
     echo "wrote ${out} ($(grep -c '"name"' "${out}") entries)"
 }
 
-bench_json "${PATTERN}" BENCH_parallel.json bench_out.txt
-bench_json "${CAND_PATTERN}" BENCH_candidates.json bench_cand_out.txt
-bench_json "${SERVER_PATTERN}" BENCH_server.json bench_server_out.txt
-bench_json "${WAL_PATTERN}" BENCH_wal.json bench_wal_out.txt
+bench_json "${PATTERN}" BENCH_parallel.json "${ARTIFACTS}/bench_out.txt"
+bench_json "${CAND_PATTERN}" BENCH_candidates.json "${ARTIFACTS}/bench_cand_out.txt"
+bench_json "${SERVER_PATTERN}" BENCH_server.json "${ARTIFACTS}/bench_server_out.txt"
+bench_json "${WAL_PATTERN}" BENCH_wal.json "${ARTIFACTS}/bench_wal_out.txt"
+bench_json "${STATS_PATTERN}" BENCH_stats.json "${ARTIFACTS}/bench_stats_out.txt"

@@ -39,14 +39,29 @@ type BAT struct {
 	shared bool
 
 	// Properties maintained opportunistically; used by kernels when true,
-	// never required to be set.
-	Sorted bool // tail is non-decreasing (ignoring NULLs)
-	Key    bool // tail values are unique
+	// never required to be set. Appends maintain them incrementally against
+	// the bounds below; in-place mutations clear them (see props.go).
+	Sorted     bool // tail is non-decreasing (ignoring NULLs)
+	SortedDesc bool // tail is non-increasing (ignoring NULLs)
+	Key        bool // tail values are unique (and NULL-free)
+
+	// Conservative value bounds: when hasMM is set, every non-NULL value
+	// lies within [minI, maxI] (int/oid) or [minF, maxF] (float). The
+	// bounds need not be attained (widening on overwrite keeps them sound).
+	hasMM      bool
+	minI, maxI int64
+	minF, maxF float64
+
+	// zm caches the lazily built zonemap (see zonemap.go). The box is
+	// per-BAT-version: Freeze gives copies a fresh one.
+	zm *zmBox
 }
 
-// New returns an empty BAT of the given kind with capacity hint n.
+// New returns an empty BAT of the given kind with capacity hint n. An
+// empty column trivially satisfies every order property; appends maintain
+// them incrementally from there.
 func New(kind types.Kind, n int) *BAT {
-	b := &BAT{kind: kind}
+	b := &BAT{kind: kind, Sorted: true, SortedDesc: true, Key: true}
 	switch kind {
 	case types.KindVoid:
 		// nothing to allocate
@@ -66,7 +81,8 @@ func New(kind types.Kind, n int) *BAT {
 
 // NewVoid returns a dense OID sequence [seqbase, seqbase+count).
 func NewVoid(seqbase types.OID, count int) *BAT {
-	return &BAT{kind: types.KindVoid, count: count, seqbase: seqbase, Sorted: true, Key: true}
+	return &BAT{kind: types.KindVoid, count: count, seqbase: seqbase,
+		Sorted: true, SortedDesc: count <= 1, Key: true}
 }
 
 // FromInts wraps an int64 slice (taking ownership) as a KindInt BAT.
@@ -131,10 +147,19 @@ func (b *BAT) NullCount() int {
 }
 
 // SetNull marks row i as NULL (or clears the mark). The row must exist.
+// NULLing a row keeps the order and bound claims (both ignore NULLs) but
+// breaks uniqueness and the cached zonemap; un-NULLing reveals whatever
+// value the slot holds, which no claim can survive.
 func (b *BAT) SetNull(i int, null bool) {
 	b.checkIndex(i)
-	if null && b.nulls == nil {
-		b.nulls = NewBitmap(b.count)
+	if null {
+		b.Key = false
+		b.dropZonemap()
+		if b.nulls == nil {
+			b.nulls = NewBitmap(b.count)
+		}
+	} else if b.nulls.Get(i) {
+		b.invalidateProps()
 	}
 	if b.nulls != nil {
 		b.nulls.Set(i, null)
@@ -146,12 +171,18 @@ func (b *BAT) NullMask() *Bitmap { return b.nulls }
 
 // SetNullMask attaches m as the BAT's NULL bitmap in O(1), replacing any
 // existing mask. A nil or all-zero mask clears it. The mask is resized to
-// the row count so stale tail bits cannot leak in.
+// the row count so stale tail bits cannot leak in. Replacing the mask can
+// reveal or hide arbitrary rows, so every property claim drops; callers
+// building fresh kernel outputs set properties after attaching the mask.
 func (b *BAT) SetNullMask(m *Bitmap) {
 	if m == nil || !m.Any() {
+		if b.nulls != nil {
+			b.invalidateProps()
+		}
 		b.nulls = nil
 		return
 	}
+	b.invalidateProps()
 	m.Resize(b.count)
 	b.nulls = m
 }
@@ -226,28 +257,33 @@ func (b *BAT) Append(v types.Value) error {
 		if err != nil {
 			return err
 		}
+		b.noteAppendInt(iv)
 		b.ints = append(b.ints, iv)
 	case types.KindOID:
 		iv, err := v.AsInt()
 		if err != nil {
 			return err
 		}
+		b.noteAppendInt(iv)
 		b.ints = append(b.ints, iv)
 	case types.KindFloat:
 		fv, err := v.AsFloat()
 		if err != nil {
 			return err
 		}
+		b.noteAppendFloat(fv)
 		b.floats = append(b.floats, fv)
 	case types.KindBool:
 		if v.Kind() != types.KindBool {
 			return fmt.Errorf("bat: cannot append %s to bit BAT", v.Kind())
 		}
+		b.noteAppendOpaque()
 		b.bools = append(b.bools, v.BoolVal())
 	case types.KindStr:
 		if v.Kind() != types.KindStr {
 			return fmt.Errorf("bat: cannot append %s to str BAT", v.Kind())
 		}
+		b.noteAppendOpaque()
 		b.strs = append(b.strs, v.StrVal())
 	case types.KindVoid:
 		return fmt.Errorf("bat: cannot append to void BAT")
@@ -259,8 +295,10 @@ func (b *BAT) Append(v types.Value) error {
 	return nil
 }
 
-// AppendNull appends a NULL row.
+// AppendNull appends a NULL row. Order and bound claims survive (they
+// ignore NULLs); uniqueness does not.
 func (b *BAT) AppendNull() {
+	b.Key = false
 	switch b.kind {
 	case types.KindInt, types.KindOID:
 		b.ints = append(b.ints, 0)
@@ -284,6 +322,7 @@ func (b *BAT) AppendNull() {
 
 // AppendInt appends a non-NULL int64 (KindInt/KindOID).
 func (b *BAT) AppendInt(v int64) {
+	b.noteAppendInt(v)
 	b.ints = append(b.ints, v)
 	b.count++
 	if b.nulls != nil {
@@ -293,6 +332,7 @@ func (b *BAT) AppendInt(v int64) {
 
 // AppendFloat appends a non-NULL float64.
 func (b *BAT) AppendFloat(v float64) {
+	b.noteAppendFloat(v)
 	b.floats = append(b.floats, v)
 	b.count++
 	if b.nulls != nil {
@@ -302,6 +342,7 @@ func (b *BAT) AppendFloat(v float64) {
 
 // AppendBool appends a non-NULL bool.
 func (b *BAT) AppendBool(v bool) {
+	b.noteAppendOpaque()
 	b.bools = append(b.bools, v)
 	b.count++
 	if b.nulls != nil {
@@ -311,6 +352,7 @@ func (b *BAT) AppendBool(v bool) {
 
 // AppendStr appends a non-NULL string.
 func (b *BAT) AppendStr(v string) {
+	b.noteAppendOpaque()
 	b.strs = append(b.strs, v)
 	b.count++
 	if b.nulls != nil {
@@ -354,8 +396,7 @@ func (b *BAT) Replace(i int, v types.Value) error {
 	if b.nulls != nil {
 		b.nulls.Set(i, false)
 	}
-	b.Sorted = false
-	b.Key = false
+	b.noteReplace(v)
 	return nil
 }
 
@@ -371,6 +412,13 @@ func (b *BAT) Freeze() *BAT {
 	f.nulls = b.nulls.Clone()
 	f.shared = true
 	b.shared = true
+	// The frozen copy gets its own zonemap cache: it has a fixed row count
+	// while the original may keep appending, and sharing one cache would
+	// make the two sides rebuild it from each other's hands. The box is
+	// installed eagerly — frozen copies are the only BATs read
+	// concurrently, and publication's atomic store orders this write
+	// before any reader's lazy build.
+	f.zm = &zmBox{}
 	return &f
 }
 
@@ -384,9 +432,12 @@ func (b *BAT) Writable() *BAT {
 	return b.Clone()
 }
 
-// Clone returns a deep copy of the BAT.
+// Clone returns a deep copy of the BAT (properties ride along; the
+// zonemap cache does not — a clone exists to be mutated).
 func (b *BAT) Clone() *BAT {
-	c := &BAT{kind: b.kind, count: b.count, seqbase: b.seqbase, Sorted: b.Sorted, Key: b.Key}
+	c := &BAT{kind: b.kind, count: b.count, seqbase: b.seqbase,
+		Sorted: b.Sorted, SortedDesc: b.SortedDesc, Key: b.Key,
+		hasMM: b.hasMM, minI: b.minI, maxI: b.maxI, minF: b.minF, maxF: b.maxF}
 	switch b.kind {
 	case types.KindInt, types.KindOID:
 		c.ints = append([]int64(nil), b.ints...)
@@ -401,16 +452,20 @@ func (b *BAT) Clone() *BAT {
 	return c
 }
 
-// Slice returns a copy of rows [lo,hi).
+// Slice returns a copy of rows [lo,hi). A contiguous subset keeps every
+// property claim: order, uniqueness, and the (conservative) bounds.
 func (b *BAT) Slice(lo, hi int) *BAT {
 	if lo < 0 || hi > b.count || hi < lo {
 		panic(fmt.Sprintf("bat: slice [%d,%d) out of range [0,%d)", lo, hi, b.count))
 	}
-	c := &BAT{kind: b.kind, count: hi - lo}
+	c := &BAT{kind: b.kind, count: hi - lo,
+		Sorted: b.Sorted, SortedDesc: b.SortedDesc, Key: b.Key,
+		hasMM: b.hasMM, minI: b.minI, maxI: b.maxI, minF: b.minF, maxF: b.maxF}
 	switch b.kind {
 	case types.KindVoid:
 		c.seqbase = b.seqbase + types.OID(lo)
 		c.Sorted, c.Key = true, true
+		c.SortedDesc = c.count <= 1
 		return c
 	case types.KindInt, types.KindOID:
 		c.ints = append([]int64(nil), b.ints[lo:hi]...)
@@ -439,6 +494,12 @@ func (b *BAT) Materialize() *BAT {
 	}
 	out := FromOIDs(vals)
 	out.Sorted, out.Key = true, true
+	out.SortedDesc = b.count <= 1
+	if b.count > 0 {
+		out.hasMM = true
+		out.minI = int64(b.seqbase)
+		out.maxI = int64(b.seqbase) + int64(b.count) - 1
+	}
 	return out
 }
 

@@ -17,7 +17,8 @@ import (
 //	magic   [4]byte  "SCQB"
 //	version uint16   (1)
 //	kind    uint8
-//	flags   uint8    bit0: has null bitmap, bit1: sorted, bit2: key
+//	flags   uint8    bit0: has null bitmap, bit1: sorted, bit2: key,
+//	                 bit3: sorted descending
 //	count   uint64
 //	seqbase uint64
 //	payload          kind-dependent (see below)
@@ -31,9 +32,10 @@ const (
 	ioMagic   = "SCQB"
 	ioVersion = 1
 
-	flagNulls  = 1 << 0
-	flagSorted = 1 << 1
-	flagKey    = 1 << 2
+	flagNulls      = 1 << 0
+	flagSorted     = 1 << 1
+	flagKey        = 1 << 2
+	flagSortedDesc = 1 << 3
 )
 
 type crcWriter struct {
@@ -72,6 +74,9 @@ func (b *BAT) Write(w io.Writer) error {
 	}
 	if b.Key {
 		flags |= flagKey
+	}
+	if b.SortedDesc {
+		flags |= flagSortedDesc
 	}
 	hdr := []any{uint16(ioVersion), uint8(b.kind), flags, uint64(b.count), uint64(b.seqbase)}
 	for _, v := range hdr {
@@ -155,6 +160,7 @@ func ReadFrom(r io.Reader) (*BAT, error) {
 	b := &BAT{kind: types.Kind(kind), count: n, seqbase: types.OID(seqbase)}
 	b.Sorted = flags&flagSorted != 0
 	b.Key = flags&flagKey != 0
+	b.SortedDesc = flags&flagSortedDesc != 0
 	switch b.kind {
 	case types.KindVoid:
 	case types.KindInt, types.KindOID:

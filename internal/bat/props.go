@@ -1,0 +1,353 @@
+package bat
+
+import (
+	"math"
+
+	"repro/internal/types"
+)
+
+// Column properties
+//
+// Besides the opportunistic Sorted/Key flags a BAT carries a descending
+// order flag and min/max bounds. All properties are *conservative claims*:
+// a set flag must be true of the data, a cleared flag promises nothing, and
+// the bounds need not be attained — every non-NULL value v merely satisfies
+// min <= v <= max. Kernels may therefore use a property whenever it is set
+// and must never require one.
+//
+// Properties are maintained incrementally where that is cheap (appends
+// compare the new value against the current bounds) and invalidated or
+// widened conservatively where it is not (in-place overwrites widen the
+// bounds and drop the order flags). Callers that fill a wrapped slice after
+// construction (FromInts and friends take ownership) get all-false
+// properties, which is always sound; DeriveProps recomputes exact
+// properties in one scan when wanted.
+
+// SortedDesc reports/claims that the tail is non-increasing (ignoring
+// NULLs) — the mirror of Sorted. Both flags hold simultaneously only for
+// constant columns.
+//
+// It lives next to Sorted/Key in the struct; this declaration block only
+// documents it (see bat.go).
+
+// MinMax returns the column's value bounds as typed values. ok is false
+// when no bounds are known (non-numeric kinds, wrapped slices, columns
+// poisoned by NaN). The bounds are conservative: every non-NULL value lies
+// within them, but they are not guaranteed to be attained.
+func (b *BAT) MinMax() (lo, hi types.Value, ok bool) {
+	if b.kind == types.KindVoid {
+		if b.count == 0 {
+			return types.Value{}, types.Value{}, false
+		}
+		return types.Oid(b.seqbase), types.Oid(b.seqbase + types.OID(b.count) - 1), true
+	}
+	if !b.hasMM {
+		return types.Value{}, types.Value{}, false
+	}
+	switch b.kind {
+	case types.KindInt:
+		return types.Int(b.minI), types.Int(b.maxI), true
+	case types.KindOID:
+		return types.Oid(types.OID(b.minI)), types.Oid(types.OID(b.maxI)), true
+	case types.KindFloat:
+		return types.Float(b.minF), types.Float(b.maxF), true
+	}
+	return types.Value{}, types.Value{}, false
+}
+
+// MinMaxInts returns integer bounds for int/oid/void columns (ok = false
+// otherwise or when unknown).
+func (b *BAT) MinMaxInts() (lo, hi int64, ok bool) {
+	switch b.kind {
+	case types.KindInt, types.KindOID:
+		return b.minI, b.maxI, b.hasMM
+	case types.KindVoid:
+		return int64(b.seqbase), int64(b.seqbase) + int64(b.count) - 1, b.count > 0
+	}
+	return 0, 0, false
+}
+
+// MinMaxFloats returns float bounds for float columns (ok = false
+// otherwise or when unknown).
+func (b *BAT) MinMaxFloats() (lo, hi float64, ok bool) {
+	if b.kind != types.KindFloat {
+		return 0, 0, false
+	}
+	return b.minF, b.maxF, b.hasMM
+}
+
+// SetMinMax installs externally known bounds (checkpoint manifests,
+// property propagation). The caller asserts that every non-NULL value lies
+// within [lo, hi]; mismatched kinds and NULL or NaN bounds are ignored.
+func (b *BAT) SetMinMax(lo, hi types.Value) {
+	if lo.IsNull() || hi.IsNull() {
+		return
+	}
+	switch b.kind {
+	case types.KindInt, types.KindOID:
+		lv, err1 := lo.AsInt()
+		hv, err2 := hi.AsInt()
+		if err1 != nil || err2 != nil {
+			return
+		}
+		b.minI, b.maxI, b.hasMM = lv, hv, true
+	case types.KindFloat:
+		lv, err1 := lo.AsFloat()
+		hv, err2 := hi.AsFloat()
+		if err1 != nil || err2 != nil || math.IsNaN(lv) || math.IsNaN(hv) {
+			return
+		}
+		b.minF, b.maxF, b.hasMM = lv, hv, true
+	}
+}
+
+// CopyBoundsFrom adopts o's bounds when the kinds store compatibly (used
+// by projection/slice propagation: a row subset keeps any bound).
+func (b *BAT) CopyBoundsFrom(o *BAT) {
+	switch {
+	case (b.kind == types.KindInt || b.kind == types.KindOID) &&
+		(o.kind == types.KindInt || o.kind == types.KindOID):
+		if lo, hi, ok := o.MinMaxInts(); ok {
+			b.minI, b.maxI, b.hasMM = lo, hi, true
+		}
+	case b.kind == types.KindFloat && o.kind == types.KindFloat:
+		if lo, hi, ok := o.MinMaxFloats(); ok {
+			b.minF, b.maxF, b.hasMM = lo, hi, true
+		}
+	}
+}
+
+// noteAppendInt maintains the properties across a non-NULL integer append;
+// called with the pre-append state (b.count not yet bumped).
+func (b *BAT) noteAppendInt(v int64) {
+	if !b.hasMM {
+		if b.count == 0 {
+			b.minI, b.maxI, b.hasMM = v, v, true
+			return
+		}
+		// Unknown bounds with existing rows: the order claims can no longer
+		// be checked against the last value, so they must drop.
+		b.Sorted, b.SortedDesc, b.Key = false, false, false
+		return
+	}
+	switch {
+	case v > b.maxI:
+		// Larger than everything so far: ascending order and uniqueness
+		// survive, a descending claim cannot.
+		b.maxI, b.SortedDesc = v, false
+	case v < b.minI:
+		b.minI, b.Sorted = v, false
+	default:
+		// Inside the bounds: the value may duplicate an existing one, and
+		// neither order direction is provable from bounds alone.
+		b.Key = false
+		if v != b.maxI {
+			b.Sorted = false
+		}
+		if v != b.minI {
+			b.SortedDesc = false
+		}
+	}
+}
+
+// noteAppendFloat is noteAppendInt for float columns. NaN poisons the
+// bounds: NaN compares as equal under the engine's three-way comparison,
+// so no min/max claim is sound once one is present.
+func (b *BAT) noteAppendFloat(v float64) {
+	if math.IsNaN(v) {
+		b.hasMM = false
+		b.Sorted, b.SortedDesc, b.Key = false, false, false
+		return
+	}
+	if !b.hasMM {
+		if b.count == 0 {
+			b.minF, b.maxF, b.hasMM = v, v, true
+			return
+		}
+		b.Sorted, b.SortedDesc, b.Key = false, false, false
+		return
+	}
+	switch {
+	case v > b.maxF:
+		b.maxF, b.SortedDesc = v, false
+	case v < b.minF:
+		b.minF, b.Sorted = v, false
+	default:
+		b.Key = false
+		if v != b.maxF {
+			b.Sorted = false
+		}
+		if v != b.minF {
+			b.SortedDesc = false
+		}
+	}
+}
+
+// noteAppendOpaque is the conservative maintenance for kinds without
+// incremental bounds (strings, booleans): any append drops the claims.
+func (b *BAT) noteAppendOpaque() {
+	b.Sorted, b.SortedDesc, b.Key = false, false, false
+}
+
+// noteReplace maintains the properties across an in-place overwrite of row
+// i with non-NULL value v: order and uniqueness claims drop, the bounds
+// widen to cover the new value (the overwritten one only shrank the set,
+// which any bound survives).
+func (b *BAT) noteReplace(v types.Value) {
+	b.dropZonemap()
+	b.Sorted, b.SortedDesc, b.Key = false, false, false
+	if !b.hasMM {
+		return
+	}
+	switch b.kind {
+	case types.KindInt, types.KindOID:
+		iv, err := v.AsInt()
+		if err != nil {
+			b.hasMM = false
+			return
+		}
+		if iv < b.minI {
+			b.minI = iv
+		}
+		if iv > b.maxI {
+			b.maxI = iv
+		}
+	case types.KindFloat:
+		fv, err := v.AsFloat()
+		if err != nil || math.IsNaN(fv) {
+			b.hasMM = false
+			return
+		}
+		if fv < b.minF {
+			b.minF = fv
+		}
+		if fv > b.maxF {
+			b.maxF = fv
+		}
+	}
+}
+
+// invalidateProps drops every property claim (used when a mutation reveals
+// previously hidden values, e.g. clearing a NULL bit).
+func (b *BAT) invalidateProps() {
+	b.dropZonemap()
+	b.Sorted, b.SortedDesc, b.Key = false, false, false
+	b.hasMM = false
+}
+
+// DeriveProps recomputes exact properties in one scan: both order flags,
+// min/max, and — when an order flag holds strictly — the key flag. It is
+// the writer-side repair for BATs built by wrapping slices; concurrent
+// readers must never call it (property fields are plain, unsynchronised
+// state).
+func (b *BAT) DeriveProps() {
+	switch b.kind {
+	case types.KindVoid:
+		b.Sorted, b.Key, b.hasMM = true, true, b.count > 0
+		b.SortedDesc = b.count <= 1
+		return
+	case types.KindInt, types.KindOID:
+		asc, desc, strictAsc, strictDesc := true, true, true, true
+		hasMM := false
+		var mn, mx int64
+		has := false
+		var prev int64
+		for i := 0; i < b.count; i++ {
+			if b.nulls.Get(i) {
+				continue
+			}
+			v := b.ints[i]
+			if !hasMM {
+				mn, mx, hasMM = v, v, true
+			} else {
+				if v < mn {
+					mn = v
+				}
+				if v > mx {
+					mx = v
+				}
+			}
+			if has {
+				if v < prev {
+					asc, strictAsc = false, false
+				} else if v == prev {
+					strictAsc, strictDesc = false, false
+				} else {
+					desc, strictDesc = false, false
+				}
+			}
+			prev, has = v, true
+		}
+		b.minI, b.maxI, b.hasMM = mn, mx, hasMM
+		b.Sorted, b.SortedDesc = asc, desc
+		b.Key = (strictAsc || strictDesc) && b.NullCount() == 0 && hasMM
+	case types.KindFloat:
+		asc, desc, strictAsc, strictDesc := true, true, true, true
+		hasMM, sawNaN := false, false
+		var mn, mx float64
+		has := false
+		var prev float64
+		for i := 0; i < b.count; i++ {
+			if b.nulls.Get(i) {
+				continue
+			}
+			v := b.floats[i]
+			if math.IsNaN(v) {
+				sawNaN = true
+				break
+			}
+			if !hasMM {
+				mn, mx, hasMM = v, v, true
+			} else {
+				if v < mn {
+					mn = v
+				}
+				if v > mx {
+					mx = v
+				}
+			}
+			if has {
+				if v < prev {
+					asc, strictAsc = false, false
+				} else if v == prev {
+					strictAsc, strictDesc = false, false
+				} else {
+					desc, strictDesc = false, false
+				}
+			}
+			prev, has = v, true
+		}
+		if sawNaN {
+			b.invalidateProps()
+			return
+		}
+		b.minF, b.maxF, b.hasMM = mn, mx, hasMM
+		b.Sorted, b.SortedDesc = asc, desc
+		b.Key = (strictAsc || strictDesc) && b.NullCount() == 0 && hasMM
+	case types.KindStr:
+		asc, desc, strictAsc, strictDesc := true, true, true, true
+		has := false
+		var prev string
+		for i := 0; i < b.count; i++ {
+			if b.nulls.Get(i) {
+				continue
+			}
+			v := b.strs[i]
+			if has {
+				if v < prev {
+					asc, strictAsc = false, false
+				} else if v == prev {
+					strictAsc, strictDesc = false, false
+				} else {
+					desc, strictDesc = false, false
+				}
+			}
+			prev, has = v, true
+		}
+		b.Sorted, b.SortedDesc = asc, desc
+		b.Key = (strictAsc || strictDesc) && b.NullCount() == 0 && b.count > 0
+		b.hasMM = false
+	default:
+		b.invalidateProps()
+	}
+}

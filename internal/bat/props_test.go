@@ -1,0 +1,244 @@
+package bat
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/types"
+)
+
+// Property soundness under mutation: whatever sequence of appends,
+// overwrites, NULL flips and truncations a BAT sees, its claimed
+// properties must stay *sound* — a set flag true of the data, bounds
+// covering every non-NULL value. (Claims may be conservatively lost; they
+// may never be wrong.) The oracle re-derives ground truth from scratch
+// after every operation.
+
+// checkSound compares the claims against ground truth recomputed row by
+// row.
+func checkSound(t *testing.T, step int, b *BAT) {
+	t.Helper()
+	var prev types.Value
+	has := false
+	asc, desc, unique := true, true, true
+	seen := map[string]bool{}
+	var mn, mx types.Value
+	for i := 0; i < b.Len(); i++ {
+		if b.IsNull(i) {
+			unique = false // Key claims NULL-freedom
+			continue
+		}
+		v := b.Get(i)
+		if has {
+			c := v.Compare(prev)
+			if c < 0 {
+				asc = false
+			}
+			if c > 0 {
+				desc = false
+			}
+		}
+		if seen[v.String()] {
+			unique = false
+		}
+		seen[v.String()] = true
+		if !has || v.Compare(mn) < 0 {
+			mn = v
+		}
+		if !has || v.Compare(mx) > 0 {
+			mx = v
+		}
+		prev, has = v, true
+	}
+	if b.Sorted && !asc {
+		t.Fatalf("step %d: Sorted claimed on unsorted data", step)
+	}
+	if b.SortedDesc && !desc {
+		t.Fatalf("step %d: SortedDesc claimed on non-descending data", step)
+	}
+	if b.Key && !unique {
+		t.Fatalf("step %d: Key claimed on non-unique or NULL data", step)
+	}
+	if lo, hi, ok := b.MinMax(); ok && has {
+		if mn.Compare(lo) < 0 || mx.Compare(hi) > 0 {
+			t.Fatalf("step %d: bounds [%v,%v] do not cover data [%v,%v]", step, lo, hi, mn, mx)
+		}
+	}
+	// A current cached zonemap must describe the data: slab bounds cover
+	// every non-NULL row, NULL occupancy matches.
+	zm := b.CachedZonemap()
+	if zm == nil {
+		return
+	}
+	for s := 0; s < zm.Slabs; s++ {
+		lo, hi := zm.SlabRange(s)
+		anyNull, anyVal := false, false
+		for i := lo; i < hi; i++ {
+			if b.IsNull(i) {
+				anyNull = true
+				continue
+			}
+			anyVal = true
+			v := b.Ints()[i]
+			if !zm.Mixed[s] && !zm.AllNull[s] && (v < zm.MinI[s] || v > zm.MaxI[s]) {
+				t.Fatalf("step %d: slab %d value %d outside [%d,%d]", step, s, v, zm.MinI[s], zm.MaxI[s])
+			}
+		}
+		if anyNull && !zm.HasNull[s] {
+			t.Fatalf("step %d: slab %d has NULLs but zonemap claims none", step, s)
+		}
+		if anyVal && zm.AllNull[s] {
+			t.Fatalf("step %d: slab %d has values but zonemap claims all-NULL", step, s)
+		}
+	}
+}
+
+func TestPropsSoundUnderRandomMutation(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		b := New(types.KindInt, 0)
+		// Seed with a sorted prefix so the order claims start out held.
+		v := int64(0)
+		for i := 0; i < 64; i++ {
+			v += rng.Int63n(3)
+			b.AppendInt(v)
+		}
+		for step := 0; step < 300; step++ {
+			switch op := rng.Intn(10); {
+			case op < 4: // append, often in order
+				if rng.Intn(3) > 0 {
+					v += rng.Int63n(3)
+					b.AppendInt(v)
+				} else {
+					b.AppendInt(rng.Int63n(200) - 100)
+				}
+			case op < 5:
+				b.AppendNull()
+			case op < 7: // in-place overwrite
+				if b.Len() > 0 {
+					i := rng.Intn(b.Len())
+					if err := b.Replace(i, types.Int(rng.Int63n(400)-200)); err != nil {
+						t.Fatal(err)
+					}
+				}
+			case op < 8: // NULL flip
+				if b.Len() > 0 {
+					b.SetNull(rng.Intn(b.Len()), rng.Intn(2) == 0)
+				}
+			case op < 9:
+				if b.Len() > 4 {
+					b.Truncate(b.Len() - rng.Intn(3))
+				}
+			default: // force a zonemap build so its invalidation is checked
+				b.Zonemap()
+			}
+			checkSound(t, step, b)
+		}
+	}
+}
+
+// TestPropsIncrementalAppend pins the append maintenance: an ordered load
+// keeps its claims, one out-of-order value drops exactly the right ones.
+func TestPropsIncrementalAppend(t *testing.T) {
+	b := New(types.KindInt, 0)
+	for _, v := range []int64{1, 3, 7, 7, 9} {
+		b.AppendInt(v)
+	}
+	if !b.Sorted || b.SortedDesc {
+		t.Fatalf("ascending load: Sorted=%v SortedDesc=%v", b.Sorted, b.SortedDesc)
+	}
+	if b.Key {
+		t.Fatal("duplicate 7 must clear Key")
+	}
+	if lo, hi, ok := b.MinMaxInts(); !ok || lo != 1 || hi != 9 {
+		t.Fatalf("bounds [%d,%d] ok=%v, want [1,9]", lo, hi, ok)
+	}
+	b.AppendInt(4)
+	if b.Sorted {
+		t.Fatal("out-of-order append must clear Sorted")
+	}
+	if lo, hi, ok := b.MinMaxInts(); !ok || lo != 1 || hi != 9 {
+		t.Fatalf("bounds after unsorted append: [%d,%d] ok=%v", lo, hi, ok)
+	}
+
+	d := New(types.KindInt, 0)
+	for _, v := range []int64{9, 5, 2} {
+		d.AppendInt(v)
+	}
+	if !d.SortedDesc || d.Sorted {
+		t.Fatalf("descending load: Sorted=%v SortedDesc=%v", d.Sorted, d.SortedDesc)
+	}
+	if !d.Key {
+		t.Fatal("strictly descending load keeps Key")
+	}
+
+	s := New(types.KindStr, 0)
+	if err := s.Append(types.Str("x")); err != nil {
+		t.Fatal(err)
+	}
+	if s.Sorted || s.Key {
+		t.Fatal("opaque appends must drop claims")
+	}
+}
+
+// TestPropsFreezeWritable pins the copy-on-write contract: a frozen copy
+// keeps sound claims while the writable original diverges, and Writable
+// clones carry the claims into their own lifecycle.
+func TestPropsFreezeWritable(t *testing.T) {
+	b := New(types.KindInt, 0)
+	for _, v := range []int64{1, 2, 3} {
+		b.AppendInt(v)
+	}
+	b.Zonemap()
+	f := b.Freeze()
+	if f.CachedZonemap() != nil {
+		t.Fatal("frozen copy must start with its own empty zonemap cache")
+	}
+	b.AppendInt(0) // breaks Sorted on the original only
+	if !f.Sorted || f.Len() != 3 {
+		t.Fatalf("frozen copy mutated: Sorted=%v len=%d", f.Sorted, f.Len())
+	}
+	if b.Sorted {
+		t.Fatal("original kept Sorted after out-of-order append")
+	}
+	w := f.Writable()
+	if w == f {
+		t.Fatal("Writable on a shared BAT must clone")
+	}
+	if !w.Sorted {
+		t.Fatal("clone dropped the Sorted claim")
+	}
+	if err := w.Replace(0, types.Int(99)); err != nil {
+		t.Fatal(err)
+	}
+	if w.Sorted {
+		t.Fatal("Replace must clear Sorted on the clone")
+	}
+	if !f.Sorted {
+		t.Fatal("clone mutation leaked into the frozen copy")
+	}
+	if lo, hi, ok := w.MinMaxInts(); !ok || lo != 1 || hi != 99 {
+		t.Fatalf("widened bounds [%d,%d] ok=%v, want [1,99]", lo, hi, ok)
+	}
+}
+
+// TestZonemapStaleByCount pins the lazy rebuild: appends leave the cached
+// zonemap stale and the next request rebuilds it for the new count.
+func TestZonemapStaleByCount(t *testing.T) {
+	b := New(types.KindInt, 0)
+	for i := 0; i < 100; i++ {
+		b.AppendInt(int64(i))
+	}
+	zm := b.Zonemap()
+	if zm == nil || zm.Rows != 100 {
+		t.Fatalf("zonemap rows %v", zm)
+	}
+	b.AppendInt(1000)
+	if b.CachedZonemap() != nil {
+		t.Fatal("stale zonemap served after append")
+	}
+	zm = b.Zonemap()
+	if zm.Rows != 101 || zm.MaxI[0] != 1000 {
+		t.Fatalf("rebuilt zonemap rows=%d max=%d", zm.Rows, zm.MaxI[0])
+	}
+}

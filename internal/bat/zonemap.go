@@ -1,0 +1,227 @@
+package bat
+
+import (
+	"math"
+	"sync"
+
+	"repro/internal/types"
+)
+
+// ZonemapSlab is the zonemap granularity: one zone summarises this many
+// consecutive rows. 64K rows keep the zonemap ~1/8000 of the column while
+// a zone still amortises the per-zone bookkeeping of a skip-scan.
+const ZonemapSlab = 1 << 16
+
+// Zonemap is the per-slab summary of a numeric column: min/max over the
+// non-NULL rows of each 64K-row slab plus its NULL occupancy. Selective
+// scans consult it to skip slabs whose bounds cannot match and to emit
+// slabs whose bounds must match as virtual void runs, without touching the
+// data. A zonemap describes exactly Rows rows; mutations invalidate it
+// (in-place writes drop the cache, appends leave it stale by count and the
+// next request rebuilds).
+type Zonemap struct {
+	Rows  int // rows covered; a BAT with a different count must rebuild
+	Slabs int
+
+	// Per-slab bounds over non-NULL rows (ints for int/oid, floats for
+	// float columns). Undefined where AllNull.
+	MinI, MaxI []int64
+	MinF, MaxF []float64
+
+	// HasNull marks slabs containing at least one NULL (they can never be
+	// emitted wholesale: NULL rows never match a predicate). AllNull marks
+	// slabs with no non-NULL row (always skipped). Mixed marks slabs whose
+	// bounds are unusable (a float slab containing NaN, which the engine's
+	// three-way comparison treats as equal to everything): they must always
+	// be scanned.
+	HasNull, AllNull, Mixed []bool
+
+	// Sorted/SortedDesc are derived during the build (non-decreasing /
+	// non-increasing ignoring NULLs): the lazy counterpart of the column
+	// flags, letting a never-analysed column still take the binary-search
+	// path once its first selective scan built the zonemap.
+	Sorted, SortedDesc bool
+}
+
+// SlabRange returns the row range [lo, hi) of slab s.
+func (z *Zonemap) SlabRange(s int) (lo, hi int) {
+	lo = s * ZonemapSlab
+	hi = lo + ZonemapSlab
+	if hi > z.Rows {
+		hi = z.Rows
+	}
+	return lo, hi
+}
+
+// zmBox is the mutex-guarded zonemap cache of a BAT. The box (not the
+// BAT) carries the lock so the BAT struct stays copyable (Freeze copies it
+// by value); frozen copies get their own box, so a snapshot's concurrent
+// readers share one build while the writer's appends to the original can
+// never thrash it.
+//
+// Installation discipline: the only BATs read concurrently are frozen
+// snapshot copies, and Freeze installs the box eagerly (the publication's
+// atomic store then orders that write before any reader's load). All other
+// BATs are single-owner by the engine's contract, so the lazy install
+// below needs no lock.
+type zmBox struct {
+	mu sync.Mutex
+	zm *Zonemap
+}
+
+func (b *BAT) zonemapBox() *zmBox {
+	if b.zm == nil {
+		b.zm = &zmBox{}
+	}
+	return b.zm
+}
+
+// dropZonemap discards the cached zonemap. Called from mutation paths,
+// which by the engine's copy-on-write contract only ever run on BATs
+// without concurrent readers.
+func (b *BAT) dropZonemap() {
+	if b.zm != nil {
+		b.zm.zm = nil
+	}
+}
+
+// Zonemap returns the column's zonemap, building and caching it on first
+// use (the lazy "first selective scan" trigger) and rebuilding when the
+// row count moved since the cached build. Returns nil for kinds without
+// zonemap support (void/bool/str). Safe for concurrent readers of a frozen
+// BAT; the underlying data must not change concurrently (the engine's
+// snapshot contract).
+func (b *BAT) Zonemap() *Zonemap {
+	switch b.kind {
+	case types.KindInt, types.KindOID, types.KindFloat:
+	default:
+		return nil
+	}
+	box := b.zonemapBox()
+	box.mu.Lock()
+	defer box.mu.Unlock()
+	if box.zm == nil || box.zm.Rows != b.count {
+		box.zm = b.buildZonemap()
+	}
+	return box.zm
+}
+
+// CachedZonemap returns the zonemap only if a current one is already
+// built (no build is triggered). Used by paths that want the information
+// for free but will not pay a scan for it.
+func (b *BAT) CachedZonemap() *Zonemap {
+	if b.zm == nil {
+		// Safe without a lock: a nil box means no Freeze installed one, so
+		// no concurrent reader can be installing it either.
+		return nil
+	}
+	box := b.zm
+	box.mu.Lock()
+	defer box.mu.Unlock()
+	if box.zm != nil && box.zm.Rows == b.count {
+		return box.zm
+	}
+	return nil
+}
+
+func (b *BAT) buildZonemap() *Zonemap {
+	n := b.count
+	ns := (n + ZonemapSlab - 1) / ZonemapSlab
+	z := &Zonemap{
+		Rows: n, Slabs: ns,
+		HasNull: make([]bool, ns), AllNull: make([]bool, ns), Mixed: make([]bool, ns),
+		Sorted: true, SortedDesc: true,
+	}
+	switch b.kind {
+	case types.KindInt, types.KindOID:
+		z.MinI = make([]int64, ns)
+		z.MaxI = make([]int64, ns)
+		vals := b.ints
+		var prev int64
+		has := false
+		for s := 0; s < ns; s++ {
+			lo, hi := z.SlabRange(s)
+			any := false
+			var mn, mx int64
+			for i := lo; i < hi; i++ {
+				if b.nulls.Get(i) {
+					z.HasNull[s] = true
+					continue
+				}
+				v := vals[i]
+				if !any {
+					mn, mx, any = v, v, true
+				} else {
+					if v < mn {
+						mn = v
+					}
+					if v > mx {
+						mx = v
+					}
+				}
+				if has {
+					if v < prev {
+						z.Sorted = false
+					} else if v > prev {
+						z.SortedDesc = false
+					}
+				}
+				prev, has = v, true
+			}
+			if !any {
+				z.AllNull[s] = true
+				continue
+			}
+			z.MinI[s], z.MaxI[s] = mn, mx
+		}
+	case types.KindFloat:
+		z.MinF = make([]float64, ns)
+		z.MaxF = make([]float64, ns)
+		vals := b.floats
+		var prev float64
+		has := false
+		for s := 0; s < ns; s++ {
+			lo, hi := z.SlabRange(s)
+			any := false
+			var mn, mx float64
+			for i := lo; i < hi; i++ {
+				if b.nulls.Get(i) {
+					z.HasNull[s] = true
+					continue
+				}
+				v := vals[i]
+				if math.IsNaN(v) {
+					// NaN compares equal to everything in the engine's
+					// three-way comparison: the slab's bounds cannot prune.
+					z.Mixed[s] = true
+					z.Sorted, z.SortedDesc = false, false
+					continue
+				}
+				if !any {
+					mn, mx, any = v, v, true
+				} else {
+					if v < mn {
+						mn = v
+					}
+					if v > mx {
+						mx = v
+					}
+				}
+				if has {
+					if v < prev {
+						z.Sorted = false
+					} else if v > prev {
+						z.SortedDesc = false
+					}
+				}
+				prev, has = v, true
+			}
+			if !any && !z.Mixed[s] {
+				z.AllNull[s] = true
+				continue
+			}
+			z.MinF[s], z.MaxF[s] = mn, mx
+		}
+	}
+	return z
+}

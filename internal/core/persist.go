@@ -46,6 +46,50 @@ type manifestCol struct {
 	Type    string  `json:"type"`
 	Default *string `json:"default,omitempty"`
 	DefNull bool    `json:"default_null,omitempty"`
+	// Stats carries the column's property claims across restarts: the
+	// order flags double the segment-file flags (the manifest is the
+	// authority), the bounds exist only here. WAL replay then maintains
+	// them incrementally through the ordinary DML paths, so a recovered
+	// database resumes with sound statistics without rescanning.
+	Stats *manifestStats `json:"stats,omitempty"`
+}
+
+type manifestStats struct {
+	Sorted     bool    `json:"sorted,omitempty"`
+	SortedDesc bool    `json:"sorted_desc,omitempty"`
+	Key        bool    `json:"key,omitempty"`
+	Min        *string `json:"min,omitempty"`
+	Max        *string `json:"max,omitempty"`
+}
+
+// statsToManifest snapshots a column's property claims for the manifest
+// (nil when nothing is claimed, keeping the JSON clean).
+func statsToManifest(b *bat.BAT) *manifestStats {
+	lo, hi, okMM := b.MinMax()
+	if !b.Sorted && !b.SortedDesc && !b.Key && !okMM {
+		return nil
+	}
+	ms := &manifestStats{Sorted: b.Sorted, SortedDesc: b.SortedDesc, Key: b.Key}
+	if okMM {
+		los, his := lo.String(), hi.String()
+		ms.Min, ms.Max = &los, &his
+	}
+	return ms
+}
+
+// applyManifestStats installs manifest property claims on a loaded column.
+func applyManifestStats(b *bat.BAT, ms *manifestStats, kind types.Kind) {
+	if ms == nil {
+		return
+	}
+	b.Sorted, b.SortedDesc, b.Key = ms.Sorted, ms.SortedDesc, ms.Key
+	if ms.Min != nil && ms.Max != nil {
+		lo, err1 := types.Str(*ms.Min).Cast(kind)
+		hi, err2 := types.Str(*ms.Max).Cast(kind)
+		if err1 == nil && err2 == nil {
+			b.SetMinMax(lo, hi)
+		}
+	}
 }
 
 type manifestTable struct {
@@ -212,8 +256,10 @@ func (db *DB) checkpointLocked() error {
 	for _, name := range db.cat.TableNames() {
 		t, _ := db.cat.Table(name)
 		mt := manifestTable{Name: t.Name, Ver: t.Version}
-		for _, c := range t.Columns {
-			mt.Columns = append(mt.Columns, colToManifest(c))
+		for ci, c := range t.Columns {
+			mc := colToManifest(c)
+			mc.Stats = statsToManifest(t.Bats[ci])
+			mt.Columns = append(mt.Columns, mc)
 		}
 		if t.Deleted != nil {
 			for i := 0; i < t.PhysRows(); i++ {
@@ -233,8 +279,10 @@ func (db *DB) checkpointLocked() error {
 				Unbounded: a.Unbounded[k],
 			})
 		}
-		for _, c := range a.Attrs {
-			ma.Attrs = append(ma.Attrs, colToManifest(c))
+		for ci, c := range a.Attrs {
+			mc := colToManifest(c)
+			mc.Stats = statsToManifest(a.AttrBats[ci])
+			ma.Attrs = append(ma.Attrs, mc)
 		}
 		m.Arrays = append(m.Arrays, ma)
 	}
@@ -363,6 +411,7 @@ func (db *DB) load() error {
 			if err != nil {
 				return fmt.Errorf("table %s column %s: %v", mt.Name, mc.Name, err)
 			}
+			applyManifestStats(b, mc.Stats, col.Type.Kind)
 			t.Bats = append(t.Bats, b)
 		}
 		if len(mt.Deleted) > 0 {
@@ -394,6 +443,7 @@ func (db *DB) load() error {
 			if err != nil {
 				return fmt.Errorf("array %s attribute %s: %v", ma.Name, mc.Name, err)
 			}
+			applyManifestStats(b, mc.Stats, col.Type.Kind)
 			a.AttrBats = append(a.AttrBats, b)
 		}
 		if err := a.RebuildDims(); err != nil {

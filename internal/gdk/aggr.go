@@ -94,13 +94,32 @@ func SubAggr(agg AggKind, vals, gids *bat.BAT, ngroups int, cand *bat.BAT) (*bat
 	n := gids.Len()
 	gs := gidSlice(gids)
 
+	// Sorted group ids (the product of run-detected grouping) cluster each
+	// group into one contiguous run: accumulate per run in a register and
+	// store once, instead of chunked ngroups-sized partials merged after.
+	// Per-group accumulation order equals the serial baseline's, so the
+	// results are bit-identical.
+	sortedRuns := StatsEnabled() && gids.Sorted && !gids.HasNulls() && n > 0
+
 	switch agg {
 	case AggCountAll:
+		if sortedRuns {
+			return runCounts(gs, ngroups, nil), nil
+		}
 		counts := countPartials(n, ngroups, gs, nil)
 		return bat.FromInts(counts), nil
 	case AggCount:
+		if sortedRuns {
+			return runCounts(gs, ngroups, vals), nil
+		}
 		counts := countPartials(n, ngroups, gs, vals)
 		return bat.FromInts(counts), nil
+	}
+
+	if sortedRuns {
+		if out, ok := runAggr(agg, vals, gs, ngroups); ok {
+			return out, nil
+		}
 	}
 
 	switch vals.ValueKind() {
@@ -251,6 +270,142 @@ func SubAggr(agg AggKind, vals, gids *bat.BAT, ngroups int, cand *bat.BAT) (*bat
 		}
 	}
 	return nil, fmt.Errorf("gdk: aggregate %s not defined on %s", agg, vals.ValueKind())
+}
+
+// runCounts counts rows (all rows when vals is nil, non-NULL rows
+// otherwise) per group over sorted group ids: one run-detecting pass.
+func runCounts(gs []int64, ngroups int, vals *bat.BAT) *bat.BAT {
+	counts := make([]int64, ngroups)
+	for i := 0; i < len(gs); {
+		g := gs[i]
+		j := i
+		var c int64
+		if vals == nil {
+			for j < len(gs) && gs[j] == g {
+				j++
+			}
+			c = int64(j - i)
+		} else {
+			for ; j < len(gs) && gs[j] == g; j++ {
+				if !vals.IsNull(j) {
+					c++
+				}
+			}
+		}
+		counts[g] += c
+		i = j
+	}
+	return bat.FromInts(counts)
+}
+
+// runAggr computes sum/avg/min/max over sorted group ids by run
+// accumulation (ok = false for kinds the generic paths keep, e.g. string
+// min/max).
+func runAggr(agg AggKind, vals *bat.BAT, gs []int64, ngroups int) (*bat.BAT, bool) {
+	n := len(gs)
+	switch vals.ValueKind() {
+	case types.KindInt, types.KindOID:
+		var ints []int64
+		if vals.Kind() == types.KindVoid {
+			ints = vals.Materialize().Ints()
+		} else {
+			ints = vals.Ints()
+		}
+		switch agg {
+		case AggSum, AggAvg:
+			sums := make([]int64, ngroups)
+			counts := make([]int64, ngroups)
+			for i := 0; i < n; {
+				g := gs[i]
+				var s, c int64
+				for ; i < n && gs[i] == g; i++ {
+					if vals.IsNull(i) {
+						continue
+					}
+					s += ints[i]
+					c++
+				}
+				sums[g] += s
+				counts[g] += c
+			}
+			if agg == AggSum {
+				out := bat.FromInts(sums)
+				markEmpty(out, counts)
+				return out, true
+			}
+			avgs := make([]float64, ngroups)
+			for g := range avgs {
+				if counts[g] > 0 {
+					avgs[g] = float64(sums[g]) / float64(counts[g])
+				}
+			}
+			out := bat.FromFloats(avgs)
+			markEmpty(out, counts)
+			return out, true
+		case AggMin, AggMax:
+			best := make([]int64, ngroups)
+			seen := make([]bool, ngroups)
+			runMinMax(agg, ints, vals, gs, best, seen)
+			out := bat.FromInts(best)
+			markUnseen(out, seen)
+			return out, true
+		}
+	case types.KindFloat:
+		fs := vals.Floats()
+		switch agg {
+		case AggSum, AggAvg:
+			sums := make([]float64, ngroups)
+			counts := make([]int64, ngroups)
+			for i := 0; i < n; {
+				g := gs[i]
+				var s float64
+				var c int64
+				for ; i < n && gs[i] == g; i++ {
+					if vals.IsNull(i) {
+						continue
+					}
+					s += fs[i]
+					c++
+				}
+				sums[g] += s
+				counts[g] += c
+			}
+			if agg == AggAvg {
+				for g := range sums {
+					if counts[g] > 0 {
+						sums[g] /= float64(counts[g])
+					}
+				}
+			}
+			out := bat.FromFloats(sums)
+			markEmpty(out, counts)
+			return out, true
+		case AggMin, AggMax:
+			best := make([]float64, ngroups)
+			seen := make([]bool, ngroups)
+			runMinMax(agg, fs, vals, gs, best, seen)
+			out := bat.FromFloats(best)
+			markUnseen(out, seen)
+			return out, true
+		}
+	}
+	return nil, false
+}
+
+// runMinMax folds min/max per run into best/seen.
+func runMinMax[T int64 | float64](agg AggKind, xs []T, vals *bat.BAT, gs []int64, best []T, seen []bool) {
+	n := len(gs)
+	for i := 0; i < n; i++ {
+		if vals.IsNull(i) {
+			continue
+		}
+		g := gs[i]
+		v := xs[i]
+		if !seen[g] || (agg == AggMin && v < best[g]) || (agg == AggMax && v > best[g]) {
+			best[g] = v
+			seen[g] = true
+		}
+	}
 }
 
 // countPartials counts rows (all rows when vals is nil, non-NULL rows

@@ -2,6 +2,7 @@ package gdk
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/bat"
 	"repro/internal/types"
@@ -152,10 +153,32 @@ func AndCand(a, b *bat.BAT) *bat.BAT {
 		}
 		return bat.NewVoid(types.OID(lo), int(hi-lo))
 	}
+	// A void run against a materialised list clips in O(log n): binary
+	// search the run's bounds in the sorted list and copy the window —
+	// the allocation is exactly the output, never min(na, nb)/2 for a
+	// tiny intersection.
+	if a.Kind() == types.KindVoid || b.Kind() == types.KindVoid {
+		run, list := a, b
+		if b.Kind() == types.KindVoid {
+			run, list = b, a
+		}
+		lo, hi := int64(run.Seqbase()), int64(run.Seqbase())+int64(run.Len())
+		ints := list.Ints()
+		s := sort.Search(len(ints), func(i int) bool { return ints[i] >= lo })
+		e := sort.Search(len(ints), func(i int) bool { return ints[i] >= hi })
+		if s >= e {
+			return emptyCand()
+		}
+		out := bat.FromOIDs(append([]int64(nil), ints[s:e]...))
+		out.Sorted, out.Key = true, true
+		return out
+	}
 	ai, abase := candSlice(a)
 	bi, bbase := candSlice(b)
 	na, nb := a.Len(), b.Len()
-	out := make([]int64, 0, min(na, nb))
+	// Grow geometrically from a small seed (seedCap): a tiny intersection
+	// of two large lists must not pre-allocate half the input.
+	out := make([]int64, 0, seedCap(min(na, nb)))
 	i, j := 0, 0
 	for i < na && j < nb {
 		x := candAt(ai, abase, i)

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/bat"
 	"repro/internal/par"
+	"repro/internal/types"
 )
 
 // GroupResult is the output of value-based grouping (MAL group.group):
@@ -60,6 +61,18 @@ func Group(keys []*bat.BAT, cand *bat.BAT) (*GroupResult, error) {
 			return nil, fmt.Errorf("gdk: group keys not aligned")
 		}
 	}
+	// A sorted single key clusters every group into one contiguous run:
+	// detect runs in a single pass instead of hashing. Equal values are
+	// always adjacent in a sorted column, so run order equals
+	// first-occurrence order and the group ids come out bit-identical to
+	// the hash path's (and non-decreasing, which downstream aggregation
+	// exploits).
+	if StatsEnabled() && len(keys) == 1 && !keys[0].HasNulls() &&
+		(keys[0].Sorted || keys[0].SortedDesc) {
+		if res, ok := groupSortedRuns(keys[0]); ok {
+			return res, nil
+		}
+	}
 	gids := make([]int64, n)
 	plan := par.NewPlan(n)
 	if !plan.Parallel() {
@@ -104,6 +117,44 @@ func groupResult(gids, extents []int64) *GroupResult {
 	e := bat.FromOIDs(extents)
 	e.Key = true
 	return &GroupResult{GIDs: g, Extents: e, N: len(extents)}
+}
+
+// groupSortedRuns groups a sorted NULL-free key column by run detection:
+// one pass, no hash table. ok is false for kinds that keep the hash path:
+// bool (no typed comparison) and float, whose hash path keys on raw bits —
+// it puts -0.0 and 0.0 in different buckets where a value-equality run
+// would merge them, and bit-identity wins over the fast path.
+func groupSortedRuns(key *bat.BAT) (*GroupResult, bool) {
+	n := key.Len()
+	var same func(i int) bool // row i equals row i-1
+	switch key.Kind() {
+	case types.KindVoid:
+		same = func(int) bool { return false }
+	case types.KindInt, types.KindOID:
+		vals := key.Ints()
+		same = func(i int) bool { return vals[i] == vals[i-1] }
+	case types.KindStr:
+		vals := key.Strs()
+		same = func(i int) bool { return vals[i] == vals[i-1] }
+	default:
+		return nil, false
+	}
+	gids := make([]int64, n)
+	extents := make([]int64, 0, 16)
+	g := int64(-1)
+	for i := 0; i < n; i++ {
+		if i == 0 || !same(i) {
+			g++
+			extents = append(extents, int64(i))
+		}
+		gids[i] = g
+	}
+	res := groupResult(gids, extents)
+	// Run-detected ids are non-decreasing by construction; claim it so
+	// aggregation can take its run path.
+	res.GIDs.Sorted = true
+	res.Extents.Sorted = true
+	return res, true
 }
 
 // groupRange groups rows [lo,hi) against a fresh local table, writing local

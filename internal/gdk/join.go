@@ -64,6 +64,12 @@ func HashJoin(lkeys, rkeys []*bat.BAT, lcand, rcand *bat.BAT) (lIdx, rIdx *bat.B
 }
 
 func hashJoinDense(lkeys, rkeys []*bat.BAT) (lIdx, rIdx *bat.BAT, err error) {
+	// Both sides sorted on a single key: the merge join touches each side
+	// once, builds no table, and produces the same (left, right)-ordered
+	// pairs the hash paths do.
+	if StatsEnabled() && len(lkeys) == 1 && mergeJoinEligible(lkeys[0], rkeys[0]) {
+		return MergeJoin(lkeys[0], rkeys[0])
+	}
 	nl, nr := lkeys[0].Len(), rkeys[0].Len()
 	// Build on the smaller side.
 	if nr <= nl {
@@ -75,6 +81,90 @@ func hashJoinDense(lkeys, rkeys []*bat.BAT) (lIdx, rIdx *bat.BAT, err error) {
 	}
 	// Re-sort pairs by left position for deterministic output.
 	return sortPairsByLeft(l, r)
+}
+
+// mergeJoinEligible reports whether the single-key merge join applies:
+// both columns sorted ascending, NULL-free, and of the same storage family
+// (the hash paths compare raw representations, so cross-family keys must
+// keep taking them).
+func mergeJoinEligible(l, r *bat.BAT) bool {
+	if !l.Sorted || !r.Sorted || l.HasNulls() || r.HasNulls() {
+		return false
+	}
+	lf, rf := keyFamily(l.Kind()), keyFamily(r.Kind())
+	return lf != 0 && lf == rf
+}
+
+// keyFamily buckets storage kinds that compare identically for join
+// purposes (0 = unsupported). Floats stay on the hash paths: the hash
+// join keys on raw bits, under which -0.0 and 0.0 differ, while a sorted
+// merge would have to unify them — the two paths would disagree.
+func keyFamily(k types.Kind) int {
+	switch k {
+	case types.KindVoid, types.KindInt, types.KindOID:
+		return 1
+	case types.KindStr:
+		return 3
+	}
+	return 0
+}
+
+// MergeJoin computes the inner equi-join of two sorted, NULL-free key
+// columns in one linear pass: equal-value runs on both sides pair up as a
+// small cross product. The output is ordered by (left, right) position —
+// bit-identical to the hash paths' output — so callers may substitute it
+// freely. Callers must check mergeJoinEligible-style preconditions; the
+// kernel validates them again and errors otherwise.
+func MergeJoin(l, r *bat.BAT) (lIdx, rIdx *bat.BAT, err error) {
+	if !mergeJoinEligible(l, r) {
+		return nil, nil, fmt.Errorf("gdk: merge join needs sorted NULL-free keys of one family, got %s/%s", l, r)
+	}
+	var lout, rout []int64
+	if keyFamily(l.Kind()) == 1 {
+		lout, rout = mergeRuns(l.Len(), r.Len(), intAt(l), intAt(r))
+	} else {
+		lv, rv := l.Strs(), r.Strs()
+		lout, rout = mergeRuns(l.Len(), r.Len(),
+			func(i int) string { return lv[i] }, func(i int) string { return rv[i] })
+	}
+	lb, rb := bat.FromOIDs(lout), bat.FromOIDs(rout)
+	lb.Sorted = true
+	return lb, rb, nil
+}
+
+// mergeRuns is the sorted-merge core: advance past unequal values, expand
+// equal runs pairwise.
+func mergeRuns[T int64 | string](nl, nr int, lat, rat func(int) T) (lout, rout []int64) {
+	i, j := 0, 0
+	for i < nl && j < nr {
+		lv, rv := lat(i), rat(j)
+		switch {
+		case lv < rv:
+			i++
+		case lv > rv:
+			j++
+		default:
+			i2 := i + 1
+			for i2 < nl && lat(i2) == lv {
+				i2++
+			}
+			j2 := j + 1
+			for j2 < nr && rat(j2) == rv {
+				j2++
+			}
+			for a := i; a < i2; a++ {
+				for b := j; b < j2; b++ {
+					lout = append(lout, int64(a))
+					rout = append(rout, int64(b))
+				}
+			}
+			i, j = i2, j2
+		}
+	}
+	if lout == nil {
+		lout, rout = []int64{}, []int64{}
+	}
+	return lout, rout
 }
 
 // buildHashTable hashes every row of keys (in parallel) and inserts the

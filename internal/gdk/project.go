@@ -95,6 +95,16 @@ func Project(idx, b *bat.BAT) (*bat.BAT, error) {
 		return nil, err
 	}
 	out.SetNullMask(mask)
+	// Property propagation: gathering through an ascending index keeps the
+	// source's order claims and narrows to a value subset, which any bound
+	// covers. Uniqueness survives only when both the index positions and
+	// the source values are unique and nothing became NULL.
+	if idx.Sorted {
+		out.Sorted = b.Sorted
+		out.SortedDesc = b.SortedDesc
+	}
+	out.Key = idx.Key && b.Key && !out.HasNulls()
+	out.CopyBoundsFrom(b)
 	return out, nil
 }
 

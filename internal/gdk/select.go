@@ -18,17 +18,25 @@ import (
 func gatherOIDs(n int, pick func(lo, hi int, dst []int64) []int64) []int64 {
 	plan := par.NewPlan(n)
 	if !plan.Parallel() {
-		seed := n/64 + 16
-		if seed > 4096 {
-			seed = 4096
-		}
-		return pick(0, n, make([]int64, 0, seed))
+		return pick(0, n, make([]int64, 0, seedCap(n)))
 	}
 	parts := make([][]int64, plan.Chunks())
 	plan.Run(func(c, lo, hi int) {
 		parts[c] = pick(lo, hi, nil)
 	})
 	return concatInt64(parts)
+}
+
+// seedCap is the package's growth-buffer discipline for position outputs
+// of unknown size: a small input-proportional seed, capped, grown
+// geometrically from there — selective scans then allocate proportionally
+// to their matches, never a half-input worst case.
+func seedCap(n int) int {
+	seed := n/64 + 16
+	if seed > 4096 {
+		seed = 4096
+	}
+	return seed
 }
 
 // SelectBool returns the positions (as an oid BAT) where the boolean column
@@ -94,6 +102,11 @@ func ThetaSelect(b *bat.BAT, cand *bat.BAT, val types.Value, op string) (*bat.BA
 	}
 	if err := candInRange(cand, b.Len()); err != nil {
 		return nil, err
+	}
+	// Property fast paths: bound pruning, sorted binary search, zonemap
+	// skip-scan (see stats.go). Bit-identical to the scan below.
+	if fast, handled := statsThetaSelect(b, cand, val, op); handled {
+		return fast, nil
 	}
 	var out []int64
 	if cand == nil {
@@ -193,6 +206,10 @@ func RangeSelect(b *bat.BAT, cand *bat.BAT, lo, hi types.Value) (*bat.BAT, error
 	if err := candInRange(cand, b.Len()); err != nil {
 		return nil, err
 	}
+	// Property fast paths (see stats.go); bit-identical to the scan below.
+	if fast, handled := statsRangeSelect(b, cand, lo, hi); handled {
+		return fast, nil
+	}
 	var out []int64
 	if cand == nil {
 		out = gatherOIDs(b.Len(), func(from, to int, dst []int64) []int64 {
@@ -231,6 +248,13 @@ func RangeSelect(b *bat.BAT, cand *bat.BAT, lo, hi types.Value) (*bat.BAT, error
 func SelectNonNull(b, cand *bat.BAT) (*bat.BAT, error) {
 	if err := candInRange(cand, b.Len()); err != nil {
 		return nil, err
+	}
+	// NULL-free columns answer in O(1): every candidate row qualifies.
+	if StatsEnabled() && !b.HasNulls() {
+		if cand != nil {
+			return cand, nil
+		}
+		return bat.NewVoid(0, b.Len()), nil
 	}
 	var out []int64
 	if cand == nil {

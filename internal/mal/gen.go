@@ -139,14 +139,24 @@ func (g *gen) node(n rel.Node) (cenv, error) {
 		if err != nil {
 			return cenv{}, err
 		}
-		// Unoptimized plans still reach the generator: decompose on the fly
-		// so candidate execution does not depend on the rewrite pass.
-		return g.applySteps(env, rel.DecomposePred(x.Pred))
+		// Unoptimized plans still reach the generator: decompose (and run
+		// the statistics pass) on the fly so candidate execution does not
+		// depend on the rewrite pass.
+		steps, empty := rel.PlanSteps(x.Child, x.Pred)
+		if empty {
+			return env.narrow(g.p.Emit("algebra", "emptycand")), nil
+		}
+		return g.applySteps(env, steps)
 
 	case *rel.CandSelect:
 		env, err := g.node(x.Child)
 		if err != nil {
 			return cenv{}, err
+		}
+		if x.Empty {
+			// The statistics proved the predicate empty: no step runs, the
+			// candidate list collapses to nothing.
+			return env.narrow(g.p.Emit("algebra", "emptycand")), nil
 		}
 		return g.applySteps(env, x.Steps)
 
@@ -393,9 +403,16 @@ func (g *gen) join(x *rel.Join) (cenv, error) {
 	return env, nil
 }
 
+// joinFn picks the join instruction per operand: plan-time column
+// properties proving both single bare-column keys sorted and NULL-free
+// select the merge join (the kernel re-validates the claim at runtime and
+// falls back to hashing, so the pick can only win).
 func joinFn(x *rel.Join) string {
 	if x.LeftOuter {
 		return "leftjoin"
+	}
+	if rel.MergeJoinnable(x) {
+		return "mergejoin"
 	}
 	return "join"
 }

@@ -304,6 +304,13 @@ func (c *Ctx) exec(in *Instr) error {
 		c.Vars[in.Rets[0]] = out
 		return nil
 
+	case "algebra.emptycand":
+		// The optimizer proved the predicate empty from column statistics.
+		b := bat.FromOIDs([]int64{})
+		b.Sorted, b.Key = true, true
+		c.Vars[in.Rets[0]] = b
+		return nil
+
 	case "algebra.candand", "algebra.candor":
 		a, err := c.batVar(in.Args[0])
 		if err != nil {
@@ -320,7 +327,10 @@ func (c *Ctx) exec(in *Instr) error {
 		}
 		return nil
 
-	case "algebra.join", "algebra.leftjoin":
+	case "algebra.join", "algebra.leftjoin", "algebra.mergejoin":
+		// mergejoin records the optimizer's pick; the kernel dispatches on
+		// the runtime properties either way, so a stale plan-time claim
+		// degrades to a hash join instead of a wrong result.
 		nk := in.Args[0].Aux.(int)
 		lkeys := make([]*bat.BAT, nk)
 		rkeys := make([]*bat.BAT, nk)

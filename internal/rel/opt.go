@@ -178,14 +178,19 @@ type SelStep struct {
 }
 
 // CandSelect is the decomposed form of Filter: an ordered chain of
-// candidate-narrowing steps. Cheap fused selections run first, residual
-// predicates last, so expensive expressions only ever see the rows that
-// survived the cheap cuts.
+// candidate-narrowing steps. Cheap fused selections run first — ordered
+// most-selective-first when column statistics allow an estimate —
+// residual predicates last, so expensive expressions only ever see the
+// rows that survived the cheap cuts.
 type CandSelect struct {
 	Child Node
 	Steps []SelStep
 	// Pred preserves the original predicate for EXPLAIN and re-derivation.
 	Pred Expr
+	// Empty marks a chain the column statistics prove selects nothing
+	// (e.g. a bound outside the column's min/max): the generator emits an
+	// empty candidate list and skips every step.
+	Empty bool
 }
 
 // Schema passes the child schema through.
@@ -202,7 +207,11 @@ func decomposeFilterNode(n Node) Node {
 
 // decomposeFilter rewrites a Filter into a CandSelect chain when at least
 // one conjunct is directly selectable; an all-residual predicate keeps the
-// Filter shape (the generator still threads candidates through it).
+// Filter shape (the generator still threads candidates through it). The
+// statistics pass then orders the selectable steps by estimated
+// selectivity and folds the provable extremes (see OptimizeSteps); a
+// provably empty chain becomes an Empty CandSelect, a chain folded down to
+// nothing a no-op one.
 func decomposeFilter(f *Filter) Node {
 	steps := DecomposePred(f.Pred)
 	selectable := false
@@ -214,7 +223,8 @@ func decomposeFilter(f *Filter) Node {
 	if !selectable {
 		return f
 	}
-	return &CandSelect{Child: f.Child, Steps: steps, Pred: f.Pred}
+	steps, empty := OptimizeSteps(steps, BaseCols(f.Child))
+	return &CandSelect{Child: f.Child, Steps: steps, Pred: f.Pred, Empty: empty}
 }
 
 // DecomposePred splits a predicate into an ordered candidate-selection

@@ -269,7 +269,11 @@ func explain(sb *strings.Builder, n Node, depth int) {
 		fmt.Fprintf(sb, "%sselect %s\n", ind, x.Pred)
 		explain(sb, x.Child, depth+1)
 	case *CandSelect:
-		fmt.Fprintf(sb, "%sselect candidates %s\n", ind, stepsString(x.Steps))
+		if x.Empty {
+			fmt.Fprintf(sb, "%sselect candidates none (statistics prove the predicate empty)\n", ind)
+		} else {
+			fmt.Fprintf(sb, "%sselect candidates %s\n", ind, stepsString(x.Steps))
+		}
 		explain(sb, x.Child, depth+1)
 	case *Project:
 		items := make([]string, len(x.Exprs))

@@ -10,6 +10,10 @@
 # retired ones no measurement). Mirrors the repo's self-disabling
 # speedup gates: callers should skip the whole comparison on runners
 # with <4 cores, where timings are not comparable to the baselines.
+#
+# When $GITHUB_STEP_SUMMARY is set (GitHub Actions), a per-benchmark
+# old/new/delta markdown table is appended to it, so a regression is
+# diagnosable from the CI summary page without digging through logs.
 set -euo pipefail
 
 base_dir="${1:?baseline dir}"
@@ -18,17 +22,27 @@ threshold="${3:-25}"
 
 command -v jq >/dev/null || { echo "bench_regress: jq is required" >&2; exit 2; }
 
+summary="${GITHUB_STEP_SUMMARY:-/dev/null}"
+{
+    echo "## Benchmark regression (threshold ${threshold}% ns/op)"
+    echo ""
+    echo "| benchmark | old ns/op | new ns/op | delta | verdict |"
+    echo "|---|--:|--:|--:|---|"
+} >> "${summary}"
+
 fail=0
 for base in "${base_dir}"/BENCH_*.json; do
     name="$(basename "${base}")"
     fresh="${fresh_dir}/${name}"
     if [[ ! -f "${fresh}" ]]; then
         echo "WARN ${name}: no fresh measurement, skipping"
+        echo "| ${name} | — | — | — | no fresh measurement |" >> "${summary}"
         continue
     fi
     while IFS=$'\t' read -r bench old new; do
         if [[ -z "${new}" || "${new}" == "null" ]]; then
             echo "WARN ${bench}: present only in baseline"
+            echo "| ${bench} | ${old} | — | — | retired? |" >> "${summary}"
             continue
         fi
         # Regression ratio in percent, integer math via awk.
@@ -36,9 +50,11 @@ for base in "${base_dir}"/BENCH_*.json; do
         over=$(awk -v p="${pct}" -v t="${threshold}" 'BEGIN { print (p > t) ? 1 : 0 }')
         if [[ "${over}" == "1" ]]; then
             echo "FAIL ${bench}: ${old} -> ${new} ns/op (+${pct}%, threshold ${threshold}%)"
+            echo "| ${bench} | ${old} | ${new} | +${pct}% | **FAIL** |" >> "${summary}"
             fail=1
         else
             echo "ok   ${bench}: ${old} -> ${new} ns/op (${pct}%)"
+            echo "| ${bench} | ${old} | ${new} | ${pct}% | ok |" >> "${summary}"
         fi
     done < <(jq -r --slurpfile f "${fresh}" '
         .[] as $b
@@ -46,10 +62,14 @@ for base in "${base_dir}"/BENCH_*.json; do
         | [$b.name, ($b.ns_per_op | tostring), (($m.ns_per_op // "null") | tostring)]
         | @tsv' "${base}")
     # New benchmarks without a baseline: informational.
-    jq -r --slurpfile b "${base}" '
+    while IFS= read -r newbench; do
+        [[ -z "${newbench}" ]] && continue
+        echo "INFO ${newbench}: new benchmark, no baseline"
+        echo "| ${newbench} | — | new | — | no baseline |" >> "${summary}"
+    done < <(jq -r --slurpfile b "${base}" '
         .[] as $f
         | select(($b[0] | map(select(.name == $f.name)) | length) == 0)
-        | "INFO \($f.name): new benchmark, no baseline"' "${fresh}"
+        | $f.name' "${fresh}")
 done
 
 exit "${fail}"
