@@ -17,6 +17,9 @@
 #   5. the column-statistics comparisons: zonemap skip-scan vs candidate
 #      scan and merge vs hash join
 #      (BenchmarkZonemapSelect, BenchmarkMergeJoin) -> BENCH_stats.json
+#   6. the query-lifecycle costs: mid-join cancellation latency at
+#      1M/10M rows and the cancellable-vs-plain execution overhead
+#      (BenchmarkCancelLatency*, BenchmarkCtxOverhead*) -> BENCH_cancel.json
 #
 # Raw benchmark text lands under bench-artifacts/ (gitignored); only the
 # BENCH_*.json baselines are checked in.
@@ -30,6 +33,7 @@ CAND_PATTERN="BenchmarkSelective"
 SERVER_PATTERN="BenchmarkConcurrentReaders"
 WAL_PATTERN="BenchmarkCommitSmallWrite|BenchmarkWALRecovery"
 STATS_PATTERN="BenchmarkZonemapSelect|BenchmarkMergeJoin"
+CANCEL_PATTERN="BenchmarkCancelLatency|BenchmarkCtxOverhead"
 
 # Raw per-pass output is an artifact, not a source: keep it out of the
 # repo root so it can never be committed again.
@@ -86,3 +90,4 @@ bench_json "${CAND_PATTERN}" BENCH_candidates.json "${ARTIFACTS}/bench_cand_out.
 bench_json "${SERVER_PATTERN}" BENCH_server.json "${ARTIFACTS}/bench_server_out.txt"
 bench_json "${WAL_PATTERN}" BENCH_wal.json "${ARTIFACTS}/bench_wal_out.txt"
 bench_json "${STATS_PATTERN}" BENCH_stats.json "${ARTIFACTS}/bench_stats_out.txt"
+bench_json "${CANCEL_PATTERN}" BENCH_cancel.json "${ARTIFACTS}/bench_cancel_out.txt"

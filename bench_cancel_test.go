@@ -1,0 +1,92 @@
+// Cancellation benchmarks: the two costs of the fault-tolerant query
+// lifecycle. BenchmarkCancelLatency measures the time from ctx.cancel()
+// to QueryContext returning while a large join is mid-kernel — the
+// morsel-granularity abort bound (the issue demands < 50ms at 10M rows;
+// measured latencies sit in the low milliseconds). BenchmarkCtxOverhead
+// compares the same query with and without a cancellable context: the
+// per-morsel cancellation checks are one atomic load each and must stay
+// within noise of the uncancellable path.
+package sciql_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	sciql "repro"
+)
+
+// buildJoinFixture creates two n-row tables over a 64K shared key domain;
+// their join runs long enough to cancel mid-kernel at every size used.
+func buildJoinFixture(b *testing.B, n int) *sciql.DB {
+	b.Helper()
+	db := sciql.New()
+	db.MustQuery(fmt.Sprintf(`CREATE ARRAY seq (i INT DIMENSION[0:1:%d], v INT DEFAULT 0)`, n))
+	db.MustQuery(`CREATE TABLE l (a INT)`)
+	db.MustQuery(`CREATE TABLE r (a INT)`)
+	db.MustQuery(`INSERT INTO l SELECT i % 65536 FROM seq`)
+	db.MustQuery(`INSERT INTO r SELECT i % 65536 FROM seq`)
+	return db
+}
+
+const cancelJoinQuery = `SELECT COUNT(*) FROM l JOIN r ON l.a = r.a`
+
+// benchCancelLatency times only cancel()→return: the query is started
+// and given a head start with the timer stopped, so ns/op is the abort
+// latency itself and the regression gate watches exactly that number.
+func benchCancelLatency(b *testing.B, rows int) {
+	db := buildJoinFixture(b, rows)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		ctx, cancel := context.WithCancel(context.Background())
+		errc := make(chan error, 1)
+		go func() {
+			_, err := db.QueryContext(ctx, cancelJoinQuery)
+			errc <- err
+		}()
+		time.Sleep(50 * time.Millisecond) // well inside the join kernels
+		b.StartTimer()
+		cancel()
+		err := <-errc
+		b.StopTimer()
+		if !errors.Is(err, context.Canceled) {
+			b.Fatalf("err = %v, want context.Canceled", err)
+		}
+		b.StartTimer()
+	}
+}
+
+func BenchmarkCancelLatency1M(b *testing.B)  { benchCancelLatency(b, 1_000_000) }
+func BenchmarkCancelLatency10M(b *testing.B) { benchCancelLatency(b, 10_000_000) }
+
+// benchCtxOverhead runs a join to completion; the "plain" variant takes
+// the uncancellable fast path (single-chunk plans, no Job attached), the
+// "cancellable" variant carries a live context and pays the per-morsel
+// checks plus the finer cancellable chunking.
+func benchCtxOverhead(b *testing.B, cancellable bool) {
+	db := buildJoinFixture(b, 200_000)
+	ctx := context.Background()
+	var cancel context.CancelFunc
+	if cancellable {
+		ctx, cancel = context.WithCancel(ctx)
+		defer cancel()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		if cancellable {
+			_, err = db.QueryContext(ctx, cancelJoinQuery)
+		} else {
+			_, err = db.Query(cancelJoinQuery)
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCtxOverheadPlain(b *testing.B)       { benchCtxOverhead(b, false) }
+func BenchmarkCtxOverheadCancellable(b *testing.B) { benchCtxOverhead(b, true) }

@@ -7,7 +7,13 @@
 // Usage:
 //
 //	sciqld [-addr :8642] [-db dir] [-threads n] [-max-sessions n]
-//	       [-wal-checkpoint-bytes n]
+//	       [-wal-checkpoint-bytes n] [-query-timeout d] [-drain-timeout d]
+//	       [-shutdown-timeout d]
+//
+// SIGTERM/SIGINT drain gracefully: new statements are refused (HTTP
+// 503, text "!error: server is shutting down") while in-flight ones
+// finish, bounded by -drain-timeout, then the store checkpoints and
+// closes.
 //
 // Try it:
 //
@@ -17,11 +23,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	sciql "repro"
 	"repro/internal/core"
@@ -36,6 +44,12 @@ func main() {
 	workers := flag.Int("workers", 0, "concurrent statement executions admitted (0: GOMAXPROCS)")
 	ckptBytes := flag.Int64("wal-checkpoint-bytes", core.DefaultCheckpointBytes,
 		"WAL size that triggers an incremental checkpoint (<=0: only checkpoint on shutdown)")
+	queryTimeout := flag.Duration("query-timeout", 0,
+		"per-statement execution deadline; past it the running kernel is cancelled (0: none)")
+	drainTimeout := flag.Duration("drain-timeout", 10*time.Second,
+		"how long shutdown waits for in-flight statements before cancelling them")
+	shutdownTimeout := flag.Duration("shutdown-timeout", server.DefaultShutdownTimeout,
+		"how long a forced close waits for in-flight HTTP requests")
 	flag.Parse()
 
 	sciql.SetThreads(*threads)
@@ -57,9 +71,11 @@ func main() {
 	}
 
 	srv := server.New(db, server.Config{
-		Addr:        *addr,
-		MaxSessions: *maxSessions,
-		Workers:     *workers,
+		Addr:            *addr,
+		MaxSessions:     *maxSessions,
+		Workers:         *workers,
+		QueryTimeout:    *queryTimeout,
+		ShutdownTimeout: *shutdownTimeout,
 	})
 	if err := srv.Start(); err != nil {
 		fmt.Fprintln(os.Stderr, "sciqld:", err)
@@ -70,8 +86,10 @@ func main() {
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
-	fmt.Println("sciqld: shutting down")
-	_ = srv.Close()
+	fmt.Println("sciqld: draining (refusing new statements)")
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	_ = srv.Drain(ctx)
+	cancel()
 	if err := db.Close(); err != nil {
 		fmt.Fprintln(os.Stderr, "sciqld:", err)
 		os.Exit(1)

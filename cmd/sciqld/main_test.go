@@ -1,0 +1,118 @@
+package main
+
+import (
+	"bufio"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/server/client"
+)
+
+// TestSIGTERMDrain exercises the daemon end to end: build the binary,
+// start it, put a long statement in flight, send SIGTERM, and require
+// that (a) new statements are refused, (b) the in-flight statement runs
+// to completion, and (c) the process drains and exits cleanly.
+func TestSIGTERMDrain(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the sciqld binary; skipped in -short")
+	}
+	bin := filepath.Join(t.TempDir(), "sciqld")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("build: %v\n%s", err, out)
+	}
+
+	cmd := exec.Command(bin, "-addr", "127.0.0.1:0", "-drain-timeout", "60s")
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = cmd.Stdout
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = cmd.Process.Kill() }()
+
+	// First stdout line: "sciqld listening on 127.0.0.1:PORT (db: ...)".
+	br := bufio.NewScanner(stdout)
+	if !br.Scan() {
+		t.Fatal("no startup line from sciqld")
+	}
+	fields := strings.Fields(br.Text())
+	if len(fields) < 4 {
+		t.Fatalf("unexpected startup line %q", br.Text())
+	}
+	addr := fields[3]
+	lines := make(chan string, 64)
+	go func() {
+		for br.Scan() {
+			lines <- br.Text()
+		}
+		close(lines)
+	}()
+
+	c := client.New(addr)
+	if _, err := c.Exec(`CREATE ARRAY seq (i INT DIMENSION[0:1:1000000], v INT DEFAULT 0);
+		CREATE TABLE l (a INT); CREATE TABLE r (a INT);
+		INSERT INTO l SELECT i % 65536 FROM seq;
+		INSERT INTO r SELECT i % 65536 FROM seq`); err != nil {
+		t.Fatalf("fixture: %v", err)
+	}
+
+	inflight := make(chan error, 1)
+	go func() {
+		_, err := client.New(addr).Query(`SELECT COUNT(*) FROM l JOIN r ON l.a = r.a`)
+		inflight <- err
+	}()
+	time.Sleep(300 * time.Millisecond) // join (several seconds long) is now executing
+
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	// New work is refused while draining (or the port is already closed
+	// once the drain finished — both are valid refusals).
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		_, err := client.New(addr).Query(`SELECT 1`)
+		if err != nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("statements still admitted after SIGTERM")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// The statement that was in flight at SIGTERM still completes.
+	select {
+	case err := <-inflight:
+		if err != nil {
+			t.Fatalf("in-flight statement killed by drain: %v", err)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("in-flight statement never returned")
+	}
+
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("sciqld exit: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("sciqld did not exit after drain")
+	}
+	var sawDrain bool
+	for l := range lines {
+		if strings.Contains(l, "draining") {
+			sawDrain = true
+		}
+	}
+	if !sawDrain {
+		t.Fatal("sciqld never announced draining")
+	}
+}

@@ -3,6 +3,7 @@ package bat
 import (
 	"fmt"
 
+	"repro/internal/par"
 	"repro/internal/types"
 )
 
@@ -72,9 +73,15 @@ func Filler(cnt int, v types.Value, kind types.Kind) (*BAT, error) {
 	if cnt < 0 {
 		return nil, fmt.Errorf("array.filler: negative count %d", cnt)
 	}
+	// A filler aligned to a large intermediate (COUNT over a wide join)
+	// is a long serial loop, so it polls the goroutine's cancellation job.
+	job := par.CurrentJob()
 	b := New(kind, cnt)
 	if v.IsNull() {
 		for i := 0; i < cnt; i++ {
+			if i&0xfff == 0 && job.Canceled() {
+				return nil, par.ErrCanceled
+			}
 			b.AppendNull()
 		}
 		return b, nil
@@ -87,21 +94,33 @@ func Filler(cnt int, v types.Value, kind types.Kind) (*BAT, error) {
 	case types.KindInt, types.KindOID:
 		x := cv.Int64()
 		for i := 0; i < cnt; i++ {
+			if i&0xfff == 0 && job.Canceled() {
+				return nil, par.ErrCanceled
+			}
 			b.AppendInt(x)
 		}
 	case types.KindFloat:
 		x := cv.Float64()
 		for i := 0; i < cnt; i++ {
+			if i&0xfff == 0 && job.Canceled() {
+				return nil, par.ErrCanceled
+			}
 			b.AppendFloat(x)
 		}
 	case types.KindBool:
 		x := cv.BoolVal()
 		for i := 0; i < cnt; i++ {
+			if i&0xfff == 0 && job.Canceled() {
+				return nil, par.ErrCanceled
+			}
 			b.AppendBool(x)
 		}
 	case types.KindStr:
 		x := cv.StrVal()
 		for i := 0; i < cnt; i++ {
+			if i&0xfff == 0 && job.Canceled() {
+				return nil, par.ErrCanceled
+			}
 			b.AppendStr(x)
 		}
 	default:

@@ -7,9 +7,9 @@ import (
 	"hash/crc32"
 	"io"
 	"math"
-	"os"
 
 	"repro/internal/types"
+	"repro/internal/vfs"
 )
 
 // Binary on-disk format for a single BAT, little-endian throughout:
@@ -231,8 +231,14 @@ func (b *BAT) Save(path string) error {
 // file is fsynced before the rename: checkpoint manifests must never
 // reference segment data still sitting in the page cache.
 func (b *BAT) SaveSize(path string) (int64, error) {
+	return b.SaveSizeFS(vfs.OS, path)
+}
+
+// SaveSizeFS is SaveSize on an explicit filesystem, the seam the
+// fault-injection suite uses to fail segment writes mid-checkpoint.
+func (b *BAT) SaveSizeFS(fsys vfs.FS, path string) (int64, error) {
 	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
+	f, err := fsys.Create(tmp)
 	if err != nil {
 		return 0, err
 	}
@@ -240,24 +246,24 @@ func (b *BAT) SaveSize(path string) (int64, error) {
 	w := bufio.NewWriterSize(cw, 1<<16)
 	if err := b.Write(w); err != nil {
 		f.Close()
-		os.Remove(tmp)
+		fsys.Remove(tmp)
 		return 0, err
 	}
 	if err := w.Flush(); err != nil {
 		f.Close()
-		os.Remove(tmp)
+		fsys.Remove(tmp)
 		return 0, err
 	}
 	if err := f.Sync(); err != nil {
 		f.Close()
-		os.Remove(tmp)
+		fsys.Remove(tmp)
 		return 0, err
 	}
 	if err := f.Close(); err != nil {
-		os.Remove(tmp)
+		fsys.Remove(tmp)
 		return 0, err
 	}
-	return cw.n, os.Rename(tmp, path)
+	return cw.n, fsys.Rename(tmp, path)
 }
 
 type countWriter struct {
@@ -272,8 +278,11 @@ func (c *countWriter) Write(p []byte) (int, error) {
 }
 
 // Load reads a BAT from path.
-func Load(path string) (*BAT, error) {
-	f, err := os.Open(path)
+func Load(path string) (*BAT, error) { return LoadFS(vfs.OS, path) }
+
+// LoadFS is Load on an explicit filesystem.
+func LoadFS(fsys vfs.FS, path string) (*BAT, error) {
+	f, err := fsys.Open(path)
 	if err != nil {
 		return nil, err
 	}

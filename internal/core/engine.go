@@ -5,7 +5,10 @@
 package core
 
 import (
+	"context"
 	"fmt"
+	"log"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 
@@ -14,6 +17,7 @@ import (
 	"repro/internal/rel"
 	"repro/internal/sql/ast"
 	"repro/internal/sql/parser"
+	"repro/internal/vfs"
 	"repro/internal/wal"
 )
 
@@ -64,12 +68,18 @@ type DB struct {
 	ckptBytes   int64
 	ckptWritten int64 // segment bytes written by checkpoints (accounting)
 
-	// walFailed poisons the write path after a WAL append or reset
-	// failure: the in-memory state and the log have diverged, so further
-	// writes are refused (reads keep working) rather than compounding the
-	// divergence into silent data loss or an unreplayable log. Reopening
-	// the database recovers to the last durable state.
-	walFailed error
+	// fs is the filesystem every durability-bearing operation (WAL,
+	// segments, manifest) goes through: vfs.OS in production, a failpoint
+	// implementation in the fault-injection suites.
+	fs vfs.FS
+
+	// degraded, when non-nil, is the cause that latched read-only
+	// degraded mode: a WAL append/reset or checkpoint failure left the
+	// in-memory state and the disk (possibly) diverged, so further writes
+	// are refused (reads keep working) rather than compounding the
+	// divergence into silent data loss or an unreplayable log. See
+	// degraded.go; a successful Save or a reopen recovers.
+	degraded error
 
 	txn      *txn     // open explicit transaction, nil in autocommit
 	txnOwner *Session // session holding the open transaction
@@ -86,7 +96,7 @@ const DefaultCheckpointBytes = 4 << 20
 // New creates an empty in-memory database.
 func New() *DB {
 	db := &DB{cat: catalog.New(), dirty: map[string]struct{}{}, pcache: newParseCache(),
-		ckptDirty: map[string]bool{}}
+		ckptDirty: map[string]bool{}, fs: vfs.OS}
 	db.session = &Session{db: db}
 	db.view.Store(catalog.New())
 	return db
@@ -105,8 +115,18 @@ func Open(dir string) (*DB, error) {
 // SetWALCheckpointBytes after Open, the threshold also governs whether
 // an oversized recovered log is folded during the open itself.
 func OpenWith(dir string, walCheckpointBytes int64) (*DB, error) {
+	return OpenWithFS(dir, walCheckpointBytes, vfs.OS)
+}
+
+// OpenWithFS is OpenWith on an explicit filesystem. The fault-injection
+// and chaos suites use it to make fsyncs, renames and segment writes
+// fail on demand; production callers never need it.
+func OpenWithFS(dir string, walCheckpointBytes int64, fsys vfs.FS) (*DB, error) {
+	if fsys == nil {
+		fsys = vfs.OS
+	}
 	db := &DB{cat: catalog.New(), dir: dir, dirty: map[string]struct{}{}, pcache: newParseCache(),
-		ckptDirty: map[string]bool{}, ckptBytes: walCheckpointBytes}
+		ckptDirty: map[string]bool{}, ckptBytes: walCheckpointBytes, fs: fsys}
 	db.session = &Session{db: db}
 	if err := db.load(); err != nil {
 		return nil, err
@@ -237,10 +257,25 @@ func (db *DB) Close() error {
 // in parallel, writes serialise.
 func (db *DB) Exec(query string) ([]*Result, error) { return db.session.Exec(query) }
 
+// ExecContext is Exec under a context: cancelling ctx (or its deadline
+// expiring) aborts the batch between statements, between MAL
+// instructions, and — for kernels on large inputs — at morsel
+// granularity mid-kernel. The returned error is ctx.Err() when the
+// context caused the abort.
+func (db *DB) ExecContext(ctx context.Context, query string) ([]*Result, error) {
+	return db.session.ExecContext(ctx, query)
+}
+
 // Query executes exactly one statement on the default session and returns
 // its result. Repeated statements skip the parser via the DB's statement
 // cache. Safe for concurrent use.
 func (db *DB) Query(query string) (*Result, error) { return db.session.Query(query) }
+
+// QueryContext is Query under a context (see ExecContext for the
+// cancellation semantics).
+func (db *DB) QueryContext(ctx context.Context, query string) (*Result, error) {
+	return db.session.QueryContext(ctx, query)
+}
 
 // MustQuery executes a statement and panics on error (testing/examples).
 func (db *DB) MustQuery(query string) *Result {
@@ -273,6 +308,29 @@ func (db *DB) parse(query string) ([]ast.Statement, error) {
 // against the published snapshot unless the session holds the open
 // transaction (read-your-writes); everything else takes the writer lock.
 func (db *DB) execStmt(s *Session, stmt ast.Statement) (*Result, error) {
+	return db.execStmtCtx(context.Background(), s, stmt)
+}
+
+// execStmtCtx is execStmt under a context, and the engine's panic
+// containment boundary: a panicking kernel (or interpreter bug) is
+// converted into an error instead of tearing down the process. The
+// recovery is sound because statement execution never leaves shared
+// state inconsistent at a panic point — reads run against an immutable
+// snapshot, and a write that panics mid-statement is in the same
+// position as a write that errors mid-statement (partial effects,
+// logged as applied), which the engine already tolerates. The writer
+// lock, when held, is released by its own defer during unwinding.
+func (db *DB) execStmtCtx(ctx context.Context, s *Session, stmt ast.Statement) (res *Result, err error) {
+	if cerr := ctx.Err(); cerr != nil {
+		return nil, cerr
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			log.Printf("sciql: query panic (answered as error): %v\n%s", r, debug.Stack())
+			res = nil
+			err = fmt.Errorf("internal error: query execution panicked: %v", r)
+		}
+	}()
 	switch stmt.(type) {
 	case *ast.Select, *ast.Explain:
 		db.mu.RLock()
@@ -280,7 +338,7 @@ func (db *DB) execStmt(s *Session, stmt ast.Statement) (*Result, error) {
 		snap := db.view.Load()
 		db.mu.RUnlock()
 		if !inTxn {
-			return db.execRead(snap, stmt)
+			return db.execRead(ctx, snap, stmt)
 		}
 	}
 	db.mu.Lock()
@@ -288,10 +346,10 @@ func (db *DB) execStmt(s *Session, stmt ast.Statement) (*Result, error) {
 	if db.txn != nil && db.txnOwner != s {
 		return nil, fmt.Errorf("another session holds an open transaction; writes are blocked until it commits or rolls back")
 	}
-	if err := db.writeBlockedErr(); err != nil && isWriteStmt(stmt) {
-		return nil, err
+	if werr := db.writeBlockedErr(); werr != nil && isWriteStmt(stmt) {
+		return nil, werr
 	}
-	r, err := db.execLocked(s, stmt)
+	r, err := db.execLocked(ctx, s, stmt)
 	// Autocommit boundary: make the statement durable (one fsynced WAL
 	// batch; partial effects of a failed statement are logged exactly as
 	// applied) and publish it statement-atomically. Inside an explicit
@@ -304,27 +362,17 @@ func (db *DB) execStmt(s *Session, stmt ast.Statement) (*Result, error) {
 		if len(db.dirty) > 0 {
 			db.publishLocked()
 		}
-		// No automatic checkpoint once the log is poisoned: it would
-		// persist the very statement the caller was just told failed (and
-		// silently lift the read-only state). Only an explicit Save/Close
-		// may re-converge after a WAL failure.
-		if db.walFailed == nil {
+		// No automatic checkpoint once degraded: it would persist the
+		// very statement the caller was just told failed (and silently
+		// lift the read-only state). Only an explicit Save/Close may
+		// re-converge after a WAL failure.
+		if db.degraded == nil {
 			if cerr := db.maybeCheckpointLocked(); cerr != nil && err == nil {
 				err = cerr
 			}
 		}
 	}
 	return r, err
-}
-
-// writeBlockedErr returns the refusal every write path must surface
-// while the WAL is poisoned (nil otherwise). Must be called under the
-// writer lock.
-func (db *DB) writeBlockedErr() error {
-	if db.walFailed == nil {
-		return nil
-	}
-	return fmt.Errorf("database is read-only: write-ahead log failed (%v); reopen to recover", db.walFailed)
 }
 
 // isWriteStmt reports whether a statement mutates the database.
@@ -338,10 +386,10 @@ func isWriteStmt(stmt ast.Statement) bool {
 
 // execRead executes a read-only statement against an immutable snapshot.
 // It runs without any engine lock: the snapshot's storage is frozen.
-func (db *DB) execRead(cat *catalog.Catalog, stmt ast.Statement) (*Result, error) {
+func (db *DB) execRead(ctx context.Context, cat *catalog.Catalog, stmt ast.Statement) (*Result, error) {
 	switch s := stmt.(type) {
 	case *ast.Select:
-		return db.runSelect(cat, s)
+		return db.runSelect(ctx, cat, s)
 	case *ast.Explain:
 		return db.explain(cat, s)
 	default:
@@ -349,10 +397,10 @@ func (db *DB) execRead(cat *catalog.Catalog, stmt ast.Statement) (*Result, error
 	}
 }
 
-func (db *DB) execLocked(s *Session, stmt ast.Statement) (*Result, error) {
+func (db *DB) execLocked(ctx context.Context, s *Session, stmt ast.Statement) (*Result, error) {
 	switch st := stmt.(type) {
 	case *ast.Select:
-		return db.runSelect(db.cat, st)
+		return db.runSelect(ctx, db.cat, st)
 	case *ast.CreateTable:
 		db.pcache.purge() // DDL invalidates cached statements
 		return db.createTable(st)
@@ -382,16 +430,16 @@ func (db *DB) execLocked(s *Session, stmt ast.Statement) (*Result, error) {
 
 // runSelect binds, optimizes, compiles and interprets a SELECT against the
 // given catalog (live for writers/transactions, a snapshot for readers).
-func (db *DB) runSelect(cat *catalog.Catalog, sel *ast.Select) (*Result, error) {
+func (db *DB) runSelect(ctx context.Context, cat *catalog.Catalog, sel *ast.Select) (*Result, error) {
 	prog, err := compileSelect(cat, sel)
 	if err != nil {
 		return nil, err
 	}
-	ctx, err := mal.Run(prog)
+	mctx, err := mal.RunCtx(ctx, prog)
 	if err != nil {
 		return nil, err
 	}
-	return assembleResult(prog, ctx)
+	return assembleResult(prog, mctx)
 }
 
 // compileSelect runs the full front-end pipeline of Fig. 2.

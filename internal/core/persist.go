@@ -10,6 +10,7 @@ import (
 	"repro/internal/catalog"
 	"repro/internal/shape"
 	"repro/internal/types"
+	"repro/internal/vfs"
 	"repro/internal/wal"
 )
 
@@ -211,8 +212,21 @@ func (db *DB) checkpointLocked() error {
 		// on COMMIT + crash (and persist them on ROLLBACK).
 		return fmt.Errorf("cannot checkpoint while a transaction is open")
 	}
+	// Past the guard clauses, every failure is a durability-affecting I/O
+	// error: latch read-only degraded mode so writes are refused instead
+	// of diverging further from the disk. A later successful checkpoint
+	// (Save, Close) or a reopen clears it.
+	if err := db.checkpointIOLocked(); err != nil {
+		db.degradeLocked(fmt.Errorf("checkpoint: %v", err))
+		return err
+	}
+	return nil
+}
+
+// checkpointIOLocked is the I/O body of checkpointLocked.
+func (db *DB) checkpointIOLocked() error {
 	batDir := filepath.Join(db.dir, "bats")
-	if err := os.MkdirAll(batDir, 0o755); err != nil {
+	if err := db.fs.MkdirAll(batDir, 0o755); err != nil {
 		return err
 	}
 	newGen := db.walGen + 1
@@ -226,7 +240,7 @@ func (db *DB) checkpointLocked() error {
 		}
 		if t, ok := db.cat.Table(name); ok {
 			for i, c := range t.Columns {
-				n, err := t.Bats[i].SaveSize(segPath(batDir, t.Name, c.Name, newGen))
+				n, err := t.Bats[i].SaveSizeFS(db.fs, segPath(batDir, t.Name, c.Name, newGen))
 				if err != nil {
 					return fmt.Errorf("checkpoint table %s: %v", t.Name, err)
 				}
@@ -237,7 +251,7 @@ func (db *DB) checkpointLocked() error {
 		}
 		if a, ok := db.cat.Array(name); ok {
 			for i, c := range a.Attrs {
-				n, err := a.AttrBats[i].SaveSize(segPath(batDir, a.Name, c.Name, newGen))
+				n, err := a.AttrBats[i].SaveSizeFS(db.fs, segPath(batDir, a.Name, c.Name, newGen))
 				if err != nil {
 					return fmt.Errorf("checkpoint array %s: %v", a.Name, err)
 				}
@@ -248,7 +262,7 @@ func (db *DB) checkpointLocked() error {
 		// Dropped objects simply vanish from the manifest.
 	}
 	// Make the segment renames durable before a manifest references them.
-	if err := wal.SyncDir(batDir); err != nil {
+	if err := db.fs.SyncDir(batDir); err != nil {
 		return err
 	}
 
@@ -286,7 +300,7 @@ func (db *DB) checkpointLocked() error {
 		}
 		m.Arrays = append(m.Arrays, ma)
 	}
-	if err := writeManifest(db.dir, m); err != nil {
+	if err := writeManifest(db.fs, db.dir, m); err != nil {
 		return err
 	}
 
@@ -297,56 +311,55 @@ func (db *DB) checkpointLocked() error {
 	if db.wal != nil {
 		_ = db.wal.Close()
 	}
-	l, err := wal.Create(filepath.Join(db.dir, "wal.log"), newGen)
+	l, err := wal.CreateFS(db.fs, filepath.Join(db.dir, "wal.log"), newGen)
 	if err != nil {
 		// The manifest is already durable but there is no log to append
-		// to: poison the write path (reads stay up, a later Save can
-		// retry) instead of silently accepting non-durable writes.
+		// to: latch degraded mode (reads stay up, a later Save can retry)
+		// instead of silently accepting non-durable writes.
 		db.wal = nil
-		db.walFailed = fmt.Errorf("resetting wal: %v", err)
-		return fmt.Errorf("checkpoint: resetting wal: %v", err)
+		return fmt.Errorf("resetting wal: %v", err)
 	}
 	db.wal = l
 	db.walGen = newGen
 	clear(db.ckptDirty)
 	// A successful checkpoint folds the full in-memory state into the
-	// store, re-converging disk with memory: any earlier WAL failure is
-	// healed and writes may resume.
-	db.walFailed = nil
+	// store, re-converging disk with memory: any earlier durability
+	// failure is healed and writes may resume.
+	db.degraded = nil
 	db.gcSegments(batDir, m)
 	return nil
 }
 
 // writeManifest atomically replaces catalog.json (temp file + fsync +
 // rename + directory fsync).
-func writeManifest(dir string, m manifest) error {
+func writeManifest(fsys vfs.FS, dir string, m manifest) error {
 	data, err := json.MarshalIndent(m, "", "  ")
 	if err != nil {
 		return err
 	}
 	tmp := filepath.Join(dir, "catalog.json.tmp")
-	f, err := os.Create(tmp)
+	f, err := fsys.Create(tmp)
 	if err != nil {
 		return err
 	}
 	if _, err := f.Write(data); err != nil {
 		f.Close()
-		os.Remove(tmp)
+		fsys.Remove(tmp)
 		return err
 	}
 	if err := f.Sync(); err != nil {
 		f.Close()
-		os.Remove(tmp)
+		fsys.Remove(tmp)
 		return err
 	}
 	if err := f.Close(); err != nil {
-		os.Remove(tmp)
+		fsys.Remove(tmp)
 		return err
 	}
-	if err := os.Rename(tmp, filepath.Join(dir, "catalog.json")); err != nil {
+	if err := fsys.Rename(tmp, filepath.Join(dir, "catalog.json")); err != nil {
 		return err
 	}
-	return wal.SyncDir(dir)
+	return fsys.SyncDir(dir)
 }
 
 // gcSegments removes segment files the new manifest no longer references
@@ -364,7 +377,7 @@ func (db *DB) gcSegments(batDir string, m manifest) {
 			keep[filepath.Base(segPath(batDir, ma.Name, c.Name, ma.Ver))] = struct{}{}
 		}
 	}
-	entries, err := os.ReadDir(batDir)
+	entries, err := db.fs.ReadDir(batDir)
 	if err != nil {
 		return
 	}
@@ -373,7 +386,7 @@ func (db *DB) gcSegments(batDir string, m manifest) {
 			continue
 		}
 		if _, ok := keep[e.Name()]; !ok {
-			_ = os.Remove(filepath.Join(batDir, e.Name()))
+			_ = db.fs.Remove(filepath.Join(batDir, e.Name()))
 		}
 	}
 }
@@ -383,9 +396,9 @@ func (db *DB) gcSegments(batDir string, m manifest) {
 // replayed afterwards by recoverWAL.
 func (db *DB) load() error {
 	path := filepath.Join(db.dir, "catalog.json")
-	data, err := os.ReadFile(path)
+	data, err := db.fs.ReadFile(path)
 	if os.IsNotExist(err) {
-		return os.MkdirAll(db.dir, 0o755) // fresh database
+		return db.fs.MkdirAll(db.dir, 0o755) // fresh database
 	}
 	if err != nil {
 		return err
@@ -407,7 +420,7 @@ func (db *DB) load() error {
 				return err
 			}
 			t.Columns = append(t.Columns, col)
-			b, err := bat.Load(segPath(batDir, mt.Name, mc.Name, mt.Ver))
+			b, err := bat.LoadFS(db.fs, segPath(batDir, mt.Name, mc.Name, mt.Ver))
 			if err != nil {
 				return fmt.Errorf("table %s column %s: %v", mt.Name, mc.Name, err)
 			}
@@ -439,7 +452,7 @@ func (db *DB) load() error {
 				return err
 			}
 			a.Attrs = append(a.Attrs, col)
-			b, err := bat.Load(segPath(batDir, ma.Name, mc.Name, ma.Ver))
+			b, err := bat.LoadFS(db.fs, segPath(batDir, ma.Name, mc.Name, ma.Ver))
 			if err != nil {
 				return fmt.Errorf("array %s attribute %s: %v", ma.Name, mc.Name, err)
 			}
@@ -464,9 +477,9 @@ func (db *DB) load() error {
 // aborts the open with a recovery error.
 func (db *DB) recoverWAL() error {
 	path := filepath.Join(db.dir, "wal.log")
-	gen, err := wal.Header(path)
+	gen, err := wal.HeaderFS(db.fs, path)
 	if os.IsNotExist(err) {
-		l, cerr := wal.Create(path, db.walGen)
+		l, cerr := wal.CreateFS(db.fs, path, db.walGen)
 		if cerr != nil {
 			return cerr
 		}
@@ -479,14 +492,14 @@ func (db *DB) recoverWAL() error {
 	if gen != db.walGen {
 		// Pre-checkpoint leftover: its effects are already in the
 		// segment store. Replace it with a fresh log of our generation.
-		l, cerr := wal.Create(path, db.walGen)
+		l, cerr := wal.CreateFS(db.fs, path, db.walGen)
 		if cerr != nil {
 			return cerr
 		}
 		db.wal = l
 		return nil
 	}
-	l, err := wal.Open(path, db.applyWALBatch)
+	l, err := wal.OpenFS(db.fs, path, db.applyWALBatch)
 	if err != nil {
 		return fmt.Errorf("wal recovery: %v", err)
 	}
@@ -508,11 +521,12 @@ func (db *DB) flushWALLocked() error {
 	db.walPending = db.walPending[:0]
 	if err != nil {
 		// The applied effects are now missing from the log: memory and
-		// disk have diverged. Poison the write path so no later record
-		// can reference state the log never saw; a successful checkpoint
-		// (Save/Close) re-converges and clears the poison.
-		db.walFailed = fmt.Errorf("wal append: %v", err)
-		return db.walFailed
+		// disk have diverged. Latch read-only degraded mode so no later
+		// record can reference state the log never saw; a successful
+		// checkpoint (Save/Close) re-converges and clears it.
+		cause := fmt.Errorf("wal append: %v", err)
+		db.degradeLocked(cause)
+		return cause
 	}
 	return nil
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -33,13 +34,22 @@ func (s *Session) DB() *DB { return s.db }
 // result per statement. Reads run lock-free against the published
 // snapshot; writes serialise on the engine's writer lock.
 func (s *Session) Exec(query string) ([]*Result, error) {
+	return s.ExecContext(context.Background(), query)
+}
+
+// ExecContext is Exec under a context: cancelling ctx (or its deadline
+// expiring) stops the batch between statements, between MAL
+// instructions, and at morsel granularity inside large kernels. The
+// statement running at cancellation time returns ctx.Err(); its
+// already-committed predecessors in the batch stay committed.
+func (s *Session) ExecContext(ctx context.Context, query string) ([]*Result, error) {
 	stmts, err := s.db.parse(query)
 	if err != nil {
 		return nil, err
 	}
 	out := make([]*Result, 0, len(stmts))
 	for _, st := range stmts {
-		r, err := s.db.execStmt(s, st)
+		r, err := s.db.execStmtCtx(ctx, s, st)
 		if err != nil {
 			return out, err
 		}
@@ -50,20 +60,32 @@ func (s *Session) Exec(query string) ([]*Result, error) {
 
 // Query executes exactly one statement and returns its result.
 func (s *Session) Query(query string) (*Result, error) {
+	return s.QueryContext(context.Background(), query)
+}
+
+// QueryContext is Query under a context (see ExecContext for the
+// cancellation semantics).
+func (s *Session) QueryContext(ctx context.Context, query string) (*Result, error) {
 	if stmts, ok := s.db.pcache.get(query); ok && len(stmts) == 1 {
-		return s.db.execStmt(s, stmts[0])
+		return s.db.execStmtCtx(ctx, s, stmts[0])
 	}
 	stmt, err := parser.ParseOne(query)
 	if err != nil {
 		return nil, err
 	}
 	s.db.pcache.put(query, []ast.Statement{stmt})
-	return s.db.execStmt(s, stmt)
+	return s.db.execStmtCtx(ctx, s, stmt)
 }
 
 // ExecStmt executes one parsed statement on this session.
 func (s *Session) ExecStmt(stmt ast.Statement) (*Result, error) {
 	return s.db.execStmt(s, stmt)
+}
+
+// ExecStmtContext executes one parsed statement on this session under a
+// context.
+func (s *Session) ExecStmtContext(ctx context.Context, stmt ast.Statement) (*Result, error) {
+	return s.db.execStmtCtx(ctx, s, stmt)
 }
 
 // InTransaction reports whether this session holds the open transaction.

@@ -127,16 +127,25 @@ func MergeJoin(l, r *bat.BAT) (lIdx, rIdx *bat.BAT, err error) {
 		lout, rout = mergeRuns(l.Len(), r.Len(),
 			func(i int) string { return lv[i] }, func(i int) string { return rv[i] })
 	}
+	if par.CurrentJob().Canceled() {
+		return nil, nil, par.ErrCanceled
+	}
 	lb, rb := bat.FromOIDs(lout), bat.FromOIDs(rout)
 	lb.Sorted = true
 	return lb, rb, nil
 }
 
 // mergeRuns is the sorted-merge core: advance past unequal values, expand
-// equal runs pairwise.
+// equal runs pairwise. It is a single linear pass outside the morsel
+// machinery, so it polls the goroutine's cancellation job itself and
+// bails with a truncated (discarded by the caller) result.
 func mergeRuns[T int64 | string](nl, nr int, lat, rat func(int) T) (lout, rout []int64) {
+	job, tick := par.CurrentJob(), 0
 	i, j := 0, 0
 	for i < nl && j < nr {
+		if tick++; tick&0xfff == 0 && job.Canceled() {
+			break
+		}
 		lv, rv := lat(i), rat(j)
 		switch {
 		case lv < rv:
@@ -167,25 +176,67 @@ func mergeRuns[T int64 | string](nl, nr int, lat, rat func(int) T) (lout, rout [
 	return lout, rout
 }
 
-// buildHashTable hashes every row of keys (in parallel) and inserts the
-// non-NULL ones into a chained bucket table.
-func buildHashTable(keys []*bat.BAT) map[uint64][]int32 {
+// hashTable is a chained-bucket table over flat arrays: buckets[h&mask]
+// holds the 1-based row index of its chain head, next[i] the 1-based
+// index of the row after i in the same bucket, and 0 means "end". The
+// zero value of both arrays is already a valid empty table, so the only
+// allocations are demand-zero flat slices — unlike a row-count-sized Go
+// map, whose eager bucket array is an uncancellable multi-hundred-MB
+// stall at 10M rows. Chains keep ascending row order, so probing yields
+// pairs in the same order the map-based table produced.
+type hashTable struct {
+	mask    uint64
+	buckets []int32
+	next    []int32
+	hs      []uint64 // per-row hash: cheap chain filter before rowsEqual
+	ok      []bool   // non-NULL rows (the only ones inserted)
+}
+
+// first returns the 1-based chain head for hash h (0 if empty).
+func (t *hashTable) first(h uint64) int32 { return t.buckets[h&t.mask] }
+
+// buildHashTable hashes every row of keys (in parallel) and chains the
+// non-NULL ones into the bucket table. The insertion loop is the join's
+// long serial segment, so it polls the goroutine's cancellation job
+// every few thousand rows and bails with a partial table — callers must
+// check the job before using the result.
+func buildHashTable(keys []*bat.BAT) *hashTable {
 	n := keys[0].Len()
-	hs := make([]uint64, n)
-	ok := make([]bool, n)
-	hashRows(keys, n, hs, ok)
-	table := make(map[uint64][]int32, n)
-	for i := 0; i < n; i++ {
-		if ok[i] {
-			table[hs[i]] = append(table[hs[i]], int32(i))
+	t := &hashTable{hs: make([]uint64, n), ok: make([]bool, n)}
+	hashRows(keys, n, t.hs, t.ok)
+	job := par.CurrentJob()
+	if job.Canceled() {
+		t.buckets = make([]int32, 1)
+		return t
+	}
+	nb := 16
+	for nb < n {
+		nb <<= 1
+	}
+	t.mask = uint64(nb - 1)
+	t.buckets = make([]int32, nb)
+	t.next = make([]int32, n)
+	// Insert in descending row order: each prepend leaves the chain
+	// reading ascending, matching the probe-output order contract.
+	for i := n - 1; i >= 0; i-- {
+		if i&0xfff == 0 && job.Canceled() {
+			break
+		}
+		if t.ok[i] {
+			b := t.hs[i] & t.mask
+			t.next[i] = t.buckets[b]
+			t.buckets[b] = int32(i) + 1
 		}
 	}
-	return table
+	return t
 }
 
 func hashJoinBuildRight(lkeys, rkeys []*bat.BAT) (*bat.BAT, *bat.BAT, error) {
 	nl := lkeys[0].Len()
 	table := buildHashTable(rkeys)
+	if par.CurrentJob().Canceled() {
+		return nil, nil, par.ErrCanceled
+	}
 
 	// Probe phase: the table is read-only from here on, so morsels probe
 	// concurrently with per-chunk output buffers.
@@ -199,15 +250,21 @@ func hashJoinBuildRight(lkeys, rkeys []*bat.BAT) (*bat.BAT, *bat.BAT, error) {
 			if !ok {
 				continue
 			}
-			for _, j := range table[h] {
-				if rowsEqual(lkeys, i, rkeys, int(j)) {
+			for j := table.first(h); j != 0; j = table.next[j-1] {
+				ri := int(j - 1)
+				if table.hs[ri] == h && rowsEqual(lkeys, i, rkeys, ri) {
 					lout = append(lout, int64(i))
-					rout = append(rout, int64(j))
+					rout = append(rout, int64(ri))
 				}
 			}
 		}
 		louts[c], routs[c] = lout, rout
 	})
+	// A cancelled probe leaves partial chunk buffers; skip materialising
+	// them (concat + copy of a possibly huge pair list) and bail now.
+	if par.CurrentJob().Canceled() {
+		return nil, nil, par.ErrCanceled
+	}
 	lb, rb := bat.FromOIDs(concatInt64(louts)), bat.FromOIDs(concatInt64(routs))
 	lb.Sorted = true
 	return lb, rb, nil
@@ -234,6 +291,9 @@ func concatInt64(parts [][]int64) []int64 {
 }
 
 func sortPairsByLeft(l, r *bat.BAT) (*bat.BAT, *bat.BAT, error) {
+	if par.CurrentJob().Canceled() {
+		return nil, nil, par.ErrCanceled
+	}
 	n := l.Len()
 	type pair struct{ l, r int64 }
 	pairs := make([]pair, n)
@@ -300,10 +360,11 @@ func leftJoinDense(lkeys, rkeys []*bat.BAT) (lIdx, rIdx *bat.BAT, err error) {
 		for i := lo; i < hi; i++ {
 			matched := false
 			if h, ok := hashRow(lkeys, i); ok {
-				for _, j := range table[h] {
-					if rowsEqual(lkeys, i, rkeys, int(j)) {
+				for j := table.first(h); j != 0; j = table.next[j-1] {
+					ri := int(j - 1)
+					if table.hs[ri] == h && rowsEqual(lkeys, i, rkeys, ri) {
 						lout = append(lout, int64(i))
-						rout = append(rout, int64(j))
+						rout = append(rout, int64(ri))
 						rnull = append(rnull, false)
 						matched = true
 					}
@@ -317,6 +378,9 @@ func leftJoinDense(lkeys, rkeys []*bat.BAT) (lIdx, rIdx *bat.BAT, err error) {
 		}
 		louts[c], routs[c], rnulls[c] = lout, rout, rnull
 	})
+	if par.CurrentJob().Canceled() {
+		return nil, nil, par.ErrCanceled
+	}
 
 	lout := bat.FromOIDs(concatInt64(louts))
 	lout.Sorted = true

@@ -80,6 +80,7 @@ func (c *Ctx) rowCount(args []Arg) (int, error) {
 func Run(p *Program) (*Ctx, error) {
 	ctx := &Ctx{Vars: make([]any, p.NVars)}
 	for i := range p.Instrs {
+		runHook(&p.Instrs[i])
 		if err := ctx.exec(&p.Instrs[i]); err != nil {
 			return nil, fmt.Errorf("%s.%s: %v", p.Instrs[i].Module, p.Instrs[i].Fn, err)
 		}

@@ -1,0 +1,132 @@
+package par
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+func TestJobNilSafe(t *testing.T) {
+	var j *Job
+	if j.Canceled() {
+		t.Fatal("nil job must read as not cancelled")
+	}
+}
+
+func TestCurrentJobFastPath(t *testing.T) {
+	if CurrentJob() != nil {
+		t.Fatal("no job attached, CurrentJob must be nil")
+	}
+}
+
+func TestAttachDetach(t *testing.T) {
+	j := NewJob()
+	AttachJob(j)
+	if CurrentJob() != j {
+		t.Fatal("CurrentJob must return the attached job")
+	}
+	done := make(chan *Job)
+	go func() { done <- CurrentJob() }()
+	if other := <-done; other == j {
+		t.Fatal("a different goroutine must not observe this goroutine's job")
+	}
+	DetachJob()
+	if CurrentJob() != nil {
+		t.Fatal("CurrentJob must be nil after DetachJob")
+	}
+}
+
+func TestRunErrSerialCancel(t *testing.T) {
+	j := NewJob()
+	AttachJob(j)
+	defer DetachJob()
+	j.Cancel()
+	ran := false
+	err := Serial(100).RunErr(func(c, lo, hi int) error { ran = true; return nil })
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+	if ran {
+		t.Fatal("cancelled serial plan must not run its body")
+	}
+}
+
+func TestRunErrParallelCancelMidway(t *testing.T) {
+	oldT := SetThreads(4)
+	oldM := SetMorselThreshold(64)
+	defer func() { SetThreads(oldT); SetMorselThreshold(oldM) }()
+
+	j := NewJob()
+	AttachJob(j)
+	defer DetachJob()
+
+	var mu sync.Mutex
+	seen := 0
+	err := NewPlan(100000).RunErr(func(c, lo, hi int) error {
+		mu.Lock()
+		seen++
+		if seen == 2 {
+			j.Cancel()
+		}
+		mu.Unlock()
+		return nil
+	})
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if n := NewPlan(100000).Chunks(); seen >= n {
+		t.Fatalf("cancellation must stop morsel claiming early: ran %d of %d chunks", seen, n)
+	}
+}
+
+func TestRunErrErrorBeatsCancel(t *testing.T) {
+	j := NewJob()
+	AttachJob(j)
+	defer DetachJob()
+	boom := errors.New("boom")
+	err := Serial(10).RunErr(func(c, lo, hi int) error {
+		j.Cancel()
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want the kernel error", err)
+	}
+}
+
+func TestHelpersInheritJob(t *testing.T) {
+	oldT := SetThreads(4)
+	oldM := SetMorselThreshold(64)
+	defer func() { SetThreads(oldT); SetMorselThreshold(oldM) }()
+
+	j := NewJob()
+	AttachJob(j)
+	defer DetachJob()
+	j.Cancel()
+	// All morsels are skipped: the claim loop checks the job inherited
+	// from the planning goroutine even on pool helpers.
+	ran := 0
+	var mu sync.Mutex
+	err := NewPlan(100000).RunErr(func(c, lo, hi int) error {
+		mu.Lock()
+		ran++
+		mu.Unlock()
+		return nil
+	})
+	if !errors.Is(err, ErrCanceled) || ran != 0 {
+		t.Fatalf("err = %v, ran = %d; want ErrCanceled and zero morsels", err, ran)
+	}
+}
+
+func TestGoid(t *testing.T) {
+	if goid() <= 0 {
+		t.Fatalf("goid = %d, want positive", goid())
+	}
+	a := goid()
+	ch := make(chan int64)
+	go func() { ch <- goid() }()
+	if b := <-ch; a == b {
+		t.Fatal("distinct goroutines must have distinct ids")
+	}
+}

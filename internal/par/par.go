@@ -90,16 +90,36 @@ type Plan struct {
 	width int // max concurrent workers (including the caller)
 }
 
-// NewPlan partitions n rows. A serial plan has exactly one chunk.
+// cancelMorselRows is the chunk grain of cancellable plans: small enough
+// that abandoning one in-flight morsel keeps cancellation latency in the
+// low milliseconds even for expensive per-row kernels (join probes), and
+// a multiple of 64 for bitmap safety.
+const cancelMorselRows = 1024
+
+// NewPlan partitions n rows. A serial plan has exactly one chunk —
+// unless the calling goroutine has a cancellation Job attached, in which
+// case even a single-worker plan is cut into morsels so the claim loop
+// observes cancellation between them instead of only before the first
+// row (vital on single-core machines, where every plan is width-1).
 func NewPlan(n int) Plan {
 	w := Threads()
+	job := CurrentJob()
 	if n < MorselThreshold() || w <= 1 || n <= morselRows {
+		if job != nil && n > cancelMorselRows {
+			c := (n + cancelMorselRows - 1) / cancelMorselRows
+			return Plan{N: n, Size: cancelMorselRows, chunk: c, width: 1}
+		}
 		return Plan{N: n, Size: n, chunk: 1, width: 1}
 	}
 	size := morselRows
+	if job != nil {
+		// Cancellable queries keep the fine grain: the latency bound is
+		// one morsel's worth of work, so do not coarsen chunks below.
+		size = cancelMorselRows
+	}
 	// Cap the chunk count so per-chunk bookkeeping stays negligible on huge
-	// inputs: at most 8 morsels per worker.
-	if max := 8 * w; (n+size-1)/size > max {
+	// inputs: at most 8 morsels per worker (uncancellable plans only).
+	if max := 8 * w; job == nil && (n+size-1)/size > max {
 		size = (n + max - 1) / max
 		size = (size + 63) &^ 63 // keep 64-alignment for bitmap safety
 	}
@@ -144,9 +164,15 @@ func (p Plan) Run(fn func(c, lo, hi int)) {
 }
 
 // RunErr is Run with error propagation: the first error stops morsel
-// claiming and is returned. Already-running morsels finish.
+// claiming and is returned. Already-running morsels finish. When the
+// calling goroutine has a cancellation Job attached (AttachJob), the
+// claim loop checks it between morsels and returns ErrCanceled.
 func (p Plan) RunErr(fn func(c, lo, hi int) error) error {
+	job := CurrentJob()
 	if !p.Parallel() {
+		if job.Canceled() {
+			return ErrCanceled
+		}
 		for c := 0; c < p.chunk; c++ {
 			lo, hi := p.Bounds(c)
 			if err := fn(c, lo, hi); err != nil {
@@ -175,6 +201,10 @@ func (p Plan) RunErr(fn func(c, lo, hi int) error) error {
 			}
 		}()
 		for !failed.Load() {
+			if job.Canceled() {
+				failed.Store(true)
+				return
+			}
 			c := int(cursor.Add(1) - 1)
 			if c >= p.chunk {
 				return
@@ -218,6 +248,9 @@ func (p Plan) RunErr(fn func(c, lo, hi int) error) error {
 	wg.Wait()
 	if panicked.Load() {
 		panic(panicVal)
+	}
+	if firstErr == nil && job.Canceled() {
+		return ErrCanceled
 	}
 	return firstErr
 }

@@ -8,7 +8,9 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
+	"strings"
 	"time"
 )
 
@@ -22,14 +24,36 @@ type Result struct {
 	Rendered string   `json:"rendered"`
 }
 
-// Health is the healthz report.
+// Health is the healthz report. Status is "ok", "degraded" (engine is
+// read-only after a durability failure; Cause carries the latched
+// error) or "draining" (graceful shutdown in progress); the server
+// answers non-ok states with HTTP 503.
 type Health struct {
 	Status   string `json:"status"`
+	Cause    string `json:"cause,omitempty"`
 	Sessions int    `json:"sessions"`
 	Queries  int64  `json:"queries"`
 	Rejected int64  `json:"rejected"`
 	Workers  int    `json:"workers"`
 }
+
+// RetryPolicy bounds the client's automatic retries. A retry is
+// attempted only for failures where the statement provably did not
+// complete or is safe to repeat: connection errors (dial/reset) and
+// HTTP 503 (overloaded, draining) — and only for read-only batches
+// (every statement SELECT/EXPLAIN/PLAN) on an ephemeral session, since
+// re-running a write or a transactional statement could double-apply
+// it. Delays grow exponentially from BaseDelay, capped at MaxDelay,
+// with ±50% jitter so a herd of restarting clients spreads out.
+type RetryPolicy struct {
+	MaxAttempts int           // total tries including the first; <= 1 disables retry
+	BaseDelay   time.Duration // first backoff step (default 25ms)
+	MaxDelay    time.Duration // backoff cap (default 1s)
+}
+
+// DefaultRetryPolicy suits riding out a graceful restart: 5 tries
+// spanning roughly half a second plus jitter.
+var DefaultRetryPolicy = RetryPolicy{MaxAttempts: 5, BaseDelay: 25 * time.Millisecond, MaxDelay: time.Second}
 
 // Client talks to one sciqld server. The zero session value runs every
 // batch on an ephemeral autocommit session; NewSession switches to a
@@ -40,15 +64,22 @@ type Client struct {
 	base    string
 	hc      *http.Client
 	session string
+	retry   RetryPolicy
 }
 
-// New returns a client for the server at addr ("host:port").
+// New returns a client for the server at addr ("host:port"). Retries
+// are off by default; see SetRetry.
 func New(addr string) *Client {
 	return &Client{
 		base: "http://" + addr,
 		hc:   &http.Client{Timeout: 60 * time.Second},
 	}
 }
+
+// SetRetry installs the retry policy (see RetryPolicy for what is and
+// is not retried). Pass DefaultRetryPolicy to ride out graceful
+// restarts, or a zero RetryPolicy to disable retries again.
+func (c *Client) SetRetry(p RetryPolicy) { c.retry = p }
 
 type queryRequest struct {
 	Query   string `json:"query"`
@@ -62,28 +93,94 @@ type queryResponse struct {
 
 // Exec runs a semicolon-separated batch, returning one result per
 // completed statement. A statement error is returned alongside the
-// results that preceded it.
+// results that preceded it. Under a RetryPolicy, connection errors and
+// HTTP 503 on read-only ephemeral batches are retried with backoff.
 func (c *Client) Exec(query string) ([]Result, error) {
+	retryable := c.retry.MaxAttempts > 1 && c.session == "" && readOnlyBatch(query)
+	var (
+		rs     []Result
+		status int
+		err    error
+	)
+	for attempt := 0; ; attempt++ {
+		rs, status, err = c.exec1(query)
+		if err == nil || !retryable || attempt+1 >= c.retry.MaxAttempts || !retriableFailure(status, err) {
+			return rs, err
+		}
+		time.Sleep(c.backoff(attempt))
+	}
+}
+
+// exec1 performs one POST /query round trip. status is 0 when the
+// request never produced an HTTP response (connection error).
+func (c *Client) exec1(query string) ([]Result, int, error) {
 	body, err := json.Marshal(queryRequest{Query: query, Session: c.session})
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	resp, err := c.hc.Post(c.base+"/query", "application/json", bytes.NewReader(body))
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	defer resp.Body.Close()
 	var qr queryResponse
 	if err := json.NewDecoder(io.LimitReader(resp.Body, 64<<20)).Decode(&qr); err != nil {
-		return nil, fmt.Errorf("bad server response (HTTP %d): %v", resp.StatusCode, err)
+		return nil, resp.StatusCode, fmt.Errorf("bad server response (HTTP %d): %v", resp.StatusCode, err)
 	}
 	if qr.Error != "" {
-		return qr.Results, fmt.Errorf("%s", qr.Error)
+		return qr.Results, resp.StatusCode, fmt.Errorf("%s", qr.Error)
 	}
 	if resp.StatusCode != http.StatusOK {
-		return qr.Results, fmt.Errorf("HTTP %d", resp.StatusCode)
+		return qr.Results, resp.StatusCode, fmt.Errorf("HTTP %d", resp.StatusCode)
 	}
-	return qr.Results, nil
+	return qr.Results, resp.StatusCode, nil
+}
+
+// retriableFailure reports whether a failed attempt is safe and useful
+// to repeat: the connection never produced a response (status 0) or the
+// server shed it before execution (503: overloaded or shutting down).
+func retriableFailure(status int, err error) bool {
+	return err != nil && (status == 0 || status == http.StatusServiceUnavailable)
+}
+
+// readOnlyBatch reports whether every statement of the batch is a read
+// (SELECT/EXPLAIN/PLAN), and so safe to re-run.
+func readOnlyBatch(query string) bool {
+	for _, stmt := range strings.Split(query, ";") {
+		stmt = strings.TrimSpace(stmt)
+		if stmt == "" {
+			continue
+		}
+		kw := strings.ToUpper(stmt)
+		if i := strings.IndexAny(kw, " \t\r\n("); i > 0 {
+			kw = kw[:i]
+		}
+		switch kw {
+		case "SELECT", "EXPLAIN", "PLAN":
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// backoff returns the sleep before retry number attempt+2: exponential
+// from BaseDelay, capped at MaxDelay, with ±50% jitter.
+func (c *Client) backoff(attempt int) time.Duration {
+	base := c.retry.BaseDelay
+	if base <= 0 {
+		base = 25 * time.Millisecond
+	}
+	max := c.retry.MaxDelay
+	if max <= 0 {
+		max = time.Second
+	}
+	d := base << attempt
+	if d > max || d <= 0 {
+		d = max
+	}
+	half := d / 2
+	return half + time.Duration(rand.Int63n(int64(half)+1))
 }
 
 // Query runs exactly one statement and returns its result.

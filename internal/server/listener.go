@@ -36,22 +36,25 @@ func (s *Server) acceptLoop() {
 	}
 }
 
-// route sniffs the protocol and dispatches the connection.
+// route sniffs the protocol and dispatches the connection. The tracked
+// key is the bufferedConn — the same value serveText later passes to
+// bindConnCancel, so Close finds (and cancels) the statement context of
+// an in-flight text statement.
 func (s *Server) route(c net.Conn) {
-	if !s.trackConn(c) {
+	br := bufio.NewReader(c)
+	bc := &bufferedConn{Conn: c, r: br}
+	if !s.trackConn(bc) {
 		_ = c.Close() // already shutting down
 		return
 	}
-	br := bufio.NewReader(c)
 	_ = c.SetReadDeadline(time.Now().Add(30 * time.Second))
 	isHTTP := sniffHTTP(br)
 	_ = c.SetReadDeadline(time.Time{})
-	bc := &bufferedConn{Conn: c, r: br}
 	if isHTTP {
 		// The HTTP server takes over (including its own deadlines and
 		// shutdown). If the listener already shut down, drop the
 		// connection.
-		s.untrackConn(c)
+		s.untrackConn(bc)
 		select {
 		case s.httpConns <- bc:
 		case <-s.acceptDone:
@@ -59,7 +62,7 @@ func (s *Server) route(c net.Conn) {
 		}
 		return
 	}
-	defer s.untrackConn(c)
+	defer s.untrackConn(bc)
 	s.serveText(bc)
 }
 

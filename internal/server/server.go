@@ -41,13 +41,30 @@ type Config struct {
 	// MaxQueue is the number of statements allowed to wait for a worker
 	// before the server sheds load. 0 means 4*Workers.
 	MaxQueue int
+	// QueryTimeout bounds each statement batch's execution: past it the
+	// engine aborts the running kernel at morsel granularity and the
+	// client gets a deadline-exceeded error. 0 means no limit.
+	QueryTimeout time.Duration
+	// ShutdownTimeout bounds how long Close waits for the HTTP server to
+	// finish in-flight requests, and is the default drain deadline of
+	// Drain(nil). 0 means DefaultShutdownTimeout.
+	ShutdownTimeout time.Duration
 }
 
 // DefaultMaxSessions bounds concurrent sessions when Config leaves it 0.
 const DefaultMaxSessions = 64
 
+// DefaultShutdownTimeout is the Close/Drain deadline when Config leaves
+// ShutdownTimeout 0.
+const DefaultShutdownTimeout = 2 * time.Second
+
 // ErrOverloaded is reported (wrapped) when the admission queue is full.
 var ErrOverloaded = fmt.Errorf("server overloaded: admission queue is full")
+
+// ErrShuttingDown is reported to statements arriving while the server
+// drains. Clients seeing it (HTTP 503) should retry against the
+// restarted server; see client.RetryPolicy.
+var ErrShuttingDown = fmt.Errorf("server is shutting down")
 
 // Server is a running (or startable) sciqld instance.
 type Server struct {
@@ -65,12 +82,18 @@ type Server struct {
 	queries  atomic.Int64  // statements served
 	rejected atomic.Int64  // statements shed
 
+	// draining refuses new statements (ErrShuttingDown / HTTP 503) while
+	// in-flight ones finish; set by Drain ahead of Close.
+	draining atomic.Bool
+
 	mu       sync.Mutex
 	sessions map[string]*session
 	// conns are accepted connections not (yet) owned by the HTTP server:
 	// being sniffed, or speaking the text protocol. Close must close them
 	// explicitly or their goroutines would block shutdown indefinitely.
-	conns    map[net.Conn]struct{}
+	// The value, when non-nil, cancels the connection's statement context
+	// so an in-flight query aborts with the connection.
+	conns    map[net.Conn]context.CancelFunc
 	textLive int // open text-protocol connections
 	nextID   int64
 	closed   bool
@@ -102,7 +125,7 @@ func New(db *core.DB, cfg Config) *Server {
 		cfg:      cfg,
 		sem:      make(chan struct{}, cfg.Workers),
 		sessions: map[string]*session{},
-		conns:    map[net.Conn]struct{}{},
+		conns:    map[net.Conn]context.CancelFunc{},
 	}
 }
 
@@ -114,8 +137,19 @@ func (s *Server) trackConn(c net.Conn) bool {
 	if s.closed {
 		return false
 	}
-	s.conns[c] = struct{}{}
+	s.conns[c] = nil
 	return true
+}
+
+// bindConnCancel attaches the cancel function of a text connection's
+// statement context, so Close aborts the statement running on it
+// instead of waiting behind it.
+func (s *Server) bindConnCancel(c net.Conn, cancel context.CancelFunc) {
+	s.mu.Lock()
+	if _, ok := s.conns[c]; ok {
+		s.conns[c] = cancel
+	}
+	s.mu.Unlock()
 }
 
 // untrackConn hands a connection off (to the HTTP server, or to Close).
@@ -157,8 +191,11 @@ func (s *Server) Addr() net.Addr {
 }
 
 // Close stops accepting, shuts both protocol servers down and closes all
-// client sessions (rolling back their open transactions).
+// client sessions (rolling back their open transactions). In-flight
+// statements are cancelled (their connections close under them); use
+// Drain first for a graceful stop that lets them finish.
 func (s *Server) Close() error {
+	s.draining.Store(true)
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -170,12 +207,16 @@ func (s *Server) Close() error {
 		sessions = append(sessions, se)
 	}
 	s.sessions = map[string]*session{}
-	// Unblock sniffing and text-protocol goroutines: their reads fail
-	// once the connection is closed, so wg.Wait below terminates.
-	for c := range s.conns {
+	// Unblock sniffing and text-protocol goroutines: cancel the statement
+	// a connection may be executing, then close the connection so its
+	// reads fail and wg.Wait below terminates.
+	for c, cancel := range s.conns {
+		if cancel != nil {
+			cancel()
+		}
 		_ = c.Close()
 	}
-	s.conns = map[net.Conn]struct{}{}
+	s.conns = map[net.Conn]context.CancelFunc{}
 	s.mu.Unlock()
 
 	var err error
@@ -183,7 +224,7 @@ func (s *Server) Close() error {
 		err = s.ln.Close()
 	}
 	if s.httpSrv != nil {
-		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		ctx, cancel := context.WithTimeout(context.Background(), s.shutdownTimeout())
 		defer cancel()
 		_ = s.httpSrv.Shutdown(ctx)
 	}
@@ -194,11 +235,50 @@ func (s *Server) Close() error {
 	return err
 }
 
+func (s *Server) shutdownTimeout() time.Duration {
+	if s.cfg.ShutdownTimeout > 0 {
+		return s.cfg.ShutdownTimeout
+	}
+	return DefaultShutdownTimeout
+}
+
+// Drain gracefully stops the server: new statements are refused with
+// ErrShuttingDown (HTTP 503, text "!error: server is shutting down")
+// while in-flight ones run to completion, then the server closes. When
+// ctx expires first, the remaining statements are cancelled by Close.
+// A nil ctx means the configured ShutdownTimeout. sciqld calls this on
+// SIGTERM/SIGINT.
+func (s *Server) Drain(ctx context.Context) error {
+	s.draining.Store(true)
+	if ctx == nil {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(context.Background(), s.shutdownTimeout())
+		defer cancel()
+	}
+	tick := time.NewTicker(2 * time.Millisecond)
+	defer tick.Stop()
+	for s.waiting.Load() > 0 || len(s.sem) > 0 {
+		select {
+		case <-ctx.Done():
+			return s.Close()
+		case <-tick.C:
+		}
+	}
+	return s.Close()
+}
+
+// Draining reports whether the server is refusing new statements.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
 // admit blocks until a worker token is free; beyond MaxQueue waiting
 // statements it sheds load immediately. release must be called when the
 // statement ends. Executing statements hold sem and do not count as
 // waiting.
 func (s *Server) admit(ctx context.Context) (release func(), err error) {
+	if s.draining.Load() {
+		s.rejected.Add(1)
+		return nil, ErrShuttingDown
+	}
 	if s.waiting.Add(1) > int64(s.cfg.MaxQueue) {
 		s.waiting.Add(-1)
 		s.rejected.Add(1)
@@ -212,6 +292,16 @@ func (s *Server) admit(ctx context.Context) (release func(), err error) {
 	case <-ctx.Done():
 		return nil, ctx.Err()
 	}
+}
+
+// queryCtx derives the execution context of one statement batch from its
+// transport context (HTTP request or text connection), applying the
+// configured per-query timeout.
+func (s *Server) queryCtx(parent context.Context) (context.Context, context.CancelFunc) {
+	if s.cfg.QueryTimeout > 0 {
+		return context.WithTimeout(parent, s.cfg.QueryTimeout)
+	}
+	return context.WithCancel(parent)
 }
 
 // ---------------------------------------------------------------- HTTP
@@ -332,8 +422,10 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		se.used = time.Now()
+		qctx, cancel := s.queryCtx(r.Context())
 		var results []*core.Result
-		results, err = se.sess.Exec(req.Query)
+		results, err = se.sess.ExecContext(qctx, req.Query)
+		cancel()
 		// Render under the session lock: an in-transaction SELECT result
 		// references live storage, which the session's next statement may
 		// mutate in place.
@@ -351,8 +443,10 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		sess := s.db.NewSession()
+		qctx, cancel := s.queryCtx(r.Context())
 		var results []*core.Result
-		results, err = sess.Exec(req.Query)
+		results, err = sess.ExecContext(qctx, req.Query)
+		cancel()
 		for _, r := range results {
 			resp.Results = append(resp.Results, toWire(r))
 		}
@@ -393,12 +487,30 @@ func (s *Server) handleSession(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// handleHealthz reports liveness plus the degradation states an operator
+// (or load balancer) must react to: "draining" while a graceful stop is
+// in progress, "degraded" (with the latched cause) while the engine is
+// read-only after a durability failure, "ok" otherwise. Non-ok states
+// answer 503 so probes fail the instance out of rotation without parsing
+// the body.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	live := len(s.sessions) + s.textLive
 	s.mu.Unlock()
-	writeJSON(w, http.StatusOK, map[string]any{
-		"status":   "ok",
+	status, cause := "ok", ""
+	if derr := s.db.Degraded(); derr != nil {
+		status, cause = "degraded", derr.Error()
+	}
+	if s.draining.Load() {
+		status, cause = "draining", ""
+	}
+	code := http.StatusOK
+	if status != "ok" {
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, map[string]any{
+		"status":   status,
+		"cause":    cause,
 		"sessions": live,
 		"queries":  s.queries.Load(),
 		"rejected": s.rejected.Load(),

@@ -33,6 +33,15 @@ func (s *Server) serveText(c net.Conn) {
 	}
 	defer s.releaseTextSlot()
 
+	// All admission waits and statement execution on this connection run
+	// under a context tied to its lifetime: when the server closes the
+	// connection (shutdown past the drain deadline), the statement it is
+	// executing aborts instead of running to completion against a closed
+	// socket.
+	connCtx, connCancel := context.WithCancel(context.Background())
+	defer connCancel()
+	s.bindConnCancel(c, connCancel)
+
 	sess := s.db.NewSession()
 	defer func() { _ = sess.Close() }()
 
@@ -47,13 +56,18 @@ func (s *Server) serveText(c net.Conn) {
 		case line == `\q`:
 			return
 		}
-		release, err := s.admit(context.Background())
+		release, err := s.admit(connCtx)
 		if err != nil {
+			if connCtx.Err() != nil {
+				return // connection torn down while queued
+			}
 			fmt.Fprintf(w, "!error: %v\n.\n", err)
 			_ = w.Flush()
 			continue
 		}
-		results, err := sess.Exec(line)
+		qctx, cancel := s.queryCtx(connCtx)
+		results, err := sess.ExecContext(qctx, line)
+		cancel()
 		release()
 		for _, r := range results {
 			out := r.String()

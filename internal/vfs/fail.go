@@ -1,0 +1,240 @@
+package vfs
+
+import (
+	"io/fs"
+	"os"
+	"strings"
+	"sync"
+	"syscall"
+)
+
+// Op names one interceptable filesystem operation.
+type Op int
+
+const (
+	OpCreate Op = iota
+	OpOpen
+	OpWrite
+	OpSync
+	OpTruncate
+	OpRename
+	OpRemove
+	OpSyncDir
+	opCount
+)
+
+var opNames = [...]string{"create", "open", "write", "sync", "truncate", "rename", "remove", "syncdir"}
+
+func (o Op) String() string {
+	if int(o) < len(opNames) {
+		return opNames[o]
+	}
+	return "op?"
+}
+
+// Fault is one armed failpoint: the Nth matching call of Op on a path
+// containing Match fails with Err (or performs a short write when Short
+// is set). A fault fires exactly once; arm several for repeated faults.
+type Fault struct {
+	Op    Op
+	Match string // substring of the path; "" matches every path
+	Nth   int    // 1 = the next matching call
+	Err   error  // returned by the failing call (ignored when Short)
+	Short bool   // OpWrite only: write half the buffer, return ENOSPC
+
+	seen  int // matching calls observed so far
+	fired bool
+}
+
+// FailFS wraps an FS with failpoint injection. Arm faults with FailOn /
+// ShortWriteOn (or Arm for full control); every operation the storage
+// layer performs is counted per (Op, Match) so tests can hit "the 3rd
+// fsync of wal.log" deterministically. Safe for concurrent use.
+type FailFS struct {
+	inner FS
+
+	mu      sync.Mutex
+	faults  []*Fault
+	history map[Op][]string // every path each op was called on
+	fired   int
+	log     []string // ops that failed, for test diagnostics
+}
+
+// NewFailFS wraps inner (nil means OS) with no faults armed.
+func NewFailFS(inner FS) *FailFS {
+	if inner == nil {
+		inner = OS
+	}
+	return &FailFS{inner: inner, history: map[Op][]string{}}
+}
+
+// Arm adds a fault.
+func (f *FailFS) Arm(fl Fault) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if fl.Nth <= 0 {
+		fl.Nth = 1
+	}
+	if fl.Err == nil && !fl.Short {
+		fl.Err = &os.PathError{Op: fl.Op.String(), Path: fl.Match, Err: syscall.EIO}
+	}
+	f.faults = append(f.faults, &fl)
+}
+
+// FailOn arms op to fail with err on the nth call whose path contains
+// match ("" = any path).
+func (f *FailFS) FailOn(op Op, match string, nth int, err error) {
+	f.Arm(Fault{Op: op, Match: match, Nth: nth, Err: err})
+}
+
+// ShortWriteOn arms the nth matching write to write only half its buffer
+// and return ENOSPC — the torn-write shape a full disk produces.
+func (f *FailFS) ShortWriteOn(match string, nth int) {
+	f.Arm(Fault{Op: OpWrite, Match: match, Nth: nth, Short: true})
+}
+
+// Fired returns how many armed faults have fired.
+func (f *FailFS) Fired() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.fired
+}
+
+// Log returns a description of every fault that fired.
+func (f *FailFS) Log() []string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]string(nil), f.log...)
+}
+
+// Calls returns how many times op has been observed on paths containing
+// match ("" = all calls of that op) — lets a test first measure how many
+// syncs a workload performs, then arm a fault in the middle of them.
+func (f *FailFS) Calls(op Op, match string) int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	n := 0
+	for _, p := range f.history[op] {
+		if match == "" || strings.Contains(p, match) {
+			n++
+		}
+	}
+	return n
+}
+
+// check counts the call and reports the fault to apply, if any fires.
+func (f *FailFS) check(op Op, path string) *Fault {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.history[op] = append(f.history[op], path)
+	var hit *Fault
+	for _, fl := range f.faults {
+		if fl.fired || fl.Op != op {
+			continue
+		}
+		if fl.Match != "" && !strings.Contains(path, fl.Match) {
+			continue
+		}
+		fl.seen++
+		if fl.seen >= fl.Nth && hit == nil {
+			fl.fired = true
+			f.fired++
+			f.log = append(f.log, op.String()+" "+path)
+			hit = fl
+		}
+	}
+	return hit
+}
+
+func (f *FailFS) Create(name string) (File, error) {
+	if fl := f.check(OpCreate, name); fl != nil {
+		return nil, fl.Err
+	}
+	file, err := f.inner.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return &failFile{File: file, fs: f, name: name}, nil
+}
+
+func (f *FailFS) Open(name string) (File, error) {
+	if fl := f.check(OpOpen, name); fl != nil {
+		return nil, fl.Err
+	}
+	file, err := f.inner.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return &failFile{File: file, fs: f, name: name}, nil
+}
+
+func (f *FailFS) OpenFile(name string, flag int, perm fs.FileMode) (File, error) {
+	if fl := f.check(OpOpen, name); fl != nil {
+		return nil, fl.Err
+	}
+	file, err := f.inner.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &failFile{File: file, fs: f, name: name}, nil
+}
+
+func (f *FailFS) Rename(oldpath, newpath string) error {
+	if fl := f.check(OpRename, newpath); fl != nil {
+		return fl.Err
+	}
+	return f.inner.Rename(oldpath, newpath)
+}
+
+func (f *FailFS) Remove(name string) error {
+	if fl := f.check(OpRemove, name); fl != nil {
+		return fl.Err
+	}
+	return f.inner.Remove(name)
+}
+
+func (f *FailFS) MkdirAll(path string, perm fs.FileMode) error {
+	return f.inner.MkdirAll(path, perm)
+}
+
+func (f *FailFS) ReadDir(name string) ([]os.DirEntry, error) { return f.inner.ReadDir(name) }
+func (f *FailFS) ReadFile(name string) ([]byte, error)       { return f.inner.ReadFile(name) }
+
+func (f *FailFS) SyncDir(dir string) error {
+	if fl := f.check(OpSyncDir, dir); fl != nil {
+		return fl.Err
+	}
+	return f.inner.SyncDir(dir)
+}
+
+// failFile routes the write-side file operations through the failpoints.
+type failFile struct {
+	File
+	fs   *FailFS
+	name string
+}
+
+func (f *failFile) Write(p []byte) (int, error) {
+	if fl := f.fs.check(OpWrite, f.name); fl != nil {
+		if fl.Short {
+			n, _ := f.File.Write(p[:len(p)/2])
+			return n, &os.PathError{Op: "write", Path: f.name, Err: syscall.ENOSPC}
+		}
+		return 0, fl.Err
+	}
+	return f.File.Write(p)
+}
+
+func (f *failFile) Sync() error {
+	if fl := f.fs.check(OpSync, f.name); fl != nil {
+		return fl.Err
+	}
+	return f.File.Sync()
+}
+
+func (f *failFile) Truncate(size int64) error {
+	if fl := f.fs.check(OpTruncate, f.name); fl != nil {
+		return fl.Err
+	}
+	return f.File.Truncate(size)
+}

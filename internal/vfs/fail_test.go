@@ -1,0 +1,114 @@
+package vfs
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+)
+
+func TestFailFSPassthrough(t *testing.T) {
+	dir := t.TempDir()
+	fs := NewFailFS(nil)
+	f, err := fs.Create(filepath.Join(dir, "a"))
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	if _, err := f.Write([]byte("hello")); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatalf("Sync: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	b, err := fs.ReadFile(filepath.Join(dir, "a"))
+	if err != nil || string(b) != "hello" {
+		t.Fatalf("ReadFile = %q, %v", b, err)
+	}
+	if got := fs.Calls(OpWrite, "a"); got != 1 {
+		t.Fatalf("Calls(OpWrite) = %d, want 1", got)
+	}
+}
+
+func TestFailFSNthSync(t *testing.T) {
+	dir := t.TempDir()
+	fs := NewFailFS(nil)
+	boom := errors.New("injected fsync failure")
+	fs.FailOn(OpSync, "a", 2, boom)
+
+	f, err := fs.Create(filepath.Join(dir, "a"))
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	defer f.Close()
+	if err := f.Sync(); err != nil {
+		t.Fatalf("first Sync should pass: %v", err)
+	}
+	if err := f.Sync(); !errors.Is(err, boom) {
+		t.Fatalf("second Sync = %v, want injected error", err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatalf("third Sync should pass (fault fires once): %v", err)
+	}
+	if fs.Fired() != 1 {
+		t.Fatalf("Fired = %d, want 1", fs.Fired())
+	}
+}
+
+func TestFailFSShortWrite(t *testing.T) {
+	dir := t.TempDir()
+	fs := NewFailFS(nil)
+	fs.ShortWriteOn("a", 1)
+
+	f, err := fs.Create(filepath.Join(dir, "a"))
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	n, err := f.Write([]byte("0123456789"))
+	if err == nil {
+		t.Fatal("short write should report an error")
+	}
+	if !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("short write error = %v, want ENOSPC", err)
+	}
+	if n >= 10 || n < 1 {
+		t.Fatalf("short write wrote %d bytes, want a strict prefix", n)
+	}
+	_ = f.Close()
+	st, err := os.Stat(filepath.Join(dir, "a"))
+	if err != nil {
+		t.Fatalf("Stat: %v", err)
+	}
+	if st.Size() != int64(n) {
+		t.Fatalf("on-disk size %d != reported %d", st.Size(), n)
+	}
+}
+
+func TestFailFSRename(t *testing.T) {
+	dir := t.TempDir()
+	fs := NewFailFS(nil)
+	boom := errors.New("injected rename failure")
+	fs.FailOn(OpRename, "dst", 1, boom)
+
+	f, _ := fs.Create(filepath.Join(dir, "src"))
+	_ = f.Close()
+	if err := fs.Rename(filepath.Join(dir, "src"), filepath.Join(dir, "dst")); !errors.Is(err, boom) {
+		t.Fatalf("Rename = %v, want injected error", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "src")); err != nil {
+		t.Fatalf("failed rename must leave the source intact: %v", err)
+	}
+	// Second rename (fault spent) succeeds.
+	if err := fs.Rename(filepath.Join(dir, "src"), filepath.Join(dir, "dst")); err != nil {
+		t.Fatalf("second Rename: %v", err)
+	}
+}
+
+func TestOSSyncDirTolerated(t *testing.T) {
+	if err := OS.SyncDir(t.TempDir()); err != nil {
+		t.Fatalf("SyncDir: %v", err)
+	}
+}

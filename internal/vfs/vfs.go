@@ -1,0 +1,83 @@
+// Package vfs is the engine's filesystem seam: every durability-bearing
+// file operation of the storage layer — WAL appends and fsyncs, segment
+// and manifest writes, the renames that publish them — goes through the
+// FS interface instead of calling the os package directly. Production
+// code uses OS, a thin passthrough; tests swap in a failpoint
+// implementation (see fail.go) that injects fsync errors, short writes,
+// ENOSPC and rename failures on the Nth call, which is how the chaos
+// suite proves the engine degrades to read-only instead of corrupting.
+package vfs
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"syscall"
+)
+
+// File is the subset of *os.File the storage layer needs.
+type File interface {
+	io.Reader
+	io.Writer
+	io.Seeker
+	io.Closer
+	Name() string
+	Sync() error
+	Truncate(size int64) error
+	Stat() (os.FileInfo, error)
+}
+
+// FS abstracts the filesystem operations of the WAL and checkpoint
+// paths. Implementations must be safe for concurrent use.
+type FS interface {
+	// Create truncates-or-creates the named file for writing.
+	Create(name string) (File, error)
+	// Open opens the named file for reading.
+	Open(name string) (File, error)
+	// OpenFile is the generalised open (append-mode WAL handles).
+	OpenFile(name string, flag int, perm fs.FileMode) (File, error)
+	// Rename atomically replaces newpath with oldpath.
+	Rename(oldpath, newpath string) error
+	// Remove deletes the named file.
+	Remove(name string) error
+	// MkdirAll creates a directory tree.
+	MkdirAll(path string, perm fs.FileMode) error
+	// ReadDir lists a directory.
+	ReadDir(name string) ([]os.DirEntry, error)
+	// ReadFile reads a whole file.
+	ReadFile(name string) ([]byte, error)
+	// SyncDir fsyncs a directory so renames into it are durable.
+	// Filesystems that do not support directory fsync are tolerated; a
+	// real I/O failure is not.
+	SyncDir(dir string) error
+}
+
+// OS is the production filesystem: direct passthrough to the os package.
+var OS FS = osFS{}
+
+type osFS struct{}
+
+func (osFS) Create(name string) (File, error) { return os.Create(name) }
+func (osFS) Open(name string) (File, error)   { return os.Open(name) }
+func (osFS) OpenFile(name string, flag int, perm fs.FileMode) (File, error) {
+	return os.OpenFile(name, flag, perm)
+}
+func (osFS) Rename(oldpath, newpath string) error         { return os.Rename(oldpath, newpath) }
+func (osFS) Remove(name string) error                     { return os.Remove(name) }
+func (osFS) MkdirAll(path string, perm fs.FileMode) error { return os.MkdirAll(path, perm) }
+func (osFS) ReadDir(name string) ([]os.DirEntry, error)   { return os.ReadDir(name) }
+func (osFS) ReadFile(name string) ([]byte, error)         { return os.ReadFile(name) }
+
+func (osFS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil && !errors.Is(err, syscall.EINVAL) && !errors.Is(err, syscall.ENOTSUP) {
+		return fmt.Errorf("vfs: fsync %s: %w", dir, err)
+	}
+	return nil
+}

@@ -33,7 +33,8 @@ import (
 	"io"
 	"os"
 	"path/filepath"
-	"syscall"
+
+	"repro/internal/vfs"
 )
 
 const (
@@ -56,7 +57,8 @@ var ErrBadHeader = errors.New("wal: bad log header")
 
 // Log is an open write-ahead log positioned for appending.
 type Log struct {
-	f    *os.File
+	f    vfs.File
+	fs   vfs.FS
 	path string
 	gen  uint64
 	size int64 // bytes of header + valid records on disk
@@ -67,8 +69,13 @@ type Log struct {
 // header is written to a temp file, fsynced and renamed into place, so a
 // crash never leaves a half-written header behind.
 func Create(path string, gen uint64) (*Log, error) {
+	return CreateFS(vfs.OS, path, gen)
+}
+
+// CreateFS is Create on an explicit filesystem (fault-injection tests).
+func CreateFS(fsys vfs.FS, path string, gen uint64) (*Log, error) {
 	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
+	f, err := fsys.Create(tmp)
 	if err != nil {
 		return nil, err
 	}
@@ -78,30 +85,30 @@ func Create(path string, gen uint64) (*Log, error) {
 	binary.LittleEndian.PutUint64(hdr[6:], gen)
 	if _, err := f.Write(hdr); err != nil {
 		f.Close()
-		os.Remove(tmp)
+		fsys.Remove(tmp)
 		return nil, err
 	}
 	if err := f.Sync(); err != nil {
 		f.Close()
-		os.Remove(tmp)
+		fsys.Remove(tmp)
 		return nil, err
 	}
 	if err := f.Close(); err != nil {
-		os.Remove(tmp)
+		fsys.Remove(tmp)
 		return nil, err
 	}
-	if err := os.Rename(tmp, path); err != nil {
-		os.Remove(tmp)
+	if err := fsys.Rename(tmp, path); err != nil {
+		fsys.Remove(tmp)
 		return nil, err
 	}
-	if err := SyncDir(filepath.Dir(path)); err != nil {
+	if err := fsys.SyncDir(filepath.Dir(path)); err != nil {
 		return nil, err
 	}
-	f, err = os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	f, err = fsys.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, err
 	}
-	return &Log{f: f, path: path, gen: gen, size: headerSize}, nil
+	return &Log{f: f, fs: fsys, path: path, gen: gen, size: headerSize}, nil
 }
 
 // readHeader consumes and validates the log header, returning its
@@ -122,8 +129,11 @@ func readHeader(r io.Reader) (uint64, error) {
 
 // Header returns the generation of the log at path without scanning its
 // records, so a caller can discard a stale-generation log before replay.
-func Header(path string) (uint64, error) {
-	f, err := os.Open(path)
+func Header(path string) (uint64, error) { return HeaderFS(vfs.OS, path) }
+
+// HeaderFS is Header on an explicit filesystem.
+func HeaderFS(fsys vfs.FS, path string) (uint64, error) {
+	f, err := fsys.Open(path)
 	if err != nil {
 		return 0, err
 	}
@@ -136,7 +146,12 @@ func Header(path string) (uint64, error) {
 // opened for appending. A nil apply skips replay (the records are still
 // scanned to find the valid end). An error from apply aborts the open.
 func Open(path string, apply func(rec []byte) error) (*Log, error) {
-	f, err := os.Open(path)
+	return OpenFS(vfs.OS, path, apply)
+}
+
+// OpenFS is Open on an explicit filesystem.
+func OpenFS(fsys vfs.FS, path string, apply func(rec []byte) error) (*Log, error) {
+	f, err := fsys.Open(path)
 	if err != nil {
 		return nil, err
 	}
@@ -155,7 +170,7 @@ func Open(path string, apply func(rec []byte) error) (*Log, error) {
 		return nil, err
 	}
 
-	w, err := os.OpenFile(path, os.O_WRONLY, 0o644)
+	w, err := fsys.OpenFile(path, os.O_WRONLY, 0o644)
 	if err != nil {
 		return nil, err
 	}
@@ -174,7 +189,7 @@ func Open(path string, apply func(rec []byte) error) (*Log, error) {
 		w.Close()
 		return nil, err
 	}
-	return &Log{f: w, path: path, gen: gen, size: valid}, nil
+	return &Log{f: w, fs: fsys, path: path, gen: gen, size: valid}, nil
 }
 
 // scan reads framed records from r (positioned just past the header),
@@ -306,14 +321,4 @@ func (l *Log) Close() error {
 // Filesystems that do not support directory fsync are tolerated; a real
 // I/O failure is not — callers rely on it for their no-torn-store
 // guarantees.
-func SyncDir(dir string) error {
-	d, err := os.Open(dir)
-	if err != nil {
-		return err
-	}
-	defer d.Close()
-	if err := d.Sync(); err != nil && !errors.Is(err, syscall.EINVAL) && !errors.Is(err, syscall.ENOTSUP) {
-		return fmt.Errorf("wal: fsync %s: %w", dir, err)
-	}
-	return nil
-}
+func SyncDir(dir string) error { return vfs.OS.SyncDir(dir) }
