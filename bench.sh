@@ -20,6 +20,9 @@
 #   6. the query-lifecycle costs: mid-join cancellation latency at
 #      1M/10M rows and the cancellable-vs-plain execution overhead
 #      (BenchmarkCancelLatency*, BenchmarkCtxOverhead*) -> BENCH_cancel.json
+#   7. the replication costs: fresh-replica WAL catch-up throughput and
+#      promotion (failover) latency
+#      (BenchmarkReplCatchup, BenchmarkFailover) -> BENCH_repl.json
 #
 # Raw benchmark text lands under bench-artifacts/ (gitignored); only the
 # BENCH_*.json baselines are checked in.
@@ -34,6 +37,7 @@ SERVER_PATTERN="BenchmarkConcurrentReaders"
 WAL_PATTERN="BenchmarkCommitSmallWrite|BenchmarkWALRecovery"
 STATS_PATTERN="BenchmarkZonemapSelect|BenchmarkMergeJoin"
 CANCEL_PATTERN="BenchmarkCancelLatency|BenchmarkCtxOverhead"
+REPL_PATTERN="BenchmarkReplCatchup|BenchmarkFailover"
 
 # Raw per-pass output is an artifact, not a source: keep it out of the
 # repo root so it can never be committed again.
@@ -91,3 +95,4 @@ bench_json "${SERVER_PATTERN}" BENCH_server.json "${ARTIFACTS}/bench_server_out.
 bench_json "${WAL_PATTERN}" BENCH_wal.json "${ARTIFACTS}/bench_wal_out.txt"
 bench_json "${STATS_PATTERN}" BENCH_stats.json "${ARTIFACTS}/bench_stats_out.txt"
 bench_json "${CANCEL_PATTERN}" BENCH_cancel.json "${ARTIFACTS}/bench_cancel_out.txt"
+bench_json "${REPL_PATTERN}" BENCH_repl.json "${ARTIFACTS}/bench_repl_out.txt"

@@ -1,0 +1,121 @@
+// Replication benchmarks: what WAL shipping costs and what failover
+// costs. BenchmarkReplCatchup replays a primary's log into a fresh
+// replica over a real socket and reports catch-up throughput in
+// records/s — the rate a rebooted or newly provisioned replica closes
+// its lag at. BenchmarkFailover times Promote on a caught-up replica:
+// stop the stream, verify the applied prefix, open the write path —
+// the read-only window a failover imposes once the operator (or
+// orchestrator) pulls the trigger.
+package sciql_test
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/repl"
+	"repro/internal/server"
+)
+
+// buildReplPrimary boots a directory-backed primary holding n committed
+// WAL records behind a live server, returning its address and final log
+// position.
+func buildReplPrimary(b *testing.B, n int) (string, core.WALPos) {
+	b.Helper()
+	// The engine narrates bootstraps and promotions through the standard
+	// logger; `go test` merges that into stdout, where it would corrupt
+	// the benchmark result lines bench.sh parses.
+	log.SetOutput(io.Discard)
+	b.Cleanup(func() { log.SetOutput(os.Stderr) })
+	dir := filepath.Join(b.TempDir(), "primary")
+	db, err := core.OpenWith(dir, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { _ = db.Close() })
+	if _, err := db.Exec(`CREATE TABLE kv (k INT, v STRING)`); err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if _, err := db.Exec(fmt.Sprintf(`INSERT INTO kv VALUES (%d, 'v%d')`, i, i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	srv := server.New(db, server.Config{Addr: "127.0.0.1:0"})
+	if err := srv.Start(); err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { _ = srv.Close() })
+	return srv.Addr().String(), db.WALPosition()
+}
+
+// catchUp opens a fresh tailer against addr and blocks until its local
+// log reaches want.
+func catchUp(b *testing.B, addr, dir string, want core.WALPos) *repl.Tailer {
+	b.Helper()
+	tl, err := repl.Open(repl.Options{Primary: addr, Dir: dir, PollWait: time.Second})
+	if err != nil {
+		b.Fatal(err)
+	}
+	tl.Start()
+	deadline := time.Now().Add(30 * time.Second)
+	for tl.DB().WALPosition() != want {
+		if time.Now().After(deadline) {
+			b.Fatalf("replica stuck at %+v, want %+v", tl.DB().WALPosition(), want)
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+	return tl
+}
+
+// BenchmarkReplCatchup: full catch-up of a fresh replica against a
+// 1000-record primary over a loopback socket. ns/op is the whole
+// catch-up; records/s is the shipping-and-apply throughput.
+func BenchmarkReplCatchup(b *testing.B) {
+	const records = 1000
+	addr, want := buildReplPrimary(b, records)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dir := filepath.Join(b.TempDir(), fmt.Sprintf("replica%d", i))
+		tl := catchUp(b, addr, dir, want)
+		tl.Stop()
+		b.StopTimer()
+		if err := tl.DB().Close(); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+	}
+	b.ReportMetric(float64(want.Records)*float64(b.N)/b.Elapsed().Seconds(), "records/s")
+}
+
+// BenchmarkFailover: promotion latency on a caught-up replica — the
+// stream is stopped, the applied prefix integrity-checked, and the
+// write path opened. ns/op is the failover's read-only window.
+func BenchmarkFailover(b *testing.B) {
+	addr, want := buildReplPrimary(b, 200)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		dir := filepath.Join(b.TempDir(), fmt.Sprintf("replica%d", i))
+		tl := catchUp(b, addr, dir, want)
+		b.StartTimer()
+		pos, err := tl.Promote(context.Background())
+		b.StopTimer()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if pos != want {
+			b.Fatalf("promoted at %+v, want %+v", pos, want)
+		}
+		if err := tl.DB().Close(); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+	}
+}

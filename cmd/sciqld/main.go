@@ -8,12 +8,19 @@
 //
 //	sciqld [-addr :8642] [-db dir] [-threads n] [-max-sessions n]
 //	       [-wal-checkpoint-bytes n] [-query-timeout d] [-drain-timeout d]
-//	       [-shutdown-timeout d]
+//	       [-shutdown-timeout d] [-read-only] [-replica-of host:port]
 //
 // SIGTERM/SIGINT drain gracefully: new statements are refused (HTTP
 // 503, text "!error: server is shutting down") while in-flight ones
 // finish, bounded by -drain-timeout, then the store checkpoints and
 // closes.
+//
+// -replica-of runs the node as a WAL-shipped read replica of another
+// sciqld: it bootstraps from the primary's checkpoint snapshot, tails
+// the primary's log, and serves snapshot-isolated reads while refusing
+// writes. POST /promote (or SIGUSR1) stops the stream, verifies the
+// applied prefix and opens the write path — failover. -read-only serves
+// an existing database without ever writing it.
 //
 // Try it:
 //
@@ -33,6 +40,7 @@ import (
 
 	sciql "repro"
 	"repro/internal/core"
+	"repro/internal/repl"
 	"repro/internal/server"
 )
 
@@ -50,19 +58,40 @@ func main() {
 		"how long shutdown waits for in-flight statements before cancelling them")
 	shutdownTimeout := flag.Duration("shutdown-timeout", server.DefaultShutdownTimeout,
 		"how long a forced close waits for in-flight HTTP requests")
+	readOnly := flag.Bool("read-only", false,
+		"serve the database without ever writing it (writes refused, no checkpoints)")
+	replicaOf := flag.String("replica-of", "",
+		"primary address to replicate from; serves reads, refuses writes until promoted")
 	flag.Parse()
 
 	sciql.SetThreads(*threads)
 
 	var (
-		db  *sciql.DB
-		err error
+		db     *sciql.DB
+		tailer *repl.Tailer
+		err    error
 	)
-	if *dir != "" {
+	switch {
+	case *replicaOf != "":
+		if *dir == "" {
+			fmt.Fprintln(os.Stderr, "sciqld: -replica-of requires -db (the replica must persist what it applies)")
+			os.Exit(1)
+		}
+		tailer, err = repl.Open(repl.Options{Primary: *replicaOf, Dir: *dir, CheckpointBytes: *ckptBytes})
+		if tailer != nil {
+			db = tailer.DB()
+		}
+	case *dir != "":
 		// The threshold is passed into Open so it also governs whether a
 		// large recovered log is folded during startup.
-		db, err = core.OpenWith(*dir, *ckptBytes)
-	} else {
+		opts := core.OpenOptions{CheckpointBytes: *ckptBytes}
+		if *readOnly {
+			opts.ReadOnly = "-read-only flag"
+		}
+		db, err = core.OpenDB(*dir, opts)
+	case *readOnly:
+		err = fmt.Errorf("-read-only requires -db (an in-memory database has nothing to serve)")
+	default:
 		db = sciql.New()
 	}
 	if err != nil {
@@ -77,16 +106,44 @@ func main() {
 		QueryTimeout:    *queryTimeout,
 		ShutdownTimeout: *shutdownTimeout,
 	})
+	if tailer != nil {
+		srv.SetReplication(tailer)
+	}
 	if err := srv.Start(); err != nil {
 		fmt.Fprintln(os.Stderr, "sciqld:", err)
 		os.Exit(1)
 	}
 	fmt.Printf("sciqld listening on %s (db: %s)\n", srv.Addr(), dbLabel(*dir))
+	if tailer != nil {
+		tailer.Start()
+		fmt.Printf("sciqld: replicating from %s (SIGUSR1 or POST /promote to promote)\n", *replicaOf)
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-	<-sig
+	promote := make(chan os.Signal, 1)
+	signal.Notify(promote, syscall.SIGUSR1)
+	for done := false; !done; {
+		select {
+		case <-promote:
+			if tailer == nil {
+				fmt.Fprintln(os.Stderr, "sciqld: SIGUSR1 ignored: not a replica")
+				continue
+			}
+			pos, perr := tailer.Promote(context.Background())
+			if perr != nil {
+				fmt.Fprintln(os.Stderr, "sciqld: promote:", perr)
+				continue
+			}
+			fmt.Printf("sciqld: promoted to primary at generation %d offset %d\n", pos.Gen, pos.Offset)
+		case <-sig:
+			done = true
+		}
+	}
 	fmt.Println("sciqld: draining (refusing new statements)")
+	if tailer != nil {
+		tailer.Stop()
+	}
 	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	_ = srv.Drain(ctx)
 	cancel()

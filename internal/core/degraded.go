@@ -28,6 +28,11 @@ import (
 // read-only degraded mode; test with errors.Is.
 var ErrDegraded = errors.New("database is read-only (degraded)")
 
+// ErrReadOnly marks every write rejected by policy: the -read-only flag
+// or replica mode. Unlike ErrDegraded it is not a fault — the store is
+// healthy, writes are simply not this node's job. Test with errors.Is.
+var ErrReadOnly = errors.New("database is read-only")
+
 // Degraded returns the cause that latched read-only degraded mode, or
 // nil when the database is healthy. Safe for concurrent use.
 func (db *DB) Degraded() error {
@@ -47,9 +52,12 @@ func (db *DB) degradeLocked(cause error) {
 }
 
 // writeBlockedErr returns the refusal every write path must surface
-// while degraded (nil otherwise). Must be called under the writer lock
-// (read or write).
+// while degraded, read-only or a replica (nil otherwise). Must be called
+// under the writer lock (read or write).
 func (db *DB) writeBlockedErr() error {
+	if db.readOnly != "" {
+		return fmt.Errorf("%w (%s)", ErrReadOnly, db.readOnly)
+	}
 	if db.degraded == nil {
 		return nil
 	}

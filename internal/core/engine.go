@@ -81,6 +81,17 @@ type DB struct {
 	// degraded.go; a successful Save or a reopen recovers.
 	degraded error
 
+	// readOnly, when non-empty, is the reason SQL writes are refused by
+	// policy (the -read-only flag); unlike degraded it is not a fault and
+	// never clears on Save. replica additionally marks the database as a
+	// replication target: SQL writes are refused, checkpoints are
+	// disabled (a checkpoint would reset the log generation and break the
+	// byte-identity with the primary's log), and the only mutation path
+	// is ApplyReplicated/InstallSnapshot, until Promote opens the write
+	// path. See repl.go.
+	readOnly string
+	replica  bool
+
 	txn      *txn     // open explicit transaction, nil in autocommit
 	txnOwner *Session // session holding the open transaction
 
@@ -122,12 +133,45 @@ func OpenWith(dir string, walCheckpointBytes int64) (*DB, error) {
 // and chaos suites use it to make fsyncs, renames and segment writes
 // fail on demand; production callers never need it.
 func OpenWithFS(dir string, walCheckpointBytes int64, fsys vfs.FS) (*DB, error) {
+	return OpenDB(dir, OpenOptions{CheckpointBytes: walCheckpointBytes, FS: fsys})
+}
+
+// OpenOptions configures OpenDB beyond the directory.
+type OpenOptions struct {
+	// CheckpointBytes is the WAL size past which a commit triggers an
+	// incremental checkpoint (0 means DefaultCheckpointBytes via Open;
+	// here 0 disables the trigger, matching OpenWith semantics).
+	CheckpointBytes int64
+	// FS overrides the filesystem (fault injection); nil means vfs.OS.
+	FS vfs.FS
+	// ReadOnly, when non-empty, refuses every SQL write with ErrReadOnly
+	// carrying this reason, and skips all checkpoints (including the
+	// final one on Close) so the mode truly never writes the store.
+	ReadOnly string
+	// Replica additionally opens the database as a replication target:
+	// read-only to SQL, checkpoints disabled, mutated only through
+	// ApplyReplicated/InstallSnapshot until Promote.
+	Replica bool
+}
+
+// OpenDB is the fully general open: directory plus options. The plain
+// Open/OpenWith wrappers cover the common cases.
+func OpenDB(dir string, o OpenOptions) (*DB, error) {
+	fsys := o.FS
 	if fsys == nil {
 		fsys = vfs.OS
 	}
+	readOnly := o.ReadOnly
+	if o.Replica && readOnly == "" {
+		readOnly = replicaReadOnlyReason
+	}
 	db := &DB{cat: catalog.New(), dir: dir, dirty: map[string]struct{}{}, pcache: newParseCache(),
-		ckptDirty: map[string]bool{}, ckptBytes: walCheckpointBytes, fs: fsys}
+		ckptDirty: map[string]bool{}, ckptBytes: o.CheckpointBytes, fs: fsys,
+		readOnly: readOnly, replica: o.Replica}
 	db.session = &Session{db: db}
+	if err := db.checkBootstrapMarker(); err != nil {
+		return nil, err
+	}
 	if err := db.load(); err != nil {
 		return nil, err
 	}
@@ -144,7 +188,8 @@ func OpenWithFS(dir string, walCheckpointBytes int64, fsys vfs.FS) (*DB, error) 
 	db.view.Store(catalog.New())
 	db.publishLocked()
 	// A recovered log past the threshold is folded immediately so the
-	// next open does not pay the same replay again.
+	// next open does not pay the same replay again. Read-only and
+	// replica opens never checkpoint (maybeCheckpointLocked refuses).
 	if err := db.maybeCheckpointLocked(); err != nil {
 		if db.wal != nil {
 			_ = db.wal.Close()
@@ -173,6 +218,12 @@ func (db *DB) SetWALCheckpointBytes(n int64) int64 {
 func (db *DB) CheckIntegrity() error {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
+	return db.checkIntegrityLocked()
+}
+
+// checkIntegrityLocked is CheckIntegrity under an already-held lock
+// (promotion verifies the applied prefix while holding the writer lock).
+func (db *DB) checkIntegrityLocked() error {
 	for _, name := range db.cat.TableNames() {
 		t, _ := db.cat.Table(name)
 		if len(t.Bats) != len(t.Columns) {
@@ -237,7 +288,13 @@ func (db *DB) Close() error {
 	if db.dir == "" {
 		return nil
 	}
-	ckptErr := db.checkpointLocked()
+	var ckptErr error
+	// A read-only or replica database never writes checkpoints — its WAL
+	// tail simply replays again on the next open (and a replica's log
+	// must stay a byte prefix of its primary's).
+	if db.readOnly == "" && !db.replica {
+		ckptErr = db.checkpointLocked()
+	}
 	// Release the log handle even when the final fold fails: the
 	// committed records are already durable in it and will replay on the
 	// next Open.

@@ -3,6 +3,7 @@ package core
 import (
 	"encoding/json"
 	"fmt"
+	"log"
 	"os"
 	"path/filepath"
 
@@ -192,6 +193,9 @@ func (db *DB) CheckpointBytes() int64 {
 // maybeCheckpointLocked folds the log into the segment store once it
 // crosses the configured threshold. Must be called under the writer lock.
 func (db *DB) maybeCheckpointLocked() error {
+	if db.readOnly != "" || db.replica {
+		return nil // never write the store in read-only/replica mode
+	}
 	if db.wal == nil || db.ckptBytes <= 0 || db.wal.Size() <= db.ckptBytes {
 		return nil
 	}
@@ -205,6 +209,15 @@ func (db *DB) maybeCheckpointLocked() error {
 func (db *DB) checkpointLocked() error {
 	if db.dir == "" {
 		return fmt.Errorf("database is in-memory; open it with a directory to persist")
+	}
+	if db.replica {
+		// A checkpoint would reset the log to a new local generation,
+		// destroying the byte-identity with the primary's log that the
+		// replica's resume position depends on.
+		return fmt.Errorf("replica: checkpoints are driven by the primary")
+	}
+	if db.readOnly != "" {
+		return fmt.Errorf("read-only (%s): checkpoint refused", db.readOnly)
 	}
 	if db.txn != nil {
 		// The live catalog holds uncommitted effects whose WAL records are
@@ -502,6 +515,15 @@ func (db *DB) recoverWAL() error {
 	l, err := wal.OpenFS(db.fs, path, db.applyWALBatch)
 	if err != nil {
 		return fmt.Errorf("wal recovery: %v", err)
+	}
+	if n := l.Truncated(); n > 0 {
+		// The discarded bytes were written but never became a committed
+		// record — a real (if expected) data-loss window after a crash
+		// mid-append. Logged and kept on the open result (WALTruncated)
+		// so operators and replicas can see it instead of the old
+		// silent truncation.
+		log.Printf("sciql: wal recovery truncated %d torn trailing bytes of %s (generation %d, %d records kept)",
+			n, path, l.Gen(), l.Records())
 	}
 	db.wal = l
 	return nil

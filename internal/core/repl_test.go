@@ -1,0 +1,440 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/vfs"
+	"repro/internal/wal"
+)
+
+// openReplica opens a fresh replica database in its own directory.
+func openReplica(t *testing.T, fsys vfs.FS) (*DB, string) {
+	t.Helper()
+	dir := filepath.Join(t.TempDir(), "replica")
+	db, err := OpenDB(dir, OpenOptions{FS: fsys, Replica: true})
+	if err != nil {
+		t.Fatalf("open replica: %v", err)
+	}
+	return db, dir
+}
+
+// syncReplica streams the primary's log into the replica through the same
+// chunk/frame/apply path the network tailer uses, until caught up.
+func syncReplica(t *testing.T, primary, replica *DB) {
+	t.Helper()
+	for i := 0; ; i++ {
+		if i > 10000 {
+			t.Fatal("replica not catching up")
+		}
+		pos := replica.WALPosition()
+		data, ppos, err := primary.ReadWALChunk(pos.Gen, pos.Offset, 512)
+		if errors.Is(err, wal.ErrGenMismatch) {
+			spos, files, serr := primary.ReplSnapshot()
+			if serr != nil {
+				t.Fatalf("snapshot: %v", serr)
+			}
+			if ierr := replica.InstallSnapshot(spos, files); ierr != nil {
+				t.Fatalf("install: %v", ierr)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("chunk at %+v: %v", pos, err)
+		}
+		if len(data) == 0 {
+			if pos.Offset != ppos.Offset {
+				t.Fatalf("no data but lag remains: local %d, primary %d", pos.Offset, ppos.Offset)
+			}
+			return
+		}
+		payloads, _, err := wal.Frames(data)
+		if err != nil {
+			t.Fatalf("frames: %v", err)
+		}
+		if _, err := replica.ApplyReplicated(pos.Offset, payloads); err != nil {
+			t.Fatalf("apply at %d: %v", pos.Offset, err)
+		}
+	}
+}
+
+// TestReplicateEndToEnd replays the crash-suite workload on a primary —
+// including a mid-workload checkpoint, so the replica must bootstrap
+// from a snapshot and then tail — and requires the replica to be
+// fingerprint-identical, with a byte-identical log, while refusing SQL
+// writes until promoted.
+func TestReplicateEndToEnd(t *testing.T) {
+	primDir := filepath.Join(t.TempDir(), "primary")
+	primary, err := OpenWith(primDir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer primary.Close()
+
+	replica, _ := openReplica(t, nil)
+	defer replica.Close()
+
+	for i, stmt := range crashWorkload {
+		if _, err := primary.Exec(stmt); err != nil {
+			t.Fatalf("workload[%d]: %v", i, err)
+		}
+		if i == len(crashWorkload)/2 {
+			if err := primary.Save(); err != nil { // generation reset mid-stream
+				t.Fatal(err)
+			}
+		}
+		syncReplica(t, primary, replica)
+	}
+
+	if got, want := fingerprintDB(replica), fingerprintDB(primary); got != want {
+		t.Fatalf("replica diverged:\n--- replica ---\n%s\n--- primary ---\n%s", got, want)
+	}
+	if !replica.IsReplica() {
+		t.Fatal("IsReplica() = false on a replica")
+	}
+	if _, err := replica.Query(`INSERT INTO kv VALUES (99, 'no', 0.0)`); !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("replica write = %v, want ErrReadOnly", err)
+	}
+
+	// The replica's log is a byte prefix (here: exact copy) of the
+	// primary's — the property the whole resume protocol rests on.
+	pb, err := os.ReadFile(filepath.Join(primDir, "wal.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := os.ReadFile(filepath.Join(replica.dir, "wal.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(pb, rb) {
+		t.Fatalf("replica log (%d bytes) is not byte-identical to primary log (%d bytes)", len(rb), len(pb))
+	}
+}
+
+// TestApplyReplicatedIdempotent re-delivers already-applied frames (the
+// normal aftermath of a reconnect) and requires them to be skipped
+// without effect; partial overlap applies only the fresh suffix.
+func TestApplyReplicatedIdempotent(t *testing.T) {
+	primDir := filepath.Join(t.TempDir(), "primary")
+	primary, err := OpenWith(primDir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer primary.Close()
+	replica, _ := openReplica(t, nil)
+	defer replica.Close()
+
+	primary.MustQuery(`CREATE TABLE t (a INT)`)
+	primary.MustQuery(`INSERT INTO t VALUES (1)`)
+	primary.MustQuery(`INSERT INTO t VALUES (2)`)
+
+	start := replica.WALPosition()
+	data, _, err := primary.ReadWALChunk(start.Gen, start.Offset, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payloads, _, err := wal.Frames(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(payloads) != 3 {
+		t.Fatalf("%d frames, want 3", len(payloads))
+	}
+	pos1, err := replica.ApplyReplicated(start.Offset, payloads)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Full re-delivery: every frame below the local end is skipped.
+	pos2, err := replica.ApplyReplicated(start.Offset, payloads)
+	if err != nil {
+		t.Fatalf("re-apply: %v", err)
+	}
+	if pos2 != pos1 {
+		t.Fatalf("re-apply moved the position: %+v -> %+v", pos1, pos2)
+	}
+
+	// Partial overlap: resend the last frame plus a genuinely new one.
+	primary.MustQuery(`INSERT INTO t VALUES (3)`)
+	lastOff := pos1.Offset - wal.FrameSize(len(payloads[2]))
+	data, _, err = primary.ReadWALChunk(start.Gen, lastOff, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	overlap, _, err := wal.Frames(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(overlap) != 2 {
+		t.Fatalf("%d overlap frames, want 2", len(overlap))
+	}
+	pos3, err := replica.ApplyReplicated(lastOff, overlap)
+	if err != nil {
+		t.Fatalf("overlap apply: %v", err)
+	}
+	if want := primary.WALPosition(); pos3 != want {
+		t.Fatalf("after overlap apply at %+v, primary at %+v", pos3, want)
+	}
+	r := replica.MustQuery(`SELECT COUNT(*), SUM(a) FROM t`)
+	if !strings.Contains(r.String(), "3") || !strings.Contains(r.String(), "6") {
+		t.Fatalf("replica content wrong after re-delivery:\n%s", r)
+	}
+}
+
+// TestApplyReplicatedRejectsGapAndStraddle: a stream that skips bytes or
+// starts mid-frame is a protocol violation, never silently applied.
+func TestApplyReplicatedRejectsGapAndStraddle(t *testing.T) {
+	replica, _ := openReplica(t, nil)
+	defer replica.Close()
+	pos := replica.WALPosition()
+	rec := []byte("not a real record but length is what matters")
+	if _, err := replica.ApplyReplicated(pos.Offset+10, [][]byte{rec}); err == nil || !strings.Contains(err.Error(), "gap") {
+		t.Fatalf("gap err = %v", err)
+	}
+	if _, err := replica.ApplyReplicated(pos.Offset-3, [][]byte{rec}); err == nil || !strings.Contains(err.Error(), "straddles") {
+		t.Fatalf("straddle err = %v", err)
+	}
+}
+
+// TestPromote: catching up and promoting opens the write path and
+// checkpointing; promoting a primary is refused.
+func TestPromote(t *testing.T) {
+	primDir := filepath.Join(t.TempDir(), "primary")
+	primary, err := OpenWith(primDir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer primary.Close()
+	primary.MustQuery(`CREATE TABLE t (a INT)`)
+	primary.MustQuery(`INSERT INTO t VALUES (7)`)
+
+	replica, _ := openReplica(t, nil)
+	defer replica.Close()
+	syncReplica(t, primary, replica)
+
+	pos, err := replica.Promote()
+	if err != nil {
+		t.Fatalf("promote: %v", err)
+	}
+	if want := primary.WALPosition(); pos != want {
+		t.Fatalf("promoted at %+v, primary at %+v", pos, want)
+	}
+	if replica.IsReplica() || replica.ReadOnlyReason() != "" {
+		t.Fatal("promotion must clear replica mode and the read-only gate")
+	}
+	if _, err := replica.Query(`INSERT INTO t VALUES (8)`); err != nil {
+		t.Fatalf("write after promote: %v", err)
+	}
+	if err := replica.Save(); err != nil {
+		t.Fatalf("checkpoint after promote: %v", err)
+	}
+	if _, err := replica.Promote(); err == nil {
+		t.Fatal("promoting a primary must fail")
+	}
+}
+
+// TestPromoteRefusedWhenDegraded: an apply fault latches degraded mode
+// and promotion is refused — a replica that could not apply everything it
+// acked must never take writes.
+func TestPromoteRefusedWhenDegraded(t *testing.T) {
+	primDir := filepath.Join(t.TempDir(), "primary")
+	primary, err := OpenWith(primDir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer primary.Close()
+	primary.MustQuery(`CREATE TABLE t (a INT)`)
+
+	fs := vfs.NewFailFS(nil)
+	replica, _ := openReplica(t, fs)
+	defer replica.Close()
+
+	pos := replica.WALPosition()
+	data, _, err := primary.ReadWALChunk(pos.Gen, pos.Offset, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payloads, _, err := wal.Frames(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs.FailOn(vfs.OpSync, "wal.log", 1, errors.New("injected replica fsync failure"))
+	if _, err := replica.ApplyReplicated(pos.Offset, payloads); err == nil {
+		t.Fatal("apply with failing local log must error")
+	}
+	if replica.Degraded() == nil {
+		t.Fatal("apply fault must latch degraded mode")
+	}
+	if _, err := replica.Promote(); err == nil || !strings.Contains(err.Error(), "degraded") {
+		t.Fatalf("promote on degraded replica = %v, want refusal", err)
+	}
+}
+
+// TestDegradedClearsOnReopen: a crash while degraded recovers clean — the
+// reopen replays the durable prefix and the latch does not persist.
+func TestDegradedClearsOnReopen(t *testing.T) {
+	db, fs, dir := openFaulted(t, 0)
+	db.MustQuery(`CREATE TABLE t (a INT)`)
+	db.MustQuery(`INSERT INTO t VALUES (1)`)
+	fs.FailOn(vfs.OpSync, "wal.log", 1, errors.New("injected fsync failure"))
+	if _, err := db.Query(`INSERT INTO t VALUES (2)`); err == nil {
+		t.Fatal("write with failing fsync must error")
+	}
+	if db.Degraded() == nil {
+		t.Fatal("degraded mode must latch")
+	}
+	// Crash without Close: reopen recovers the durable prefix, healthy.
+	db2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	if db2.Degraded() != nil {
+		t.Fatalf("degraded latch survived reopen: %v", db2.Degraded())
+	}
+	r := db2.MustQuery(`SELECT COUNT(*) FROM t`)
+	if !strings.Contains(r.String(), "1") {
+		t.Fatalf("recovered state wrong:\n%s", r)
+	}
+	if _, err := db2.Query(`INSERT INTO t VALUES (3)`); err != nil {
+		t.Fatalf("write after reopen: %v", err)
+	}
+}
+
+// TestReadOnlyOpen: the -read-only gate refuses writes with ErrReadOnly
+// and never touches the store — not even the final checkpoint on Close.
+func TestReadOnlyOpen(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "db")
+	db, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.MustQuery(`CREATE TABLE t (a INT)`)
+	db.MustQuery(`INSERT INTO t VALUES (1)`)
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	before, err := os.ReadFile(filepath.Join(dir, "catalog.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ro, err := OpenDB(dir, OpenOptions{ReadOnly: "maintenance window"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ro.Query(`SELECT COUNT(*) FROM t`); err != nil {
+		t.Fatalf("read on read-only db: %v", err)
+	}
+	_, werr := ro.Query(`INSERT INTO t VALUES (2)`)
+	if !errors.Is(werr, ErrReadOnly) || !strings.Contains(werr.Error(), "maintenance window") {
+		t.Fatalf("write = %v, want ErrReadOnly with the reason", werr)
+	}
+	if got := ro.ReadOnlyReason(); got != "maintenance window" {
+		t.Fatalf("ReadOnlyReason = %q", got)
+	}
+	if ro.IsReplica() {
+		t.Fatal("read-only is not replica mode")
+	}
+	if err := ro.Close(); err != nil {
+		t.Fatal(err)
+	}
+	after, err := os.ReadFile(filepath.Join(dir, "catalog.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(before, after) {
+		t.Fatal("read-only Close rewrote the manifest")
+	}
+}
+
+// TestSnapshotWireRoundTrip: the bootstrap image survives the wire and a
+// corrupted transfer fails the per-file checksum.
+func TestSnapshotWireRoundTrip(t *testing.T) {
+	pos := WALPos{Gen: 9, Offset: 12345, Records: 42}
+	files := []SnapshotFile{
+		{Name: "catalog.json", Data: []byte(`{"version":2}`)},
+		{Name: "bats/t.a.9.bat", Data: bytes.Repeat([]byte{0xab, 0x00, 0x7f}, 1000)},
+		{Name: "bats/empty.bat", Data: nil},
+	}
+	enc := EncodeSnapshot(pos, files)
+	gotPos, gotFiles, err := DecodeSnapshot(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotPos != pos {
+		t.Fatalf("pos = %+v, want %+v", gotPos, pos)
+	}
+	if len(gotFiles) != len(files) {
+		t.Fatalf("%d files, want %d", len(gotFiles), len(files))
+	}
+	for i := range files {
+		if gotFiles[i].Name != files[i].Name || !bytes.Equal(gotFiles[i].Data, files[i].Data) {
+			t.Fatalf("file %d mismatch", i)
+		}
+	}
+	// Flip one data byte mid-stream: decode must fail loudly.
+	bad := append([]byte(nil), enc...)
+	bad[len(bad)/2] ^= 0x40
+	if _, _, err := DecodeSnapshot(bad); err == nil {
+		t.Fatal("corrupted snapshot decoded without error")
+	}
+}
+
+// TestBootstrapMarker: a directory with an interrupted install refuses to
+// open until explicitly cleared, then bootstraps fresh.
+func TestBootstrapMarker(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "replica")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "repl-bootstrap.partial"), nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "catalog.json"), []byte("torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenDB(dir, OpenOptions{Replica: true}); !errors.Is(err, ErrBootstrapIncomplete) {
+		t.Fatalf("open = %v, want ErrBootstrapIncomplete", err)
+	}
+	if err := ClearIncompleteBootstrap(nil, dir); err != nil {
+		t.Fatal(err)
+	}
+	db, err := OpenDB(dir, OpenOptions{Replica: true})
+	if err != nil {
+		t.Fatalf("open after clear: %v", err)
+	}
+	db.Close()
+	// Clearing a healthy directory is refused.
+	if err := ClearIncompleteBootstrap(nil, dir); err == nil {
+		t.Fatal("ClearIncompleteBootstrap on a marker-less directory must refuse")
+	}
+}
+
+// TestGenerationResetDetected: after a primary checkpoint, a read at the
+// old generation reports ErrGenMismatch (the re-bootstrap trigger), and
+// ReadWALChunk never serves past the committed end.
+func TestGenerationResetDetected(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "primary")
+	db, err := OpenWith(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	db.MustQuery(`CREATE TABLE t (a INT)`)
+	old := db.WALPosition()
+	if err := db.Save(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := db.ReadWALChunk(old.Gen, old.Offset, 100); !errors.Is(err, wal.ErrGenMismatch) {
+		t.Fatalf("stale-generation read = %v, want ErrGenMismatch", err)
+	}
+	cur := db.WALPosition()
+	if _, _, err := db.ReadWALChunk(cur.Gen, cur.Offset+1, 100); !errors.Is(err, wal.ErrGenMismatch) {
+		t.Fatalf("past-end read = %v, want ErrGenMismatch", err)
+	}
+}

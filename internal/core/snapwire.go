@@ -1,0 +1,119 @@
+package core
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// Wire format of a bootstrap snapshot (what GET /repl/snapshot carries),
+// little-endian throughout:
+//
+//	header  magic   [4]byte "SCQS"
+//	        version uint16  (1)
+//	        gen     uint64  log generation the snapshot pairs with
+//	        offset  uint64  log byte offset at capture time
+//	        records uint64  log record count at capture time
+//	files   uvarint name length (0 terminates the stream)
+//	        name    []byte  path relative to the db dir
+//	        uvarint data length
+//	        data    []byte
+//	        crc32   uint32  IEEE, over the data
+//
+// Each file is individually checksummed so a transfer corrupted in
+// transit fails loudly at decode instead of installing a broken store.
+
+const (
+	snapMagic   = "SCQS"
+	snapVersion = 1
+
+	// maxSnapFile bounds one decoded snapshot file, keeping a corrupted
+	// length prefix from driving a huge allocation.
+	maxSnapFile = 1 << 32
+)
+
+// EncodeSnapshot serialises a bootstrap snapshot for the wire.
+func EncodeSnapshot(pos WALPos, files []SnapshotFile) []byte {
+	var buf bytes.Buffer
+	buf.WriteString(snapMagic)
+	var hdr [2 + 8 + 8 + 8]byte
+	binary.LittleEndian.PutUint16(hdr[0:], snapVersion)
+	binary.LittleEndian.PutUint64(hdr[2:], pos.Gen)
+	binary.LittleEndian.PutUint64(hdr[10:], uint64(pos.Offset))
+	binary.LittleEndian.PutUint64(hdr[18:], uint64(pos.Records))
+	buf.Write(hdr[:])
+	var lenBuf [binary.MaxVarintLen64]byte
+	for _, f := range files {
+		n := binary.PutUvarint(lenBuf[:], uint64(len(f.Name)))
+		buf.Write(lenBuf[:n])
+		buf.WriteString(f.Name)
+		n = binary.PutUvarint(lenBuf[:], uint64(len(f.Data)))
+		buf.Write(lenBuf[:n])
+		buf.Write(f.Data)
+		var crc [4]byte
+		binary.LittleEndian.PutUint32(crc[:], crc32.ChecksumIEEE(f.Data))
+		buf.Write(crc[:])
+	}
+	buf.WriteByte(0) // zero name length: end of files
+	return buf.Bytes()
+}
+
+// DecodeSnapshot parses an encoded bootstrap snapshot, verifying the
+// per-file checksums.
+func DecodeSnapshot(data []byte) (WALPos, []SnapshotFile, error) {
+	r := bytes.NewReader(data)
+	hdr := make([]byte, 4+2+8+8+8)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return WALPos{}, nil, fmt.Errorf("snapshot: short header: %v", err)
+	}
+	if string(hdr[:4]) != snapMagic {
+		return WALPos{}, nil, fmt.Errorf("snapshot: bad magic %q", hdr[:4])
+	}
+	if v := binary.LittleEndian.Uint16(hdr[4:]); v != snapVersion {
+		return WALPos{}, nil, fmt.Errorf("snapshot: unsupported version %d", v)
+	}
+	pos := WALPos{
+		Gen:     binary.LittleEndian.Uint64(hdr[6:]),
+		Offset:  int64(binary.LittleEndian.Uint64(hdr[14:])),
+		Records: int64(binary.LittleEndian.Uint64(hdr[22:])),
+	}
+	var files []SnapshotFile
+	for {
+		nameLen, err := binary.ReadUvarint(r)
+		if err != nil {
+			return WALPos{}, nil, fmt.Errorf("snapshot: truncated file list: %v", err)
+		}
+		if nameLen == 0 {
+			break
+		}
+		if nameLen > 4096 {
+			return WALPos{}, nil, fmt.Errorf("snapshot: implausible name length %d", nameLen)
+		}
+		name := make([]byte, nameLen)
+		if _, err := io.ReadFull(r, name); err != nil {
+			return WALPos{}, nil, fmt.Errorf("snapshot: truncated name: %v", err)
+		}
+		dataLen, err := binary.ReadUvarint(r)
+		if err != nil {
+			return WALPos{}, nil, fmt.Errorf("snapshot: truncated length of %s: %v", name, err)
+		}
+		if dataLen > maxSnapFile {
+			return WALPos{}, nil, fmt.Errorf("snapshot: implausible size %d of %s", dataLen, name)
+		}
+		body := make([]byte, dataLen)
+		if _, err := io.ReadFull(r, body); err != nil {
+			return WALPos{}, nil, fmt.Errorf("snapshot: truncated data of %s: %v", name, err)
+		}
+		var crc [4]byte
+		if _, err := io.ReadFull(r, crc[:]); err != nil {
+			return WALPos{}, nil, fmt.Errorf("snapshot: truncated checksum of %s: %v", name, err)
+		}
+		if crc32.ChecksumIEEE(body) != binary.LittleEndian.Uint32(crc[:]) {
+			return WALPos{}, nil, fmt.Errorf("snapshot: checksum failure on %s", name)
+		}
+		files = append(files, SnapshotFile{Name: string(name), Data: body})
+	}
+	return pos, files, nil
+}

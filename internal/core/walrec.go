@@ -475,9 +475,13 @@ func (db *DB) applyWALRecord(rec []byte) error {
 // ckptTouch marks a replayed object as diverged from its checkpointed
 // segments; data=false when only manifest-level state (a deletion mask)
 // changed. Replay runs outside any transaction, so no upgrade tracking.
+// The object is also marked publish-dirty: recovery publishes everything
+// afterwards anyway, and streamed replication (ApplyReplicated) relies
+// on the mark to re-freeze exactly the objects a batch touched.
 func (db *DB) ckptTouch(name string, data bool) {
 	n := catalog.Normalize(name)
 	db.ckptDirty[n] = db.ckptDirty[n] || data
+	db.dirty[n] = struct{}{}
 }
 
 func (db *DB) applyCreateTable(body []byte) error {

@@ -35,6 +35,15 @@ type Health struct {
 	Queries  int64  `json:"queries"`
 	Rejected int64  `json:"rejected"`
 	Workers  int    `json:"workers"`
+	// Mode is the node's role: "primary", "replica" or "read-only" (the
+	// -read-only flag). ReadOnly carries the policy reason when writes
+	// are refused. Both are orthogonal to Status: a replica is healthy.
+	Mode     string `json:"mode,omitempty"`
+	ReadOnly string `json:"read_only,omitempty"`
+	// WAL is the node's log position; on a replica, Replication carries
+	// the tailer's lag against its primary.
+	WAL         WALPos    `json:"wal"`
+	Replication *ReplInfo `json:"replication,omitempty"`
 }
 
 // RetryPolicy bounds the client's automatic retries. A retry is
@@ -164,19 +173,24 @@ func readOnlyBatch(query string) bool {
 	return true
 }
 
-// backoff returns the sleep before retry number attempt+2: exponential
-// from BaseDelay, capped at MaxDelay, with ±50% jitter.
-func (c *Client) backoff(attempt int) time.Duration {
-	base := c.retry.BaseDelay
+// backoff returns the sleep before retry number attempt+2.
+func (c *Client) backoff(attempt int) time.Duration { return c.retry.Backoff(attempt) }
+
+// Backoff returns the sleep before retry number attempt+2: exponential
+// from BaseDelay, capped at MaxDelay, with ±50% jitter. Exported so
+// other reconnecting loops (the replication tailer) share the same
+// herd-spreading schedule.
+func (p RetryPolicy) Backoff(attempt int) time.Duration {
+	base := p.BaseDelay
 	if base <= 0 {
 		base = 25 * time.Millisecond
 	}
-	max := c.retry.MaxDelay
+	max := p.MaxDelay
 	if max <= 0 {
 		max = time.Second
 	}
 	d := base << attempt
-	if d > max || d <= 0 {
+	if d > max || d <= 0 || attempt >= 30 {
 		d = max
 	}
 	half := d / 2
@@ -252,4 +266,9 @@ func (c *Client) Health() (*Health, error) {
 		return nil, err
 	}
 	return &h, nil
+}
+
+// decodeJSON decodes a bounded JSON body.
+func decodeJSON(r io.Reader, v any) error {
+	return json.NewDecoder(io.LimitReader(r, 1<<20)).Decode(v)
 }

@@ -71,6 +71,11 @@ type Server struct {
 	db  *core.DB
 	cfg Config
 
+	// repl is the replica tailer when this node is a replica (see
+	// SetReplication); nil on a primary. It backs POST /promote and the
+	// replication section of /healthz.
+	repl Replication
+
 	ln         net.Listener
 	httpSrv    *http.Server
 	httpConns  chan net.Conn
@@ -378,6 +383,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/query", s.handleQuery)
 	mux.HandleFunc("/session", s.handleSession)
 	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/repl/wal", s.handleReplWAL)
+	mux.HandleFunc("/repl/snapshot", s.handleReplSnapshot)
+	mux.HandleFunc("/promote", s.handlePromote)
 	return mux
 }
 
@@ -508,14 +516,31 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if status != "ok" {
 		code = http.StatusServiceUnavailable
 	}
-	writeJSON(w, code, map[string]any{
-		"status":   status,
-		"cause":    cause,
-		"sessions": live,
-		"queries":  s.queries.Load(),
-		"rejected": s.rejected.Load(),
-		"workers":  s.cfg.Workers,
-	})
+	// mode distinguishes the node's role — a replica or a -read-only node
+	// is healthy (reads work; probes must keep it in rotation), so mode is
+	// reported alongside status rather than folded into it.
+	mode := "primary"
+	if s.db.IsReplica() {
+		mode = "replica"
+	} else if s.db.ReadOnlyReason() != "" {
+		mode = "read-only"
+	}
+	body := map[string]any{
+		"status":    status,
+		"cause":     cause,
+		"mode":      mode,
+		"read_only": s.db.ReadOnlyReason(),
+		"wal":       s.db.WALPosition(),
+		"sessions":  live,
+		"queries":   s.queries.Load(),
+		"rejected":  s.rejected.Load(),
+		"workers":   s.cfg.Workers,
+	}
+	if s.repl != nil {
+		rs := s.repl.ReplStatus()
+		body["replication"] = &rs
+	}
+	writeJSON(w, code, body)
 }
 
 // ------------------------------------------------------ session registry

@@ -1,0 +1,228 @@
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/vfs"
+)
+
+// TestFrameSizeMatchesAppend proves FrameSize computes exactly the bytes
+// Append adds per record — the invariant the replication duplicate-skip
+// arithmetic (core.ApplyReplicated) depends on.
+func TestFrameSizeMatchesAppend(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	l, err := Create(path, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	for _, payload := range [][]byte{{}, []byte("x"), bytes.Repeat([]byte("y"), 127), bytes.Repeat([]byte("z"), 128), bytes.Repeat([]byte("w"), 70000)} {
+		before := l.Size()
+		if err := l.Append(payload); err != nil {
+			t.Fatal(err)
+		}
+		if got, want := l.Size()-before, FrameSize(len(payload)); got != want {
+			t.Fatalf("append of %d bytes grew the log by %d, FrameSize says %d", len(payload), got, want)
+		}
+	}
+}
+
+// TestChunkFramesRoundTrip streams a log through ChunkFS + Frames and
+// requires the reassembled payloads to match the appended records, at
+// every chunk size (forcing frames to straddle chunk boundaries).
+func TestChunkFramesRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	l, err := Create(path, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]byte{[]byte("alpha"), {}, bytes.Repeat([]byte("beta"), 100), []byte("tail")}
+	if err := l.Append(want...); err != nil {
+		t.Fatal(err)
+	}
+	end := l.Size()
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	for chunk := int64(1); chunk <= end; chunk += 7 {
+		var got [][]byte
+		var pending []byte
+		off := int64(HeaderSize)
+		for off < end {
+			data, err := ChunkFS(vfs.OS, path, 3, off, chunk)
+			if err != nil {
+				t.Fatalf("chunk at %d: %v", off, err)
+			}
+			if len(data) == 0 {
+				t.Fatalf("chunk at %d returned no bytes before end %d", off, end)
+			}
+			// A reader accumulates bytes until whole frames appear, then
+			// advances by exactly the consumed prefix.
+			pending = append(pending, data...)
+			payloads, consumed, err := Frames(pending)
+			if err != nil {
+				t.Fatalf("frames at %d: %v", off, err)
+			}
+			for _, p := range payloads {
+				got = append(got, append([]byte(nil), p...))
+			}
+			pending = pending[consumed:]
+			off += int64(len(data))
+		}
+		if len(pending) != 0 {
+			t.Fatalf("chunk=%d: %d unconsumed bytes at end of log", chunk, len(pending))
+		}
+		if len(got) != len(want) {
+			t.Fatalf("chunk=%d: reassembled %d records, want %d", chunk, len(got), len(want))
+		}
+		for i := range want {
+			if !bytes.Equal(got[i], want[i]) {
+				t.Fatalf("chunk=%d: record %d = %q, want %q", chunk, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestChunkGenMismatch requires a positioned read against a reset log to
+// fail with ErrGenMismatch, the signal that forces a re-bootstrap.
+func TestChunkGenMismatch(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	l, err := Create(path, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	if _, err := ChunkFS(vfs.OS, path, 4, HeaderSize, 100); !errors.Is(err, ErrGenMismatch) {
+		t.Fatalf("stale-generation chunk: err = %v, want ErrGenMismatch", err)
+	}
+	if _, err := ChunkFS(vfs.OS, path, 5, 3, 100); err == nil {
+		t.Fatal("chunk offset inside the header was accepted")
+	}
+}
+
+// TestFramesIncompleteTail holds back a frame whose bytes have not fully
+// arrived (nil error, zero consumption of the partial tail), and
+// TestFramesCorrupt distinguishes bytes corrupted in transit.
+func TestFramesIncompleteTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	l, err := Create(path, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append([]byte("first"), []byte("second")); err != nil {
+		t.Fatal(err)
+	}
+	end := l.Size()
+	l.Close()
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := raw[HeaderSize:end]
+	for cut := 0; cut <= len(body); cut++ {
+		payloads, consumed, err := Frames(body[:cut])
+		if err != nil {
+			t.Fatalf("cut=%d: %v", cut, err)
+		}
+		if consumed > int64(cut) {
+			t.Fatalf("cut=%d: consumed %d > available", cut, consumed)
+		}
+		whole := 0
+		if cut >= int(FrameSize(len("first"))) {
+			whole = 1
+		}
+		if cut >= len(body) {
+			whole = 2
+		}
+		if len(payloads) != whole {
+			t.Fatalf("cut=%d: %d complete frames, want %d", cut, len(payloads), whole)
+		}
+	}
+}
+
+func TestFramesCorrupt(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	l, err := Create(path, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append([]byte("good"), []byte("mangled")); err != nil {
+		t.Fatal(err)
+	}
+	end := l.Size()
+	l.Close()
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := raw[HeaderSize:end]
+	// Flip a payload byte of the second frame: its checksum must fail,
+	// while the first frame still decodes.
+	mut := append([]byte(nil), body...)
+	mut[FrameSize(len("good"))+2] ^= 0xff
+	payloads, consumed, err := Frames(mut)
+	if !errors.Is(err, ErrCorruptFrame) {
+		t.Fatalf("err = %v, want ErrCorruptFrame", err)
+	}
+	if len(payloads) != 1 || string(payloads[0]) != "good" {
+		t.Fatalf("complete prefix = %q, want [good]", payloads)
+	}
+	if consumed != FrameSize(len("good")) {
+		t.Fatalf("consumed = %d, want %d", consumed, FrameSize(len("good")))
+	}
+}
+
+// TestRecordsCounting checks the record count the lag report is built
+// from: counted across replay, appends, and torn-tail truncation.
+func TestRecordsCounting(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	l, err := Create(path, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Records() != 0 {
+		t.Fatalf("fresh log reports %d records", l.Records())
+	}
+	if err := l.Append([]byte("a"), []byte("b")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append([]byte("c")); err != nil {
+		t.Fatal(err)
+	}
+	if l.Records() != 3 {
+		t.Fatalf("records = %d after 3 appends", l.Records())
+	}
+	end := l.Size()
+	l.Close()
+
+	// Reopen: the scan recounts; Truncated is 0 on a clean log.
+	l2, err := Open(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l2.Records() != 3 || l2.Truncated() != 0 {
+		t.Fatalf("reopen: records=%d truncated=%d, want 3/0", l2.Records(), l2.Truncated())
+	}
+	l2.Close()
+
+	// Tear the last frame: one record lost, its bytes reported truncated.
+	if err := os.Truncate(path, end-1); err != nil {
+		t.Fatal(err)
+	}
+	l3, err := Open(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l3.Close()
+	if l3.Records() != 2 {
+		t.Fatalf("torn reopen: records = %d, want 2", l3.Records())
+	}
+	if want := FrameSize(1) - 1; l3.Truncated() != want {
+		t.Fatalf("torn reopen: truncated = %d, want %d", l3.Truncated(), want)
+	}
+}

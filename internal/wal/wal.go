@@ -55,6 +55,22 @@ const (
 // fails instead of silently discarding the log.
 var ErrBadHeader = errors.New("wal: bad log header")
 
+// ErrGenMismatch reports a positioned read against a log whose generation
+// is not the one the reader expected: the log was reset by a checkpoint
+// since the reader's position was taken, so the position is meaningless
+// and the reader must re-bootstrap from a snapshot.
+var ErrGenMismatch = errors.New("wal: log generation mismatch")
+
+// ErrCorruptFrame reports a framed record whose checksum fails or whose
+// length prefix is implausible inside an otherwise complete buffer — in a
+// replication stream this marks bytes corrupted in transit (or a buggy
+// sender), unlike a merely incomplete tail, which is normal.
+var ErrCorruptFrame = errors.New("wal: corrupt record frame")
+
+// HeaderSize is the byte length of the log header; the first record
+// starts at this offset, so it is the zero position of every stream.
+const HeaderSize = headerSize
+
 // Log is an open write-ahead log positioned for appending.
 type Log struct {
 	f    vfs.File
@@ -62,6 +78,11 @@ type Log struct {
 	path string
 	gen  uint64
 	size int64 // bytes of header + valid records on disk
+	recs int64 // records in the valid prefix (scanned on open, counted on append)
+	// truncated is how many trailing bytes Open discarded as torn or
+	// corrupt — the size of the data-loss window an operator (or a
+	// replica deciding whether its primary went back in time) can see.
+	truncated int64
 }
 
 // Create atomically replaces (or creates) the log at path with an empty
@@ -161,7 +182,7 @@ func OpenFS(fsys vfs.FS, path string, apply func(rec []byte) error) (*Log, error
 		return nil, err
 	}
 
-	valid, err := scan(f, headerSize, apply)
+	valid, nrec, err := scan(f, headerSize, apply)
 	if err != nil {
 		f.Close()
 		return nil, err
@@ -174,8 +195,10 @@ func OpenFS(fsys vfs.FS, path string, apply func(rec []byte) error) (*Log, error
 	if err != nil {
 		return nil, err
 	}
+	var torn int64
 	if fi, err := w.Stat(); err == nil && fi.Size() > valid {
 		// Discard the torn tail so new appends start at a record boundary.
+		torn = fi.Size() - valid
 		if err := w.Truncate(valid); err != nil {
 			w.Close()
 			return nil, err
@@ -189,28 +212,30 @@ func OpenFS(fsys vfs.FS, path string, apply func(rec []byte) error) (*Log, error
 		w.Close()
 		return nil, err
 	}
-	return &Log{f: w, fs: fsys, path: path, gen: gen, size: valid}, nil
+	return &Log{f: w, fs: fsys, path: path, gen: gen, size: valid, recs: nrec, truncated: torn}, nil
 }
 
 // scan reads framed records from r (positioned just past the header),
 // calling apply for each intact one, and returns the offset of the end of
-// the last intact record. Any framing violation — truncated length,
-// oversized length, short payload, checksum mismatch — ends the scan
-// without error: it marks the crash point. Offsets are tracked from the
-// bytes actually consumed, not recomputed from decoded values: a
-// corrupted-but-parsable length prefix (e.g. a non-minimal varint) must
-// not desynchronize the truncation point from the stream position.
-func scan(r io.Reader, start int64, apply func(rec []byte) error) (int64, error) {
+// the last intact record plus the intact record count. Any framing
+// violation — truncated length, oversized length, short payload, checksum
+// mismatch — ends the scan without error: it marks the crash point.
+// Offsets are tracked from the bytes actually consumed, not recomputed
+// from decoded values: a corrupted-but-parsable length prefix (e.g. a
+// non-minimal varint) must not desynchronize the truncation point from
+// the stream position.
+func scan(r io.Reader, start int64, apply func(rec []byte) error) (int64, int64, error) {
 	br := &byteReader{r: r}
 	valid := start
+	var nrec int64
 	var payload []byte
 	for {
 		length, err := binary.ReadUvarint(br)
 		if err != nil {
-			return valid, nil // clean EOF or torn length prefix
+			return valid, nrec, nil // clean EOF or torn length prefix
 		}
 		if length > MaxRecord {
-			return valid, nil // corrupt length
+			return valid, nrec, nil // corrupt length
 		}
 		need := int(length) + 4
 		if cap(payload) < need {
@@ -218,18 +243,19 @@ func scan(r io.Reader, start int64, apply func(rec []byte) error) (int64, error)
 		}
 		buf := payload[:need]
 		if _, err := io.ReadFull(br, buf); err != nil {
-			return valid, nil // torn payload or checksum
+			return valid, nrec, nil // torn payload or checksum
 		}
 		body, sum := buf[:length], binary.LittleEndian.Uint32(buf[length:])
 		if crc32.ChecksumIEEE(body) != sum {
-			return valid, nil // corrupted record
+			return valid, nrec, nil // corrupted record
 		}
 		if apply != nil {
 			if err := apply(body); err != nil {
-				return valid, err
+				return valid, nrec, err
 			}
 		}
 		valid = start + br.consumed
+		nrec++
 	}
 }
 
@@ -260,6 +286,17 @@ func (l *Log) Gen() uint64 { return l.gen }
 
 // Size returns the current log size in bytes (header + records).
 func (l *Log) Size() int64 { return l.size }
+
+// Records returns the number of records in the valid prefix: those
+// replayed on open plus those appended since. Replication lag in records
+// is the difference between two logs' counts at the same generation.
+func (l *Log) Records() int64 { return l.recs }
+
+// Truncated returns how many trailing bytes Open discarded as torn or
+// corrupt (0 for a cleanly closed log, and always 0 after Create). A
+// non-zero value is a visible data-loss window: bytes that were written
+// but never became a committed record.
+func (l *Log) Truncated() int64 { return l.truncated }
 
 // Append frames and writes the records as one durable unit: all of them
 // are written, then the file is fsynced once. On any error the log file
@@ -296,6 +333,7 @@ func (l *Log) Append(recs ...[]byte) error {
 		return err
 	}
 	l.size += int64(len(frame))
+	l.recs += int64(len(recs))
 	return nil
 }
 
@@ -322,3 +360,93 @@ func (l *Log) Close() error {
 // I/O failure is not — callers rely on it for their no-torn-store
 // guarantees.
 func SyncDir(dir string) error { return vfs.OS.SyncDir(dir) }
+
+// ---------------------------------------------------------- replication
+
+// Streaming support: a primary serves its log to replicas as raw framed
+// bytes read at a byte position (ChunkFS), and a replica reassembles
+// complete records from the stream (Frames). The frames on the wire are
+// byte-identical to the frames on disk, so a replica that appends the
+// payloads it applies via Append reproduces the primary's log byte for
+// byte — its log size IS its replication position.
+
+// FrameSize returns the on-disk (and on-wire) byte length of one framed
+// record: varint length prefix + payload + CRC32.
+func FrameSize(payloadLen int) int64 {
+	var lenBuf [binary.MaxVarintLen64]byte
+	return int64(binary.PutUvarint(lenBuf[:], uint64(payloadLen)) + payloadLen + 4)
+}
+
+// ChunkFS reads up to max raw bytes of the log at path starting at byte
+// offset off, after verifying the log still carries generation gen
+// (ErrGenMismatch otherwise: the log was reset by a checkpoint and the
+// caller's position is void). The returned bytes start at a record
+// boundary only if off does; callers track positions from HeaderSize and
+// frame ends, so they always do. Reading near the live tail may return
+// bytes of a record still being appended — Frames on the receiving side
+// holds incomplete tails back.
+func ChunkFS(fsys vfs.FS, path string, gen uint64, off, max int64) ([]byte, error) {
+	f, err := fsys.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	g, err := readHeader(f)
+	if err != nil {
+		return nil, err
+	}
+	if g != gen {
+		return nil, fmt.Errorf("%w: have %d, want %d", ErrGenMismatch, g, gen)
+	}
+	if off < headerSize {
+		return nil, fmt.Errorf("wal: chunk offset %d inside the header", off)
+	}
+	if max <= 0 {
+		return nil, nil
+	}
+	if _, err := f.Seek(off, io.SeekStart); err != nil {
+		return nil, err
+	}
+	buf := make([]byte, max)
+	n, err := io.ReadFull(f, buf)
+	if err == io.EOF || err == io.ErrUnexpectedEOF {
+		err = nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	return buf[:n], nil
+}
+
+// Frames splits a stream buffer into complete record payloads. It
+// returns the payloads, the bytes they consumed (so the caller advances
+// its position by exactly that), and whether the remainder is merely
+// incomplete (nil error — more bytes will complete it) or definitely
+// corrupt (ErrCorruptFrame — checksum failure or implausible length;
+// the caller must discard the tail and re-request from the consumed
+// position, exactly as crash recovery truncates a torn tail).
+func Frames(buf []byte) (payloads [][]byte, consumed int64, err error) {
+	off := 0
+	for off < len(buf) {
+		length, n := binary.Uvarint(buf[off:])
+		if n == 0 {
+			break // incomplete length prefix
+		}
+		if n < 0 || length > MaxRecord {
+			return payloads, consumed, fmt.Errorf("%w: implausible length at %d", ErrCorruptFrame, off)
+		}
+		end := off + n + int(length) + 4
+		if end > len(buf) {
+			break // incomplete payload or checksum
+		}
+		body := buf[off+n : off+n+int(length)]
+		sum := binary.LittleEndian.Uint32(buf[off+n+int(length):])
+		if crc32.ChecksumIEEE(body) != sum {
+			return payloads, consumed, fmt.Errorf("%w: checksum failure at %d", ErrCorruptFrame, off)
+		}
+		payloads = append(payloads, body)
+		off = end
+		consumed = int64(off)
+	}
+	return payloads, consumed, nil
+}
