@@ -23,6 +23,9 @@
 #   7. the replication costs: fresh-replica WAL catch-up throughput and
 #      promotion (failover) latency
 #      (BenchmarkReplCatchup, BenchmarkFailover) -> BENCH_repl.json
+#   8. the group-commit comparison: N concurrent writers, grouped vs
+#      serialized fsync, with the fsyncs/commit amortisation column
+#      (BenchmarkCommitNWriters) -> BENCH_commit.json
 #
 # Raw benchmark text lands under bench-artifacts/ (gitignored); only the
 # BENCH_*.json baselines are checked in.
@@ -38,6 +41,10 @@ WAL_PATTERN="BenchmarkCommitSmallWrite|BenchmarkWALRecovery"
 STATS_PATTERN="BenchmarkZonemapSelect|BenchmarkMergeJoin"
 CANCEL_PATTERN="BenchmarkCancelLatency|BenchmarkCtxOverhead"
 REPL_PATTERN="BenchmarkReplCatchup|BenchmarkFailover"
+# mode= only: the speedup-gate sub-benchmark's ns/op is a fixed-workload
+# comparison, not a per-op timing, so it stays out of the regression JSON
+# (the CI bench-smoke step still runs it via -bench .).
+COMMIT_PATTERN="BenchmarkCommitNWriters/mode="
 
 # Raw per-pass output is an artifact, not a source: keep it out of the
 # repo root so it can never be committed again.
@@ -72,16 +79,18 @@ bench_json() {
     awk '
     BEGIN { print "["; first = 1 }
     /^Benchmark/ {
-        name = $1; iters = $2; ns = $3; bytes = ""; allocs = ""
+        name = $1; iters = $2; ns = $3; bytes = ""; allocs = ""; fsyncs = ""
         for (i = 4; i <= NF; i++) {
-            if ($(i) == "B/op")      bytes  = $(i - 1)
-            if ($(i) == "allocs/op") allocs = $(i - 1)
+            if ($(i) == "B/op")          bytes  = $(i - 1)
+            if ($(i) == "allocs/op")     allocs = $(i - 1)
+            if ($(i) == "fsyncs/commit") fsyncs = $(i - 1)
         }
         if (!first) printf ",\n"
         first = 0
         printf "  {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s", name, iters, ns
         if (bytes  != "") printf ", \"bytes_per_op\": %s", bytes
         if (allocs != "") printf ", \"allocs_per_op\": %s", allocs
+        if (fsyncs != "") printf ", \"fsyncs_per_commit\": %s", fsyncs
         printf "}"
     }
     END { print "\n]" }
@@ -96,3 +105,4 @@ bench_json "${WAL_PATTERN}" BENCH_wal.json "${ARTIFACTS}/bench_wal_out.txt"
 bench_json "${STATS_PATTERN}" BENCH_stats.json "${ARTIFACTS}/bench_stats_out.txt"
 bench_json "${CANCEL_PATTERN}" BENCH_cancel.json "${ARTIFACTS}/bench_cancel_out.txt"
 bench_json "${REPL_PATTERN}" BENCH_repl.json "${ARTIFACTS}/bench_repl_out.txt"
+bench_json "${COMMIT_PATTERN}" BENCH_commit.json "${ARTIFACTS}/bench_commit_out.txt"

@@ -36,6 +36,12 @@ type Table struct {
 	// table's columns on disk (bats/<name>.<col>.<version>.bat); 0 means
 	// the legacy unversioned layout. Maintained by the persistence layer.
 	Version uint64
+
+	// Mod counts committed modifications to this table. The engine bumps
+	// it under its write lock before every mutation; optimistic writers
+	// that prepared against a snapshot compare the live Mod against the
+	// snapshot's to detect a conflicting first committer.
+	Mod uint64
 }
 
 // NumRows returns the number of live rows.
@@ -70,7 +76,7 @@ func (t *Table) ColumnIndex(name string) (int, bool) {
 // counts, private NULL masks) and whose deletion mask is deep-cloned. The
 // Columns slice is shared; schema metadata is never mutated in place.
 func (t *Table) Freeze() *Table {
-	f := &Table{Name: t.Name, Columns: t.Columns, Deleted: t.Deleted.Clone(), Version: t.Version}
+	f := &Table{Name: t.Name, Columns: t.Columns, Deleted: t.Deleted.Clone(), Version: t.Version, Mod: t.Mod}
 	f.Bats = make([]*bat.BAT, len(t.Bats))
 	for i, b := range t.Bats {
 		f.Bats[i] = b.Freeze()
@@ -97,6 +103,9 @@ type Array struct {
 	// Version is the checkpoint generation whose segment files hold this
 	// array's attributes on disk (see Table.Version).
 	Version uint64
+
+	// Mod counts committed modifications; see Table.Mod.
+	Mod uint64
 }
 
 // Cells returns the number of cells.
@@ -142,6 +151,7 @@ func (a *Array) Freeze() *Array {
 		Attrs:     a.Attrs,
 		Unbounded: append([]bool{}, a.Unbounded...),
 		Version:   a.Version,
+		Mod:       a.Mod,
 	}
 	f.DimBats = make([]*bat.BAT, len(a.DimBats))
 	for i, b := range a.DimBats {

@@ -12,24 +12,36 @@ import (
 // data vault (internal/vault) to load images without going through one
 // INSERT per pixel, mirroring MonetDB's bulk-loading interfaces.
 func (db *DB) BulkSetAttrInts(array, attr string, data []int64) error {
+	req, err := db.bulkSetAttrIntsLocked(array, attr, data)
+	if req != nil {
+		// Group commit: the batch is on the queue; wait for its fsync
+		// outside the writer lock (see execStmtCtx).
+		if werr := <-req.done; werr != nil && err == nil {
+			err = werr
+		}
+	}
+	return err
+}
+
+func (db *DB) bulkSetAttrIntsLocked(array, attr string, data []int64) (*commitReq, error) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	if err := db.writeBlockedErr(); err != nil {
-		return err
+		return nil, err
 	}
 	a, ok := db.cat.Array(array)
 	if !ok {
-		return fmt.Errorf("no such array: %q", array)
+		return nil, fmt.Errorf("no such array: %q", array)
 	}
 	ai, ok := a.AttrIndex(attr)
 	if !ok {
-		return fmt.Errorf("array %q has no attribute %q", array, attr)
+		return nil, fmt.Errorf("array %q has no attribute %q", array, attr)
 	}
 	if len(data) != a.Cells() {
-		return fmt.Errorf("array %q has %d cells, got %d values", array, a.Cells(), len(data))
+		return nil, fmt.Errorf("array %q has %d cells, got %d values", array, a.Cells(), len(data))
 	}
 	if k := a.Attrs[ai].Type.Kind; k != types.KindInt {
-		return fmt.Errorf("attribute %q is %s, not integer", attr, k)
+		return nil, fmt.Errorf("attribute %q is %s, not integer", attr, k)
 	}
 	db.noteModifyArray(a)
 	a.AttrBats[ai] = bat.FromInts(append([]int64(nil), data...))
@@ -37,19 +49,12 @@ func (db *DB) BulkSetAttrInts(array, attr string, data []int64) error {
 		db.logRecord(encBulkAttrInts(a.Name, ai, data))
 	}
 	if db.txn == nil {
-		// Durability first, then publication — and publish even when the
-		// flush fails, so readers stay consistent with the applied
-		// in-memory state (same contract as the autocommit boundary).
-		flushErr := db.flushWALLocked()
-		db.publishLocked()
-		if flushErr != nil {
-			return flushErr
-		}
-		if err := db.maybeCheckpointLocked(); err != nil {
-			return err
-		}
+		// The shared autocommit boundary: durability first, then
+		// publication — and publish even when the flush fails, so readers
+		// stay consistent with the applied in-memory state.
+		return db.commitBoundaryLocked()
 	}
-	return nil
+	return nil, nil
 }
 
 // ReadAttrInts copies the cell values of an integer array attribute, in

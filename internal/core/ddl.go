@@ -43,6 +43,9 @@ func (db *DB) createTable(s *ast.CreateTable) (*Result, error) {
 		cols = append(cols, col)
 	}
 	t := catalog.NewTable(s.Name, cols)
+	// Stamp the fresh incarnation: a stale optimistic snapshot of a
+	// same-named dropped table must fail its Mod check (see stampMod).
+	db.stampMod(&t.Mod)
 	db.noteCreate(s.Name)
 	if err := db.cat.AddTable(t); err != nil {
 		return nil, err
@@ -118,6 +121,8 @@ func (db *DB) createArray(s *ast.CreateArray) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Fresh incarnation stamp; see createTable.
+	db.stampMod(&a.Mod)
 	db.noteCreate(s.Name)
 	if err := db.cat.AddArray(a); err != nil {
 		return nil, err

@@ -12,9 +12,11 @@ import (
 	"repro/internal/types"
 )
 
-// insertSource materialises the literal VALUES rows of an INSERT.
-func (db *DB) insertSource(s *ast.Insert, wantCols int) ([][]types.Value, error) {
-	b := rel.NewBinder(db.cat)
+// insertSource materialises the literal VALUES rows of an INSERT. It
+// binds against an explicit catalog so the optimistic write path can
+// stage rows off a published snapshot (see optimistic.go).
+func insertSource(cat *catalog.Catalog, s *ast.Insert, wantCols int) ([][]types.Value, error) {
+	b := rel.NewBinder(cat)
 	rows := make([][]types.Value, 0, len(s.Rows))
 	for _, r := range s.Rows {
 		if len(r) != wantCols {
@@ -67,45 +69,31 @@ func (db *DB) insert(s *ast.Insert) (*Result, error) {
 	return nil, fmt.Errorf("at %s: no such table or array: %q", s.Pos, s.Table)
 }
 
-func (db *DB) insertTable(s *ast.Insert, t *catalog.Table) (*Result, error) {
-	// Column mapping: target ordinal per source column.
+// insertMapping resolves the target column ordinal per source column of
+// a table INSERT.
+func insertMapping(t *catalog.Table, s *ast.Insert) ([]int, error) {
 	mapping := make([]int, 0, len(t.Columns))
 	if len(s.Columns) == 0 {
 		for i := range t.Columns {
 			mapping = append(mapping, i)
 		}
-	} else {
-		for _, name := range s.Columns {
-			i, ok := t.ColumnIndex(name)
-			if !ok {
-				return nil, fmt.Errorf("at %s: table %q has no column %q", s.Pos, t.Name, name)
-			}
-			mapping = append(mapping, i)
-		}
+		return mapping, nil
 	}
-	var rows [][]types.Value
-	var err error
-	if s.Query != nil {
-		res, qerr := db.runSelectRaw(s.Query)
-		if qerr != nil {
-			return nil, qerr
+	for _, name := range s.Columns {
+		i, ok := t.ColumnIndex(name)
+		if !ok {
+			return nil, fmt.Errorf("at %s: table %q has no column %q", s.Pos, t.Name, name)
 		}
-		if res.NumCols() != len(mapping) {
-			return nil, fmt.Errorf("INSERT expects %d columns, query produces %d", len(mapping), res.NumCols())
-		}
-		rows = make([][]types.Value, res.NumRows())
-		for i := range rows {
-			rows[i] = res.Row(i)
-		}
-	} else {
-		rows, err = db.insertSource(s, len(mapping))
-		if err != nil {
-			return nil, err
-		}
+		mapping = append(mapping, i)
 	}
-	// Phase 1 — cast every row and fill defaults before touching storage,
-	// so a bad value fails the whole statement cleanly (no partial append)
-	// and the WAL record matches the applied effect exactly.
+	return mapping, nil
+}
+
+// castInsertRows is phase 1 of a table INSERT: cast every row and fill
+// defaults before touching storage, so a bad value fails the whole
+// statement cleanly (no partial append) and the WAL record matches the
+// applied effect exactly. Pure: safe against a frozen snapshot table.
+func castInsertRows(t *catalog.Table, mapping []int, rows [][]types.Value) ([][]types.Value, error) {
 	full := make([][]types.Value, len(rows))
 	for ri, row := range rows {
 		vals := make([]types.Value, len(t.Columns))
@@ -129,8 +117,28 @@ func (db *DB) insertTable(s *ast.Insert, t *catalog.Table) (*Result, error) {
 		}
 		full[ri] = vals
 	}
-	// Phase 2 — append (appends beyond the frozen count are invisible to
-	// published snapshots, no copy-on-write needed).
+	return full, nil
+}
+
+// stageTableInsert resolves and casts the literal rows of an
+// INSERT ... VALUES, entirely read-only against cat: the plan half of
+// insertTable, shared with the optimistic write path.
+func stageTableInsert(cat *catalog.Catalog, t *catalog.Table, s *ast.Insert) ([][]types.Value, error) {
+	mapping, err := insertMapping(t, s)
+	if err != nil {
+		return nil, err
+	}
+	rows, err := insertSource(cat, s, len(mapping))
+	if err != nil {
+		return nil, err
+	}
+	return castInsertRows(t, mapping, rows)
+}
+
+// applyTableInsert is phase 2 of a table INSERT: append the staged rows
+// under the writer lock and log the effect (appends beyond the frozen
+// count are invisible to published snapshots, no copy-on-write needed).
+func (db *DB) applyTableInsert(t *catalog.Table, full [][]types.Value) (*Result, error) {
 	db.noteModifyTable(t)
 	for _, vals := range full {
 		for i := range t.Columns {
@@ -145,7 +153,37 @@ func (db *DB) insertTable(s *ast.Insert, t *catalog.Table) (*Result, error) {
 	if db.durable() && len(full) > 0 {
 		db.logRecord(encTableAppend(t.Name, len(t.Columns), full))
 	}
-	return &Result{Affected: len(rows), Text: fmt.Sprintf("%d rows inserted", len(rows))}, nil
+	return &Result{Affected: len(full), Text: fmt.Sprintf("%d rows inserted", len(full))}, nil
+}
+
+func (db *DB) insertTable(s *ast.Insert, t *catalog.Table) (*Result, error) {
+	if s.Query == nil {
+		full, err := stageTableInsert(db.cat, t, s)
+		if err != nil {
+			return nil, err
+		}
+		return db.applyTableInsert(t, full)
+	}
+	mapping, err := insertMapping(t, s)
+	if err != nil {
+		return nil, err
+	}
+	res, qerr := db.runSelectRaw(s.Query)
+	if qerr != nil {
+		return nil, qerr
+	}
+	if res.NumCols() != len(mapping) {
+		return nil, fmt.Errorf("INSERT expects %d columns, query produces %d", len(mapping), res.NumCols())
+	}
+	rows := make([][]types.Value, res.NumRows())
+	for i := range rows {
+		rows[i] = res.Row(i)
+	}
+	full, err := castInsertRows(t, mapping, rows)
+	if err != nil {
+		return nil, err
+	}
+	return db.applyTableInsert(t, full)
 }
 
 func (db *DB) insertArray(s *ast.Insert, a *catalog.Array) (*Result, error) {
@@ -201,7 +239,7 @@ func (db *DB) insertArray(s *ast.Insert, a *catalog.Array) (*Result, error) {
 		}
 	} else {
 		var err error
-		rows, err = db.insertSource(s, len(targets))
+		rows, err = insertSource(db.cat, s, len(targets))
 		if err != nil {
 			return nil, err
 		}
@@ -387,20 +425,62 @@ func arrayCols(a *catalog.Array) []*bat.BAT {
 	return out
 }
 
-func (db *DB) updateTable(s *ast.Update, t *catalog.Table) (*Result, error) {
-	b := rel.NewBinder(db.cat)
+// tableUpdatePlan is the staged effect of a durable table UPDATE: the
+// rows to touch, the SET target columns, and the fully cast replacement
+// values (row-major, len(cols) per row). Planning is pure — it reads the
+// table without mutating it — so the optimistic path can plan against a
+// frozen snapshot and apply against the live table once validated.
+type tableUpdatePlan struct {
+	cols []int
+	idxs []int
+	flat []types.Value
+}
+
+func planTableUpdate(cat *catalog.Catalog, t *catalog.Table, s *ast.Update) (*tableUpdatePlan, error) {
+	b := rel.NewBinder(cat)
 	sc := tableScope(t)
 	n := t.PhysRows()
-	mask, err := db.dmlMask(b, sc, t.Bats, n, s.Where)
+	mask, err := dmlMask(b, sc, t.Bats, n, s.Where)
 	if err != nil {
 		return nil, err
 	}
 	// Evaluate all SET expressions against the pre-update state.
-	type setOp struct {
-		col  int
-		vals *bat.BAT
+	ops, err := bindTableSets(b, sc, t, n, s)
+	if err != nil {
+		return nil, err
 	}
-	ops := make([]setOp, 0, len(s.Sets))
+	// Cast every affected row into a flat buffer, so a cast failure
+	// aborts before any overwrite and the WAL record matches the applied
+	// effect exactly.
+	p := &tableUpdatePlan{cols: make([]int, len(ops))}
+	for k, op := range ops {
+		p.cols[k] = op.col
+	}
+	for i := 0; i < n; i++ {
+		if t.Deleted.Get(i) || !maskTrue(mask, i) {
+			continue
+		}
+		for _, op := range ops {
+			cv, err := op.vals.Get(i).Cast(t.Columns[op.col].Type.Kind)
+			if err != nil {
+				return nil, fmt.Errorf("column %q: %v", t.Columns[op.col].Name, err)
+			}
+			p.flat = append(p.flat, cv)
+		}
+		p.idxs = append(p.idxs, i)
+	}
+	return p, nil
+}
+
+// tableSetOp is one bound SET clause of a table UPDATE: the target
+// column and its values evaluated against the pre-update state.
+type tableSetOp struct {
+	col  int
+	vals *bat.BAT
+}
+
+func bindTableSets(b *rel.Binder, sc *rel.Scope, t *catalog.Table, n int, s *ast.Update) ([]tableSetOp, error) {
+	ops := make([]tableSetOp, 0, len(s.Sets))
 	for _, as := range s.Sets {
 		ci, ok := t.ColumnIndex(as.Col)
 		if !ok {
@@ -414,49 +494,65 @@ func (db *DB) updateTable(s *ast.Update, t *catalog.Table) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		ops = append(ops, setOp{ci, vals})
+		ops = append(ops, tableSetOp{ci, vals})
+	}
+	return ops, nil
+}
+
+// applyTableUpdate applies a staged update under the writer lock:
+// copy-on-write the SET target columns (they are overwritten in place,
+// so any column shared with a published snapshot is cloned first),
+// overwrite, log.
+func (db *DB) applyTableUpdatePlan(t *catalog.Table, p *tableUpdatePlan) (*Result, error) {
+	db.noteModifyTable(t)
+	for _, c := range p.cols {
+		t.Bats[c] = t.Bats[c].Writable()
+	}
+	for j, idx := range p.idxs {
+		for k, c := range p.cols {
+			if err := t.Bats[c].Replace(idx, p.flat[j*len(p.cols)+k]); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if db.durable() && len(p.idxs) > 0 {
+		db.logRecord(encTableUpdate(t.Name, p.cols, p.idxs, p.flat))
+	}
+	return &Result{Affected: len(p.idxs), Text: fmt.Sprintf("%d rows updated", len(p.idxs))}, nil
+}
+
+func (db *DB) updateTable(s *ast.Update, t *catalog.Table) (*Result, error) {
+	if db.durable() {
+		// Durable: plan (pure) then apply, so a failed statement applies
+		// nothing — the WAL record must match the applied effect exactly.
+		p, err := planTableUpdate(db.cat, t, s)
+		if err != nil {
+			return nil, err
+		}
+		return db.applyTableUpdatePlan(t, p)
+	}
+	// In-memory: cast and apply in one pass, no capture buffers.
+	// Deliberate trade-off: a cast error mid-statement leaves earlier
+	// rows updated (the engine's historical semantics), in exchange
+	// for zero capture overhead on the hot path.
+	b := rel.NewBinder(db.cat)
+	sc := tableScope(t)
+	n := t.PhysRows()
+	mask, err := dmlMask(b, sc, t.Bats, n, s.Where)
+	if err != nil {
+		return nil, err
+	}
+	ops, err := bindTableSets(b, sc, t, n, s)
+	if err != nil {
+		return nil, err
 	}
 	db.noteModifyTable(t)
 	// Copy-on-write: the SET targets are overwritten in place, so clone
 	// any column shared with a published snapshot before mutating it.
-	cow := func() {
-		for _, op := range ops {
-			t.Bats[op.col] = t.Bats[op.col].Writable()
-		}
+	for _, op := range ops {
+		t.Bats[op.col] = t.Bats[op.col].Writable()
 	}
-	if !db.durable() {
-		// In-memory: cast and apply in one pass, no capture buffers.
-		// Deliberate trade-off: a cast error mid-statement leaves earlier
-		// rows updated (the engine's historical semantics), in exchange
-		// for zero capture overhead on the hot path. Durable databases
-		// take the two-phase branch below, whose failed statements apply
-		// nothing — the WAL record must match the applied effect exactly.
-		cow()
-		affected := 0
-		for i := 0; i < n; i++ {
-			if t.Deleted.Get(i) || !maskTrue(mask, i) {
-				continue
-			}
-			for _, op := range ops {
-				cv, err := op.vals.Get(i).Cast(t.Columns[op.col].Type.Kind)
-				if err != nil {
-					return nil, fmt.Errorf("column %q: %v", t.Columns[op.col].Name, err)
-				}
-				if err := t.Bats[op.col].Replace(i, cv); err != nil {
-					return nil, err
-				}
-			}
-			affected++
-		}
-		return &Result{Affected: affected, Text: fmt.Sprintf("%d rows updated", affected)}, nil
-	}
-	// Durable: cast every affected row first (flat buffer), so a cast
-	// failure aborts before any overwrite and the WAL record matches the
-	// applied effect exactly; then apply and log.
-	var (
-		idxs []int
-		flat []types.Value // row-major, len(ops) values per affected row
-	)
+	affected := 0
 	for i := 0; i < n; i++ {
 		if t.Deleted.Get(i) || !maskTrue(mask, i) {
 			continue
@@ -466,42 +562,65 @@ func (db *DB) updateTable(s *ast.Update, t *catalog.Table) (*Result, error) {
 			if err != nil {
 				return nil, fmt.Errorf("column %q: %v", t.Columns[op.col].Name, err)
 			}
-			flat = append(flat, cv)
-		}
-		idxs = append(idxs, i)
-	}
-	cow()
-	for j, idx := range idxs {
-		for k, op := range ops {
-			if err := t.Bats[op.col].Replace(idx, flat[j*len(ops)+k]); err != nil {
+			if err := t.Bats[op.col].Replace(i, cv); err != nil {
 				return nil, err
 			}
 		}
+		affected++
 	}
-	if len(idxs) > 0 {
-		cols := make([]int, len(ops))
-		for k, op := range ops {
-			cols[k] = op.col
-		}
-		db.logRecord(encTableUpdate(t.Name, cols, idxs, flat))
-	}
-	return &Result{Affected: len(idxs), Text: fmt.Sprintf("%d rows updated", len(idxs))}, nil
+	return &Result{Affected: affected, Text: fmt.Sprintf("%d rows updated", affected)}, nil
 }
 
-func (db *DB) updateArray(s *ast.Update, a *catalog.Array) (*Result, error) {
-	b := rel.NewBinder(db.cat)
+// arrayUpdatePlan is tableUpdatePlan for arrays: the cells to touch, the
+// SET target attributes, and the fully cast replacement values.
+type arrayUpdatePlan struct {
+	attrs []int
+	idxs  []int
+	flat  []types.Value
+}
+
+func planArrayUpdate(cat *catalog.Catalog, a *catalog.Array, s *ast.Update) (*arrayUpdatePlan, error) {
+	b := rel.NewBinder(cat)
 	sc := arrayScope(a)
 	cols := arrayCols(a)
 	n := a.Cells()
-	mask, err := db.dmlMask(b, sc, cols, n, s.Where)
+	mask, err := dmlMask(b, sc, cols, n, s.Where)
 	if err != nil {
 		return nil, err
 	}
-	type setOp struct {
-		attr int
-		vals *bat.BAT
+	ops, err := bindArraySets(b, sc, a, cols, n, s)
+	if err != nil {
+		return nil, err
 	}
-	ops := make([]setOp, 0, len(s.Sets))
+	// Cast first into a flat buffer (see planTableUpdate).
+	p := &arrayUpdatePlan{attrs: make([]int, len(ops))}
+	for k, op := range ops {
+		p.attrs[k] = op.attr
+	}
+	for i := 0; i < n; i++ {
+		if !maskTrue(mask, i) {
+			continue
+		}
+		for _, op := range ops {
+			cv, err := op.vals.Get(i).Cast(a.Attrs[op.attr].Type.Kind)
+			if err != nil {
+				return nil, fmt.Errorf("attribute %q: %v", a.Attrs[op.attr].Name, err)
+			}
+			p.flat = append(p.flat, cv)
+		}
+		p.idxs = append(p.idxs, i)
+	}
+	return p, nil
+}
+
+// arraySetOp is one bound SET clause of an array UPDATE.
+type arraySetOp struct {
+	attr int
+	vals *bat.BAT
+}
+
+func bindArraySets(b *rel.Binder, sc *rel.Scope, a *catalog.Array, cols []*bat.BAT, n int, s *ast.Update) ([]arraySetOp, error) {
+	ops := make([]arraySetOp, 0, len(s.Sets))
 	for _, as := range s.Sets {
 		if _, isDim := a.DimIndex(as.Col); isDim {
 			return nil, fmt.Errorf("at %s: cannot assign to dimension %q", s.Pos, as.Col)
@@ -518,43 +637,60 @@ func (db *DB) updateArray(s *ast.Update, a *catalog.Array) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		ops = append(ops, setOp{ai, vals})
+		ops = append(ops, arraySetOp{ai, vals})
+	}
+	return ops, nil
+}
+
+// applyArrayUpdate applies a staged array update under the writer lock:
+// copy-on-write the overwritten attribute columns, overwrite, log.
+func (db *DB) applyArrayUpdatePlan(a *catalog.Array, p *arrayUpdatePlan) (*Result, error) {
+	db.noteModifyArray(a)
+	for _, ai := range p.attrs {
+		a.AttrBats[ai] = a.AttrBats[ai].Writable()
+	}
+	for j, idx := range p.idxs {
+		for k, ai := range p.attrs {
+			if err := a.AttrBats[ai].Replace(idx, p.flat[j*len(p.attrs)+k]); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if db.durable() && len(p.idxs) > 0 {
+		db.logRecord(encArrayCells(recArrayUpdate, a.Name, nil, p.attrs, p.idxs, p.flat))
+	}
+	return &Result{Affected: len(p.idxs), Text: fmt.Sprintf("%d cells updated", len(p.idxs))}, nil
+}
+
+func (db *DB) updateArray(s *ast.Update, a *catalog.Array) (*Result, error) {
+	if db.durable() {
+		// Durable: plan (pure) then apply (see updateTable).
+		p, err := planArrayUpdate(db.cat, a, s)
+		if err != nil {
+			return nil, err
+		}
+		return db.applyArrayUpdatePlan(a, p)
+	}
+	// In-memory: cast and apply in one pass, no capture buffers (see
+	// updateTable for the failed-statement semantics trade-off).
+	b := rel.NewBinder(db.cat)
+	sc := arrayScope(a)
+	cols := arrayCols(a)
+	n := a.Cells()
+	mask, err := dmlMask(b, sc, cols, n, s.Where)
+	if err != nil {
+		return nil, err
+	}
+	ops, err := bindArraySets(b, sc, a, cols, n, s)
+	if err != nil {
+		return nil, err
 	}
 	db.noteModifyArray(a)
 	// Copy-on-write for the overwritten attribute columns (see updateTable).
-	cow := func() {
-		for _, op := range ops {
-			a.AttrBats[op.attr] = a.AttrBats[op.attr].Writable()
-		}
+	for _, op := range ops {
+		a.AttrBats[op.attr] = a.AttrBats[op.attr].Writable()
 	}
-	if !db.durable() {
-		// In-memory: cast and apply in one pass, no capture buffers (see
-		// updateTable for the failed-statement semantics trade-off).
-		cow()
-		affected := 0
-		for i := 0; i < n; i++ {
-			if !maskTrue(mask, i) {
-				continue
-			}
-			for _, op := range ops {
-				cv, err := op.vals.Get(i).Cast(a.Attrs[op.attr].Type.Kind)
-				if err != nil {
-					return nil, fmt.Errorf("attribute %q: %v", a.Attrs[op.attr].Name, err)
-				}
-				if err := a.AttrBats[op.attr].Replace(i, cv); err != nil {
-					return nil, err
-				}
-			}
-			affected++
-		}
-		return &Result{Affected: affected, Text: fmt.Sprintf("%d cells updated", affected)}, nil
-	}
-	// Durable: cast first into a flat buffer, then apply and log (see
-	// updateTable).
-	var (
-		idxs []int
-		flat []types.Value
-	)
+	affected := 0
 	for i := 0; i < n; i++ {
 		if !maskTrue(mask, i) {
 			continue
@@ -564,30 +700,17 @@ func (db *DB) updateArray(s *ast.Update, a *catalog.Array) (*Result, error) {
 			if err != nil {
 				return nil, fmt.Errorf("attribute %q: %v", a.Attrs[op.attr].Name, err)
 			}
-			flat = append(flat, cv)
-		}
-		idxs = append(idxs, i)
-	}
-	cow()
-	for j, idx := range idxs {
-		for k, op := range ops {
-			if err := a.AttrBats[op.attr].Replace(idx, flat[j*len(ops)+k]); err != nil {
+			if err := a.AttrBats[op.attr].Replace(i, cv); err != nil {
 				return nil, err
 			}
 		}
+		affected++
 	}
-	if len(idxs) > 0 {
-		attrs := make([]int, len(ops))
-		for k, op := range ops {
-			attrs[k] = op.attr
-		}
-		db.logRecord(encArrayCells(recArrayUpdate, a.Name, nil, attrs, idxs, flat))
-	}
-	return &Result{Affected: len(idxs), Text: fmt.Sprintf("%d cells updated", len(idxs))}, nil
+	return &Result{Affected: affected, Text: fmt.Sprintf("%d cells updated", affected)}, nil
 }
 
 // dmlMask evaluates a WHERE clause to a boolean column (nil = all rows).
-func (db *DB) dmlMask(b *rel.Binder, sc *rel.Scope, cols []*bat.BAT, n int, where ast.Expr) (*bat.BAT, error) {
+func dmlMask(b *rel.Binder, sc *rel.Scope, cols []*bat.BAT, n int, where ast.Expr) (*bat.BAT, error) {
 	if where == nil {
 		return nil, nil
 	}
@@ -608,54 +731,90 @@ func maskTrue(mask *bat.BAT, i int) bool {
 	return !mask.IsNull(i) && mask.Bools()[i]
 }
 
+// planTableDelete stages the row positions a table DELETE will mark
+// (pure: already-deleted rows and mask misses are filtered out).
+func planTableDelete(cat *catalog.Catalog, t *catalog.Table, s *ast.Delete) ([]int, error) {
+	b := rel.NewBinder(cat)
+	n := t.PhysRows()
+	mask, err := dmlMask(b, tableScope(t), t.Bats, n, s.Where)
+	if err != nil {
+		return nil, err
+	}
+	var idxs []int
+	for i := 0; i < n; i++ {
+		if t.Deleted.Get(i) || !maskTrue(mask, i) {
+			continue
+		}
+		idxs = append(idxs, i)
+	}
+	return idxs, nil
+}
+
+// applyTableDelete marks the staged rows deleted under the writer lock.
+func (db *DB) applyTableDeletePlan(t *catalog.Table, idxs []int) (*Result, error) {
+	db.noteDeleteTable(t)
+	if t.Deleted == nil {
+		t.Deleted = bat.NewBitmap(t.PhysRows())
+	}
+	for _, i := range idxs {
+		t.Deleted.Set(i, true)
+	}
+	if db.durable() && len(idxs) > 0 {
+		db.logRecord(encPositions(recTableDelete, t.Name, idxs))
+	}
+	return &Result{Affected: len(idxs), Text: fmt.Sprintf("%d rows deleted", len(idxs))}, nil
+}
+
+// planArrayDelete stages the cell positions an array DELETE will null.
+func planArrayDelete(cat *catalog.Catalog, a *catalog.Array, s *ast.Delete) ([]int, error) {
+	b := rel.NewBinder(cat)
+	n := a.Cells()
+	mask, err := dmlMask(b, arrayScope(a), arrayCols(a), n, s.Where)
+	if err != nil {
+		return nil, err
+	}
+	var idxs []int
+	for i := 0; i < n; i++ {
+		if !maskTrue(mask, i) {
+			continue
+		}
+		idxs = append(idxs, i)
+	}
+	return idxs, nil
+}
+
+// applyArrayDelete punches NULL holes at the staged cells under the
+// writer lock. No copy-on-write is needed: Freeze deep-clones null
+// masks, so in-place null flips never reach a published snapshot.
+func (db *DB) applyArrayDeletePlan(a *catalog.Array, idxs []int) (*Result, error) {
+	db.noteModifyArray(a)
+	for _, i := range idxs {
+		for _, ab := range a.AttrBats {
+			ab.SetNull(i, true)
+		}
+	}
+	if db.durable() && len(idxs) > 0 {
+		db.logRecord(encPositions(recArrayDelete, a.Name, idxs))
+	}
+	return &Result{Affected: len(idxs), Text: fmt.Sprintf("%d cells deleted", len(idxs))}, nil
+}
+
 // deleteStmt implements DELETE: tables mark rows deleted; arrays punch
 // NULL holes in every attribute (§2: "the DELETE statement creates holes").
 func (db *DB) deleteStmt(s *ast.Delete) (*Result, error) {
-	b := rel.NewBinder(db.cat)
 	if t, ok := db.cat.Table(s.Table); ok {
-		n := t.PhysRows()
-		mask, err := db.dmlMask(b, tableScope(t), t.Bats, n, s.Where)
+		idxs, err := planTableDelete(db.cat, t, s)
 		if err != nil {
 			return nil, err
 		}
-		db.noteDeleteTable(t)
-		if t.Deleted == nil {
-			t.Deleted = bat.NewBitmap(n)
-		}
-		var idxs []int
-		for i := 0; i < n; i++ {
-			if t.Deleted.Get(i) || !maskTrue(mask, i) {
-				continue
-			}
-			t.Deleted.Set(i, true)
-			idxs = append(idxs, i)
-		}
-		if db.durable() && len(idxs) > 0 {
-			db.logRecord(encPositions(recTableDelete, t.Name, idxs))
-		}
-		return &Result{Affected: len(idxs), Text: fmt.Sprintf("%d rows deleted", len(idxs))}, nil
+		return db.applyTableDeletePlan(t, idxs)
 	}
 	if a, ok := db.cat.Array(s.Table); ok {
-		n := a.Cells()
-		mask, err := db.dmlMask(b, arrayScope(a), arrayCols(a), n, s.Where)
+		idxs, err := planArrayDelete(db.cat, a, s)
 		if err != nil {
 			return nil, err
 		}
-		db.noteModifyArray(a)
-		var idxs []int
-		for i := 0; i < n; i++ {
-			if !maskTrue(mask, i) {
-				continue
-			}
-			for _, ab := range a.AttrBats {
-				ab.SetNull(i, true)
-			}
-			idxs = append(idxs, i)
-		}
-		if db.durable() && len(idxs) > 0 {
-			db.logRecord(encPositions(recArrayDelete, a.Name, idxs))
-		}
-		return &Result{Affected: len(idxs), Text: fmt.Sprintf("%d cells deleted", len(idxs))}, nil
+		return db.applyArrayDeletePlan(a, idxs)
 	}
 	return nil, fmt.Errorf("at %s: no such table or array: %q", s.Pos, s.Table)
 }

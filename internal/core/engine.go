@@ -92,6 +92,26 @@ type DB struct {
 	readOnly string
 	replica  bool
 
+	// Group commit state (commit.go): commitQ is the queue between
+	// committers and the loop goroutine (nil = serialized commits),
+	// commitGroup the max batches coalesced per fsync, commitDone the
+	// loop's exit signal. pendingCommit/pendingMsg thread a commit
+	// request from a nested boundary (txnStmt's COMMIT, which runs under
+	// mu) out to execStmtCtx, which waits on it after unlocking.
+	// commits/syncsRetired are the CommitStats accounting.
+	commitQ       *commitQueue
+	commitGroup   int
+	commitDone    chan struct{}
+	pendingCommit *commitReq
+	pendingMsg    string
+	commits       int64
+	syncsRetired  int64
+
+	// modSeq is the database-wide modification sequence feeding every
+	// catalog object's Mod stamp (see stampMod in txn.go); mutated only
+	// under mu.
+	modSeq uint64
+
 	txn      *txn     // open explicit transaction, nil in autocommit
 	txnOwner *Session // session holding the open transaction
 
@@ -152,6 +172,13 @@ type OpenOptions struct {
 	// read-only to SQL, checkpoints disabled, mutated only through
 	// ApplyReplicated/InstallSnapshot until Promote.
 	Replica bool
+	// CommitQueue configures group commit for directory-backed writable
+	// databases: the maximum number of commit batches coalesced into one
+	// WAL fsync. 0 means DefaultCommitQueue (group commit is on by
+	// default); negative disables the pipeline entirely, restoring the
+	// serialized one-fsync-per-commit path (the N-writer benchmark's
+	// baseline).
+	CommitQueue int
 }
 
 // OpenDB is the fully general open: directory plus options. The plain
@@ -165,9 +192,16 @@ func OpenDB(dir string, o OpenOptions) (*DB, error) {
 	if o.Replica && readOnly == "" {
 		readOnly = replicaReadOnlyReason
 	}
+	group := o.CommitQueue
+	if group == 0 {
+		group = DefaultCommitQueue
+	}
+	if group < 0 {
+		group = 0 // serialized commits
+	}
 	db := &DB{cat: catalog.New(), dir: dir, dirty: map[string]struct{}{}, pcache: newParseCache(),
 		ckptDirty: map[string]bool{}, ckptBytes: o.CheckpointBytes, fs: fsys,
-		readOnly: readOnly, replica: o.Replica}
+		readOnly: readOnly, replica: o.Replica, commitGroup: group}
 	db.session = &Session{db: db}
 	if err := db.checkBootstrapMarker(); err != nil {
 		return nil, err
@@ -195,6 +229,14 @@ func OpenDB(dir string, o OpenOptions) (*DB, error) {
 			_ = db.wal.Close()
 		}
 		return nil, err
+	}
+	// Start the group-commit pipeline last, once recovery and the
+	// opening checkpoint are done: from here on, commits and checkpoints
+	// belong to the loop. Read-only and replica opens stay serialized
+	// (their only mutation paths bypass the commit boundary; Promote
+	// starts the loop when it opens the write path).
+	if db.readOnly == "" && !db.replica {
+		db.startCommitLoopLocked()
 	}
 	return db, nil
 }
@@ -276,6 +318,10 @@ func (db *DB) Snapshot() *catalog.Catalog { return db.view.Load() }
 // log does not grow across restarts — and closes the log. An open
 // transaction is rolled back.
 func (db *DB) Close() error {
+	// Stop the commit loop before taking the lock for the final
+	// checkpoint: the loop drains and acks every queued commit on the
+	// way out, and it needs db.mu itself to run checkpoint barriers.
+	db.stopCommitLoop()
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	if db.txn != nil {
@@ -397,14 +443,50 @@ func (db *DB) execStmtCtx(ctx context.Context, s *Session, stmt ast.Statement) (
 		if !inTxn {
 			return db.execRead(ctx, snap, stmt)
 		}
+	case *ast.Insert, *ast.Update, *ast.Delete:
+		// Parallel prepare (optimistic.go): plan the statement against
+		// the published snapshot outside the writer lock, hold the lock
+		// only for first-committer-wins validation + apply + enqueue.
+		// ok=false (ineligible shape, open transaction, conflict storm,
+		// prepare error) falls through to the serialized path below.
+		if r, req, ok, oerr := db.execOptimistic(stmt); ok {
+			if req != nil {
+				if werr := <-req.done; werr != nil && oerr == nil {
+					oerr = werr
+				}
+			}
+			return r, oerr
+		}
 	}
+	r, req, msg, err := db.execWrite(ctx, s, stmt)
+	// With group commit, the writer lock is already released: block here
+	// until the loop has fsynced the batch (or failed the whole group).
+	// Holding db.mu across this wait would serialise exactly the fsyncs
+	// the pipeline exists to share.
+	if req != nil {
+		if werr := <-req.done; werr != nil && err == nil {
+			if msg != "" {
+				err = fmt.Errorf("%s: %v", msg, werr)
+			} else {
+				err = werr
+			}
+		}
+	}
+	return r, err
+}
+
+// execWrite runs one statement under the writer lock and returns the
+// commit request (if any) the caller must wait on after the lock is
+// released, plus an optional message to wrap a durability error with
+// (COMMIT's "committed but not persisted" contract).
+func (db *DB) execWrite(ctx context.Context, s *Session, stmt ast.Statement) (*Result, *commitReq, string, error) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	if db.txn != nil && db.txnOwner != s {
-		return nil, fmt.Errorf("another session holds an open transaction; writes are blocked until it commits or rolls back")
+		return nil, nil, "", fmt.Errorf("another session holds an open transaction; writes are blocked until it commits or rolls back")
 	}
 	if werr := db.writeBlockedErr(); werr != nil && isWriteStmt(stmt) {
-		return nil, werr
+		return nil, nil, "", werr
 	}
 	r, err := db.execLocked(ctx, s, stmt)
 	// Autocommit boundary: make the statement durable (one fsynced WAL
@@ -412,24 +494,19 @@ func (db *DB) execStmtCtx(ctx context.Context, s *Session, stmt ast.Statement) (
 	// applied) and publish it statement-atomically. Inside an explicit
 	// transaction both wait for COMMIT, so concurrent readers never
 	// observe uncommitted state and rolled-back work never hits the log.
-	if db.txn == nil {
-		if ferr := db.flushWALLocked(); ferr != nil && err == nil {
-			err = ferr
-		}
-		if len(db.dirty) > 0 {
-			db.publishLocked()
-		}
-		// No automatic checkpoint once degraded: it would persist the
-		// very statement the caller was just told failed (and silently
-		// lift the read-only state). Only an explicit Save/Close may
-		// re-converge after a WAL failure.
-		if db.degraded == nil {
-			if cerr := db.maybeCheckpointLocked(); cerr != nil && err == nil {
-				err = cerr
-			}
-		}
+	if db.txn != nil {
+		return r, nil, "", err
 	}
-	return r, err
+	if req, msg := db.takePendingCommitLocked(); req != nil {
+		// txnStmt's COMMIT already ran the boundary and registered the
+		// request to wait on.
+		return r, req, msg, err
+	}
+	req, berr := db.commitBoundaryLocked()
+	if berr != nil && err == nil {
+		err = berr
+	}
+	return r, req, "", err
 }
 
 // isWriteStmt reports whether a statement mutates the database.

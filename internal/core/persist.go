@@ -162,11 +162,24 @@ func segPath(batDir, obj, col string, ver uint64) string {
 
 // Save forces a checkpoint: dirty objects are folded into segment files
 // and the WAL is reset. The on-disk state is always complete afterwards
-// (clean objects are covered by their existing segments).
+// (clean objects are covered by their existing segments). With group
+// commit active the checkpoint runs on the commit loop — as a barrier
+// behind every queued commit, so the fold can never strand an applied
+// batch on the wrong side of a generation reset — and Save blocks until
+// it completes.
 func (db *DB) Save() error {
 	db.mu.Lock()
-	defer db.mu.Unlock()
-	return db.checkpointLocked()
+	if db.commitQ == nil {
+		defer db.mu.Unlock()
+		return db.checkpointLocked()
+	}
+	req := &commitReq{ckpt: true, done: make(chan error, 1)}
+	err := db.commitQ.enqueue(req)
+	db.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return <-req.done
 }
 
 // WALSize returns the current write-ahead log size in bytes (0 for
@@ -322,6 +335,7 @@ func (db *DB) checkpointIOLocked() error {
 	// manifest + old log (still replayable); after the manifest rename the
 	// old log's generation no longer matches and is discarded on open.
 	if db.wal != nil {
+		db.syncsRetired += db.wal.Syncs()
 		_ = db.wal.Close()
 	}
 	l, err := wal.CreateFS(db.fs, filepath.Join(db.dir, "wal.log"), newGen)
@@ -541,6 +555,7 @@ func (db *DB) flushWALLocked() error {
 	}
 	err := db.wal.Append(encodeBatch(db.walPending))
 	db.walPending = db.walPending[:0]
+	db.commits++
 	if err != nil {
 		// The applied effects are now missing from the log: memory and
 		// disk have diverged. Latch read-only degraded mode so no later

@@ -440,6 +440,9 @@ func (db *DB) Promote() (WALPos, error) {
 	if db.readOnly == replicaReadOnlyReason {
 		db.readOnly = ""
 	}
+	// The write path is open now: start the group-commit pipeline the
+	// replica open skipped (no-op when group commit is disabled).
+	db.startCommitLoopLocked()
 	pos := db.walPosLocked()
 	log.Printf("sciql: promoted to primary at generation %d, offset %d (%d records)",
 		pos.Gen, pos.Offset, pos.Records)

@@ -76,6 +76,21 @@ func (db *DB) txnStmt(sess *Session, s *ast.Txn) (*Result, error) {
 		}
 		db.txn = nil
 		db.txnOwner = nil
+		if db.commitQ != nil {
+			// Group commit: the transaction's queued effect records become
+			// one batch on the commit queue; the statement boundary
+			// (execWrite) waits for the loop's fsync after releasing the
+			// lock, wrapping a failure in the same "committed but not
+			// persisted" contract as the serialized path.
+			req, qerr := db.enqueueCommitLocked()
+			db.publishLocked()
+			if qerr != nil {
+				return nil, fmt.Errorf("transaction committed but not persisted: %v", qerr)
+			}
+			db.pendingCommit = req
+			db.pendingMsg = "transaction committed but not persisted"
+			return statusResult("transaction committed"), nil
+		}
 		// Durability first, visibility second (same order as the
 		// autocommit boundary): the transaction's queued effect records
 		// become one fsynced WAL batch — O(delta), not a database rewrite
@@ -179,8 +194,23 @@ func (db *DB) noteDropArray(a *catalog.Array) {
 	}
 }
 
+// stampMod assigns the next value of the database-wide modification
+// sequence to an object's Mod counter. A shared monotonic sequence —
+// rather than a per-object increment — makes Mod equality a proof of
+// content identity across object incarnations too: a DROP + CREATE
+// under the same name gets a fresh stamp that a stale optimistic
+// snapshot of the old incarnation can never match.
+func (db *DB) stampMod(mod *uint64) {
+	db.modSeq++
+	*mod = db.modSeq
+}
+
 // noteModifyTable snapshots a table before its first in-transaction write.
+// It also stamps the table's modification counter — always before the
+// mutation itself, so an optimistic writer whose snapshot Mod still
+// matches the live one is guaranteed the content is unchanged too.
 func (db *DB) noteModifyTable(t *catalog.Table) {
+	db.stampMod(&t.Mod)
 	db.touch(t.Name)
 	db.snapTable(t)
 }
@@ -189,6 +219,7 @@ func (db *DB) noteModifyTable(t *catalog.Table) {
 // the deletion mask: the table must re-publish and re-manifest, but its
 // segment files still match and the next checkpoint need not rewrite them.
 func (db *DB) noteDeleteTable(t *catalog.Table) {
+	db.stampMod(&t.Mod)
 	db.touchMeta(t.Name)
 	db.snapTable(t)
 }
@@ -208,7 +239,9 @@ func (db *DB) snapTable(t *catalog.Table) {
 }
 
 // noteModifyArray snapshots an array before its first in-transaction write.
+// Stamps the array's modification counter first; see noteModifyTable.
 func (db *DB) noteModifyArray(a *catalog.Array) {
+	db.stampMod(&a.Mod)
 	db.touch(a.Name)
 	if db.txn == nil {
 		return

@@ -475,3 +475,70 @@ func TestOpenWipesInterruptedBootstrap(t *testing.T) {
 		t.Fatal("reopened database is not a replica")
 	}
 }
+
+// TestTailerSurvivesCheckpointsUnderLoad: a primary whose background
+// checkpoints fire continuously while writers commit resets its WAL
+// generation out from under the replica's long-poll; every reset must
+// surface as a clean re-bootstrap (the 409 path), never divergence or a
+// stall. This is the group-commit-era version of the mid-stream Save in
+// TestTailerEndToEnd: the resets now come from the commit loop, racing
+// the stream instead of pausing it.
+func TestTailerSurvivesCheckpointsUnderLoad(t *testing.T) {
+	// 512 bytes of WAL per checkpoint: a handful of inserts per reset.
+	primaryDB, paddr, pc := startPrimary(t, 512)
+	if _, err := pc.Exec(`CREATE TABLE kv (k INT, v INT)`); err != nil {
+		t.Fatal(err)
+	}
+	if err := primaryDB.Save(); err != nil {
+		t.Fatal(err)
+	}
+
+	tl := startTailer(t, paddr, "")
+	waitCaughtUp(t, tl, primaryDB)
+	base := tl.ReplStatus().Bootstraps
+
+	const writers, rows = 4, 60
+	errc := make(chan error, writers)
+	for w := 0; w < writers; w++ {
+		go func(w int) {
+			wc := client.New(paddr)
+			for j := 0; j < rows; j++ {
+				if _, err := wc.Exec("INSERT INTO kv VALUES (" +
+					strconv.Itoa(w*1000+j) + ", " + strconv.Itoa(j) + ")"); err != nil {
+					errc <- err
+					return
+				}
+			}
+			errc <- nil
+		}(w)
+	}
+	for w := 0; w < writers; w++ {
+		if err := <-errc; err != nil {
+			t.Fatalf("writer: %v", err)
+		}
+	}
+
+	waitCaughtUp(t, tl, primaryDB)
+	st := tl.ReplStatus()
+	if st.Bootstraps <= base {
+		t.Fatalf("bootstraps stayed at %d under checkpointing load; the generation resets never hit the stream", base)
+	}
+	if st.LagBytes != 0 {
+		t.Fatalf("caught-up replica reports lag %d", st.LagBytes)
+	}
+	const probe = `SELECT COUNT(*), SUM(k), SUM(v) FROM kv`
+	want, err := primaryDB.Exec(probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := tl.DB().Exec(probe)
+	if err != nil {
+		t.Fatalf("read on replica: %v", err)
+	}
+	for c := 0; c < 3; c++ {
+		if g, w := got[0].Cols[c].Ints()[0], want[0].Cols[c].Ints()[0]; g != w {
+			t.Fatalf("replica diverged after %d re-bootstraps: probe col %d = %d, want %d",
+				st.Bootstraps-base, c, g, w)
+		}
+	}
+}

@@ -1,0 +1,169 @@
+package wal
+
+import (
+	"errors"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/vfs"
+)
+
+// createFaulted creates a fresh log on a FailFS with no faults armed.
+func createFaulted(t *testing.T) (*Log, *vfs.FailFS, string) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "wal.log")
+	fs := vfs.NewFailFS(nil)
+	l, err := CreateFS(fs, path, 1)
+	if err != nil {
+		t.Fatalf("CreateFS: %v", err)
+	}
+	return l, fs, path
+}
+
+// replay reopens the log and returns the payloads of its valid prefix.
+func replay(t *testing.T, path string) ([]string, *Log) {
+	t.Helper()
+	var got []string
+	l, err := OpenFS(vfs.NewFailFS(nil), path, func(rec []byte) error {
+		got = append(got, string(rec))
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("OpenFS: %v", err)
+	}
+	return got, l
+}
+
+// TestAppendShortWriteRollsBack: a short write (ENOSPC mid-batch) fails
+// the append, and the rollback keeps the in-memory offset and the file
+// consistent — the next append lands at a record boundary, so reopen
+// replays exactly the acked records with no torn garbage between them.
+func TestAppendShortWriteRollsBack(t *testing.T) {
+	l, fs, path := createFaulted(t)
+	if err := l.Append([]byte("rec-a")); err != nil {
+		t.Fatalf("append a: %v", err)
+	}
+	size, recs := l.Size(), l.Records()
+
+	fs.ShortWriteOn("wal.log", 1)
+	if err := l.Append([]byte("rec-b"), []byte("rec-c")); err == nil {
+		t.Fatal("short write must fail the append")
+	}
+	if got := l.Size(); got != size {
+		t.Fatalf("size after failed append = %d, want %d (rolled back)", got, size)
+	}
+	if got := l.Records(); got != recs {
+		t.Fatalf("records after failed append = %d, want %d", got, recs)
+	}
+
+	// The file was rolled back too: a later append must not bury a
+	// partial frame mid-file.
+	if err := l.Append([]byte("rec-d")); err != nil {
+		t.Fatalf("append after rollback: %v", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	got, l2 := replay(t, path)
+	defer l2.Close()
+	if want := []string{"rec-a", "rec-d"}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("replayed %v, want %v", got, want)
+	}
+	if l2.Truncated() != 0 {
+		t.Fatalf("truncated %d bytes, want 0: the rollback already removed the partial frame", l2.Truncated())
+	}
+}
+
+// TestAppendCrashMidBatchReplaysAckedOnly: a short write whose rollback
+// never runs (the process "crashes" — simulated by the truncate failing
+// too) tears the log between the records of one group. Reopen must
+// replay a clean prefix: every acked record, never the record the tear
+// landed in, and the torn bytes truncated away. An unacked record whose
+// frame happens to be intact may replay — acked ⊆ replayed is the
+// contract, not equality.
+func TestAppendCrashMidBatchReplaysAckedOnly(t *testing.T) {
+	l, fs, path := createFaulted(t)
+	if err := l.Append([]byte("rec-a")); err != nil {
+		t.Fatalf("append a: %v", err)
+	}
+	// rec-c is large so the half-buffer short write tears inside it.
+	recC := strings.Repeat("c", 512)
+	fs.ShortWriteOn("wal.log", 1)
+	fs.FailOn(vfs.OpTruncate, "wal.log", 1, errors.New("injected: crash before rollback"))
+	if err := l.Append([]byte("rec-b"), []byte(recC)); err == nil {
+		t.Fatal("short write must fail the append")
+	}
+	// No Close: the handle dies with the crash.
+
+	got, l2 := replay(t, path)
+	defer l2.Close()
+	prefix := []string{"rec-a", "rec-b", recC}
+	if len(got) == 0 || got[0] != "rec-a" {
+		t.Fatalf("replayed %v, must start with the acked rec-a", got)
+	}
+	if !reflect.DeepEqual(got, prefix[:len(got)]) {
+		t.Fatalf("replayed %v is not a prefix of the append order %v", got, prefix)
+	}
+	for _, r := range got {
+		if r == recC {
+			t.Fatal("the record the tear landed in must not replay")
+		}
+	}
+	if l2.Truncated() == 0 {
+		t.Fatal("reopen must report the torn tail it discarded")
+	}
+}
+
+// TestAppendPoisonsAfterFailedRollback: when the rollback truncate fails,
+// the log must refuse every further append — an O_APPEND write after an
+// un-rolled-back partial frame would be buried mid-file, and recovery
+// would discard it together with everything after the garbage.
+func TestAppendPoisonsAfterFailedRollback(t *testing.T) {
+	l, fs, _ := createFaulted(t)
+	defer l.Close()
+	fs.ShortWriteOn("wal.log", 1)
+	fs.FailOn(vfs.OpTruncate, "wal.log", 1, errors.New("injected truncate failure"))
+	if err := l.Append([]byte("rec-a")); err == nil {
+		t.Fatal("short write must fail the append")
+	}
+	err := l.Append([]byte("rec-b"))
+	if err == nil || !strings.Contains(err.Error(), "refuses further appends") {
+		t.Fatalf("append on a poisoned log = %v, want a refuses-further-appends error", err)
+	}
+	// The poison is sticky: the same error again, no partial writes.
+	if err2 := l.Append([]byte("rec-c")); err2 == nil || err2.Error() != err.Error() {
+		t.Fatalf("poison must be sticky: %v then %v", err, err2)
+	}
+}
+
+// TestAppendFsyncFailureRollsBack: a failed fsync rolls the written-but-
+// not-durable frame back just like a failed write, so the offset the
+// engine resumes from matches the durable prefix.
+func TestAppendFsyncFailureRollsBack(t *testing.T) {
+	l, fs, path := createFaulted(t)
+	if err := l.Append([]byte("rec-a")); err != nil {
+		t.Fatalf("append a: %v", err)
+	}
+	size := l.Size()
+	fs.FailOn(vfs.OpSync, "wal.log", 1, errors.New("injected fsync failure"))
+	if err := l.Append([]byte("rec-b")); err == nil {
+		t.Fatal("fsync failure must fail the append")
+	}
+	if got := l.Size(); got != size {
+		t.Fatalf("size after failed fsync = %d, want %d", got, size)
+	}
+	if err := l.Append([]byte("rec-c")); err != nil {
+		t.Fatalf("append after rollback: %v", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	got, l2 := replay(t, path)
+	defer l2.Close()
+	if want := []string{"rec-a", "rec-c"}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("replayed %v, want %v", got, want)
+	}
+}

@@ -33,6 +33,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"sync"
 
 	"repro/internal/vfs"
 )
@@ -71,18 +72,30 @@ var ErrCorruptFrame = errors.New("wal: corrupt record frame")
 // starts at this offset, so it is the zero position of every stream.
 const HeaderSize = headerSize
 
-// Log is an open write-ahead log positioned for appending.
+// Log is an open write-ahead log positioned for appending. The group
+// commit loop appends while other goroutines read Size/Records under the
+// engine's read lock, so the mutable state is guarded by an internal
+// mutex; Append itself stays single-callered (the commit loop or the
+// engine under its write lock), the lock makes the position reads safe.
 type Log struct {
-	f    vfs.File
-	fs   vfs.FS
-	path string
-	gen  uint64
-	size int64 // bytes of header + valid records on disk
-	recs int64 // records in the valid prefix (scanned on open, counted on append)
+	mu    sync.Mutex
+	f     vfs.File
+	fs    vfs.FS
+	path  string
+	gen   uint64
+	size  int64 // bytes of header + valid records on disk
+	recs  int64 // records in the valid prefix (scanned on open, counted on append)
+	syncs int64 // fsyncs issued by Append (group commit amortization metric)
 	// truncated is how many trailing bytes Open discarded as torn or
 	// corrupt — the size of the data-loss window an operator (or a
 	// replica deciding whether its primary went back in time) can see.
 	truncated int64
+	// err poisons the log after a failed append whose rollback truncate
+	// also failed: the file may hold a partial frame that the next
+	// O_APPEND write would bury mid-file, making recovery truncate away
+	// every record after it — including previously acked ones. Refusing
+	// further appends bounds the loss to the one failed batch.
+	err error
 }
 
 // Create atomically replaces (or creates) the log at path with an empty
@@ -285,18 +298,39 @@ func (b *byteReader) Read(p []byte) (int, error) {
 func (l *Log) Gen() uint64 { return l.gen }
 
 // Size returns the current log size in bytes (header + records).
-func (l *Log) Size() int64 { return l.size }
+func (l *Log) Size() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.size
+}
 
 // Records returns the number of records in the valid prefix: those
 // replayed on open plus those appended since. Replication lag in records
 // is the difference between two logs' counts at the same generation.
-func (l *Log) Records() int64 { return l.recs }
+func (l *Log) Records() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.recs
+}
+
+// Syncs returns the number of fsyncs Append has issued on this log. With
+// group commit, commits divided by syncs is the amortization factor the
+// commit queue achieved (fsyncs/commit < 1 means batching is working).
+func (l *Log) Syncs() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.syncs
+}
 
 // Truncated returns how many trailing bytes Open discarded as torn or
 // corrupt (0 for a cleanly closed log, and always 0 after Create). A
 // non-zero value is a visible data-loss window: bytes that were written
 // but never became a committed record.
-func (l *Log) Truncated() int64 { return l.truncated }
+func (l *Log) Truncated() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.truncated
+}
 
 // Append frames and writes the records as one durable unit: all of them
 // are written, then the file is fsynced once. On any error the log file
@@ -324,24 +358,41 @@ func (l *Log) Append(recs ...[]byte) error {
 		binary.LittleEndian.PutUint32(crc[:], crc32.ChecksumIEEE(rec))
 		frame = append(frame, crc[:]...)
 	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.err != nil {
+		return l.err
+	}
 	if _, err := l.f.Write(frame); err != nil {
-		l.reset()
+		l.resetLocked(err)
 		return err
 	}
 	if err := l.f.Sync(); err != nil {
-		l.reset()
+		l.resetLocked(err)
 		return err
 	}
 	l.size += int64(len(frame))
 	l.recs += int64(len(recs))
+	l.syncs++
 	return nil
 }
 
-// reset truncates the file back to the last known-good size after a
-// failed append (best effort; recovery would discard the tail anyway).
-func (l *Log) reset() {
-	_ = l.f.Truncate(l.size)
-	_, _ = l.f.Seek(l.size, io.SeekStart)
+// resetLocked rolls the file back to the last known-good size after a
+// failed append. The rollback is NOT best-effort: if the truncate or
+// seek itself fails, a partial frame may remain on disk, and because the
+// handle is O_APPEND the next successful append would land after it —
+// recovery's scan would then stop at the garbage and discard that later,
+// acked record. To keep the in-memory offset and the file consistent the
+// log is poisoned instead: every later Append fails with the original
+// cause until the engine replaces the log at the next checkpoint.
+func (l *Log) resetLocked(cause error) {
+	if err := l.f.Truncate(l.size); err != nil {
+		l.err = fmt.Errorf("wal: append failed (%v) and rollback truncate failed (%v): log refuses further appends", cause, err)
+		return
+	}
+	if _, err := l.f.Seek(l.size, io.SeekStart); err != nil {
+		l.err = fmt.Errorf("wal: append failed (%v) and rollback seek failed (%v): log refuses further appends", cause, err)
+	}
 }
 
 // Close releases the log file handle.
