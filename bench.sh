@@ -26,6 +26,9 @@
 #   8. the group-commit comparison: N concurrent writers, grouped vs
 #      serialized fsync, with the fsyncs/commit amortisation column
 #      (BenchmarkCommitNWriters) -> BENCH_commit.json
+#   9. the compressed-segment comparison: encoded vs plain scans and
+#      aggregation, with the bytes_touched/op column
+#      (BenchmarkCompress*) -> BENCH_compress.json
 #
 # Raw benchmark text lands under bench-artifacts/ (gitignored); only the
 # BENCH_*.json baselines are checked in.
@@ -45,6 +48,7 @@ REPL_PATTERN="BenchmarkReplCatchup|BenchmarkFailover"
 # comparison, not a per-op timing, so it stays out of the regression JSON
 # (the CI bench-smoke step still runs it via -bench .).
 COMMIT_PATTERN="BenchmarkCommitNWriters/mode="
+COMPRESS_PATTERN="BenchmarkCompress"
 
 # Raw per-pass output is an artifact, not a source: keep it out of the
 # repo root so it can never be committed again.
@@ -79,18 +83,20 @@ bench_json() {
     awk '
     BEGIN { print "["; first = 1 }
     /^Benchmark/ {
-        name = $1; iters = $2; ns = $3; bytes = ""; allocs = ""; fsyncs = ""
+        name = $1; iters = $2; ns = $3; bytes = ""; allocs = ""; fsyncs = ""; touched = ""
         for (i = 4; i <= NF; i++) {
-            if ($(i) == "B/op")          bytes  = $(i - 1)
-            if ($(i) == "allocs/op")     allocs = $(i - 1)
-            if ($(i) == "fsyncs/commit") fsyncs = $(i - 1)
+            if ($(i) == "B/op")             bytes   = $(i - 1)
+            if ($(i) == "allocs/op")        allocs  = $(i - 1)
+            if ($(i) == "fsyncs/commit")    fsyncs  = $(i - 1)
+            if ($(i) == "bytes_touched/op") touched = $(i - 1)
         }
         if (!first) printf ",\n"
         first = 0
         printf "  {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s", name, iters, ns
-        if (bytes  != "") printf ", \"bytes_per_op\": %s", bytes
-        if (allocs != "") printf ", \"allocs_per_op\": %s", allocs
-        if (fsyncs != "") printf ", \"fsyncs_per_commit\": %s", fsyncs
+        if (bytes   != "") printf ", \"bytes_per_op\": %s", bytes
+        if (allocs  != "") printf ", \"allocs_per_op\": %s", allocs
+        if (fsyncs  != "") printf ", \"fsyncs_per_commit\": %s", fsyncs
+        if (touched != "") printf ", \"bytes_touched_per_op\": %s", touched
         printf "}"
     }
     END { print "\n]" }
@@ -106,3 +112,4 @@ bench_json "${STATS_PATTERN}" BENCH_stats.json "${ARTIFACTS}/bench_stats_out.txt
 bench_json "${CANCEL_PATTERN}" BENCH_cancel.json "${ARTIFACTS}/bench_cancel_out.txt"
 bench_json "${REPL_PATTERN}" BENCH_repl.json "${ARTIFACTS}/bench_repl_out.txt"
 bench_json "${COMMIT_PATTERN}" BENCH_commit.json "${ARTIFACTS}/bench_commit_out.txt"
+bench_json "${COMPRESS_PATTERN}" BENCH_compress.json "${ARTIFACTS}/bench_compress_out.txt"

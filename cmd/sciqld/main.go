@@ -9,7 +9,7 @@
 //	sciqld [-addr :8642] [-db dir] [-threads n] [-max-sessions n]
 //	       [-wal-checkpoint-bytes n] [-commit-queue n] [-query-timeout d]
 //	       [-drain-timeout d] [-shutdown-timeout d] [-read-only]
-//	       [-replica-of host:port]
+//	       [-replica-of host:port] [-encodings=false]
 //
 // SIGTERM/SIGINT drain gracefully: new statements are refused (HTTP
 // 503, text "!error: server is shutting down") while in-flight ones
@@ -65,9 +65,12 @@ func main() {
 		"serve the database without ever writing it (writes refused, no checkpoints)")
 	replicaOf := flag.String("replica-of", "",
 		"primary address to replicate from; serves reads, refuses writes until promoted")
+	encodings := flag.Bool("encodings", true,
+		"compress column segments per 64K slab (RLE/dict/FOR/delta) at checkpoints")
 	flag.Parse()
 
 	sciql.SetThreads(*threads)
+	sciql.SetEncodingsEnabled(*encodings)
 
 	var (
 		db     *sciql.DB

@@ -2,6 +2,7 @@ package bat
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/par"
 	"repro/internal/types"
@@ -62,6 +63,28 @@ func Series(start, step, stop int64, n, m int) (*BAT, error) {
 	return out, nil
 }
 
+// fillerChunk is the bulk-fill granularity between cancellation polls,
+// matching the i&0xfff cadence fillers used when they appended per element.
+const fillerChunk = 1 << 12
+
+// fillBulk writes x into every slot of dst in chunks, polling the job's
+// cancellation flag between chunks.
+func fillBulk[T any](dst []T, x T, job *par.Job) error {
+	for lo := 0; lo < len(dst); lo += fillerChunk {
+		if job.Canceled() {
+			return par.ErrCanceled
+		}
+		hi := lo + fillerChunk
+		if hi > len(dst) {
+			hi = len(dst)
+		}
+		for i := lo; i < hi; i++ {
+			dst[i] = x
+		}
+	}
+	return nil
+}
+
 // Filler implements the MAL primitive
 //
 //	pattern array.filler(cnt, v) :bat[:oid,:any]
@@ -69,20 +92,42 @@ func Series(start, step, stop int64, n, m int) (*BAT, error) {
 // from §3 of the paper: it materialises the cell values of a fresh array
 // attribute as cnt copies of the default value v. A NULL v produces a column
 // of holes.
+//
+// The constant payload is written with bulk slice fills rather than
+// per-element appends; the resulting storage and property claims are
+// identical to cnt Append calls on a fresh BAT.
 func Filler(cnt int, v types.Value, kind types.Kind) (*BAT, error) {
 	if cnt < 0 {
 		return nil, fmt.Errorf("array.filler: negative count %d", cnt)
 	}
 	// A filler aligned to a large intermediate (COUNT over a wide join)
-	// is a long serial loop, so it polls the goroutine's cancellation job.
+	// is a long serial fill, so it polls the goroutine's cancellation job
+	// between chunks.
 	job := par.CurrentJob()
 	b := New(kind, cnt)
+	if kind == types.KindVoid {
+		return nil, fmt.Errorf("array.filler: unsupported kind %s", kind)
+	}
 	if v.IsNull() {
-		for i := 0; i < cnt; i++ {
-			if i&0xfff == 0 && job.Canceled() {
-				return nil, par.ErrCanceled
+		// New's backing slices are zero-valued, so extending them to cnt
+		// rows plus an all-ones NULL mask matches cnt AppendNull calls.
+		switch kind {
+		case types.KindInt, types.KindOID:
+			b.ints = b.ints[:cnt]
+		case types.KindFloat:
+			b.floats = b.floats[:cnt]
+		case types.KindBool:
+			b.bools = b.bools[:cnt]
+		case types.KindStr:
+			b.strs = b.strs[:cnt]
+		}
+		b.count = cnt
+		if cnt > 0 {
+			b.Key = false
+			b.nulls = NewBitmap(cnt)
+			for i := range b.nulls.words {
+				b.nulls.words[i] = ^uint64(0) // tail bits masked by readers
 			}
-			b.AppendNull()
 		}
 		return b, nil
 	}
@@ -93,38 +138,51 @@ func Filler(cnt int, v types.Value, kind types.Kind) (*BAT, error) {
 	switch kind {
 	case types.KindInt, types.KindOID:
 		x := cv.Int64()
-		for i := 0; i < cnt; i++ {
-			if i&0xfff == 0 && job.Canceled() {
-				return nil, par.ErrCanceled
-			}
-			b.AppendInt(x)
+		b.ints = b.ints[:cnt]
+		if err := fillBulk(b.ints, x, job); err != nil {
+			return nil, err
+		}
+		if cnt > 0 {
+			b.minI, b.maxI, b.hasMM = x, x, true
 		}
 	case types.KindFloat:
 		x := cv.Float64()
-		for i := 0; i < cnt; i++ {
-			if i&0xfff == 0 && job.Canceled() {
-				return nil, par.ErrCanceled
+		b.floats = b.floats[:cnt]
+		if err := fillBulk(b.floats, x, job); err != nil {
+			return nil, err
+		}
+		if cnt > 0 {
+			if math.IsNaN(x) {
+				// NaN poisons bounds and order claims, as in noteAppendFloat.
+				b.Sorted, b.SortedDesc, b.Key = false, false, false
+			} else {
+				b.minF, b.maxF, b.hasMM = x, x, true
 			}
-			b.AppendFloat(x)
 		}
 	case types.KindBool:
 		x := cv.BoolVal()
-		for i := 0; i < cnt; i++ {
-			if i&0xfff == 0 && job.Canceled() {
-				return nil, par.ErrCanceled
-			}
-			b.AppendBool(x)
+		b.bools = b.bools[:cnt]
+		if err := fillBulk(b.bools, x, job); err != nil {
+			return nil, err
+		}
+		if cnt > 0 {
+			// Opaque kinds carry no incremental claims past the first row.
+			b.Sorted, b.SortedDesc, b.Key = false, false, false
 		}
 	case types.KindStr:
 		x := cv.StrVal()
-		for i := 0; i < cnt; i++ {
-			if i&0xfff == 0 && job.Canceled() {
-				return nil, par.ErrCanceled
-			}
-			b.AppendStr(x)
+		b.strs = b.strs[:cnt]
+		if err := fillBulk(b.strs, x, job); err != nil {
+			return nil, err
 		}
-	default:
-		return nil, fmt.Errorf("array.filler: unsupported kind %s", kind)
+		if cnt > 0 {
+			b.Sorted, b.SortedDesc, b.Key = false, false, false
+		}
+	}
+	b.count = cnt
+	if b.hasMM && cnt > 1 {
+		// A repeated value keeps both order claims but is never unique.
+		b.Key = false
 	}
 	return b, nil
 }

@@ -52,6 +52,14 @@ type BAT struct {
 	minI, maxI int64
 	minF, maxF float64
 
+	// enc, when non-nil, holds the tail in per-slab encoded form instead
+	// of the typed slices (see encoding.go). Encoded BATs are read via the
+	// slab views or the cached full decode; any mutating entry point
+	// decodes back to plain storage first (ensurePlain). Freeze copies
+	// share the encColumn — it is immutable apart from its internal
+	// once-guarded decode cache.
+	enc *encColumn
+
 	// zm caches the lazily built zonemap (see zonemap.go). The box is
 	// per-BAT-version: Freeze gives copies a fresh one.
 	zm *zmBox
@@ -187,17 +195,33 @@ func (b *BAT) SetNullMask(m *Bitmap) {
 	b.nulls = m
 }
 
-// Ints returns the underlying int64 slice (KindInt/KindOID only).
-func (b *BAT) Ints() []int64 { return b.ints }
+// Ints returns the full int64 tail (KindInt/KindOID only).
+//
+// Deprecated: outside internal/bat, use the slab accessor API (Slab,
+// SlabView) or DecodedInts. This method predates encoded columns; it now
+// forwards to DecodedInts, which transparently (and eagerly, for the whole
+// column) decodes encoded storage — correct, but it forfeits every
+// operate-on-compressed fast path. Kernel code must not assume plain
+// storage; a source-scan test in internal/gdk enforces the migration.
+func (b *BAT) Ints() []int64 { return b.DecodedInts() }
 
-// Floats returns the underlying float64 slice (KindFloat only).
-func (b *BAT) Floats() []float64 { return b.floats }
+// Floats returns the full float64 tail (KindFloat only).
+//
+// Deprecated: outside internal/bat, use the slab accessor API or
+// DecodedFloats (see Ints).
+func (b *BAT) Floats() []float64 { return b.DecodedFloats() }
 
-// Bools returns the underlying bool slice (KindBool only).
-func (b *BAT) Bools() []bool { return b.bools }
+// Bools returns the full bool tail (KindBool only).
+//
+// Deprecated: outside internal/bat, use the slab accessor API or
+// DecodedBools (see Ints).
+func (b *BAT) Bools() []bool { return b.DecodedBools() }
 
-// Strs returns the underlying string slice (KindStr only).
-func (b *BAT) Strs() []string { return b.strs }
+// Strs returns the full string tail (KindStr only).
+//
+// Deprecated: outside internal/bat, use the slab accessor API or
+// DecodedStrs (see Ints).
+func (b *BAT) Strs() []string { return b.DecodedStrs() }
 
 func (b *BAT) checkIndex(i int) {
 	if i < 0 || i >= b.count {
@@ -211,19 +235,26 @@ func (b *BAT) Get(i int) types.Value {
 	if b.nulls.Get(i) {
 		return types.Null(b.ValueKind())
 	}
+	ints, floats, bools, strs := b.ints, b.floats, b.bools, b.strs
+	if b.enc != nil {
+		// Random access decodes through the cached full-column view; Get is
+		// a point probe, so per-slab decode would thrash.
+		d := b.enc.decodeAll(b.kind)
+		ints, floats, strs = d.ints, d.floats, d.strs
+	}
 	switch b.kind {
 	case types.KindVoid:
 		return types.Oid(b.seqbase + types.OID(i))
 	case types.KindOID:
-		return types.Oid(types.OID(b.ints[i]))
+		return types.Oid(types.OID(ints[i]))
 	case types.KindInt:
-		return types.Int(b.ints[i])
+		return types.Int(ints[i])
 	case types.KindFloat:
-		return types.Float(b.floats[i])
+		return types.Float(floats[i])
 	case types.KindBool:
-		return types.Bool(b.bools[i])
+		return types.Bool(bools[i])
 	case types.KindStr:
-		return types.Str(b.strs[i])
+		return types.Str(strs[i])
 	}
 	panic("bat: unreachable")
 }
@@ -242,11 +273,15 @@ func (b *BAT) OidAt(i int) types.OID {
 	if b.kind == types.KindVoid {
 		return b.seqbase + types.OID(i)
 	}
+	if b.enc != nil {
+		return types.OID(b.enc.decodeAll(b.kind).ints[i])
+	}
 	return types.OID(b.ints[i])
 }
 
 // Append appends a value, which must match the BAT kind or be NULL.
 func (b *BAT) Append(v types.Value) error {
+	b.ensurePlain()
 	if v.IsNull() {
 		b.AppendNull()
 		return nil
@@ -298,6 +333,7 @@ func (b *BAT) Append(v types.Value) error {
 // AppendNull appends a NULL row. Order and bound claims survive (they
 // ignore NULLs); uniqueness does not.
 func (b *BAT) AppendNull() {
+	b.ensurePlain()
 	b.Key = false
 	switch b.kind {
 	case types.KindInt, types.KindOID:
@@ -322,6 +358,7 @@ func (b *BAT) AppendNull() {
 
 // AppendInt appends a non-NULL int64 (KindInt/KindOID).
 func (b *BAT) AppendInt(v int64) {
+	b.ensurePlain()
 	b.noteAppendInt(v)
 	b.ints = append(b.ints, v)
 	b.count++
@@ -332,6 +369,7 @@ func (b *BAT) AppendInt(v int64) {
 
 // AppendFloat appends a non-NULL float64.
 func (b *BAT) AppendFloat(v float64) {
+	b.ensurePlain()
 	b.noteAppendFloat(v)
 	b.floats = append(b.floats, v)
 	b.count++
@@ -342,6 +380,7 @@ func (b *BAT) AppendFloat(v float64) {
 
 // AppendBool appends a non-NULL bool.
 func (b *BAT) AppendBool(v bool) {
+	b.ensurePlain()
 	b.noteAppendOpaque()
 	b.bools = append(b.bools, v)
 	b.count++
@@ -352,6 +391,7 @@ func (b *BAT) AppendBool(v bool) {
 
 // AppendStr appends a non-NULL string.
 func (b *BAT) AppendStr(v string) {
+	b.ensurePlain()
 	b.noteAppendOpaque()
 	b.strs = append(b.strs, v)
 	b.count++
@@ -362,6 +402,7 @@ func (b *BAT) AppendStr(v string) {
 
 // Replace overwrites row i with value v (BUNreplace). NULL values punch holes.
 func (b *BAT) Replace(i int, v types.Value) error {
+	b.ensurePlain()
 	b.checkIndex(i)
 	if v.IsNull() {
 		b.SetNull(i, true)
@@ -433,20 +474,26 @@ func (b *BAT) Writable() *BAT {
 }
 
 // Clone returns a deep copy of the BAT (properties ride along; the
-// zonemap cache does not — a clone exists to be mutated).
+// zonemap cache does not — a clone exists to be mutated, so an encoded
+// source decodes into private plain storage).
 func (b *BAT) Clone() *BAT {
 	c := &BAT{kind: b.kind, count: b.count, seqbase: b.seqbase,
 		Sorted: b.Sorted, SortedDesc: b.SortedDesc, Key: b.Key,
 		hasMM: b.hasMM, minI: b.minI, maxI: b.maxI, minF: b.minF, maxF: b.maxF}
+	ints, floats, bools, strs := b.ints, b.floats, b.bools, b.strs
+	if b.enc != nil {
+		d := b.enc.decodeAll(b.kind)
+		ints, floats, strs = d.ints, d.floats, d.strs
+	}
 	switch b.kind {
 	case types.KindInt, types.KindOID:
-		c.ints = append([]int64(nil), b.ints...)
+		c.ints = append([]int64(nil), ints...)
 	case types.KindFloat:
-		c.floats = append([]float64(nil), b.floats...)
+		c.floats = append([]float64(nil), floats...)
 	case types.KindBool:
-		c.bools = append([]bool(nil), b.bools...)
+		c.bools = append([]bool(nil), bools...)
 	case types.KindStr:
-		c.strs = append([]string(nil), b.strs...)
+		c.strs = append([]string(nil), strs...)
 	}
 	c.nulls = b.nulls.Clone()
 	return c
@@ -461,6 +508,11 @@ func (b *BAT) Slice(lo, hi int) *BAT {
 	c := &BAT{kind: b.kind, count: hi - lo,
 		Sorted: b.Sorted, SortedDesc: b.SortedDesc, Key: b.Key,
 		hasMM: b.hasMM, minI: b.minI, maxI: b.maxI, minF: b.minF, maxF: b.maxF}
+	ints, floats, bools, strs := b.ints, b.floats, b.bools, b.strs
+	if b.enc != nil {
+		d := b.enc.decodeAll(b.kind)
+		ints, floats, strs = d.ints, d.floats, d.strs
+	}
 	switch b.kind {
 	case types.KindVoid:
 		c.seqbase = b.seqbase + types.OID(lo)
@@ -468,13 +520,13 @@ func (b *BAT) Slice(lo, hi int) *BAT {
 		c.SortedDesc = c.count <= 1
 		return c
 	case types.KindInt, types.KindOID:
-		c.ints = append([]int64(nil), b.ints[lo:hi]...)
+		c.ints = append([]int64(nil), ints[lo:hi]...)
 	case types.KindFloat:
-		c.floats = append([]float64(nil), b.floats[lo:hi]...)
+		c.floats = append([]float64(nil), floats[lo:hi]...)
 	case types.KindBool:
-		c.bools = append([]bool(nil), b.bools[lo:hi]...)
+		c.bools = append([]bool(nil), bools[lo:hi]...)
 	case types.KindStr:
-		c.strs = append([]string(nil), b.strs[lo:hi]...)
+		c.strs = append([]string(nil), strs[lo:hi]...)
 	}
 	if b.nulls != nil {
 		c.nulls = b.nulls.Slice(lo, hi)
@@ -508,6 +560,7 @@ func (b *BAT) Truncate(n int) {
 	if n < 0 || n > b.count {
 		panic("bat: bad truncate length")
 	}
+	b.ensurePlain()
 	switch b.kind {
 	case types.KindInt, types.KindOID:
 		b.ints = b.ints[:n]

@@ -27,15 +27,46 @@ import (
 //
 // Payloads: lng/oid = count int64; dbl = count float64; bit = count bytes;
 // str = count (uint32 length + bytes); void = empty.
+//
+// Version 2 carries a slab-encoded tail (see encoding.go) and is written
+// only when the BAT is encoded — plain BATs always write version 1, byte
+// identical to every earlier release, so old stores and new plain stores
+// stay interchangeable. The v2 payload replaces the kind-dependent block:
+//
+//	nslabs  uint32   must equal ceil(count/SlabRows)
+//	slab ×nslabs:
+//	  enc     uint8    Encoding
+//	  n       uint32   rows (SlabRows except the last slab)
+//	  meta    uint8    bit0 hasMM, bit1 hasNaN, bit2 asc, bit3 desc
+//	  bounds  int cols: minI, maxI, firstI, lastI  (4 × int64)
+//	          dbl cols: minF, maxF, firstF, lastF  (4 × float64)
+//	          str cols: absent
+//	  payload enc-dependent:
+//	    plain  same as the v1 payload for the slab's rows
+//	    rle    runs uint32, run values (typed), run lens (uint32 each)
+//	    dict   card uint32, dict values (typed), codes (uint16 × n)
+//	    for    base int64, width uint8, packed words (uint64 each)
+//	    delta  base int64, width uint8, packed words (uint64 each)
+//
+// The nulls block and trailing CRC are unchanged. Every length field is
+// validated against the header's row count before allocation, and every
+// dict code against the cardinality, so a corrupt or adversarial segment
+// fails with an error — never a panic or an out-of-bounds decode.
 
 const (
-	ioMagic   = "SCQB"
-	ioVersion = 1
+	ioMagic      = "SCQB"
+	ioVersion    = 1
+	ioVersionEnc = 2
 
 	flagNulls      = 1 << 0
 	flagSorted     = 1 << 1
 	flagKey        = 1 << 2
 	flagSortedDesc = 1 << 3
+
+	slabMetaHasMM  = 1 << 0
+	slabMetaHasNaN = 1 << 1
+	slabMetaAsc    = 1 << 2
+	slabMetaDesc   = 1 << 3
 )
 
 type crcWriter struct {
@@ -78,11 +109,21 @@ func (b *BAT) Write(w io.Writer) error {
 	if b.SortedDesc {
 		flags |= flagSortedDesc
 	}
-	hdr := []any{uint16(ioVersion), uint8(b.kind), flags, uint64(b.count), uint64(b.seqbase)}
+	version := uint16(ioVersion)
+	if b.enc != nil {
+		version = ioVersionEnc
+	}
+	hdr := []any{version, uint8(b.kind), flags, uint64(b.count), uint64(b.seqbase)}
 	for _, v := range hdr {
 		if err := binary.Write(cw, binary.LittleEndian, v); err != nil {
 			return err
 		}
+	}
+	if b.enc != nil {
+		if err := b.writeEncodedPayload(cw); err != nil {
+			return err
+		}
+		return b.writeNullsAndCRC(cw, w, flags)
 	}
 	switch b.kind {
 	case types.KindVoid:
@@ -114,6 +155,10 @@ func (b *BAT) Write(w io.Writer) error {
 			}
 		}
 	}
+	return b.writeNullsAndCRC(cw, w, flags)
+}
+
+func (b *BAT) writeNullsAndCRC(cw *crcWriter, w io.Writer, flags uint8) error {
 	if flags&flagNulls != 0 {
 		words := make([]uint64, (b.count+63)/64)
 		for i := 0; i < b.count; i++ {
@@ -126,6 +171,119 @@ func (b *BAT) Write(w io.Writer) error {
 		}
 	}
 	return binary.Write(w, binary.LittleEndian, cw.crc)
+}
+
+func (b *BAT) writeEncodedPayload(cw *crcWriter) error {
+	e := b.enc
+	if err := binary.Write(cw, binary.LittleEndian, uint32(len(e.slabs))); err != nil {
+		return err
+	}
+	isFloat := b.kind == types.KindFloat
+	isStr := b.kind == types.KindStr
+	for i := range e.slabs {
+		es := &e.slabs[i]
+		var meta uint8
+		if es.hasMM {
+			meta |= slabMetaHasMM
+		}
+		if es.hasNaN {
+			meta |= slabMetaHasNaN
+		}
+		if es.asc {
+			meta |= slabMetaAsc
+		}
+		if es.desc {
+			meta |= slabMetaDesc
+		}
+		hdr := []any{uint8(es.enc), uint32(es.n), meta}
+		for _, v := range hdr {
+			if err := binary.Write(cw, binary.LittleEndian, v); err != nil {
+				return err
+			}
+		}
+		switch {
+		case isFloat:
+			for _, v := range []float64{es.minF, es.maxF, es.firstF, es.lastF} {
+				if err := binary.Write(cw, binary.LittleEndian, v); err != nil {
+					return err
+				}
+			}
+		case !isStr:
+			for _, v := range []int64{es.minI, es.maxI, es.firstI, es.lastI} {
+				if err := binary.Write(cw, binary.LittleEndian, v); err != nil {
+					return err
+				}
+			}
+		}
+		if err := writeSlabPayload(cw, es, isFloat, isStr); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeSlabPayload(cw *crcWriter, es *encSlab, isFloat, isStr bool) error {
+	writeStrs := func(ss []string) error {
+		for _, s := range ss {
+			if err := binary.Write(cw, binary.LittleEndian, uint32(len(s))); err != nil {
+				return err
+			}
+			if _, err := io.WriteString(cw, s); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	switch es.enc {
+	case EncPlain:
+		switch {
+		case isFloat:
+			return binary.Write(cw, binary.LittleEndian, es.floats)
+		case isStr:
+			return writeStrs(es.strs)
+		default:
+			return binary.Write(cw, binary.LittleEndian, es.ints)
+		}
+	case EncRLE:
+		if err := binary.Write(cw, binary.LittleEndian, uint32(len(es.lens))); err != nil {
+			return err
+		}
+		if isFloat {
+			if err := binary.Write(cw, binary.LittleEndian, es.floats); err != nil {
+				return err
+			}
+		} else {
+			if err := binary.Write(cw, binary.LittleEndian, es.ints); err != nil {
+				return err
+			}
+		}
+		return binary.Write(cw, binary.LittleEndian, es.lens)
+	case EncDict:
+		if isStr {
+			if err := binary.Write(cw, binary.LittleEndian, uint32(len(es.strs))); err != nil {
+				return err
+			}
+			if err := writeStrs(es.strs); err != nil {
+				return err
+			}
+		} else {
+			if err := binary.Write(cw, binary.LittleEndian, uint32(len(es.ints))); err != nil {
+				return err
+			}
+			if err := binary.Write(cw, binary.LittleEndian, es.ints); err != nil {
+				return err
+			}
+		}
+		return binary.Write(cw, binary.LittleEndian, es.codes)
+	case EncFOR, EncDelta:
+		for _, v := range []any{es.base, es.width} {
+			if err := binary.Write(cw, binary.LittleEndian, v); err != nil {
+				return err
+			}
+		}
+		return binary.Write(cw, binary.LittleEndian, es.words)
+	}
+	return fmt.Errorf("bat: cannot serialise encoding %v", es.enc)
 }
 
 // ReadFrom deserialises a BAT written by Write.
@@ -150,7 +308,7 @@ func ReadFrom(r io.Reader) (*BAT, error) {
 			return nil, err
 		}
 	}
-	if version != ioVersion {
+	if version != ioVersion && version != ioVersionEnc {
 		return nil, fmt.Errorf("bat: unsupported format version %d", version)
 	}
 	if count > math.MaxInt32 {
@@ -161,6 +319,12 @@ func ReadFrom(r io.Reader) (*BAT, error) {
 	b.Sorted = flags&flagSorted != 0
 	b.Key = flags&flagKey != 0
 	b.SortedDesc = flags&flagSortedDesc != 0
+	if version == ioVersionEnc {
+		if err := b.readEncodedPayload(cr); err != nil {
+			return nil, err
+		}
+		return finishRead(b, cr, r, flags, n)
+	}
 	switch b.kind {
 	case types.KindVoid:
 	case types.KindInt, types.KindOID:
@@ -201,6 +365,10 @@ func ReadFrom(r io.Reader) (*BAT, error) {
 	default:
 		return nil, fmt.Errorf("bat: unknown kind %d", kind)
 	}
+	return finishRead(b, cr, r, flags, n)
+}
+
+func finishRead(b *BAT, cr *crcReader, r io.Reader, flags uint8, n int) (*BAT, error) {
 	if flags&flagNulls != 0 {
 		words := make([]uint64, (n+63)/64)
 		if err := binary.Read(cr, binary.LittleEndian, words); err != nil {
@@ -217,6 +385,231 @@ func ReadFrom(r io.Reader) (*BAT, error) {
 		return nil, fmt.Errorf("bat: checksum mismatch (file corrupt)")
 	}
 	return b, nil
+}
+
+// readEncodedPayload parses the version-2 slab-encoded tail. Every length
+// and index is validated before use: corruption that survives the CRC (or
+// a deliberately malformed file) must surface as an error, never as a
+// panic or an out-of-bounds dictionary code waiting in the store.
+func (b *BAT) readEncodedPayload(cr *crcReader) error {
+	switch b.kind {
+	case types.KindInt, types.KindOID, types.KindFloat, types.KindStr:
+	default:
+		return fmt.Errorf("bat: kind %v cannot be slab-encoded", b.kind)
+	}
+	if b.count == 0 {
+		return fmt.Errorf("bat: encoded segment with zero rows")
+	}
+	var nslabs uint32
+	if err := binary.Read(cr, binary.LittleEndian, &nslabs); err != nil {
+		return err
+	}
+	wantSlabs := (b.count + SlabRows - 1) / SlabRows
+	if int(nslabs) != wantSlabs {
+		return fmt.Errorf("bat: encoded segment has %d slabs, want %d for %d rows", nslabs, wantSlabs, b.count)
+	}
+	isFloat := b.kind == types.KindFloat
+	isStr := b.kind == types.KindStr
+	e := &encColumn{slabs: make([]encSlab, wantSlabs), n: b.count}
+	for s := 0; s < wantSlabs; s++ {
+		es := &e.slabs[s]
+		wantN := SlabRows
+		if s == wantSlabs-1 {
+			wantN = b.count - s*SlabRows
+		}
+		var (
+			enc  uint8
+			sn   uint32
+			meta uint8
+		)
+		for _, p := range []any{&enc, &sn, &meta} {
+			if err := binary.Read(cr, binary.LittleEndian, p); err != nil {
+				return err
+			}
+		}
+		if Encoding(enc) >= numEncodings {
+			return fmt.Errorf("bat: slab %d: unknown encoding %d", s, enc)
+		}
+		if int(sn) != wantN {
+			return fmt.Errorf("bat: slab %d has %d rows, want %d", s, sn, wantN)
+		}
+		es.enc, es.n = Encoding(enc), wantN
+		es.hasMM = meta&slabMetaHasMM != 0
+		es.hasNaN = meta&slabMetaHasNaN != 0
+		es.asc = meta&slabMetaAsc != 0
+		es.desc = meta&slabMetaDesc != 0
+		switch {
+		case isFloat:
+			for _, p := range []any{&es.minF, &es.maxF, &es.firstF, &es.lastF} {
+				if err := binary.Read(cr, binary.LittleEndian, p); err != nil {
+					return err
+				}
+			}
+		case !isStr:
+			for _, p := range []any{&es.minI, &es.maxI, &es.firstI, &es.lastI} {
+				if err := binary.Read(cr, binary.LittleEndian, p); err != nil {
+					return err
+				}
+			}
+		}
+		if err := readSlabPayload(cr, es, isFloat, isStr); err != nil {
+			return fmt.Errorf("bat: slab %d: %w", s, err)
+		}
+		e.encodedBytes += es.bytes
+	}
+	b.enc = e
+	e.logicalBytes = plainBytesOf(b)
+	return nil
+}
+
+func readSlabPayload(cr *crcReader, es *encSlab, isFloat, isStr bool) error {
+	n := es.n
+	readStrs := func(cnt int) ([]string, int64, error) {
+		out := make([]string, cnt)
+		var sz int64
+		for i := 0; i < cnt; i++ {
+			var l uint32
+			if err := binary.Read(cr, binary.LittleEndian, &l); err != nil {
+				return nil, 0, err
+			}
+			if l > 1<<30 {
+				return nil, 0, fmt.Errorf("implausible string length %d", l)
+			}
+			buf := make([]byte, l)
+			if _, err := io.ReadFull(cr, buf); err != nil {
+				return nil, 0, err
+			}
+			out[i] = string(buf)
+			sz += int64(l) + 16
+		}
+		return out, sz, nil
+	}
+	switch es.enc {
+	case EncPlain:
+		switch {
+		case isFloat:
+			es.floats = make([]float64, n)
+			if err := binary.Read(cr, binary.LittleEndian, es.floats); err != nil {
+				return err
+			}
+			es.bytes = int64(n) * 8
+		case isStr:
+			ss, sz, err := readStrs(n)
+			if err != nil {
+				return err
+			}
+			es.strs, es.bytes = ss, sz
+		default:
+			es.ints = make([]int64, n)
+			if err := binary.Read(cr, binary.LittleEndian, es.ints); err != nil {
+				return err
+			}
+			es.bytes = int64(n) * 8
+		}
+		return nil
+	case EncRLE:
+		if isStr {
+			return fmt.Errorf("rle on string slab")
+		}
+		var runs uint32
+		if err := binary.Read(cr, binary.LittleEndian, &runs); err != nil {
+			return err
+		}
+		if runs == 0 || int(runs) > n {
+			return fmt.Errorf("implausible run count %d for %d rows", runs, n)
+		}
+		if isFloat {
+			es.floats = make([]float64, runs)
+			if err := binary.Read(cr, binary.LittleEndian, es.floats); err != nil {
+				return err
+			}
+		} else {
+			es.ints = make([]int64, runs)
+			if err := binary.Read(cr, binary.LittleEndian, es.ints); err != nil {
+				return err
+			}
+		}
+		es.lens = make([]uint32, runs)
+		if err := binary.Read(cr, binary.LittleEndian, es.lens); err != nil {
+			return err
+		}
+		var total uint64
+		for _, l := range es.lens {
+			if l == 0 {
+				return fmt.Errorf("zero-length run")
+			}
+			total += uint64(l)
+		}
+		if total != uint64(n) {
+			return fmt.Errorf("run lengths sum to %d, want %d", total, n)
+		}
+		es.bytes = int64(runs) * 12
+		return nil
+	case EncDict:
+		if isFloat {
+			return fmt.Errorf("dict on float slab")
+		}
+		var card uint32
+		if err := binary.Read(cr, binary.LittleEndian, &card); err != nil {
+			return err
+		}
+		if card == 0 || card > uint32(n) || card > 1<<16 {
+			return fmt.Errorf("implausible dictionary cardinality %d for %d rows", card, n)
+		}
+		if isStr {
+			ss, sz, err := readStrs(int(card))
+			if err != nil {
+				return err
+			}
+			es.strs = ss
+			es.bytes = sz + int64(n)*2
+		} else {
+			es.ints = make([]int64, card)
+			if err := binary.Read(cr, binary.LittleEndian, es.ints); err != nil {
+				return err
+			}
+			es.bytes = int64(card)*8 + int64(n)*2
+		}
+		es.codes = make([]uint16, n)
+		if err := binary.Read(cr, binary.LittleEndian, es.codes); err != nil {
+			return err
+		}
+		for _, c := range es.codes {
+			if uint32(c) >= card {
+				return fmt.Errorf("dictionary code %d out of range (cardinality %d)", c, card)
+			}
+		}
+		return nil
+	case EncFOR, EncDelta:
+		if isFloat || isStr {
+			return fmt.Errorf("%v on non-integer slab", es.enc)
+		}
+		for _, p := range []any{&es.base, &es.width} {
+			if err := binary.Read(cr, binary.LittleEndian, p); err != nil {
+				return err
+			}
+		}
+		if es.width > 64 {
+			return fmt.Errorf("implausible bit width %d", es.width)
+		}
+		cnt := n
+		if es.enc == EncDelta {
+			cnt = n - 1
+		}
+		nwords := 0
+		if es.width > 0 && cnt > 0 {
+			nwords = (cnt*int(es.width) + 63) / 64
+		}
+		if nwords > 0 {
+			es.words = make([]uint64, nwords)
+			if err := binary.Read(cr, binary.LittleEndian, es.words); err != nil {
+				return err
+			}
+		}
+		es.bytes = 16 + int64(nwords)*8
+		return nil
+	}
+	return fmt.Errorf("unknown encoding %v", es.enc)
 }
 
 // Save writes the BAT to path atomically (write temp file, fsync, then

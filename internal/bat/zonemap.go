@@ -132,6 +132,9 @@ func (b *BAT) buildZonemap() *Zonemap {
 		HasNull: make([]bool, ns), AllNull: make([]bool, ns), Mixed: make([]bool, ns),
 		Sorted: true, SortedDesc: true,
 	}
+	if b.enc != nil {
+		return b.buildZonemapEncoded(z)
+	}
 	switch b.kind {
 	case types.KindInt, types.KindOID:
 		z.MinI = make([]int64, ns)
@@ -222,6 +225,71 @@ func (b *BAT) buildZonemap() *Zonemap {
 			}
 			z.MinF[s], z.MaxF[s] = mn, mx
 		}
+	}
+	return z
+}
+
+// buildZonemapEncoded fills z from the per-slab encoding metadata in O(slabs)
+// instead of scanning rows — the encode pass already computed raw min/max and
+// order per slab. The metadata covers every slot, NULL or not, so the derived
+// claims are conservative: bounds may be wider than the live values (which
+// only makes pruning less aggressive, never wrong) and a slab whose raw order
+// is broken only by garbage under a NULL loses its order claim (a missed fast
+// path, not an error). Encoding and zonemap slabs are the same size by
+// construction, so the mapping is 1:1.
+func (b *BAT) buildZonemapEncoded(z *Zonemap) *Zonemap {
+	ns := z.Slabs
+	isFloat := b.kind == types.KindFloat
+	if isFloat {
+		z.MinF = make([]float64, ns)
+		z.MaxF = make([]float64, ns)
+	} else {
+		z.MinI = make([]int64, ns)
+		z.MaxI = make([]int64, ns)
+	}
+	prevSet := false
+	var prevLastI int64
+	var prevLastF float64
+	for s := 0; s < ns; s++ {
+		es := &b.enc.slabs[s]
+		lo, hi := z.SlabRange(s)
+		nonNull := hi - lo
+		if b.nulls != nil {
+			cnt := 0
+			for i := lo; i < hi; i++ {
+				if b.nulls.Get(i) {
+					cnt++
+				}
+			}
+			nonNull -= cnt
+			z.HasNull[s] = cnt > 0
+			z.AllNull[s] = nonNull == 0
+		}
+		if isFloat {
+			if es.hasNaN {
+				z.Mixed[s] = true
+				z.AllNull[s] = false
+				z.Sorted, z.SortedDesc = false, false
+			}
+			if es.hasMM {
+				z.MinF[s], z.MaxF[s] = es.minF, es.maxF
+			} else if !z.Mixed[s] {
+				// No bounds and no NaN: every slot is under a NULL.
+				z.AllNull[s] = true
+			}
+		} else {
+			z.MinI[s], z.MaxI[s] = es.minI, es.maxI
+		}
+		// Order claims chain the raw slab order through the slab-boundary
+		// values; NULL-covered slots participate, which can only lose a
+		// claim, never fabricate one.
+		if !es.asc || (prevSet && (isFloat && es.firstF < prevLastF || !isFloat && es.firstI < prevLastI)) {
+			z.Sorted = false
+		}
+		if !es.desc || (prevSet && (isFloat && es.firstF > prevLastF || !isFloat && es.firstI > prevLastI)) {
+			z.SortedDesc = false
+		}
+		prevLastI, prevLastF, prevSet = es.lastI, es.lastF, true
 	}
 	return z
 }

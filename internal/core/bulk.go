@@ -84,9 +84,10 @@ func (db *DB) ReadAttrInts(array, attr string) ([]int64, []bool, error) {
 	}
 	vals := make([]int64, b.Len())
 	valid := make([]bool, b.Len())
+	src := b.DecodedInts()
 	for i := 0; i < b.Len(); i++ {
 		if !b.IsNull(i) {
-			vals[i] = b.Ints()[i]
+			vals[i] = src[i]
 			valid[i] = true
 		}
 	}

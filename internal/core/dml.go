@@ -456,8 +456,9 @@ func planTableUpdate(cat *catalog.Catalog, t *catalog.Table, s *ast.Update) (*ta
 	for k, op := range ops {
 		p.cols[k] = op.col
 	}
+	mt := maskTrue(mask)
 	for i := 0; i < n; i++ {
-		if t.Deleted.Get(i) || !maskTrue(mask, i) {
+		if t.Deleted.Get(i) || !mt(i) {
 			continue
 		}
 		for _, op := range ops {
@@ -553,8 +554,9 @@ func (db *DB) updateTable(s *ast.Update, t *catalog.Table) (*Result, error) {
 		t.Bats[op.col] = t.Bats[op.col].Writable()
 	}
 	affected := 0
+	mt := maskTrue(mask)
 	for i := 0; i < n; i++ {
-		if t.Deleted.Get(i) || !maskTrue(mask, i) {
+		if t.Deleted.Get(i) || !mt(i) {
 			continue
 		}
 		for _, op := range ops {
@@ -597,8 +599,9 @@ func planArrayUpdate(cat *catalog.Catalog, a *catalog.Array, s *ast.Update) (*ar
 	for k, op := range ops {
 		p.attrs[k] = op.attr
 	}
+	mt := maskTrue(mask)
 	for i := 0; i < n; i++ {
-		if !maskTrue(mask, i) {
+		if !mt(i) {
 			continue
 		}
 		for _, op := range ops {
@@ -691,8 +694,9 @@ func (db *DB) updateArray(s *ast.Update, a *catalog.Array) (*Result, error) {
 		a.AttrBats[op.attr] = a.AttrBats[op.attr].Writable()
 	}
 	affected := 0
+	mt := maskTrue(mask)
 	for i := 0; i < n; i++ {
-		if !maskTrue(mask, i) {
+		if !mt(i) {
 			continue
 		}
 		for _, op := range ops {
@@ -724,11 +728,17 @@ func dmlMask(b *rel.Binder, sc *rel.Scope, cols []*bat.BAT, n int, where ast.Exp
 	return evalVecBAT(cols, n, e)
 }
 
-func maskTrue(mask *bat.BAT, i int) bool {
+// maskTrue compiles the WHERE-mask row test: the mask payload is decoded
+// once, not per row.
+func maskTrue(mask *bat.BAT) func(int) bool {
 	if mask == nil {
-		return true
+		return func(int) bool { return true }
 	}
-	return !mask.IsNull(i) && mask.Bools()[i]
+	vals := mask.DecodedBools()
+	if !mask.HasNulls() {
+		return func(i int) bool { return vals[i] }
+	}
+	return func(i int) bool { return !mask.IsNull(i) && vals[i] }
 }
 
 // planTableDelete stages the row positions a table DELETE will mark
@@ -741,8 +751,9 @@ func planTableDelete(cat *catalog.Catalog, t *catalog.Table, s *ast.Delete) ([]i
 		return nil, err
 	}
 	var idxs []int
+	mt := maskTrue(mask)
 	for i := 0; i < n; i++ {
-		if t.Deleted.Get(i) || !maskTrue(mask, i) {
+		if t.Deleted.Get(i) || !mt(i) {
 			continue
 		}
 		idxs = append(idxs, i)
@@ -774,8 +785,9 @@ func planArrayDelete(cat *catalog.Catalog, a *catalog.Array, s *ast.Delete) ([]i
 		return nil, err
 	}
 	var idxs []int
+	mt := maskTrue(mask)
 	for i := 0; i < n; i++ {
-		if !maskTrue(mask, i) {
+		if !mt(i) {
 			continue
 		}
 		idxs = append(idxs, i)

@@ -48,6 +48,15 @@ type manifestCol struct {
 	Type    string  `json:"type"`
 	Default *string `json:"default,omitempty"`
 	DefNull bool    `json:"default_null,omitempty"`
+	// Encodings describes the per-slab physical encoding of the column's
+	// segment at this checkpoint ("plain", "rle", "dict", "for",
+	// "delta"); absent for all-plain segments. Descriptive only — the
+	// segment file carries the authoritative layout — but it lets
+	// operators and tooling see the compression mix without opening
+	// segments, and EncodedBytes/LogicalBytes summarise the win.
+	Encodings    []string `json:"encodings,omitempty"`
+	EncodedBytes int64    `json:"encoded_bytes,omitempty"`
+	LogicalBytes int64    `json:"logical_bytes,omitempty"`
 	// Stats carries the column's property claims across restarts: the
 	// order flags double the segment-file flags (the manifest is the
 	// authority), the bounds exist only here. WAL replay then maintains
@@ -116,6 +125,21 @@ type manifestArray struct {
 	Dims  []manifestDim `json:"dims"`
 	Attrs []manifestCol `json:"attrs"`
 	Ver   uint64        `json:"ver,omitempty"`
+}
+
+// encToManifest records a column's slab-encoding descriptors on its
+// manifest entry (no-op for plain columns, keeping the JSON clean).
+func encToManifest(mc *manifestCol, b *bat.BAT) {
+	if !b.Encoded() {
+		return
+	}
+	encs := b.SlabEncodings()
+	mc.Encodings = make([]string, len(encs))
+	for i, e := range encs {
+		mc.Encodings[i] = e.String()
+	}
+	mc.EncodedBytes = b.EncodedBytes()
+	mc.LogicalBytes = b.LogicalBytes()
 }
 
 func colToManifest(c catalog.Column) manifestCol {
@@ -260,12 +284,19 @@ func (db *DB) checkpointIOLocked() error {
 	// Write the segments of data-dirty objects first: until the manifest
 	// rename below, nothing references them. Meta-dirty objects (deletion
 	// mask changes) are covered by the manifest alone.
+	// Dirty columns are re-encoded before the fold: EncodeAuto picks a
+	// per-slab encoding (RLE/dict/FOR/delta) where it at least halves the
+	// slab, and the encoded BAT replaces the in-memory column too — reads
+	// serve the compressed form, mutations decode transparently, and the
+	// next checkpoint re-evaluates. The encoded column round-trips the
+	// plain tail bit-exactly, so this never changes query results.
 	for name, dataDirty := range db.ckptDirty {
 		if !dataDirty {
 			continue
 		}
 		if t, ok := db.cat.Table(name); ok {
 			for i, c := range t.Columns {
+				t.Bats[i] = bat.EncodeAuto(t.Bats[i])
 				n, err := t.Bats[i].SaveSizeFS(db.fs, segPath(batDir, t.Name, c.Name, newGen))
 				if err != nil {
 					return fmt.Errorf("checkpoint table %s: %v", t.Name, err)
@@ -277,6 +308,7 @@ func (db *DB) checkpointIOLocked() error {
 		}
 		if a, ok := db.cat.Array(name); ok {
 			for i, c := range a.Attrs {
+				a.AttrBats[i] = bat.EncodeAuto(a.AttrBats[i])
 				n, err := a.AttrBats[i].SaveSizeFS(db.fs, segPath(batDir, a.Name, c.Name, newGen))
 				if err != nil {
 					return fmt.Errorf("checkpoint array %s: %v", a.Name, err)
@@ -292,13 +324,14 @@ func (db *DB) checkpointIOLocked() error {
 		return err
 	}
 
-	m := manifest{Version: 2, WALGen: newGen}
+	m := manifest{Version: 3, WALGen: newGen}
 	for _, name := range db.cat.TableNames() {
 		t, _ := db.cat.Table(name)
 		mt := manifestTable{Name: t.Name, Ver: t.Version}
 		for ci, c := range t.Columns {
 			mc := colToManifest(c)
 			mc.Stats = statsToManifest(t.Bats[ci])
+			encToManifest(&mc, t.Bats[ci])
 			mt.Columns = append(mt.Columns, mc)
 		}
 		if t.Deleted != nil {
@@ -322,6 +355,7 @@ func (db *DB) checkpointIOLocked() error {
 		for ci, c := range a.Attrs {
 			mc := colToManifest(c)
 			mc.Stats = statsToManifest(a.AttrBats[ci])
+			encToManifest(&mc, a.AttrBats[ci])
 			ma.Attrs = append(ma.Attrs, mc)
 		}
 		m.Arrays = append(m.Arrays, ma)
@@ -434,7 +468,10 @@ func (db *DB) load() error {
 	if err := json.Unmarshal(data, &m); err != nil {
 		return fmt.Errorf("corrupt catalog: %v", err)
 	}
-	if m.Version != 1 && m.Version != 2 {
+	// Version 2 added segment versioning, version 3 per-column encoding
+	// descriptors; both load older manifests unchanged (a v2 manifest
+	// simply describes all-plain segments).
+	if m.Version < 1 || m.Version > 3 {
 		return fmt.Errorf("unsupported catalog version %d", m.Version)
 	}
 	db.walGen = m.WALGen

@@ -61,9 +61,9 @@ func aggrPlan(n, ngroups int) par.Plan {
 // gidSlice normalises the group-id column to a plain int64 slice.
 func gidSlice(gids *bat.BAT) []int64 {
 	if gids.Kind() == types.KindVoid {
-		return gids.Materialize().Ints()
+		return gids.Materialize().DecodedInts()
 	}
-	return gids.Ints()
+	return gids.DecodedInts()
 }
 
 // SubAggr computes a grouped aggregate (MAL aggr.sub*): vals and gids are
@@ -126,9 +126,9 @@ func SubAggr(agg AggKind, vals, gids *bat.BAT, ngroups int, cand *bat.BAT) (*bat
 	case types.KindInt, types.KindOID:
 		var ints []int64
 		if vals.Kind() == types.KindVoid {
-			ints = vals.Materialize().Ints()
+			ints = vals.Materialize().DecodedInts()
 		} else {
-			ints = vals.Ints()
+			ints = vals.DecodedInts()
 		}
 		switch agg {
 		case AggSum, AggAvg:
@@ -190,7 +190,7 @@ func SubAggr(agg AggKind, vals, gids *bat.BAT, ngroups int, cand *bat.BAT) (*bat
 			return out, nil
 		}
 	case types.KindFloat:
-		fs := vals.Floats()
+		fs := vals.DecodedFloats()
 		switch agg {
 		case AggSum, AggAvg:
 			plan := aggrPlan(n, ngroups)
@@ -252,7 +252,7 @@ func SubAggr(agg AggKind, vals, gids *bat.BAT, ngroups int, cand *bat.BAT) (*bat
 			// partial-merge gain is marginal for the workloads we serve.
 			best := make([]string, ngroups)
 			seen := make([]bool, ngroups)
-			ss := vals.Strs()
+			ss := vals.DecodedStrs()
 			for i := 0; i < n; i++ {
 				if vals.IsNull(i) {
 					continue
@@ -305,11 +305,18 @@ func runAggr(agg AggKind, vals *bat.BAT, gs []int64, ngroups int) (*bat.BAT, boo
 	n := len(gs)
 	switch vals.ValueKind() {
 	case types.KindInt, types.KindOID:
+		// RLE-encoded input accumulates whole (value-run x group-run)
+		// intersections without decoding (see enc_aggr.go).
+		if vals.Kind() != types.KindVoid && vals.Encoded() && !vals.HasNulls() {
+			if out, ok := encIntRunAggr(agg, vals, gs, ngroups); ok {
+				return out, true
+			}
+		}
 		var ints []int64
 		if vals.Kind() == types.KindVoid {
-			ints = vals.Materialize().Ints()
+			ints = vals.Materialize().DecodedInts()
 		} else {
-			ints = vals.Ints()
+			ints = vals.DecodedInts()
 		}
 		switch agg {
 		case AggSum, AggAvg:
@@ -351,7 +358,7 @@ func runAggr(agg AggKind, vals *bat.BAT, gs []int64, ngroups int) (*bat.BAT, boo
 			return out, true
 		}
 	case types.KindFloat:
-		fs := vals.Floats()
+		fs := vals.DecodedFloats()
 		switch agg {
 		case AggSum, AggAvg:
 			sums := make([]float64, ngroups)

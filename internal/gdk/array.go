@@ -47,9 +47,9 @@ func CellFetch(attr *bat.BAT, sh shape.Shape, coords []*bat.BAT) (*bat.BAT, erro
 		}
 		switch c.Kind() {
 		case types.KindInt, types.KindOID:
-			coordInts[k] = c.Ints()
+			coordInts[k] = c.DecodedInts()
 		case types.KindVoid:
-			coordInts[k] = c.Materialize().Ints()
+			coordInts[k] = c.Materialize().DecodedInts()
 		default:
 			return nil, fmt.Errorf("gdk: cellfetch coordinate %d must be integer, got %s", k, c.Kind())
 		}
@@ -282,9 +282,9 @@ func tileAccumulate(agg AggKind, attr *bat.BAT, dims []int, offsetSets [][]int) 
 	case types.KindInt, types.KindOID:
 		var src []int64
 		if attr.Kind() == types.KindVoid {
-			src = attr.Materialize().Ints()
+			src = attr.Materialize().DecodedInts()
 		} else {
-			src = attr.Ints()
+			src = attr.DecodedInts()
 		}
 		sums := make([]int64, cells)
 		hasNulls := attr.HasNulls()
@@ -305,7 +305,7 @@ func tileAccumulate(agg AggKind, attr *bat.BAT, dims []int, offsetSets [][]int) 
 		})
 		return finishAccumulate(agg, sums, nil, counts)
 	case types.KindFloat:
-		src := attr.Floats()
+		src := attr.DecodedFloats()
 		sums := make([]float64, cells)
 		hasNulls := attr.HasNulls()
 		forEachOffsetTuple(offsetSets, func(offs []int) {
@@ -395,9 +395,9 @@ func tileMinMax(agg AggKind, attr *bat.BAT, dims []int, offsetSets [][]int) (*ba
 	case types.KindInt, types.KindOID:
 		var src []int64
 		if attr.Kind() == types.KindVoid {
-			src = attr.Materialize().Ints()
+			src = attr.Materialize().DecodedInts()
 		} else {
-			src = attr.Ints()
+			src = attr.DecodedInts()
 		}
 		best := make([]int64, cells)
 		forEachOffsetTuple(offsetSets, func(offs []int) {
@@ -420,7 +420,7 @@ func tileMinMax(agg AggKind, attr *bat.BAT, dims []int, offsetSets [][]int) (*ba
 		}
 		return out, nil
 	case types.KindFloat:
-		src := attr.Floats()
+		src := attr.DecodedFloats()
 		best := make([]float64, cells)
 		forEachOffsetTuple(offsetSets, func(offs []int) {
 			forEachShiftedRegion(dims, offs, func(p, q int) {

@@ -59,12 +59,12 @@ func TileAggSAT(agg AggKind, attr *bat.BAT, sh shape.Shape, tile []TileRange) (*
 	var ivals []int64
 	switch attr.ValueKind() {
 	case types.KindFloat:
-		fvals = attr.Floats()
+		fvals = attr.DecodedFloats()
 	case types.KindInt, types.KindOID:
 		if attr.Kind() == types.KindVoid {
-			ivals = attr.Materialize().Ints()
+			ivals = attr.Materialize().DecodedInts()
 		} else {
-			ivals = attr.Ints()
+			ivals = attr.DecodedInts()
 		}
 	default:
 		if agg != AggCount && agg != AggCountAll {

@@ -101,7 +101,7 @@ func candSlice(cand *bat.BAT) (ints []int64, base int64) {
 	if cand.Kind() == types.KindVoid {
 		return nil, int64(cand.Seqbase())
 	}
-	return cand.Ints(), 0
+	return cand.DecodedInts(), 0
 }
 
 // checkCand validates the candidate-list argument kind.
@@ -163,7 +163,7 @@ func AndCand(a, b *bat.BAT) *bat.BAT {
 			run, list = b, a
 		}
 		lo, hi := int64(run.Seqbase()), int64(run.Seqbase())+int64(run.Len())
-		ints := list.Ints()
+		ints := list.DecodedInts()
 		s := sort.Search(len(ints), func(i int) bool { return ints[i] >= lo })
 		e := sort.Search(len(ints), func(i int) bool { return ints[i] >= hi })
 		if s >= e {

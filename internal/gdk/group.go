@@ -94,10 +94,11 @@ func Group(keys []*bat.BAT, cand *bat.BAT) (*GroupResult, error) {
 	table := make(map[uint64][]int32)
 	var extents []int64
 	remaps := make([][]int64, plan.Chunks())
+	rh := newRowHasher(keys)
 	for c := range localExtents {
 		remap := make([]int64, len(localExtents[c]))
 		for g, first := range localExtents[c] {
-			remap[g] = mergeGroup(keys, first, table, &extents)
+			remap[g] = mergeGroup(rh, keys, first, table, &extents)
 		}
 		remaps[c] = remap
 	}
@@ -131,10 +132,10 @@ func groupSortedRuns(key *bat.BAT) (*GroupResult, bool) {
 	case types.KindVoid:
 		same = func(int) bool { return false }
 	case types.KindInt, types.KindOID:
-		vals := key.Ints()
+		vals := key.DecodedInts()
 		same = func(i int) bool { return vals[i] == vals[i-1] }
 	case types.KindStr:
-		vals := key.Strs()
+		vals := key.DecodedStrs()
 		same = func(i int) bool { return vals[i] == vals[i-1] }
 	default:
 		return nil, false
@@ -163,12 +164,13 @@ func groupSortedRuns(key *bat.BAT) (*GroupResult, bool) {
 func groupRange(keys []*bat.BAT, lo, hi int, gids []int64) []int64 {
 	table := make(map[uint64][]int32, hi-lo)
 	extents := make([]int64, 0)
+	rh := newRowHasher(keys)
 	for i := lo; i < hi; i++ {
-		h, ok := hashRow(keys, i)
+		h, ok := rh.row(i)
 		if !ok {
 			// Row contains NULL key(s): all-NULL-pattern rows must still group
 			// by their exact NULL pattern + non-NULL values.
-			h = nullPatternHash(keys, i)
+			h = rh.nullPattern(i)
 		}
 		found := int64(-1)
 		for _, g := range table[h] {
@@ -190,11 +192,11 @@ func groupRange(keys []*bat.BAT, lo, hi int, gids []int64) []int64 {
 
 // mergeGroup folds one local group (represented by its first row) into the
 // global table, returning its global id.
-func mergeGroup(keys []*bat.BAT, first int64, table map[uint64][]int32, extents *[]int64) int64 {
+func mergeGroup(rh rowHasher, keys []*bat.BAT, first int64, table map[uint64][]int32, extents *[]int64) int64 {
 	i := int(first)
-	h, ok := hashRow(keys, i)
+	h, ok := rh.row(i)
 	if !ok {
-		h = nullPatternHash(keys, i)
+		h = rh.nullPattern(i)
 	}
 	for _, g := range (table)[h] {
 		if groupRowsEqual(keys, i, int((*extents)[g])) {

@@ -48,77 +48,104 @@ func mixString(h uint64, s string) uint64 {
 	return h
 }
 
-// hashRow hashes row i of every key column, returning ok=false for rows
-// containing any NULL (the callers treat those as non-matching). It is
-// read-only on the columns and safe to call concurrently.
-func hashRow(cols []*bat.BAT, i int) (uint64, bool) {
-	h := fnvOffset
-	for _, c := range cols {
-		if c.IsNull(i) {
-			return 0, false
-		}
+// rowHasher hashes rows of a fixed key-column list. Construction resolves
+// each column to its decoded typed view once (one slab-layer charge per
+// column, and a single decode for encoded columns), so the per-row loops —
+// which run millions of times inside joins and grouping — touch only flat
+// slices. A rowHasher is read-only after construction and safe to share
+// across workers.
+type rowHasher struct {
+	cols  []*bat.BAT
+	isStr []bool
+	mix   []func(h uint64, i int) uint64
+}
+
+func newRowHasher(cols []*bat.BAT) rowHasher {
+	rh := rowHasher{
+		cols:  cols,
+		isStr: make([]bool, len(cols)),
+		mix:   make([]func(uint64, int) uint64, len(cols)),
+	}
+	for k, c := range cols {
 		switch c.Kind() {
 		case types.KindInt, types.KindOID:
-			h = mix64(h, uint64(c.Ints()[i]))
+			vals := c.DecodedInts()
+			rh.mix[k] = func(h uint64, i int) uint64 { return mix64(h, uint64(vals[i])) }
 		case types.KindVoid:
-			h = mix64(h, uint64(c.Seqbase())+uint64(i))
+			base := uint64(c.Seqbase())
+			rh.mix[k] = func(h uint64, i int) uint64 { return mix64(h, base+uint64(i)) }
 		case types.KindFloat:
 			// Normalise so that int-valued floats hash like ints when joined
 			// against integer columns (keys are pre-promoted by the compiler,
 			// so this only defends against mixed use at the kernel level).
-			h = mix64(h, math.Float64bits(c.Floats()[i]))
+			vals := c.DecodedFloats()
+			rh.mix[k] = func(h uint64, i int) uint64 { return mix64(h, math.Float64bits(vals[i])) }
 		case types.KindBool:
-			if c.Bools()[i] {
-				h = mixByte(h, 1)
-			} else {
-				h = mixByte(h, 0)
+			vals := c.DecodedBools()
+			rh.mix[k] = func(h uint64, i int) uint64 {
+				if vals[i] {
+					return mixByte(h, 1)
+				}
+				return mixByte(h, 0)
 			}
 		case types.KindStr:
-			h = mixString(h, c.Strs()[i])
+			rh.isStr[k] = true
+			vals := c.DecodedStrs()
+			rh.mix[k] = func(h uint64, i int) uint64 { return mixString(h, vals[i]) }
+		default:
+			rh.mix[k] = func(h uint64, i int) uint64 { return h }
+		}
+	}
+	return rh
+}
+
+// row hashes row i, returning ok=false for rows containing any NULL (the
+// callers treat those as non-matching).
+func (rh rowHasher) row(i int) (uint64, bool) {
+	h := fnvOffset
+	for k, c := range rh.cols {
+		if c.IsNull(i) {
+			return 0, false
+		}
+		h = rh.mix[k](h, i)
+		if rh.isStr[k] {
 			h = mixByte(h, 0)
 		}
 	}
 	return h, true
 }
 
-// nullPatternHash hashes a row that contains NULLs with GROUP BY semantics:
+// nullPattern hashes a row that contains NULLs with GROUP BY semantics:
 // NULL contributes a marker byte, non-NULL values contribute their typed
 // bytes followed by a separator, so (1, NULL) and (NULL, 1) hash apart.
-// Shared with hashRow's per-kind mixing, it allocates nothing.
-func nullPatternHash(keys []*bat.BAT, i int) uint64 {
+func (rh rowHasher) nullPattern(i int) uint64 {
 	h := fnvOffset
-	for _, k := range keys {
-		if k.IsNull(i) {
+	for k, c := range rh.cols {
+		if c.IsNull(i) {
 			h = mixByte(h, 0xFF)
 			continue
 		}
-		switch k.Kind() {
-		case types.KindInt, types.KindOID:
-			h = mix64(h, uint64(k.Ints()[i]))
-		case types.KindVoid:
-			h = mix64(h, uint64(k.Seqbase())+uint64(i))
-		case types.KindFloat:
-			h = mix64(h, math.Float64bits(k.Floats()[i]))
-		case types.KindBool:
-			if k.Bools()[i] {
-				h = mixByte(h, 1)
-			} else {
-				h = mixByte(h, 0)
-			}
-		case types.KindStr:
-			h = mixString(h, k.Strs()[i])
-		}
+		h = rh.mix[k](h, i)
 		h = mixByte(h, 0xFE)
 	}
 	return h
 }
 
-// hashRows computes hashRow for rows [0,n) of cols into hs, with ok bits in
-// valid, splitting the work across the pool. Both slices must be length n.
+// hashRow hashes row i of every key column (one-shot convenience; loops
+// build a rowHasher once instead).
+func hashRow(cols []*bat.BAT, i int) (uint64, bool) { return newRowHasher(cols).row(i) }
+
+// nullPatternHash is the one-shot form of rowHasher.nullPattern.
+func nullPatternHash(keys []*bat.BAT, i int) uint64 { return newRowHasher(keys).nullPattern(i) }
+
+// hashRows computes rowHasher.row for rows [0,n) of cols into hs, with ok
+// bits in valid, splitting the work across the pool. Both slices must be
+// length n.
 func hashRows(cols []*bat.BAT, n int, hs []uint64, valid []bool) {
+	rh := newRowHasher(cols)
 	par.Do(n, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
-			hs[i], valid[i] = hashRow(cols, i)
+			hs[i], valid[i] = rh.row(i)
 		}
 	})
 }

@@ -123,7 +123,7 @@ func MergeJoin(l, r *bat.BAT) (lIdx, rIdx *bat.BAT, err error) {
 	if keyFamily(l.Kind()) == 1 {
 		lout, rout = mergeRuns(l.Len(), r.Len(), intAt(l), intAt(r))
 	} else {
-		lv, rv := l.Strs(), r.Strs()
+		lv, rv := l.DecodedStrs(), r.DecodedStrs()
 		lout, rout = mergeRuns(l.Len(), r.Len(),
 			func(i int) string { return lv[i] }, func(i int) string { return rv[i] })
 	}
@@ -243,10 +243,11 @@ func hashJoinBuildRight(lkeys, rkeys []*bat.BAT) (*bat.BAT, *bat.BAT, error) {
 	plan := par.NewPlan(nl)
 	louts := make([][]int64, plan.Chunks())
 	routs := make([][]int64, plan.Chunks())
+	rh := newRowHasher(lkeys)
 	plan.Run(func(c, lo, hi int) {
 		var lout, rout []int64
 		for i := lo; i < hi; i++ {
-			h, ok := hashRow(lkeys, i)
+			h, ok := rh.row(i)
 			if !ok {
 				continue
 			}
@@ -354,12 +355,13 @@ func leftJoinDense(lkeys, rkeys []*bat.BAT) (lIdx, rIdx *bat.BAT, err error) {
 	louts := make([][]int64, plan.Chunks())
 	routs := make([][]int64, plan.Chunks())
 	rnulls := make([][]bool, plan.Chunks())
+	rh := newRowHasher(lkeys)
 	plan.Run(func(c, lo, hi int) {
 		var lout, rout []int64
 		var rnull []bool
 		for i := lo; i < hi; i++ {
 			matched := false
-			if h, ok := hashRow(lkeys, i); ok {
+			if h, ok := rh.row(i); ok {
 				for j := table.first(h); j != 0; j = table.next[j-1] {
 					ri := int(j - 1)
 					if table.hs[ri] == h && rowsEqual(lkeys, i, rkeys, ri) {

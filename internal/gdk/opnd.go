@@ -66,112 +66,98 @@ func allNull(n int) *bat.Bitmap {
 	return bm
 }
 
-// ints normalises the operand to an int64 slice plus null mask. OIDs and
-// ints pass through; other kinds are an error (callers promote first).
-func (o Opnd) ints() ([]int64, *bat.Bitmap, error) {
+// opndVec is the one decode path behind the four typed operand accessors:
+// column operands read through the BAT's decoded-view layer (so encoded
+// columns work transparently), scalar operands broadcast. column converts
+// a BAT to the typed slice or rejects the kind; convert does the same for
+// a scalar.
+func opndVec[T any](o Opnd, column func(*bat.BAT) ([]T, *bat.Bitmap, error), convert func(types.Value) (T, error)) ([]T, *bat.Bitmap, error) {
 	if o.b != nil {
-		switch o.b.Kind() {
-		case types.KindInt, types.KindOID:
-			return o.b.Ints(), o.b.NullMask(), nil
-		case types.KindVoid:
-			m := o.b.Materialize()
-			return m.Ints(), nil, nil
-		default:
-			return nil, nil, fmt.Errorf("gdk: expected integer column, got %s", o.b.Kind())
-		}
+		return column(o.b)
 	}
-	out := make([]int64, o.n)
+	out := make([]T, o.n)
 	if o.v.IsNull() {
 		return out, allNull(o.n), nil
 	}
-	iv, err := o.v.AsInt()
+	cv, err := convert(o.v)
 	if err != nil {
 		return nil, nil, err
 	}
 	for i := range out {
-		out[i] = iv
+		out[i] = cv
 	}
 	return out, nil, nil
+}
+
+// ints normalises the operand to an int64 slice plus null mask. OIDs and
+// ints pass through; other kinds are an error (callers promote first).
+func (o Opnd) ints() ([]int64, *bat.Bitmap, error) {
+	return opndVec(o, func(b *bat.BAT) ([]int64, *bat.Bitmap, error) {
+		switch b.Kind() {
+		case types.KindInt, types.KindOID:
+			return b.DecodedInts(), b.NullMask(), nil
+		case types.KindVoid:
+			return b.Materialize().DecodedInts(), nil, nil
+		default:
+			return nil, nil, fmt.Errorf("gdk: expected integer column, got %s", b.Kind())
+		}
+	}, types.Value.AsInt)
 }
 
 // floats normalises the operand to a float64 slice plus null mask,
 // converting integer operands.
 func (o Opnd) floats() ([]float64, *bat.Bitmap, error) {
-	if o.b != nil {
-		switch o.b.Kind() {
+	return opndVec(o, func(b *bat.BAT) ([]float64, *bat.Bitmap, error) {
+		switch b.Kind() {
 		case types.KindFloat:
-			return o.b.Floats(), o.b.NullMask(), nil
+			return b.DecodedFloats(), b.NullMask(), nil
 		case types.KindInt, types.KindOID:
-			src := o.b.Ints()
+			src := b.DecodedInts()
 			out := make([]float64, len(src))
 			for i, v := range src {
 				out[i] = float64(v)
 			}
-			return out, o.b.NullMask(), nil
+			return out, b.NullMask(), nil
 		case types.KindVoid:
-			out := make([]float64, o.b.Len())
+			out := make([]float64, b.Len())
 			for i := range out {
-				out[i] = float64(o.b.Seqbase()) + float64(i)
+				out[i] = float64(b.Seqbase()) + float64(i)
 			}
 			return out, nil, nil
 		default:
-			return nil, nil, fmt.Errorf("gdk: expected numeric column, got %s", o.b.Kind())
+			return nil, nil, fmt.Errorf("gdk: expected numeric column, got %s", b.Kind())
 		}
-	}
-	out := make([]float64, o.n)
-	if o.v.IsNull() {
-		return out, allNull(o.n), nil
-	}
-	fv, err := o.v.AsFloat()
-	if err != nil {
-		return nil, nil, err
-	}
-	for i := range out {
-		out[i] = fv
-	}
-	return out, nil, nil
+	}, types.Value.AsFloat)
 }
 
 // boolsv normalises the operand to a bool slice plus null mask.
 func (o Opnd) boolsv() ([]bool, *bat.Bitmap, error) {
-	if o.b != nil {
-		if o.b.Kind() != types.KindBool {
-			return nil, nil, fmt.Errorf("gdk: expected boolean column, got %s", o.b.Kind())
+	return opndVec(o, func(b *bat.BAT) ([]bool, *bat.Bitmap, error) {
+		if b.Kind() != types.KindBool {
+			return nil, nil, fmt.Errorf("gdk: expected boolean column, got %s", b.Kind())
 		}
-		return o.b.Bools(), o.b.NullMask(), nil
-	}
-	out := make([]bool, o.n)
-	if o.v.IsNull() {
-		return out, allNull(o.n), nil
-	}
-	if o.v.Kind() != types.KindBool {
-		return nil, nil, fmt.Errorf("gdk: expected boolean constant, got %s", o.v.Kind())
-	}
-	for i := range out {
-		out[i] = o.v.BoolVal()
-	}
-	return out, nil, nil
+		return b.DecodedBools(), b.NullMask(), nil
+	}, func(v types.Value) (bool, error) {
+		if v.Kind() != types.KindBool {
+			return false, fmt.Errorf("gdk: expected boolean constant, got %s", v.Kind())
+		}
+		return v.BoolVal(), nil
+	})
 }
 
 // strsv normalises the operand to a string slice plus null mask.
 func (o Opnd) strsv() ([]string, *bat.Bitmap, error) {
-	if o.b != nil {
-		if o.b.Kind() != types.KindStr {
-			return nil, nil, fmt.Errorf("gdk: expected string column, got %s", o.b.Kind())
+	return opndVec(o, func(b *bat.BAT) ([]string, *bat.Bitmap, error) {
+		if b.Kind() != types.KindStr {
+			return nil, nil, fmt.Errorf("gdk: expected string column, got %s", b.Kind())
 		}
-		return o.b.Strs(), o.b.NullMask(), nil
-	}
-	out := make([]string, o.n)
-	if o.v.IsNull() {
-		return out, allNull(o.n), nil
-	}
-	if o.v.Kind() != types.KindStr {
-		return nil, nil, fmt.Errorf("gdk: expected string constant, got %s", o.v.Kind())
-	}
-	for i := range out {
-		out[i] = o.v.StrVal()
-	}
-	return out, nil, nil
+		return b.DecodedStrs(), b.NullMask(), nil
+	}, func(v types.Value) (string, error) {
+		if v.Kind() != types.KindStr {
+			return "", fmt.Errorf("gdk: expected string constant, got %s", v.Kind())
+		}
+		return v.StrVal(), nil
+	})
 }
 
 // orNulls returns the union of two null masks (nil when both nil),

@@ -413,13 +413,15 @@ func TestParEquivTileSAT(t *testing.T) {
 }
 
 // TestParEquivHashZeroAlloc pins the zero-allocation property of the row
-// hasher: hashing a row of typed columns must not allocate.
+// hasher's hot path: once the rowHasher is built (one construction per
+// kernel call), hashing a row must not allocate.
 func TestParEquivHashZeroAlloc(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))
 	cols := []*bat.BAT{mkInts(rng, 1024), mkFloats(rng, 1024)}
+	rh := newRowHasher(cols)
 	allocs := testing.AllocsPerRun(1000, func() {
-		hashRow(cols, 512)
-		nullPatternHash(cols, 512)
+		rh.row(512)
+		rh.nullPattern(512)
 	})
 	if allocs != 0 {
 		t.Fatalf("row hashing allocates %.1f per run, want 0", allocs)

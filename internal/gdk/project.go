@@ -45,22 +45,22 @@ func Project(idx, b *bat.BAT) (*bat.BAT, error) {
 	var fill func(i, j int) // copy source row j to output row i (non-NULL)
 	switch b.Kind() {
 	case types.KindInt, types.KindOID:
-		src := b.Ints()
+		src := b.DecodedInts()
 		dst := make([]int64, n)
 		out = bat.FromIntsOfKind(dst, b.ValueKind())
 		fill = func(i, j int) { dst[i] = src[j] }
 	case types.KindFloat:
-		src := b.Floats()
+		src := b.DecodedFloats()
 		dst := make([]float64, n)
 		out = bat.FromFloats(dst)
 		fill = func(i, j int) { dst[i] = src[j] }
 	case types.KindBool:
-		src := b.Bools()
+		src := b.DecodedBools()
 		dst := make([]bool, n)
 		out = bat.FromBools(dst)
 		fill = func(i, j int) { dst[i] = src[j] }
 	case types.KindStr:
-		src := b.Strs()
+		src := b.DecodedStrs()
 		dst := make([]string, n)
 		out = bat.FromStrings(dst)
 		fill = func(i, j int) { dst[i] = src[j] }

@@ -1,0 +1,39 @@
+package gdk
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// TestNoRawTailAccess bans the deprecated whole-column accessors
+// (BAT.Ints/Floats/Bools/Strs) in non-test kernel sources. Kernels must
+// read through the slab-accessor API (Slab views, DecodedInts and
+// friends): raw tail slices are empty on encoded columns and bypass the
+// bytes-touched accounting the compression benchmarks report.
+func TestNoRawTailAccess(t *testing.T) {
+	re := regexp.MustCompile(`\.(Ints|Floats|Bools|Strs)\(\)`)
+	files, err := filepath.Glob("*.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatal("no kernel sources found")
+	}
+	for _, f := range files {
+		if strings.HasSuffix(f, "_test.go") {
+			continue
+		}
+		data, err := os.ReadFile(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			if m := re.FindString(line); m != "" {
+				t.Errorf("%s:%d: raw tail accessor %s — use the slab/decoded view API", f, i+1, m)
+			}
+		}
+	}
+}

@@ -2,6 +2,7 @@ package gdk
 
 import (
 	"fmt"
+	"strings"
 
 	"repro/internal/bat"
 	"repro/internal/par"
@@ -58,7 +59,7 @@ func SelectBool(cond, cand *bat.BAT) (*bat.BAT, error) {
 	if cand != nil && cand.Len() != cond.Len() {
 		return nil, fmt.Errorf("gdk: select condition not aligned with candidate list: %d vs %d", cond.Len(), cand.Len())
 	}
-	vals := cond.Bools()
+	vals := cond.DecodedBools()
 	co, cbase := candSlice(cand)
 	var out []int64
 	if cond.HasNulls() {
@@ -96,10 +97,6 @@ func ThetaSelect(b *bat.BAT, cand *bat.BAT, val types.Value, op string) (*bat.BA
 		out.Sorted, out.Key = true, true
 		return out, nil
 	}
-	test, err := thetaTest(b.ValueKind(), val, op)
-	if err != nil {
-		return nil, err
-	}
 	if err := candInRange(cand, b.Len()); err != nil {
 		return nil, err
 	}
@@ -108,6 +105,18 @@ func ThetaSelect(b *bat.BAT, cand *bat.BAT, val types.Value, op string) (*bat.BA
 	if fast, handled := statsThetaSelect(b, cand, val, op); handled {
 		return fast, nil
 	}
+	// Dictionary-encoded string slabs evaluate the predicate once per
+	// distinct value, then scan codes (see enc_select.go). Bit-identical
+	// to the scan below.
+	if fast, handled, err := encodedStrTheta(b, cand, val, op); err != nil {
+		return nil, err
+	} else if handled {
+		return fast, nil
+	}
+	test, err := thetaTest(b, val, op)
+	if err != nil {
+		return nil, err
+	}
 	var out []int64
 	if cand == nil {
 		out = gatherOIDs(b.Len(), func(lo, hi int, dst []int64) []int64 {
@@ -115,7 +124,7 @@ func ThetaSelect(b *bat.BAT, cand *bat.BAT, val types.Value, op string) (*bat.BA
 				if b.IsNull(i) {
 					continue
 				}
-				if test(b, i) {
+				if test(i) {
 					dst = append(dst, int64(i))
 				}
 			}
@@ -130,7 +139,7 @@ func ThetaSelect(b *bat.BAT, cand *bat.BAT, val types.Value, op string) (*bat.BA
 				if i >= b.Len() || b.IsNull(i) {
 					continue
 				}
-				if test(b, i) {
+				if test(i) {
 					dst = append(dst, int64(i))
 				}
 			}
@@ -142,19 +151,37 @@ func ThetaSelect(b *bat.BAT, cand *bat.BAT, val types.Value, op string) (*bat.BA
 	return ob, nil
 }
 
-func thetaTest(k types.Kind, val types.Value, op string) (func(*bat.BAT, int) bool, error) {
+// thetaTest compiles the per-row predicate for b against val under op.
+// Numeric columns capture their decoded tail once (one slab-layer charge
+// per compile, not per row); other kinds go through Get.
+func thetaTest(b *bat.BAT, val types.Value, op string) (func(int) bool, error) {
 	o, err := cmpOpOf(op)
 	if err != nil {
 		return nil, fmt.Errorf("gdk: unknown theta op %q", op)
 	}
-	switch k {
+	switch b.ValueKind() {
 	case types.KindInt, types.KindOID:
 		want, err := val.AsInt()
 		if err != nil {
 			return nil, err
 		}
-		return func(b *bat.BAT, i int) bool {
-			v := b.Ints()[i]
+		if b.Kind() == types.KindVoid {
+			sb := int64(b.Seqbase())
+			return func(i int) bool {
+				v := sb + int64(i)
+				switch {
+				case v < want:
+					return o.ok(-1)
+				case v > want:
+					return o.ok(1)
+				default:
+					return o.ok(0)
+				}
+			}, nil
+		}
+		vals := b.DecodedInts()
+		return func(i int) bool {
+			v := vals[i]
 			switch {
 			case v < want:
 				return o.ok(-1)
@@ -169,8 +196,9 @@ func thetaTest(k types.Kind, val types.Value, op string) (func(*bat.BAT, int) bo
 		if err != nil {
 			return nil, err
 		}
-		return func(b *bat.BAT, i int) bool {
-			v := b.Floats()[i]
+		vals := b.DecodedFloats()
+		return func(i int) bool {
+			v := vals[i]
 			switch {
 			case v < want:
 				return o.ok(-1)
@@ -180,8 +208,17 @@ func thetaTest(k types.Kind, val types.Value, op string) (func(*bat.BAT, int) bo
 				return o.ok(0)
 			}
 		}, nil
+	case types.KindStr:
+		// Value.Compare on a string column value is strings.Compare against
+		// val's string payload ("" for non-string vals), so this is
+		// bit-identical to the Get path below.
+		want := val.StrVal()
+		vals := b.DecodedStrs()
+		return func(i int) bool {
+			return o.ok(strings.Compare(vals[i], want))
+		}, nil
 	default:
-		return func(b *bat.BAT, i int) bool {
+		return func(i int) bool {
 			return o.ok(b.Get(i).Compare(val))
 		}, nil
 	}
@@ -195,20 +232,20 @@ func RangeSelect(b *bat.BAT, cand *bat.BAT, lo, hi types.Value) (*bat.BAT, error
 		out.Sorted, out.Key = true, true
 		return out, nil
 	}
-	ge, err := thetaTest(b.ValueKind(), lo, ">=")
-	if err != nil {
-		return nil, err
-	}
-	le, err := thetaTest(b.ValueKind(), hi, "<=")
-	if err != nil {
-		return nil, err
-	}
 	if err := candInRange(cand, b.Len()); err != nil {
 		return nil, err
 	}
 	// Property fast paths (see stats.go); bit-identical to the scan below.
 	if fast, handled := statsRangeSelect(b, cand, lo, hi); handled {
 		return fast, nil
+	}
+	ge, err := thetaTest(b, lo, ">=")
+	if err != nil {
+		return nil, err
+	}
+	le, err := thetaTest(b, hi, "<=")
+	if err != nil {
+		return nil, err
 	}
 	var out []int64
 	if cand == nil {
@@ -217,7 +254,7 @@ func RangeSelect(b *bat.BAT, cand *bat.BAT, lo, hi types.Value) (*bat.BAT, error
 				if b.IsNull(i) {
 					continue
 				}
-				if ge(b, i) && le(b, i) {
+				if ge(i) && le(i) {
 					dst = append(dst, int64(i))
 				}
 			}
@@ -230,7 +267,7 @@ func RangeSelect(b *bat.BAT, cand *bat.BAT, lo, hi types.Value) (*bat.BAT, error
 				if i >= b.Len() || b.IsNull(i) {
 					continue
 				}
-				if ge(b, i) && le(b, i) {
+				if ge(i) && le(i) {
 					dst = append(dst, int64(i))
 				}
 			}

@@ -154,7 +154,7 @@ func statsWant(b *bat.BAT, val types.Value) (wi int64, wf float64, isInt, ok boo
 func intAt(b *bat.BAT) func(int) int64 {
 	switch b.Kind() {
 	case types.KindInt, types.KindOID:
-		vals := b.Ints()
+		vals := b.DecodedInts()
 		return func(i int) int64 { return vals[i] }
 	case types.KindVoid:
 		base := int64(b.Seqbase())
@@ -384,55 +384,6 @@ func thetaIntervalInt(o cmpOp, w int64) (lo, hi int64, negate bool) {
 	}
 }
 
-// intSlabScanner returns the specialised slab scan for integer interval
-// membership: the inner loops read the slice directly.
-func intSlabScanner(b *bat.BAT, lo, hi int64, negate bool) func(from, to int) (seg, bool) {
-	vals := b.Ints()
-	if !b.HasNulls() {
-		return func(from, to int) (seg, bool) {
-			cnt, first, last := 0, 0, 0
-			for i := from; i < to; i++ {
-				v := vals[i]
-				if (v >= lo && v <= hi) != negate {
-					if cnt == 0 {
-						first = i
-					}
-					last = i
-					cnt++
-				}
-			}
-			return slabSeg(cnt, first, last, func(i int) bool {
-				v := vals[i]
-				return (v >= lo && v <= hi) != negate
-			})
-		}
-	}
-	nulls := b.NullMask()
-	return func(from, to int) (seg, bool) {
-		cnt, first, last := 0, 0, 0
-		for i := from; i < to; i++ {
-			if nulls.Get(i) {
-				continue
-			}
-			v := vals[i]
-			if (v >= lo && v <= hi) != negate {
-				if cnt == 0 {
-					first = i
-				}
-				last = i
-				cnt++
-			}
-		}
-		return slabSeg(cnt, first, last, func(i int) bool {
-			if nulls.Get(i) {
-				return false
-			}
-			v := vals[i]
-			return (v >= lo && v <= hi) != negate
-		})
-	}
-}
-
 // zonemapScan runs the skip-scan over window [wlo, whi): classify every
 // slab, skip the impossible ones, emit certain ones as runs, scan the
 // rest with the typed slab scanner. handled is false when the zonemap
@@ -481,55 +432,6 @@ func zonemapScan(zm *bat.Zonemap, wlo, whi int, classify func(s int) slabClass, 
 		}
 	}
 	return assembleSegs(segs), true
-}
-
-// floatMatch is the float per-row match for `value op w`, replicating
-// thetaTest's three-way comparison (under which NaN compares equal to
-// everything).
-func floatMatch(b *bat.BAT, o cmpOp, w float64) func(int) bool {
-	vals := b.Floats()
-	if !b.HasNulls() {
-		return func(i int) bool {
-			v := vals[i]
-			switch {
-			case v < w:
-				return o.ok(-1)
-			case v > w:
-				return o.ok(1)
-			}
-			return o.ok(0)
-		}
-	}
-	nulls := b.NullMask()
-	return func(i int) bool {
-		if nulls.Get(i) {
-			return false
-		}
-		v := vals[i]
-		switch {
-		case v < w:
-			return o.ok(-1)
-		case v > w:
-			return o.ok(1)
-		}
-		return o.ok(0)
-	}
-}
-
-// floatRangeMatch is the BETWEEN counterpart.
-func floatRangeMatch(b *bat.BAT, lo, hi float64) func(int) bool {
-	vals := b.Floats()
-	if !b.HasNulls() {
-		return func(i int) bool { v := vals[i]; return v >= lo && v <= hi }
-	}
-	nulls := b.NullMask()
-	return func(i int) bool {
-		if nulls.Get(i) {
-			return false
-		}
-		v := vals[i]
-		return v >= lo && v <= hi
-	}
 }
 
 // statsThetaSelect is the fast-path front of ThetaSelect. handled reports
@@ -593,7 +495,7 @@ func statsThetaSelect(b, cand *bat.BAT, val types.Value, op string) (out *bat.BA
 					lo, hi, rok = sortedRun(n, at, asc, o, wi)
 				}
 			} else {
-				vals := b.Floats()
+				vals := b.DecodedFloats()
 				lo, hi, rok = sortedRun(n, func(i int) float64 { return vals[i] }, asc, o, wf)
 			}
 			if rok {
@@ -618,10 +520,9 @@ func statsThetaSelect(b, cand *bat.BAT, val types.Value, op string) (out *bat.BA
 			func(s int) slabClass { return classifyTheta(o, wi, zm.MinI[s], zm.MaxI[s]) },
 			intSlabScanner(b, ilo, ihi, neg))
 	} else {
-		match := floatMatch(b, o, wf)
 		res, zok = zonemapScan(zm, wlo, whi,
 			func(s int) slabClass { return classifyTheta(o, wf, zm.MinF[s], zm.MaxF[s]) },
-			func(from, to int) (seg, bool) { return scanSlab(from, to, match) })
+			floatSlabScanner(b, floatThetaPred(o, wf)))
 	}
 	if !zok {
 		return nil, false
@@ -679,7 +580,7 @@ func statsRangeSelect(b, cand *bat.BAT, lo, hi types.Value) (out *bat.BAT, handl
 					return runCand(s, e, cand), true
 				}
 			} else {
-				vals := b.Floats()
+				vals := b.DecodedFloats()
 				s, e := sortedRangeRun(n, func(i int) float64 { return vals[i] }, asc, lf, hiF)
 				return runCand(s, e, cand), true
 			}
@@ -700,10 +601,9 @@ func statsRangeSelect(b, cand *bat.BAT, lo, hi types.Value) (out *bat.BAT, handl
 			func(s int) slabClass { return classifyRange(li, hiI, zm.MinI[s], zm.MaxI[s]) },
 			intSlabScanner(b, li, hiI, false))
 	} else {
-		match := floatRangeMatch(b, lf, hiF)
 		res, zok = zonemapScan(zm, wlo, whi,
 			func(s int) slabClass { return classifyRange(lf, hiF, zm.MinF[s], zm.MaxF[s]) },
-			func(from, to int) (seg, bool) { return scanSlab(from, to, match) })
+			floatSlabScanner(b, func(v float64) bool { return v >= lf && v <= hiF }))
 	}
 	if !zok {
 		return nil, false

@@ -535,6 +535,9 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"queries":   s.queries.Load(),
 		"rejected":  s.rejected.Load(),
 		"workers":   s.cfg.Workers,
+		// Per-column encoding mix and encoded-vs-logical bytes of the
+		// published snapshot (compression observability).
+		"encodings": s.db.EncodingStats(),
 	}
 	if s.repl != nil {
 		rs := s.repl.ReplStatus()

@@ -31,6 +31,7 @@
 package sciql
 
 import (
+	"repro/internal/bat"
 	"repro/internal/core"
 	"repro/internal/par"
 	"repro/internal/shape"
@@ -78,3 +79,15 @@ func SetThreads(n int) int { return par.SetThreads(n) }
 
 // Threads returns the current kernel worker count.
 func Threads() int { return par.Threads() }
+
+// SetEncodingsEnabled toggles automatic per-slab column compression
+// (RLE/dictionary/frame-of-reference/delta) process-wide and returns the
+// previous setting. Encoding happens at checkpoint time and is fully
+// transparent — results are bit-identical either way — so this is a
+// performance/footprint switch, mirroring gdk.SetStatsEnabled. Columns
+// already encoded stay encoded (and readable) after disabling; they
+// revert to plain at their next rewrite.
+func SetEncodingsEnabled(on bool) bool { return bat.SetEncodingsEnabled(on) }
+
+// EncodingsEnabled reports whether automatic slab encoding is active.
+func EncodingsEnabled() bool { return bat.EncodingsEnabled() }
