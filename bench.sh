@@ -29,6 +29,9 @@
 #   9. the compressed-segment comparison: encoded vs plain scans and
 #      aggregation, with the bytes_touched/op column
 #      (BenchmarkCompress*) -> BENCH_compress.json
+#  10. the join-ordering comparison: syntactic vs greedy vs cost-based DP
+#      over star/chain/snowflake, with plan_ns/op and run_ns/op columns
+#      (BenchmarkJoinOrder) -> BENCH_joinorder.json
 #
 # Raw benchmark text lands under bench-artifacts/ (gitignored); only the
 # BENCH_*.json baselines are checked in.
@@ -49,6 +52,7 @@ REPL_PATTERN="BenchmarkReplCatchup|BenchmarkFailover"
 # (the CI bench-smoke step still runs it via -bench .).
 COMMIT_PATTERN="BenchmarkCommitNWriters/mode="
 COMPRESS_PATTERN="BenchmarkCompress"
+JOINORDER_PATTERN="BenchmarkJoinOrder"
 
 # Raw per-pass output is an artifact, not a source: keep it out of the
 # repo root so it can never be committed again.
@@ -84,11 +88,14 @@ bench_json() {
     BEGIN { print "["; first = 1 }
     /^Benchmark/ {
         name = $1; iters = $2; ns = $3; bytes = ""; allocs = ""; fsyncs = ""; touched = ""
+        plan = ""; run = ""
         for (i = 4; i <= NF; i++) {
             if ($(i) == "B/op")             bytes   = $(i - 1)
             if ($(i) == "allocs/op")        allocs  = $(i - 1)
             if ($(i) == "fsyncs/commit")    fsyncs  = $(i - 1)
             if ($(i) == "bytes_touched/op") touched = $(i - 1)
+            if ($(i) == "plan_ns/op")       plan    = $(i - 1)
+            if ($(i) == "run_ns/op")        run     = $(i - 1)
         }
         if (!first) printf ",\n"
         first = 0
@@ -97,6 +104,8 @@ bench_json() {
         if (allocs  != "") printf ", \"allocs_per_op\": %s", allocs
         if (fsyncs  != "") printf ", \"fsyncs_per_commit\": %s", fsyncs
         if (touched != "") printf ", \"bytes_touched_per_op\": %s", touched
+        if (plan    != "") printf ", \"plan_ns_per_op\": %s", plan
+        if (run     != "") printf ", \"run_ns_per_op\": %s", run
         printf "}"
     }
     END { print "\n]" }
@@ -113,3 +122,4 @@ bench_json "${CANCEL_PATTERN}" BENCH_cancel.json "${ARTIFACTS}/bench_cancel_out.
 bench_json "${REPL_PATTERN}" BENCH_repl.json "${ARTIFACTS}/bench_repl_out.txt"
 bench_json "${COMMIT_PATTERN}" BENCH_commit.json "${ARTIFACTS}/bench_commit_out.txt"
 bench_json "${COMPRESS_PATTERN}" BENCH_compress.json "${ARTIFACTS}/bench_compress_out.txt"
+bench_json "${JOINORDER_PATTERN}" BENCH_joinorder.json "${ARTIFACTS}/bench_joinorder_out.txt"

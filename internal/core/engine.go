@@ -394,16 +394,18 @@ func (db *DB) ExecStmt(stmt ast.Statement) (*Result, error) {
 	return db.execStmt(db.session, stmt)
 }
 
-// parse resolves a query text to parsed statements through the cache.
+// parse resolves a query text to parsed statements through the cache,
+// keyed by text plus the join-order mode (see parseCache).
 func (db *DB) parse(query string) ([]ast.Statement, error) {
-	if stmts, ok := db.pcache.get(query); ok {
+	key := cacheKey(query)
+	if stmts, ok := db.pcache.get(key); ok {
 		return stmts, nil
 	}
 	stmts, err := parser.Parse(query)
 	if err != nil {
 		return nil, err
 	}
-	db.pcache.put(query, stmts)
+	db.pcache.put(key, stmts)
 	return stmts, nil
 }
 

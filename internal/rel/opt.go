@@ -21,8 +21,11 @@ import (
 //     column over all rows (MonetDB's candidate-list discipline).
 //  4. tileKernel — structural grouping switches to the summed-area-table
 //     kernel when profitable (the "tileSAT" MAL optimizer of DESIGN.md).
+//  5. orderJoins — multi-way inner-join trees (3+ relations) reorder by
+//     estimated cardinality, greedily or via the Selinger-style DP,
+//     depending on the process-wide JoinOrdering mode (see joinorder.go).
 func Optimize(n Node) Node {
-	return rewrite(n)
+	return orderJoins(rewrite(n))
 }
 
 func rewrite(n Node) Node {

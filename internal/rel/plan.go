@@ -128,6 +128,13 @@ type Join struct {
 	LKeys     []Expr
 	RKeys     []Expr
 	Residual  Expr
+
+	// Est and Order are set by the join-ordering pass (joinorder.go): the
+	// estimated output cardinality and join algorithm for this node, and —
+	// on the top join of a reordered tree — the chosen relation order.
+	// Annotations only; the generator ignores them.
+	Est   *JoinEst
+	Order string
 }
 
 // Schema is the concatenation of both input schemas.
@@ -289,16 +296,25 @@ func explain(sb *strings.Builder, n Node, depth int) {
 	case *Join:
 		switch {
 		case x.Cross:
-			fmt.Fprintf(sb, "%scross join\n", ind)
+			fmt.Fprintf(sb, "%scross join", ind)
+			if x.Residual != nil {
+				fmt.Fprintf(sb, " where %s", x.Residual)
+			}
 		case x.LeftOuter:
-			fmt.Fprintf(sb, "%sleft outer join on %s\n", ind, joinKeys(x))
+			fmt.Fprintf(sb, "%sleft outer join on %s", ind, joinKeys(x))
 		default:
 			fmt.Fprintf(sb, "%sjoin on %s", ind, joinKeys(x))
 			if x.Residual != nil {
 				fmt.Fprintf(sb, " where %s", x.Residual)
 			}
-			sb.WriteString("\n")
 		}
+		if x.Est != nil {
+			fmt.Fprintf(sb, " [%s, ~%.0f rows]", x.Est.Algo, x.Est.Rows)
+		}
+		if x.Order != "" {
+			fmt.Fprintf(sb, " (order %s)", x.Order)
+		}
+		sb.WriteString("\n")
 		explain(sb, x.L, depth+1)
 		explain(sb, x.R, depth+1)
 	case *GroupAgg:

@@ -7,7 +7,10 @@
 #
 # Matching is by benchmark name; benchmarks present on only one side are
 # reported but do not fail the gate (new benchmarks have no baseline,
-# retired ones no measurement). Mirrors the repo's self-disabling
+# retired ones no measurement). Benchmarks that report split planning and
+# execution columns (plan_ns_per_op / run_ns_per_op, e.g. the join-order
+# pass in BENCH_joinorder.json) are additionally gated per column, so a
+# planner blow-up cannot hide inside a fast execution. Mirrors the repo's self-disabling
 # speedup gates: callers should skip the whole comparison on runners
 # with <4 cores, where timings are not comparable to the baselines.
 #
@@ -59,7 +62,13 @@ for base in "${base_dir}"/BENCH_*.json; do
     done < <(jq -r --slurpfile f "${fresh}" '
         .[] as $b
         | ($f[0] | map(select(.name == $b.name)) | first) as $m
-        | [$b.name, ($b.ns_per_op | tostring), (($m.ns_per_op // "null") | tostring)]
+        | ( [$b.name, ($b.ns_per_op | tostring), (($m.ns_per_op // "null") | tostring)],
+            (if $b.plan_ns_per_op != null then
+                [$b.name + " [plan_ns]", ($b.plan_ns_per_op | tostring),
+                 (($m.plan_ns_per_op // "null") | tostring)] else empty end),
+            (if $b.run_ns_per_op != null then
+                [$b.name + " [run_ns]", ($b.run_ns_per_op | tostring),
+                 (($m.run_ns_per_op // "null") | tostring)] else empty end) )
         | @tsv' "${base}")
     # New benchmarks without a baseline: informational.
     while IFS= read -r newbench; do
